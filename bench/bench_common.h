@@ -1,0 +1,75 @@
+// Shared helpers for the figure-reproduction benches: a tiny flag parser
+// and progress printing. Every bench runs with no arguments at a scale that
+// finishes in well under a minute per experiment; pass --scale=N to change
+// fidelity (N divides the paper's sizes; smaller N = closer to paper).
+#ifndef PTSB_BENCH_BENCH_COMMON_H_
+#define PTSB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace ptsb::bench {
+
+struct BenchFlags {
+  uint64_t scale = 100;
+  double duration_minutes = 0;  // 0: per-bench default
+  bool verbose = false;
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags flags;
+    for (int i = 1; i < argc; i++) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--scale=", 8) == 0) {
+        flags.scale = std::strtoull(arg + 8, nullptr, 10);
+      } else if (std::strncmp(arg, "--minutes=", 10) == 0) {
+        flags.duration_minutes = std::strtod(arg + 10, nullptr);
+      } else if (std::strcmp(arg, "--verbose") == 0 ||
+                 std::strcmp(arg, "-v") == 0) {
+        flags.verbose = true;
+      } else if (std::strcmp(arg, "--help") == 0) {
+        std::printf(
+            "flags: --scale=N (default 100; divides paper sizes)\n"
+            "       --minutes=M (override simulated duration)\n"
+            "       --verbose   (per-window progress)\n");
+        std::exit(0);
+      } else if (std::strncmp(arg, "--benchmark", 11) == 0) {
+        // Tolerate google-benchmark-style flags when driven by scripts.
+      } else {
+        std::fprintf(stderr, "unknown flag: %s (see --help)\n", arg);
+        std::exit(2);
+      }
+    }
+    return flags;
+  }
+
+  // Applies common flags to a config.
+  void Apply(core::ExperimentConfig* config) const {
+    config->scale = scale;
+    if (duration_minutes > 0) config->duration_minutes = duration_minutes;
+  }
+
+  std::function<void(const std::string&)> Progress() const {
+    if (!verbose) return nullptr;
+    return [](const std::string& line) { std::printf("%s\n", line.c_str()); };
+  }
+};
+
+inline core::ExperimentResult MustRun(const core::ExperimentConfig& config,
+                                      const BenchFlags& flags) {
+  auto result = core::RunExperiment(config, flags.Progress());
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment %s failed: %s\n", config.name.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(result);
+}
+
+}  // namespace ptsb::bench
+
+#endif  // PTSB_BENCH_BENCH_COMMON_H_

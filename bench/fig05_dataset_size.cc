@@ -1,0 +1,96 @@
+// Reproduces paper Fig. 5 (Pitfall 4: testing a single dataset size):
+// steady-state throughput, WA-D and WA-A across dataset sizes from 0.25 to
+// 0.62 of the device capacity, on trimmed and preconditioned drives.
+//
+// Shape targets: throughput decreases with dataset size (mostly via WA-D,
+// not WA-A); the RocksDB/WiredTiger speedup shrinks as the dataset grows;
+// the initial state changes the comparison.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace ptsb {
+namespace {
+
+int Main(int argc, char** argv) {
+  auto flags = bench::BenchFlags::Parse(argc, argv);
+  if (flags.scale == 100) flags.scale = 400;  // sweep default: faster scale
+  std::printf("=== Fig. 5: dataset size vs steady-state behavior ===\n");
+
+  const double fracs[] = {0.25, 0.37, 0.5, 0.62};
+  const core::EngineKind engines[2] = {core::EngineKind::kLsm,
+                                       core::EngineKind::kBtree};
+  const ssd::InitialState states[2] = {ssd::InitialState::kTrimmed,
+                                       ssd::InitialState::kPreconditioned};
+
+  std::vector<core::ExperimentResult> all;
+  double kops[2][2][4], wad[2][2][4], waa[2][2][4];
+  for (int s = 0; s < 2; s++) {
+    for (int e = 0; e < 2; e++) {
+      for (int f = 0; f < 4; f++) {
+        core::ExperimentConfig c;
+        c.engine = engines[e];
+        c.initial_state = states[s];
+        c.dataset_frac = fracs[f];
+        c.duration_minutes = 120;
+        c.collect_lba_trace = false;
+        c.name = std::string("fig05-") + core::EngineName(engines[e]) + "-" +
+                 ssd::InitialStateName(states[s]) + "-" +
+                 std::to_string(fracs[f]).substr(0, 4);
+        flags.Apply(&c);
+        auto r = bench::MustRun(c, flags);
+        kops[s][e][f] = r.steady.kv_kops;
+        wad[s][e][f] = r.steady.wa_d_cum;
+        waa[s][e][f] = r.steady.wa_a_cum;
+        all.push_back(std::move(r));
+      }
+    }
+  }
+
+  auto print_grid = [&](const char* title, double g[2][2][4]) {
+    std::printf("\n%s\n  dataset/capacity:      0.25    0.37    0.50    0.62\n",
+                title);
+    const char* rows[4] = {"rocksdb trim", "wiredtiger trim",
+                           "rocksdb prec", "wiredtiger prec"};
+    for (int s = 0; s < 2; s++) {
+      for (int e = 0; e < 2; e++) {
+        std::printf("  %-18s", rows[s * 2 + e]);
+        for (int f = 0; f < 4; f++) std::printf("  %6.2f", g[s][e][f]);
+        std::printf("\n");
+      }
+    }
+  };
+  print_grid("Fig5(a) throughput (Kops/s)", kops);
+  print_grid("Fig5(b) WA-D", wad);
+  print_grid("Fig5(c) WA-A", waa);
+
+  core::Report report("Fig. 5: paper vs measured");
+  // Paper values: trimmed speedup RocksDB/WT shrinks 3.3x -> 1.9x.
+  report.AddComparison("trim speedup R/W at 0.25", 3.3,
+                       kops[0][0][0] / kops[0][1][0], "x");
+  report.AddComparison("trim speedup R/W at 0.62", 1.9,
+                       kops[0][0][3] / kops[0][1][3], "x");
+  report.AddComparison("prec speedup R/W at 0.25", 2.7,
+                       kops[1][0][0] / kops[1][1][0], "x");
+  report.AddComparison("prec speedup R/W at 0.62", 2.57,
+                       kops[1][0][3] / kops[1][1][3], "x");
+  report.AddComparison("RocksDB trim WA-D 0.25", 1.7, wad[0][0][0]);
+  report.AddComparison("RocksDB trim WA-D 0.62", 2.2, wad[0][0][3]);
+  report.AddComparison("WiredTiger trim WA-D 0.25", 1.1, wad[0][1][0]);
+  report.AddComparison("WiredTiger trim WA-D 0.62", 1.6, wad[0][1][3]);
+  report.AddComparison("WiredTiger prec WA-D 0.62", 2.6, wad[1][1][3]);
+  report.AddComparison("RocksDB WA-A 0.25 (mild growth)", 11.0, waa[0][0][0]);
+  report.AddComparison("RocksDB WA-A 0.62 (mild growth)", 12.3, waa[0][0][3]);
+  report.AddNote("throughput decline with dataset size is driven by WA-D "
+                 "(device GC), not WA-A: compare the three grids");
+  report.PrintTo(stdout);
+
+  core::WriteResultsFile("fig05_summary.csv", core::SteadySummaryCsv(all));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ptsb
+
+int main(int argc, char** argv) { return ptsb::Main(argc, argv); }

@@ -1,0 +1,93 @@
+// Reproduces paper Fig. 10: throughput over time in 1-minute windows per
+// SSD type. RocksDB's throughput swings widely (and stalls entirely on the
+// cache-overwhelmed SSD2); WiredTiger stays steady on every device.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace ptsb {
+namespace {
+
+int Main(int argc, char** argv) {
+  auto flags = bench::BenchFlags::Parse(argc, argv);
+  if (flags.scale == 100) flags.scale = 200;
+  std::printf("=== Fig. 10: throughput variability across SSD types ===\n");
+
+  const ssd::ProfileKind profiles[3] = {ssd::ProfileKind::kSsd1Enterprise,
+                                        ssd::ProfileKind::kSsd2ConsumerQlc,
+                                        ssd::ProfileKind::kSsd3Optane};
+  const core::EngineKind engines[2] = {core::EngineKind::kLsm,
+                                       core::EngineKind::kBtree};
+  std::vector<core::ExperimentResult> all;
+  double cv[2][3];
+  for (int e = 0; e < 2; e++) {
+    for (int p = 0; p < 3; p++) {
+      core::ExperimentConfig c;
+      c.engine = engines[e];
+      c.profile = profiles[p];
+      c.dataset_frac = 0.05;
+      c.initial_state = ssd::InitialState::kTrimmed;
+      c.duration_minutes = 90;
+      c.window_minutes = 1;  // the paper's 1-minute averaging for this figure
+      c.collect_lba_trace = false;
+      c.name = std::string("fig10-") + core::EngineName(engines[e]) + "-" +
+               ssd::ProfileName(profiles[p]);
+      flags.Apply(&c);
+      auto r = bench::MustRun(c, flags);
+      cv[e][p] = r.throughput_cv;
+      core::WriteResultsFile(c.name + ".csv", r.series.ToCsv());
+      all.push_back(std::move(r));
+    }
+  }
+
+  // Compact sparkline-style rendering of the 1-minute series.
+  auto sparkline = [](const core::MetricsSeries& s) {
+    double peak = 1e-9;
+    for (const auto& w : s.windows) peak = std::max(peak, w.kv_kops);
+    std::string out;
+    const char* levels[] = {"_", ".", ":", "-", "=", "#"};
+    for (const auto& w : s.windows) {
+      const int idx = std::min(5, static_cast<int>(w.kv_kops / peak * 5.99));
+      out += levels[idx];
+    }
+    return out;
+  };
+  std::printf("\n1-minute throughput profile (relative to own peak):\n");
+  int i = 0;
+  for (int e = 0; e < 2; e++) {
+    for (int p = 0; p < 3; p++, i++) {
+      std::printf("  %-11s %-5s |%s|\n", e == 0 ? "rocksdb" : "wiredtiger",
+                  ssd::ProfileName(profiles[p]).c_str(),
+                  sparkline(all[i].series).c_str());
+    }
+  }
+
+  std::printf("\ncoefficient of variation of 1-minute throughput:\n");
+  std::printf("  %-14s %8s %8s %8s\n", "", "SSD1", "SSD2", "SSD3");
+  for (int e = 0; e < 2; e++) {
+    std::printf("  %-14s %8.3f %8.3f %8.3f\n",
+                e == 0 ? "rocksdb" : "wiredtiger", cv[e][0], cv[e][1],
+                cv[e][2]);
+  }
+
+  core::Report report("Fig. 10: paper vs measured (variability)");
+  // The paper describes ~100% swings for RocksDB on SSD1, long stalls on
+  // SSD2, ~30% on SSD3; WiredTiger is steady everywhere. As CV targets:
+  report.AddComparison("RocksDB CV on SSD1", 0.3, cv[0][0]);
+  report.AddComparison("RocksDB CV on SSD2 (stall-heavy)", 0.6, cv[0][1]);
+  report.AddComparison("RocksDB CV on SSD3", 0.1, cv[0][2]);
+  report.AddComparison("WiredTiger CV on SSD1 (steady)", 0.03, cv[1][0]);
+  report.AddComparison("WiredTiger CV on SSD2 (steady)", 0.03, cv[1][1]);
+  report.AddNote("qualitative target: RocksDB varies far more than "
+                 "WiredTiger on every device, worst on SSD2");
+  report.PrintTo(stdout);
+
+  core::WriteResultsFile("fig10_summary.csv", core::SteadySummaryCsv(all));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ptsb
+
+int main(int argc, char** argv) { return ptsb::Main(argc, argv); }

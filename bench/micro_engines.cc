@@ -1,0 +1,135 @@
+// google-benchmark microbenchmarks of the two engines' operation costs on
+// a plain in-memory block device (no SSD timing): the software-side cost
+// the paper's CPU-overhead discussion refers to.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "block/memory_device.h"
+#include "btree/btree_store.h"
+#include "fs/filesystem.h"
+#include "kv/kv.h"
+#include "lsm/lsm_store.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ptsb {
+namespace {
+
+struct LsmFixtureState {
+  block::MemoryBlockDevice dev{4096, 1 << 16};
+  fs::SimpleFs fs{&dev, {}};
+  std::unique_ptr<lsm::LsmStore> store;
+
+  LsmFixtureState() {
+    lsm::LsmOptions o;
+    o.memtable_bytes = 4 << 20;
+    o.l1_target_bytes = 16 << 20;
+    o.sst_target_bytes = 4 << 20;
+    store = *lsm::LsmStore::Open(&fs, o);
+  }
+};
+
+struct BTreeFixtureState {
+  block::MemoryBlockDevice dev{4096, 1 << 16};
+  fs::SimpleFs fs{&dev, {}};
+  std::unique_ptr<btree::BTreeStore> store;
+
+  BTreeFixtureState() {
+    btree::BTreeOptions o;
+    o.cache_bytes = 8 << 20;
+    o.checkpoint_every_bytes = 64 << 20;
+    store = *btree::BTreeStore::Open(&fs, o);
+  }
+};
+
+void BM_LsmPut(benchmark::State& state) {
+  LsmFixtureState f;
+  const std::string value = kv::MakeValue(1, state.range(0));
+  Rng rng(1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    PTSB_CHECK_OK(f.store->Put(kv::MakeKey(rng.Uniform(100000)), value));
+    i++;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(i) * state.range(0));
+}
+BENCHMARK(BM_LsmPut)->Arg(128)->Arg(4000);
+
+void BM_LsmGet(benchmark::State& state) {
+  LsmFixtureState f;
+  const std::string value = kv::MakeValue(1, 512);
+  for (uint64_t k = 0; k < 5000; k++) {
+    PTSB_CHECK_OK(f.store->Put(kv::MakeKey(k), value));
+  }
+  PTSB_CHECK_OK(f.store->Flush());
+  Rng rng(2);
+  std::string out;
+  for (auto _ : state) {
+    PTSB_CHECK_OK(f.store->Get(kv::MakeKey(rng.Uniform(5000)), &out));
+  }
+}
+BENCHMARK(BM_LsmGet);
+
+void BM_BTreePut(benchmark::State& state) {
+  BTreeFixtureState f;
+  const std::string value = kv::MakeValue(1, state.range(0));
+  Rng rng(3);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    PTSB_CHECK_OK(f.store->Put(kv::MakeKey(rng.Uniform(100000)), value));
+    i++;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(i) * state.range(0));
+}
+BENCHMARK(BM_BTreePut)->Arg(128)->Arg(4000);
+
+void BM_BTreeGet(benchmark::State& state) {
+  BTreeFixtureState f;
+  const std::string value = kv::MakeValue(1, 512);
+  for (uint64_t k = 0; k < 5000; k++) {
+    PTSB_CHECK_OK(f.store->Put(kv::MakeKey(k), value));
+  }
+  Rng rng(4);
+  std::string out;
+  for (auto _ : state) {
+    PTSB_CHECK_OK(f.store->Get(kv::MakeKey(rng.Uniform(5000)), &out));
+  }
+}
+BENCHMARK(BM_BTreeGet);
+
+void BM_LsmScan100(benchmark::State& state) {
+  LsmFixtureState f;
+  const std::string value = kv::MakeValue(1, 256);
+  for (uint64_t k = 0; k < 20000; k++) {
+    PTSB_CHECK_OK(f.store->Put(kv::MakeKey(k), value));
+  }
+  PTSB_CHECK_OK(f.store->Flush());
+  Rng rng(5);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto _ : state) {
+    PTSB_CHECK_OK(f.store->Scan(kv::MakeKey(rng.Uniform(19000)), 100, &out));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_LsmScan100);
+
+void BM_BTreeScan100(benchmark::State& state) {
+  BTreeFixtureState f;
+  const std::string value = kv::MakeValue(1, 256);
+  for (uint64_t k = 0; k < 20000; k++) {
+    PTSB_CHECK_OK(f.store->Put(kv::MakeKey(k), value));
+  }
+  Rng rng(6);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto _ : state) {
+    PTSB_CHECK_OK(f.store->Scan(kv::MakeKey(rng.Uniform(19000)), 100, &out));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BTreeScan100);
+
+}  // namespace
+}  // namespace ptsb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Quickstart: build the full simulated stack (SSD -> filesystem -> engine),
+// write and read some data with both engines, and peek at the metrics the
+// paper is about (WA-A at the block layer, WA-D from SMART).
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "block/iostat.h"
+#include "btree/btree_store.h"
+#include "fs/filesystem.h"
+#include "kv/kv.h"
+#include "lsm/lsm_store.h"
+#include "sim/clock.h"
+#include "ssd/precondition.h"
+#include "ssd/profiles.h"
+#include "ssd/ssd_device.h"
+#include "util/human.h"
+#include "util/logging.h"
+
+using namespace ptsb;
+
+static void Demo(const char* title, kv::KVStore* store,
+                 block::IoStatCollector* iostat, ssd::SsdDevice* ssd) {
+  std::printf("--- %s ---\n", title);
+  const auto smart0 = ssd->smart();  // measure this demo only
+
+  // Write 20k key-value pairs, update a few, delete one.
+  for (uint64_t i = 0; i < 20'000; i++) {
+    PTSB_CHECK_OK(store->Put(kv::MakeKey(i), kv::MakeValue(i, 512)));
+  }
+  PTSB_CHECK_OK(store->Put(kv::MakeKey(7), kv::MakeValue(777, 512)));
+  PTSB_CHECK_OK(store->Delete(kv::MakeKey(13)));
+  PTSB_CHECK_OK(store->Flush());
+
+  // Point reads.
+  std::string value;
+  PTSB_CHECK_OK(store->Get(kv::MakeKey(7), &value));
+  PTSB_CHECK(kv::ValueSeed(value) == 777) << "updated value expected";
+  PTSB_CHECK(kv::VerifyValue(value)) << "payload integrity";
+  PTSB_CHECK(store->Get(kv::MakeKey(13), &value).IsNotFound());
+
+  // Range scan.
+  std::vector<std::pair<std::string, std::string>> rows;
+  PTSB_CHECK_OK(store->Scan(kv::MakeKey(10), 5, &rows));
+  std::printf("scan from %s:\n", kv::MakeKey(10).c_str());
+  for (const auto& [k, v] : rows) {
+    std::printf("  %s -> %zu bytes\n", k.c_str(), v.size());
+  }
+
+  // The paper's metrics.
+  const auto stats = store->GetStats();
+  const auto io = iostat->counters();
+  const auto smart = ssd->smart();
+  const uint64_t nand = smart.nand_bytes_written - smart0.nand_bytes_written;
+  const uint64_t host = smart.host_bytes_written - smart0.host_bytes_written;
+  const double wa_a = static_cast<double>(io.write_bytes) /
+                      static_cast<double>(stats.user_bytes_written);
+  const double wa_d =
+      host > 0 ? static_cast<double>(nand) / static_cast<double>(host) : 1.0;
+  std::printf("user writes: %s   host writes: %s   NAND writes: %s\n",
+              HumanBytes(stats.user_bytes_written).c_str(),
+              HumanBytes(io.write_bytes).c_str(), HumanBytes(nand).c_str());
+  std::printf("WA-A (application) = %.2f   WA-D (device) = %.2f   "
+              "end-to-end = %.2f\n",
+              wa_a, wa_d, wa_a * wa_d);
+  std::printf("disk used by engine: %s\n\n",
+              HumanBytes(store->DiskBytesUsed()).c_str());
+}
+
+int main() {
+  // A small trimmed enterprise-class drive.
+  sim::SimClock clock;
+  auto config =
+      ssd::MakeProfile(ssd::ProfileKind::kSsd1Enterprise, 2ull << 30);
+  ssd::SsdDevice ssd(config, &clock);
+  block::IoStatCollector iostat(&ssd);
+  PTSB_CHECK_OK(ssd::TrimAll(&ssd));
+  fs::SimpleFs fs(&iostat, {});
+
+  {
+    lsm::LsmOptions options;
+    options.memtable_bytes = 2 << 20;
+    options.l1_target_bytes = 8 << 20;
+    options.sst_target_bytes = 2 << 20;
+    options.clock = &clock;
+    auto store = *lsm::LsmStore::Open(&fs, options);
+    Demo("LSM-tree engine (RocksDB-like)", store.get(), &iostat, &ssd);
+    PTSB_CHECK_OK(store->Close());
+  }
+  iostat.ResetCounters();
+  {
+    btree::BTreeOptions options;
+    options.cache_bytes = 4 << 20;
+    options.clock = &clock;
+    auto store = *btree::BTreeStore::Open(&fs, options);
+    Demo("B+Tree engine (WiredTiger-like)", store.get(), &iostat, &ssd);
+    PTSB_CHECK_OK(store->Close());
+  }
+  std::printf("simulated time elapsed: %.2f s\n", clock.NowSeconds());
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Generic experiment runner: the full paper pipeline as a CLI. Pick an
+// engine, a device profile, an initial state, a dataset size, a workload
+// mix — get the paper's metrics, windows and steady-state verdict.
+//
+//   ./build/examples/run_experiment --engine=btree --state=preconditioned \
+//       --dataset-frac=0.6 --profile=ssd2 --minutes=120 --scale=400
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "util/human.h"
+#include "util/logging.h"
+
+using namespace ptsb;
+
+namespace {
+
+[[noreturn]] void Usage() {
+  std::printf(
+      "flags:\n"
+      "  --engine=lsm|btree          (default lsm)\n"
+      "  --profile=ssd1|ssd2|ssd3    (default ssd1)\n"
+      "  --state=trimmed|preconditioned\n"
+      "  --dataset-frac=F            dataset as fraction of device (0.5)\n"
+      "  --partition-frac=F          filesystem partition fraction (1.0)\n"
+      "  --value-bytes=N             value size (4000)\n"
+      "  --write-frac=F              write fraction of ops (1.0)\n"
+      "  --zipf=THETA                zipfian updates (default: uniform)\n"
+      "  --minutes=M                 paper-equivalent duration (210)\n"
+      "  --window=M                  averaging window minutes (10)\n"
+      "  --scale=N                   size divisor vs the paper (200)\n"
+      "  --seed=N\n");
+  std::exit(2);
+}
+
+double ArgF(const char* arg, const char* name) {
+  return std::strtod(arg + std::strlen(name), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig config;
+  config.scale = 200;
+  config.name = "run_experiment";
+  for (int i = 1; i < argc; i++) {
+    const std::string a = argv[i];
+    if (a.starts_with("--engine=")) {
+      const std::string v = a.substr(9);
+      if (v == "lsm") {
+        config.engine = core::EngineKind::kLsm;
+      } else if (v == "btree") {
+        config.engine = core::EngineKind::kBtree;
+      } else {
+        Usage();
+      }
+    } else if (a.starts_with("--profile=")) {
+      config.profile = ssd::ProfileFromName(a.substr(10));
+    } else if (a.starts_with("--state=")) {
+      config.initial_state = a.substr(8) == "preconditioned"
+                                 ? ssd::InitialState::kPreconditioned
+                                 : ssd::InitialState::kTrimmed;
+    } else if (a.starts_with("--dataset-frac=")) {
+      config.dataset_frac = ArgF(argv[i], "--dataset-frac=");
+    } else if (a.starts_with("--partition-frac=")) {
+      config.partition_frac = ArgF(argv[i], "--partition-frac=");
+    } else if (a.starts_with("--value-bytes=")) {
+      config.value_bytes = static_cast<size_t>(ArgF(argv[i], "--value-bytes="));
+    } else if (a.starts_with("--write-frac=")) {
+      config.write_fraction = ArgF(argv[i], "--write-frac=");
+    } else if (a.starts_with("--zipf=")) {
+      config.distribution = kv::Distribution::kZipfian;
+      config.zipf_theta = ArgF(argv[i], "--zipf=");
+    } else if (a.starts_with("--minutes=")) {
+      config.duration_minutes = ArgF(argv[i], "--minutes=");
+    } else if (a.starts_with("--window=")) {
+      config.window_minutes = ArgF(argv[i], "--window=");
+    } else if (a.starts_with("--scale=")) {
+      config.scale = std::strtoull(argv[i] + 8, nullptr, 10);
+    } else if (a.starts_with("--seed=")) {
+      config.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      Usage();
+    }
+  }
+
+  std::printf("engine=%s profile=%s state=%s dataset=%.2f of device "
+              "(%llu keys), partition=%.2f, scale=1/%llu\n\n",
+              core::EngineName(config.engine),
+              ssd::ProfileName(config.profile).c_str(),
+              ssd::InitialStateName(config.initial_state),
+              config.dataset_frac,
+              static_cast<unsigned long long>(config.NumKeys()),
+              config.partition_frac,
+              static_cast<unsigned long long>(config.scale));
+
+  auto result = core::RunExperiment(config, [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+  });
+  PTSB_CHECK_OK(result.status());
+
+  if (result->ran_out_of_space) {
+    std::printf("\nRAN OUT OF SPACE (peak utilization %.1f%%) — the "
+                "paper's Fig. 6 scenario.\n",
+                result->peak_disk_utilization * 100);
+    return 0;
+  }
+  std::printf("\n%s\n",
+              result->series.ToTable("windows (paper-equivalent minutes)")
+                  .c_str());
+  std::printf(
+      "steady state: %.2f Kops/s  WA-A=%.2f  WA-D=%.2f  e2e-WA=%.2f\n"
+      "space amp=%.2f  peak util=%.1f%%  tput CV=%.3f  steady=%s\n"
+      "lba untouched=%.1f%%  load took %.1f paper-min\n",
+      result->steady.kv_kops, result->steady.wa_a_cum,
+      result->steady.wa_d_cum, result->EndToEndWa(), result->final_space_amp,
+      result->peak_disk_utilization * 100, result->throughput_cv,
+      result->reached_steady_state ? "yes" : "NO (pitfall 1: run longer!)",
+      result->lba_fraction_untouched * 100, result->load_minutes);
+  const std::string csv_path =
+      core::WriteResultsFile("run_experiment.csv", result->series.ToCsv());
+  if (!csv_path.empty()) std::printf("series written to %s\n", csv_path.c_str());
+  return 0;
+}

@@ -1,0 +1,3 @@
+#include "block/iostat.h"
+
+// Header-only; this translation unit anchors the vtable.

@@ -1,0 +1,86 @@
+// iostat-equivalent: a pass-through decorator that counts host reads and
+// writes at the block layer. The paper measures "device throughput" and
+// "user-level write amplification" from these OS-level counters
+// (Section 3.3, metrics ii and iii).
+#ifndef PTSB_BLOCK_IOSTAT_H_
+#define PTSB_BLOCK_IOSTAT_H_
+
+#include <cstdint>
+
+#include "block/block_device.h"
+
+namespace ptsb::block {
+
+struct IoCounters {
+  uint64_t read_ops = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_ops = 0;
+  uint64_t write_bytes = 0;
+  uint64_t trim_ops = 0;
+  uint64_t trim_bytes = 0;
+  uint64_t flushes = 0;
+
+  IoCounters operator-(const IoCounters& o) const {
+    IoCounters d;
+    d.read_ops = read_ops - o.read_ops;
+    d.read_bytes = read_bytes - o.read_bytes;
+    d.write_ops = write_ops - o.write_ops;
+    d.write_bytes = write_bytes - o.write_bytes;
+    d.trim_ops = trim_ops - o.trim_ops;
+    d.trim_bytes = trim_bytes - o.trim_bytes;
+    d.flushes = flushes - o.flushes;
+    return d;
+  }
+};
+
+class IoStatCollector : public BlockDevice {
+ public:
+  explicit IoStatCollector(BlockDevice* base) : base_(base) {}
+
+  uint64_t lba_bytes() const override { return base_->lba_bytes(); }
+  uint64_t num_lbas() const override { return base_->num_lbas(); }
+
+  Status Read(uint64_t lba, uint64_t count, uint8_t* dst) override {
+    Status s = base_->Read(lba, count, dst);
+    if (s.ok()) {
+      counters_.read_ops++;
+      counters_.read_bytes += count * lba_bytes();
+    }
+    return s;
+  }
+
+  Status Write(uint64_t lba, uint64_t count, const uint8_t* src) override {
+    Status s = base_->Write(lba, count, src);
+    if (s.ok()) {
+      counters_.write_ops++;
+      counters_.write_bytes += count * lba_bytes();
+    }
+    return s;
+  }
+
+  Status Trim(uint64_t lba, uint64_t count) override {
+    Status s = base_->Trim(lba, count);
+    if (s.ok()) {
+      counters_.trim_ops++;
+      counters_.trim_bytes += count * lba_bytes();
+    }
+    return s;
+  }
+
+  Status Flush() override {
+    Status s = base_->Flush();
+    if (s.ok()) counters_.flushes++;
+    return s;
+  }
+
+  const IoCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = IoCounters(); }
+
+ private:
+  BlockDevice* base_;
+  IoCounters counters_;
+};
+
+}  // namespace ptsb::block
+
+#endif  // PTSB_BLOCK_IOSTAT_H_

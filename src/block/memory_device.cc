@@ -1,0 +1,53 @@
+#include "block/memory_device.h"
+
+#include <cstring>
+
+namespace ptsb::block {
+
+MemoryBlockDevice::MemoryBlockDevice(uint64_t lba_bytes, uint64_t num_lbas)
+    : lba_bytes_(lba_bytes),
+      num_lbas_(num_lbas),
+      data_(lba_bytes * num_lbas, 0) {}
+
+Status MemoryBlockDevice::Read(uint64_t lba, uint64_t count, uint8_t* dst) {
+  if (lba + count > num_lbas_) {
+    return Status::InvalidArgument("read beyond device");
+  }
+  std::memcpy(dst, data_.data() + lba * lba_bytes_, count * lba_bytes_);
+  reads_ += count;
+  return Status::OK();
+}
+
+Status MemoryBlockDevice::Write(uint64_t lba, uint64_t count,
+                                const uint8_t* src) {
+  if (lba + count > num_lbas_) {
+    return Status::InvalidArgument("write beyond device");
+  }
+  if (fail_writes_ > 0) {
+    fail_writes_--;
+    return Status::IoError("injected write failure");
+  }
+  if (src == nullptr) {
+    std::memset(data_.data() + lba * lba_bytes_, 0, count * lba_bytes_);
+  } else {
+    std::memcpy(data_.data() + lba * lba_bytes_, src, count * lba_bytes_);
+  }
+  writes_ += count;
+  return Status::OK();
+}
+
+Status MemoryBlockDevice::Trim(uint64_t lba, uint64_t count) {
+  if (lba + count > num_lbas_) {
+    return Status::InvalidArgument("trim beyond device");
+  }
+  std::memset(data_.data() + lba * lba_bytes_, 0, count * lba_bytes_);
+  trims_ += count;
+  return Status::OK();
+}
+
+Status MemoryBlockDevice::Flush() {
+  flushes_++;
+  return Status::OK();
+}
+
+}  // namespace ptsb::block

@@ -1,0 +1,46 @@
+// A plain RAM-backed block device with no timing model. Used by unit tests
+// of upper layers (filesystem, engines) where flash dynamics are not under
+// test.
+#ifndef PTSB_BLOCK_MEMORY_DEVICE_H_
+#define PTSB_BLOCK_MEMORY_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "block/block_device.h"
+
+namespace ptsb::block {
+
+class MemoryBlockDevice : public BlockDevice {
+ public:
+  MemoryBlockDevice(uint64_t lba_bytes, uint64_t num_lbas);
+
+  uint64_t lba_bytes() const override { return lba_bytes_; }
+  uint64_t num_lbas() const override { return num_lbas_; }
+  Status Read(uint64_t lba, uint64_t count, uint8_t* dst) override;
+  Status Write(uint64_t lba, uint64_t count, const uint8_t* src) override;
+  Status Trim(uint64_t lba, uint64_t count) override;
+  Status Flush() override;
+
+  // Fault injection: the next `n` writes fail with IoError.
+  void FailNextWrites(int n) { fail_writes_ = n; }
+
+  uint64_t writes() const { return writes_; }
+  uint64_t reads() const { return reads_; }
+  uint64_t trims() const { return trims_; }
+  uint64_t flushes() const { return flushes_; }
+
+ private:
+  uint64_t lba_bytes_;
+  uint64_t num_lbas_;
+  std::vector<uint8_t> data_;
+  uint64_t writes_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t trims_ = 0;
+  uint64_t flushes_ = 0;
+  int fail_writes_ = 0;
+};
+
+}  // namespace ptsb::block
+
+#endif  // PTSB_BLOCK_MEMORY_DEVICE_H_

@@ -1,0 +1,35 @@
+#include "block/partition.h"
+
+#include "util/logging.h"
+
+namespace ptsb::block {
+
+PartitionView::PartitionView(BlockDevice* base, uint64_t first_lba,
+                             uint64_t num_lbas)
+    : base_(base), first_lba_(first_lba), num_lbas_(num_lbas) {
+  PTSB_CHECK_LE(first_lba + num_lbas, base->num_lbas());
+}
+
+Status PartitionView::CheckRange(uint64_t lba, uint64_t count) const {
+  if (lba + count > num_lbas_) {
+    return Status::InvalidArgument("I/O beyond partition");
+  }
+  return Status::OK();
+}
+
+Status PartitionView::Read(uint64_t lba, uint64_t count, uint8_t* dst) {
+  PTSB_RETURN_IF_ERROR(CheckRange(lba, count));
+  return base_->Read(first_lba_ + lba, count, dst);
+}
+
+Status PartitionView::Write(uint64_t lba, uint64_t count, const uint8_t* src) {
+  PTSB_RETURN_IF_ERROR(CheckRange(lba, count));
+  return base_->Write(first_lba_ + lba, count, src);
+}
+
+Status PartitionView::Trim(uint64_t lba, uint64_t count) {
+  PTSB_RETURN_IF_ERROR(CheckRange(lba, count));
+  return base_->Trim(first_lba_ + lba, count);
+}
+
+}  // namespace ptsb::block

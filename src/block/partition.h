@@ -1,0 +1,37 @@
+// A contiguous slice of a device exposed as a device. Reserving a slice of
+// a trimmed SSD and never writing it is exactly how the paper implements
+// software over-provisioning (Sections 2.2.2 and 4.6).
+#ifndef PTSB_BLOCK_PARTITION_H_
+#define PTSB_BLOCK_PARTITION_H_
+
+#include <cstdint>
+
+#include "block/block_device.h"
+
+namespace ptsb::block {
+
+class PartitionView : public BlockDevice {
+ public:
+  // [first_lba, first_lba + num_lbas) of `base`.
+  PartitionView(BlockDevice* base, uint64_t first_lba, uint64_t num_lbas);
+
+  uint64_t lba_bytes() const override { return base_->lba_bytes(); }
+  uint64_t num_lbas() const override { return num_lbas_; }
+  Status Read(uint64_t lba, uint64_t count, uint8_t* dst) override;
+  Status Write(uint64_t lba, uint64_t count, const uint8_t* src) override;
+  Status Trim(uint64_t lba, uint64_t count) override;
+  Status Flush() override { return base_->Flush(); }
+
+  uint64_t first_lba() const { return first_lba_; }
+
+ private:
+  Status CheckRange(uint64_t lba, uint64_t count) const;
+
+  BlockDevice* base_;
+  uint64_t first_lba_;
+  uint64_t num_lbas_;
+};
+
+}  // namespace ptsb::block
+
+#endif  // PTSB_BLOCK_PARTITION_H_

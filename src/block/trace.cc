@@ -1,0 +1,66 @@
+#include "block/trace.h"
+
+#include <algorithm>
+
+namespace ptsb::block {
+
+LbaTraceCollector::LbaTraceCollector(BlockDevice* base)
+    : base_(base), write_counts_(base->num_lbas(), 0) {}
+
+Status LbaTraceCollector::Read(uint64_t lba, uint64_t count, uint8_t* dst) {
+  return base_->Read(lba, count, dst);
+}
+
+Status LbaTraceCollector::Write(uint64_t lba, uint64_t count,
+                                const uint8_t* src) {
+  Status s = base_->Write(lba, count, src);
+  if (s.ok()) {
+    for (uint64_t i = 0; i < count; i++) write_counts_[lba + i]++;
+    total_writes_ += count;
+  }
+  return s;
+}
+
+Status LbaTraceCollector::Trim(uint64_t lba, uint64_t count) {
+  return base_->Trim(lba, count);
+}
+
+void LbaTraceCollector::Reset() {
+  std::fill(write_counts_.begin(), write_counts_.end(), 0);
+  total_writes_ = 0;
+}
+
+double LbaTraceCollector::FractionUntouched() const {
+  if (write_counts_.empty()) return 0;
+  uint64_t untouched = 0;
+  for (const uint32_t c : write_counts_) {
+    if (c == 0) untouched++;
+  }
+  return static_cast<double>(untouched) /
+         static_cast<double>(write_counts_.size());
+}
+
+std::vector<LbaTraceCollector::CdfPoint> LbaTraceCollector::WriteCdf(
+    int points) const {
+  std::vector<uint32_t> sorted = write_counts_;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(points);
+  if (sorted.empty() || total_writes_ == 0 || points < 2) return cdf;
+  // Prefix sums at the sample points only (O(n) single pass).
+  uint64_t cumulative = 0;
+  size_t next_index = 0;
+  for (int p = 0; p < points; p++) {
+    const double frac = static_cast<double>(p) / (points - 1);
+    const auto target =
+        static_cast<size_t>(frac * static_cast<double>(sorted.size()));
+    while (next_index < target && next_index < sorted.size()) {
+      cumulative += sorted[next_index++];
+    }
+    cdf.push_back({frac, static_cast<double>(cumulative) /
+                             static_cast<double>(total_writes_)});
+  }
+  return cdf;
+}
+
+}  // namespace ptsb::block

@@ -1,0 +1,50 @@
+// blktrace-equivalent: records per-LBA write counts so the Fig. 4 analysis
+// (CDF of LBA write probability, which explains why WiredTiger benefits
+// from a trimmed drive) can be reproduced.
+#ifndef PTSB_BLOCK_TRACE_H_
+#define PTSB_BLOCK_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "block/block_device.h"
+
+namespace ptsb::block {
+
+class LbaTraceCollector : public BlockDevice {
+ public:
+  explicit LbaTraceCollector(BlockDevice* base);
+
+  uint64_t lba_bytes() const override { return base_->lba_bytes(); }
+  uint64_t num_lbas() const override { return base_->num_lbas(); }
+  Status Read(uint64_t lba, uint64_t count, uint8_t* dst) override;
+  Status Write(uint64_t lba, uint64_t count, const uint8_t* src) override;
+  Status Trim(uint64_t lba, uint64_t count) override;
+  Status Flush() override { return base_->Flush(); }
+
+  void Reset();
+
+  // Fraction of LBAs never written.
+  double FractionUntouched() const;
+
+  // CDF of write counts with LBAs sorted by decreasing write count:
+  // point i of the result is the cumulative fraction of all writes that
+  // the i/(points-1) most-written fraction of LBAs received (the exact
+  // presentation of the paper's Fig. 4).
+  struct CdfPoint {
+    double lba_fraction;    // x: fraction of LBA space (sorted by writes)
+    double write_fraction;  // y: cumulative fraction of writes
+  };
+  std::vector<CdfPoint> WriteCdf(int points = 101) const;
+
+  const std::vector<uint32_t>& write_counts() const { return write_counts_; }
+
+ private:
+  BlockDevice* base_;
+  std::vector<uint32_t> write_counts_;
+  uint64_t total_writes_ = 0;
+};
+
+}  // namespace ptsb::block
+
+#endif  // PTSB_BLOCK_TRACE_H_

@@ -1,0 +1,182 @@
+#include "btree/block_manager.h"
+
+#include <algorithm>
+
+#include "util/encoding.h"
+#include "util/logging.h"
+
+namespace ptsb::btree {
+
+BlockManager::BlockManager(fs::File* file, uint64_t data_start,
+                           bool reuse_freed_blocks, uint64_t file_grow_bytes)
+    : file_(file),
+      data_start_(data_start),
+      reuse_freed_blocks_(reuse_freed_blocks),
+      file_grow_bytes_(std::max(file_grow_bytes, kUnit)),
+      file_end_(data_start) {}
+
+StatusOr<BlockAddr> BlockManager::Allocate(uint64_t bytes) {
+  bytes = (bytes + kUnit - 1) / kUnit * kUnit;
+  if (bytes == 0) bytes = kUnit;
+  // First fit at the lowest offset keeps the footprint compact.
+  for (auto it = available_.begin(); it != available_.end(); ++it) {
+    if (it->second < bytes) continue;
+    BlockAddr addr{it->first, bytes};
+    const uint64_t rest = it->second - bytes;
+    const uint64_t rest_off = it->first + bytes;
+    available_.erase(it);
+    if (rest > 0) available_[rest_off] = rest;
+    allocated_bytes_ += bytes;
+    return addr;
+  }
+  // Grow the file.
+  const uint64_t grow = std::max(bytes, file_grow_bytes_);
+  PTSB_RETURN_IF_ERROR(file_->Extend(file_end_ + grow));
+  BlockAddr addr{file_end_, bytes};
+  if (grow > bytes) AddToList(&available_, file_end_ + bytes, grow - bytes);
+  file_end_ += grow;
+  allocated_bytes_ += bytes;
+  return addr;
+}
+
+void BlockManager::Free(const BlockAddr& addr) {
+  if (addr.IsNull()) return;
+  PTSB_DCHECK(addr.offset >= data_start_ &&
+              addr.offset + addr.bytes <= file_end_);
+  allocated_bytes_ -= addr.bytes;
+  if (!reuse_freed_blocks_) return;  // append-only ablation: leak space
+  AddToList(&pending_, addr.offset, addr.bytes);
+  pending_bytes_ += addr.bytes;
+}
+
+void BlockManager::MergePendingFrees() {
+  for (const auto& [off, len] : pending_) {
+    AddToList(&available_, off, len);
+  }
+  pending_.clear();
+  pending_bytes_ = 0;
+}
+
+void BlockManager::AddToList(std::map<uint64_t, uint64_t>* list,
+                             uint64_t offset, uint64_t bytes) {
+  auto [it, inserted] = list->emplace(offset, bytes);
+  PTSB_CHECK(inserted) << "double free at offset " << offset;
+  auto next = std::next(it);
+  if (next != list->end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    list->erase(next);
+  }
+  if (it != list->begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      list->erase(it);
+    }
+  }
+}
+
+uint64_t BlockManager::free_bytes() const {
+  uint64_t n = 0;
+  for (const auto& [off, len] : available_) n += len;
+  return n;
+}
+
+std::string BlockManager::EncodeFreeList() const {
+  PTSB_CHECK(pending_.empty()) << "encode before merging pending frees";
+  std::string out;
+  PutVarint64(&out, file_end_);
+  PutVarint64(&out, allocated_bytes_);
+  PutVarint64(&out, available_.size());
+  for (const auto& [off, len] : available_) {
+    PutVarint64(&out, off);
+    PutVarint64(&out, len);
+  }
+  return out;
+}
+
+void BlockManager::FreeImmediately(const BlockAddr& addr) {
+  if (addr.IsNull()) return;
+  allocated_bytes_ -= addr.bytes;
+  if (!reuse_freed_blocks_) return;
+  AddToList(&available_, addr.offset, addr.bytes);
+}
+
+std::string BlockManager::EncodeMergedFreeList(const BlockAddr& extra) const {
+  std::map<uint64_t, uint64_t> merged = available_;
+  // Merging into a copy: AddToList coalesces, so build via a scratch
+  // manager-like merge.
+  auto add = [&merged](uint64_t offset, uint64_t bytes) {
+    auto [it, inserted] = merged.emplace(offset, bytes);
+    PTSB_CHECK(inserted);
+    auto next = std::next(it);
+    if (next != merged.end() && it->first + it->second == next->first) {
+      it->second += next->second;
+      merged.erase(next);
+    }
+    if (it != merged.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second == it->first) {
+        prev->second += it->second;
+        merged.erase(it);
+      }
+    }
+  };
+  for (const auto& [off, len] : pending_) add(off, len);
+  if (!extra.IsNull() && reuse_freed_blocks_) add(extra.offset, extra.bytes);
+
+  std::string out;
+  PutVarint64(&out, file_end_);
+  PutVarint64(&out, allocated_bytes_ - extra.bytes);
+  PutVarint64(&out, merged.size());
+  for (const auto& [off, len] : merged) {
+    PutVarint64(&out, off);
+    PutVarint64(&out, len);
+  }
+  return out;
+}
+
+Status BlockManager::DecodeFreeList(std::string_view in) {
+  uint64_t count;
+  available_.clear();
+  pending_.clear();
+  pending_bytes_ = 0;
+  if (!GetVarint64(&in, &file_end_) || !GetVarint64(&in, &allocated_bytes_) ||
+      !GetVarint64(&in, &count)) {
+    return Status::Corruption("bad free list header");
+  }
+  for (uint64_t i = 0; i < count; i++) {
+    uint64_t off, len;
+    if (!GetVarint64(&in, &off) || !GetVarint64(&in, &len)) {
+      return Status::Corruption("bad free list entry");
+    }
+    available_[off] = len;
+  }
+  return CheckConsistency();
+}
+
+Status BlockManager::CheckConsistency() const {
+  auto check_list = [&](const std::map<uint64_t, uint64_t>& list) -> Status {
+    uint64_t prev_end = 0;
+    bool first = true;
+    for (const auto& [off, len] : list) {
+      if (len == 0) return Status::Corruption("zero-length free block");
+      if (off % kUnit != 0 || len % kUnit != 0) {
+        return Status::Corruption("misaligned free block");
+      }
+      if (off < data_start_ || off + len > file_end_) {
+        return Status::Corruption("free block out of range");
+      }
+      if (!first && off < prev_end) {
+        return Status::Corruption("overlapping free blocks");
+      }
+      prev_end = off + len;
+      first = false;
+    }
+    return Status::OK();
+  };
+  PTSB_RETURN_IF_ERROR(check_list(available_));
+  PTSB_RETURN_IF_ERROR(check_list(pending_));
+  return Status::OK();
+}
+
+}  // namespace ptsb::btree

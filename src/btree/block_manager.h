@@ -1,0 +1,84 @@
+// Block manager: allocation of page-aligned block ranges *within* the
+// single B+Tree file, WiredTiger-style. Freed blocks go to a pending list
+// and only become reusable after the next checkpoint commits, so a crash
+// can always fall back to the previous checkpoint's block image.
+//
+// First-fit at the lowest offset keeps the file footprint compact, which is
+// what confines WiredTiger's writes to a narrow LBA range in the paper's
+// Fig. 4 analysis.
+#ifndef PTSB_BTREE_BLOCK_MANAGER_H_
+#define PTSB_BTREE_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "fs/file.h"
+#include "util/status.h"
+
+namespace ptsb::btree {
+
+struct BlockAddr {
+  uint64_t offset = 0;
+  uint64_t bytes = 0;  // always a multiple of the allocation unit
+
+  bool IsNull() const { return bytes == 0; }
+  bool operator==(const BlockAddr&) const = default;
+};
+
+class BlockManager {
+ public:
+  static constexpr uint64_t kUnit = 4096;
+
+  // `data_start`: offsets below this are reserved (checkpoint headers).
+  BlockManager(fs::File* file, uint64_t data_start, bool reuse_freed_blocks,
+               uint64_t file_grow_bytes);
+
+  // Allocates a block run covering `bytes` (rounded up to kUnit).
+  StatusOr<BlockAddr> Allocate(uint64_t bytes);
+
+  // Defers the block for reuse after the next checkpoint.
+  void Free(const BlockAddr& addr);
+
+  // Checkpoint committed: pending frees become available.
+  void MergePendingFrees();
+
+  // Returns the block to the available list right away. Only safe for
+  // blocks that the previous checkpoint does not reference (e.g. the old
+  // free-list blob, once the new header is durable).
+  void FreeImmediately(const BlockAddr& addr);
+
+  // Serialization of the available list (pending must be merged first).
+  std::string EncodeFreeList() const;
+  // Encodes the free list as it will look once the in-progress checkpoint
+  // commits: available + pending + `extra` (the old free-list blob), with
+  // `extra.bytes` subtracted from the allocated count.
+  std::string EncodeMergedFreeList(const BlockAddr& extra) const;
+  Status DecodeFreeList(std::string_view in);
+
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+  uint64_t file_bytes() const { return file_end_; }
+  uint64_t free_bytes() const;
+  uint64_t pending_bytes() const { return pending_bytes_; }
+
+  // Invariants: lists sorted/coalesced/disjoint, within file bounds.
+  Status CheckConsistency() const;
+
+ private:
+  void AddToList(std::map<uint64_t, uint64_t>* list, uint64_t offset,
+                 uint64_t bytes);
+
+  fs::File* file_;
+  uint64_t data_start_;
+  bool reuse_freed_blocks_;
+  uint64_t file_grow_bytes_;
+  uint64_t file_end_;  // current end of managed space
+  uint64_t allocated_bytes_ = 0;
+  uint64_t pending_bytes_ = 0;
+  std::map<uint64_t, uint64_t> available_;  // offset -> bytes
+  std::map<uint64_t, uint64_t> pending_;
+};
+
+}  // namespace ptsb::btree
+
+#endif  // PTSB_BTREE_BLOCK_MANAGER_H_

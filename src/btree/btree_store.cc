@@ -1,0 +1,610 @@
+#include "btree/btree_store.h"
+
+#include <algorithm>
+
+#include "util/crc32.h"
+#include "util/encoding.h"
+#include "util/logging.h"
+
+namespace ptsb::btree {
+
+namespace {
+
+constexpr uint64_t kHeaderMagic = 0x7074736274726565ULL;  // "ptsbtree"
+constexpr uint64_t kHeaderBytes = BlockManager::kUnit;
+constexpr uint64_t kDataStart = 2 * kHeaderBytes;
+
+struct Header {
+  uint64_t gen = 0;
+  BlockAddr root;
+  BlockAddr freelist;
+};
+
+std::string EncodeHeader(const Header& h) {
+  std::string payload;
+  PutFixed64(&payload, kHeaderMagic);
+  PutFixed64(&payload, h.gen);
+  PutFixed64(&payload, h.root.offset);
+  PutFixed64(&payload, h.root.bytes);
+  PutFixed64(&payload, h.freelist.offset);
+  PutFixed64(&payload, h.freelist.bytes);
+  std::string out = payload;
+  PutFixed32(&out, MaskCrc(Crc32c(payload)));
+  out.resize(kHeaderBytes, 0);
+  return out;
+}
+
+bool DecodeHeader(std::string_view in, Header* h) {
+  if (in.size() < 52) return false;
+  const std::string_view payload = in.substr(0, 48);
+  std::string_view crc_in = in.substr(48, 4);
+  uint32_t crc;
+  GetFixed32(&crc_in, &crc);
+  if (UnmaskCrc(crc) != Crc32c(payload)) return false;
+  std::string_view p = payload;
+  uint64_t magic;
+  GetFixed64(&p, &magic);
+  if (magic != kHeaderMagic) return false;
+  GetFixed64(&p, &h->gen);
+  GetFixed64(&p, &h->root.offset);
+  GetFixed64(&p, &h->root.bytes);
+  GetFixed64(&p, &h->freelist.offset);
+  GetFixed64(&p, &h->freelist.bytes);
+  return true;
+}
+
+}  // namespace
+
+BTreeStore::BTreeStore(fs::SimpleFs* fs, const BTreeOptions& options,
+                       std::string file_name)
+    : fs_(fs), options_(options), file_name_(std::move(file_name)) {}
+
+BTreeStore::~BTreeStore() {
+  if (!closed_) Close().ok();
+}
+
+StatusOr<std::unique_ptr<BTreeStore>> BTreeStore::Open(
+    fs::SimpleFs* fs, const BTreeOptions& options, std::string file_name) {
+  auto store = std::unique_ptr<BTreeStore>(
+      new BTreeStore(fs, options, std::move(file_name)));
+  PTSB_ASSIGN_OR_RETURN(store->file_, fs->OpenOrCreate(store->file_name_));
+  PTSB_RETURN_IF_ERROR(store->file_->Extend(kDataStart));
+  store->blocks_ = std::make_unique<BlockManager>(
+      store->file_, kDataStart, options.reuse_freed_blocks,
+      options.file_grow_bytes);
+  PTSB_RETURN_IF_ERROR(store->Recover());
+
+  if (options.journal_enabled) {
+    const std::string jname = store->file_name_ + ".journal";
+    if (fs->Exists(jname)) {
+      PTSB_ASSIGN_OR_RETURN(store->journal_file_, fs->Open(jname));
+      // Replay through the normal write path, without re-journaling.
+      store->replaying_ = true;
+      Status replay_status = Status::OK();
+      PTSB_RETURN_IF_ERROR(ReplayJournal(
+          store->journal_file_,
+          [&](JournalOp op, std::string_view key, std::string_view value) {
+            if (!replay_status.ok()) return;
+            replay_status = op == JournalOp::kPut ? store->Put(key, value)
+                                                  : store->Delete(key);
+          }));
+      store->replaying_ = false;
+      PTSB_RETURN_IF_ERROR(replay_status);
+    } else {
+      PTSB_ASSIGN_OR_RETURN(store->journal_file_, fs->Create(jname));
+    }
+    store->journal_ = std::make_unique<JournalWriter>(
+        store->journal_file_, options.journal_sync_every_bytes);
+  }
+  return store;
+}
+
+Status BTreeStore::Recover() {
+  Header best;
+  bool found = false;
+  for (int slot = 0; slot < 2; slot++) {
+    std::string buf(kHeaderBytes, '\0');
+    auto got = file_->ReadAt(slot * kHeaderBytes, kHeaderBytes, buf.data());
+    if (!got.ok() || *got != kHeaderBytes) continue;
+    Header h;
+    if (DecodeHeader(buf, &h) && (!found || h.gen > best.gen)) {
+      best = h;
+      found = true;
+    }
+  }
+  if (!found) {
+    // Fresh tree: an empty root leaf.
+    root_ = std::make_unique<Node>();
+    root_->is_leaf = true;
+    root_->dirty = true;
+    root_->bytes = root_->RecomputeBytes();
+    checkpoint_gen_ = 0;
+    return Status::OK();
+  }
+  checkpoint_gen_ = best.gen;
+  freelist_addr_ = best.freelist;
+  if (!best.freelist.IsNull()) {
+    std::string blob(best.freelist.bytes, '\0');
+    PTSB_ASSIGN_OR_RETURN(const uint64_t got,
+                          file_->ReadAt(best.freelist.offset,
+                                        best.freelist.bytes, blob.data()));
+    if (got != best.freelist.bytes) {
+      return Status::Corruption("short free-list read");
+    }
+    PTSB_RETURN_IF_ERROR(blocks_->DecodeFreeList(blob));
+  }
+  root_addr_ = best.root;
+  PTSB_ASSIGN_OR_RETURN(root_, ReadNode(best.root));
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Node>> BTreeStore::ReadNode(const BlockAddr& addr) {
+  PTSB_CHECK(!addr.IsNull());
+  std::string buf(addr.bytes, '\0');
+  PTSB_ASSIGN_OR_RETURN(const uint64_t got,
+                        file_->ReadAt(addr.offset, addr.bytes, buf.data()));
+  if (got != addr.bytes) return Status::Corruption("short node read");
+  stats_.page_read_bytes += addr.bytes;
+  PTSB_ASSIGN_OR_RETURN(auto node, Node::Deserialize(buf));
+  node->addr = addr;
+  return node;
+}
+
+StatusOr<Node*> BTreeStore::FetchChild(Node* parent, size_t idx) {
+  Node::ChildRef& ref = parent->children[idx];
+  if (ref.child == nullptr) {
+    PTSB_ASSIGN_OR_RETURN(auto node, ReadNode(ref.addr));
+    node->parent = parent;
+    node->route_key = ref.first_key;
+    ref.child = std::move(node);
+  }
+  if (ref.child->is_leaf) TouchLeaf(ref.child.get());
+  return ref.child.get();
+}
+
+StatusOr<Node*> BTreeStore::DescendToLeaf(std::string_view key) {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    const size_t idx = node->FindChildIdx(key);
+    PTSB_ASSIGN_OR_RETURN(node, FetchChild(node, idx));
+  }
+  return node;
+}
+
+void BTreeStore::TouchLeaf(Node* leaf) {
+  if (leaf->parent == nullptr) return;  // the root is never cache-managed
+  if (leaf->in_lru) {
+    lru_.splice(lru_.end(), lru_, leaf->lru_it);
+  } else {
+    leaf->lru_it = lru_.insert(lru_.end(), leaf);
+    leaf->in_lru = true;
+  }
+  cache_leaf_bytes_ += leaf->bytes - leaf->accounted_bytes;
+  leaf->accounted_bytes = leaf->bytes;
+}
+
+void BTreeStore::ForgetLeaf(Node* leaf) {
+  if (!leaf->in_lru) return;
+  lru_.erase(leaf->lru_it);
+  leaf->in_lru = false;
+  cache_leaf_bytes_ -= leaf->accounted_bytes;
+  leaf->accounted_bytes = 0;
+}
+
+Status BTreeStore::EvictIfNeeded() {
+  while (cache_leaf_bytes_ > options_.cache_bytes && !lru_.empty()) {
+    Node* leaf = lru_.front();
+    if (leaf->dirty) PTSB_RETURN_IF_ERROR(WriteNode(leaf));
+    ForgetLeaf(leaf);
+    Node* parent = leaf->parent;
+    const size_t idx = parent->FindChildIdxExact(leaf->route_key);
+    parent->children[idx].child.reset();  // destroys `leaf`
+  }
+  return Status::OK();
+}
+
+Status BTreeStore::WriteNode(Node* node) {
+  std::string data = node->Serialize();
+  PTSB_ASSIGN_OR_RETURN(BlockAddr addr, blocks_->Allocate(data.size()));
+  data.resize(addr.bytes, 0);
+  PTSB_RETURN_IF_ERROR(file_->WriteAt(addr.offset, data));
+  if (in_checkpoint_) {
+    stats_.checkpoint_bytes_written += addr.bytes;
+  } else {
+    stats_.page_write_bytes += addr.bytes;
+  }
+  blocks_->Free(node->addr);
+  node->addr = addr;
+  if (node->parent != nullptr) {
+    const size_t idx = node->parent->FindChildIdxExact(node->route_key);
+    node->parent->children[idx].addr = addr;
+    node->parent->dirty = true;
+  } else {
+    root_addr_ = addr;
+  }
+  node->dirty = false;
+  return Status::OK();
+}
+
+Status BTreeStore::WriteDirtySubtree(Node* node) {
+  if (!node->is_leaf) {
+    for (auto& ref : node->children) {
+      if (ref.child != nullptr) {
+        PTSB_RETURN_IF_ERROR(WriteDirtySubtree(ref.child.get()));
+      }
+    }
+  }
+  if (node->dirty) PTSB_RETURN_IF_ERROR(WriteNode(node));
+  return Status::OK();
+}
+
+Status BTreeStore::WriteHeader() {
+  Header h;
+  h.gen = ++checkpoint_gen_;
+  h.root = root_addr_;
+  h.freelist = freelist_addr_;
+  const std::string data = EncodeHeader(h);
+  const uint64_t slot = h.gen % 2;
+  PTSB_RETURN_IF_ERROR(file_->WriteAt(slot * kHeaderBytes, data));
+  stats_.checkpoint_bytes_written += kHeaderBytes;
+  return file_->Sync();
+}
+
+Status BTreeStore::Checkpoint() {
+  in_checkpoint_ = true;
+  Status s = [&]() -> Status {
+    PTSB_RETURN_IF_ERROR(WriteDirtySubtree(root_.get()));
+
+    // Persist the post-commit free list. The blob is allocated from the
+    // currently-available list only (never from blocks the previous
+    // checkpoint still references), then the old blob becomes free.
+    const BlockAddr old_blob = freelist_addr_;
+    std::string encoded = blocks_->EncodeMergedFreeList(old_blob);
+    PTSB_ASSIGN_OR_RETURN(BlockAddr blob,
+                          blocks_->Allocate(encoded.size() + 64));
+    encoded = blocks_->EncodeMergedFreeList(old_blob);
+    PTSB_CHECK_LE(encoded.size(), blob.bytes);
+    encoded.resize(blob.bytes, 0);
+    PTSB_RETURN_IF_ERROR(file_->WriteAt(blob.offset, encoded));
+    stats_.checkpoint_bytes_written += blob.bytes;
+    freelist_addr_ = blob;
+
+    PTSB_RETURN_IF_ERROR(WriteHeader());
+
+    // The new header is durable: deferred frees become reusable.
+    blocks_->MergePendingFrees();
+    blocks_->FreeImmediately(old_blob);
+    return Status::OK();
+  }();
+  in_checkpoint_ = false;
+  PTSB_RETURN_IF_ERROR(s);
+  checkpoint_count_++;
+  bytes_since_checkpoint_ = 0;
+
+  // Rotate the journal: everything it held is now in the checkpoint.
+  if (journal_ != nullptr) {
+    PTSB_RETURN_IF_ERROR(journal_->Sync());
+    const std::string jname = file_name_ + ".journal";
+    journal_.reset();
+    PTSB_RETURN_IF_ERROR(fs_->Delete(jname));
+    PTSB_ASSIGN_OR_RETURN(journal_file_, fs_->Create(jname));
+    journal_ = std::make_unique<JournalWriter>(
+        journal_file_, options_.journal_sync_every_bytes);
+  }
+  return Status::OK();
+}
+
+Status BTreeStore::SplitIfNeeded(Node* node) {
+  while (node != nullptr) {
+    const uint64_t max_bytes =
+        node->is_leaf ? options_.leaf_max_bytes : options_.internal_max_bytes;
+    const size_t entry_count =
+        node->is_leaf ? node->items.size() : node->children.size();
+    if (node->bytes <= max_bytes || entry_count < 2) {
+      node = nullptr;
+      break;
+    }
+
+    auto right = std::make_unique<Node>();
+    Node* right_raw = right.get();
+    right->is_leaf = node->is_leaf;
+    right->dirty = true;
+    node->dirty = true;
+
+    std::string separator;
+    if (node->is_leaf) {
+      // WiredTiger-style split: the left page keeps ~85% (split_pct), so
+      // disk pages stay near full and the per-update writeback volume
+      // approaches the page size.
+      const uint64_t keep = node->bytes * 85 / 100;
+      uint64_t acc = Node::kNodeOverhead;
+      size_t split = 1;
+      for (size_t i = 0; i + 1 < node->items.size(); i++) {
+        acc += node->items[i].first.size() + node->items[i].second.size() +
+               Node::kLeafItemOverhead;
+        if (acc >= keep) {
+          split = i + 1;
+          break;
+        }
+      }
+      right->items.assign(std::make_move_iterator(node->items.begin() + split),
+                          std::make_move_iterator(node->items.end()));
+      node->items.erase(node->items.begin() + split, node->items.end());
+      separator = right->items.front().first;
+    } else {
+      const size_t split = node->children.size() / 2;
+      right->children.assign(
+          std::make_move_iterator(node->children.begin() + split),
+          std::make_move_iterator(node->children.end()));
+      node->children.erase(node->children.begin() + split,
+                           node->children.end());
+      for (auto& ref : right->children) {
+        if (ref.child != nullptr) ref.child->parent = right_raw;
+      }
+      separator = right->children.front().first_key;
+    }
+    node->bytes = node->RecomputeBytes();
+    right->bytes = right->RecomputeBytes();
+    right->route_key = separator;
+
+    Node* parent = node->parent;
+    if (parent == nullptr) {
+      // Grow the tree: a fresh internal root adopting both halves.
+      PTSB_CHECK(node == root_.get());
+      auto new_root = std::make_unique<Node>();
+      new_root->is_leaf = false;
+      new_root->dirty = true;
+      Node::ChildRef left_ref;
+      left_ref.first_key = node->route_key;  // "" for the old root
+      left_ref.addr = node->addr;
+      Node::ChildRef right_ref;
+      right_ref.first_key = separator;
+      std::unique_ptr<Node> old_root = std::move(root_);
+      root_ = std::move(new_root);
+      old_root->parent = root_.get();
+      right_raw->parent = root_.get();
+      left_ref.child = std::move(old_root);
+      right_ref.child = std::move(right);
+      root_->children.push_back(std::move(left_ref));
+      root_->children.push_back(std::move(right_ref));
+      root_->bytes = root_->RecomputeBytes();
+      Node* left_raw = root_->children[0].child.get();
+      if (left_raw->is_leaf) {
+        // Both halves are now cache-managed leaves.
+        TouchLeaf(left_raw);
+        TouchLeaf(right_raw);
+      }
+      node = nullptr;  // the new root holds 2 children; it cannot overflow
+    } else {
+      const size_t idx = parent->FindChildIdxExact(node->route_key);
+      Node::ChildRef right_ref;
+      right_ref.first_key = separator;
+      right_raw->parent = parent;
+      right_ref.child = std::move(right);
+      parent->children.insert(parent->children.begin() + idx + 1,
+                              std::move(right_ref));
+      parent->bytes = parent->RecomputeBytes();
+      parent->dirty = true;
+      if (right_raw->is_leaf) {
+        TouchLeaf(node);  // re-account shrunken left leaf
+        TouchLeaf(right_raw);
+      }
+      node = parent;  // the parent may overflow in turn
+    }
+  }
+  return Status::OK();
+}
+
+void BTreeStore::ChargeCpu(int64_t ns) const {
+  if (options_.clock != nullptr) options_.clock->Advance(ns);
+}
+
+Status BTreeStore::Put(std::string_view key, std::string_view value) {
+  PTSB_CHECK(!closed_);
+  ChargeCpu(options_.cpu_put_ns);
+  stats_.user_puts++;
+  stats_.user_bytes_written += key.size() + value.size();
+  if (journal_ != nullptr && !replaying_) {
+    PTSB_RETURN_IF_ERROR(
+        journal_->Append(JournalOp::kPut, key, value));
+    stats_.wal_bytes_written += key.size() + value.size() + 16;
+  }
+  PTSB_ASSIGN_OR_RETURN(Node* leaf, DescendToLeaf(key));
+  auto it = std::lower_bound(
+      leaf->items.begin(), leaf->items.end(), key,
+      [](const auto& item, std::string_view k) { return item.first < k; });
+  if (it != leaf->items.end() && it->first == key) {
+    leaf->bytes += value.size();
+    leaf->bytes -= it->second.size();
+    it->second.assign(value.data(), value.size());
+  } else {
+    leaf->items.emplace(it, std::string(key), std::string(value));
+    leaf->bytes += key.size() + value.size() + Node::kLeafItemOverhead;
+  }
+  leaf->dirty = true;
+  TouchLeaf(leaf);
+  PTSB_RETURN_IF_ERROR(SplitIfNeeded(leaf));
+
+  bytes_since_checkpoint_ += key.size() + value.size();
+  if (!replaying_ &&
+      bytes_since_checkpoint_ >= options_.checkpoint_every_bytes) {
+    PTSB_RETURN_IF_ERROR(Checkpoint());
+  }
+  return EvictIfNeeded();
+}
+
+Status BTreeStore::Get(std::string_view key, std::string* value) {
+  PTSB_CHECK(!closed_);
+  ChargeCpu(options_.cpu_get_ns);
+  stats_.user_gets++;
+  PTSB_ASSIGN_OR_RETURN(Node* leaf, DescendToLeaf(key));
+  const auto it = std::lower_bound(
+      leaf->items.begin(), leaf->items.end(), key,
+      [](const auto& item, std::string_view k) { return item.first < k; });
+  Status result = Status::NotFound("no such key");
+  if (it != leaf->items.end() && it->first == key) {
+    *value = it->second;
+    stats_.user_bytes_read += value->size();
+    result = Status::OK();
+  }
+  PTSB_RETURN_IF_ERROR(EvictIfNeeded());
+  return result;
+}
+
+Status BTreeStore::Delete(std::string_view key) {
+  PTSB_CHECK(!closed_);
+  ChargeCpu(options_.cpu_put_ns);
+  stats_.user_deletes++;
+  stats_.user_bytes_written += key.size();
+  if (journal_ != nullptr && !replaying_) {
+    PTSB_RETURN_IF_ERROR(journal_->Append(JournalOp::kDelete, key, ""));
+    stats_.wal_bytes_written += key.size() + 16;
+  }
+  PTSB_ASSIGN_OR_RETURN(Node* leaf, DescendToLeaf(key));
+  const auto it = std::lower_bound(
+      leaf->items.begin(), leaf->items.end(), key,
+      [](const auto& item, std::string_view k) { return item.first < k; });
+  if (it != leaf->items.end() && it->first == key) {
+    leaf->bytes -= key.size() + it->second.size() + Node::kLeafItemOverhead;
+    leaf->items.erase(it);
+    leaf->dirty = true;
+    TouchLeaf(leaf);
+    bytes_since_checkpoint_ += key.size();
+  }
+  return EvictIfNeeded();
+}
+
+Status BTreeStore::Scan(std::string_view start_key, size_t count,
+                        std::vector<std::pair<std::string, std::string>>* out) {
+  PTSB_CHECK(!closed_);
+  stats_.user_scans++;
+  out->clear();
+  // Iterative DFS over (node, next child index) to bound native recursion.
+  struct Frame {
+    Node* node;
+    size_t idx;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root_.get(), 0});
+  if (!root_->is_leaf) {
+    stack.back().idx = root_->FindChildIdx(start_key);
+  }
+  while (!stack.empty() && out->size() < count) {
+    Frame& top = stack.back();
+    if (top.node->is_leaf) {
+      auto it = std::lower_bound(
+          top.node->items.begin(), top.node->items.end(), start_key,
+          [](const auto& item, std::string_view k) { return item.first < k; });
+      for (; it != top.node->items.end() && out->size() < count; ++it) {
+        out->push_back(*it);
+        stats_.user_bytes_read += it->first.size() + it->second.size();
+      }
+      stack.pop_back();
+      PTSB_RETURN_IF_ERROR(EvictIfNeeded());
+      continue;
+    }
+    if (top.idx >= top.node->children.size()) {
+      stack.pop_back();
+      continue;
+    }
+    PTSB_ASSIGN_OR_RETURN(Node* child, FetchChild(top.node, top.idx));
+    top.idx++;
+    size_t child_start = 0;
+    if (!child->is_leaf) child_start = child->FindChildIdx(start_key);
+    stack.push_back({child, child_start});
+  }
+  return EvictIfNeeded();
+}
+
+Status BTreeStore::Flush() {
+  PTSB_CHECK(!closed_);
+  return Checkpoint();
+}
+
+Status BTreeStore::Close() {
+  if (closed_) return Status::OK();
+  PTSB_RETURN_IF_ERROR(Checkpoint());
+  closed_ = true;
+  return Status::OK();
+}
+
+uint64_t BTreeStore::DiskBytesUsed() const {
+  uint64_t total = file_->allocated_bytes();
+  if (journal_file_ != nullptr) total += journal_file_->size();
+  return total;
+}
+
+int BTreeStore::Depth(const Node* n) {
+  int d = 1;
+  while (!n->is_leaf) {
+    // Follow any loaded child; structure checks load everything first.
+    const Node* next = nullptr;
+    for (const auto& ref : n->children) {
+      if (ref.child != nullptr) {
+        next = ref.child.get();
+        break;
+      }
+    }
+    PTSB_CHECK(next != nullptr) << "Depth() requires a fully loaded tree";
+    n = next;
+    d++;
+  }
+  return d;
+}
+
+Status BTreeStore::CheckSubtree(Node* node, int depth, int expect_depth,
+                                std::string_view lower_bound) {
+  if (node->is_leaf) {
+    if (depth != expect_depth) {
+      return Status::Corruption("non-uniform leaf depth");
+    }
+    for (size_t i = 0; i < node->items.size(); i++) {
+      if (i > 0 && node->items[i - 1].first >= node->items[i].first) {
+        return Status::Corruption("leaf keys out of order");
+      }
+      if (node->parent != nullptr && node->items[i].first < lower_bound &&
+          !lower_bound.empty()) {
+        return Status::Corruption("leaf key below its route key");
+      }
+    }
+    return Status::OK();
+  }
+  if (node->children.empty()) {
+    return Status::Corruption("internal node with no children");
+  }
+  for (size_t i = 0; i < node->children.size(); i++) {
+    auto& ref = node->children[i];
+    if (i > 0 && node->children[i - 1].first_key >= ref.first_key) {
+      return Status::Corruption("child keys out of order");
+    }
+    PTSB_ASSIGN_OR_RETURN(Node* child, FetchChild(node, i));
+    if (child->route_key != ref.first_key) {
+      return Status::Corruption("route key mismatch");
+    }
+    if (child->parent != node) {
+      return Status::Corruption("parent pointer mismatch");
+    }
+    const std::string_view bound = i == 0 ? lower_bound
+                                          : std::string_view(ref.first_key);
+    PTSB_RETURN_IF_ERROR(CheckSubtree(child, depth + 1, expect_depth, bound));
+  }
+  return Status::OK();
+}
+
+Status BTreeStore::CheckStructure() {
+  // Load everything (test-sized trees), then verify.
+  std::vector<Node*> to_load{root_.get()};
+  while (!to_load.empty()) {
+    Node* n = to_load.back();
+    to_load.pop_back();
+    if (n->is_leaf) continue;
+    for (size_t i = 0; i < n->children.size(); i++) {
+      PTSB_ASSIGN_OR_RETURN(Node* child, FetchChild(n, i));
+      to_load.push_back(child);
+    }
+  }
+  PTSB_RETURN_IF_ERROR(blocks_->CheckConsistency());
+  return CheckSubtree(root_.get(), 1, Depth(root_.get()), "");
+}
+
+}  // namespace ptsb::btree

@@ -1,0 +1,108 @@
+// BTreeStore: the WiredTiger-analog key-value store. A single-file paged
+// B+Tree with a leaf page cache, copy-on-write block management, periodic
+// checkpoints (alternating header slots), and an optional journal.
+#ifndef PTSB_BTREE_BTREE_STORE_H_
+#define PTSB_BTREE_BTREE_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/block_manager.h"
+#include "btree/journal.h"
+#include "btree/node.h"
+#include "btree/options.h"
+#include "fs/filesystem.h"
+#include "kv/kvstore.h"
+
+namespace ptsb::btree {
+
+class BTreeStore : public kv::KVStore {
+ public:
+  // Opens (or creates) the tree file at `file_name`, recovering from the
+  // newest valid checkpoint and replaying the journal if enabled.
+  static StatusOr<std::unique_ptr<BTreeStore>> Open(
+      fs::SimpleFs* fs, const BTreeOptions& options,
+      std::string file_name = "btree/tree.db");
+  ~BTreeStore() override;
+
+  // kv::KVStore interface.
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) override;
+  Status Delete(std::string_view key) override;
+  Status Scan(std::string_view start_key, size_t count,
+              std::vector<std::pair<std::string, std::string>>* out) override;
+  Status Flush() override;  // checkpoint
+  Status Close() override;
+  kv::KvStoreStats GetStats() const override { return stats_; }
+  std::string Name() const override { return "btree(wiredtiger-like)"; }
+  uint64_t DiskBytesUsed() const override;
+
+  // Introspection for tests and benches.
+  uint64_t checkpoint_count() const { return checkpoint_count_; }
+  uint64_t CacheBytes() const { return cache_leaf_bytes_; }
+  const BlockManager& block_manager() const { return *blocks_; }
+  // Structural invariants: sorted keys, route consistency, uniform depth.
+  Status CheckStructure();
+
+ private:
+  BTreeStore(fs::SimpleFs* fs, const BTreeOptions& options,
+             std::string file_name);
+
+  Status Recover();
+  StatusOr<std::unique_ptr<Node>> ReadNode(const BlockAddr& addr);
+  // Ensures children[idx] of `parent` is loaded; returns the child.
+  StatusOr<Node*> FetchChild(Node* parent, size_t idx);
+  StatusOr<Node*> DescendToLeaf(std::string_view key);
+
+  // Writes a node to a fresh block, frees the old one, updates the parent
+  // address cell (or the pending root address).
+  Status WriteNode(Node* node);
+  // Post-order: writes every dirty node in the loaded subtree.
+  Status WriteDirtySubtree(Node* node);
+  Status Checkpoint();
+  Status WriteHeader();
+
+  // Leaf cache management.
+  void TouchLeaf(Node* leaf);
+  void ForgetLeaf(Node* leaf);  // remove from LRU accounting
+  Status EvictIfNeeded();
+
+  // Split path after an insert made `node` oversized.
+  Status SplitIfNeeded(Node* node);
+
+  void ChargeCpu(int64_t ns) const;
+
+  static int Depth(const Node* n);
+  Status CheckSubtree(Node* node, int depth, int expect_depth,
+                      std::string_view lower_bound);
+
+  fs::SimpleFs* fs_;
+  BTreeOptions options_;
+  std::string file_name_;
+  fs::File* file_ = nullptr;
+  std::unique_ptr<BlockManager> blocks_;
+  std::unique_ptr<Node> root_;
+  BlockAddr root_addr_;      // as of the last write of the root
+  BlockAddr freelist_addr_;  // current persisted free list blob
+  uint64_t checkpoint_gen_ = 0;
+  uint64_t checkpoint_count_ = 0;
+  uint64_t bytes_since_checkpoint_ = 0;
+
+  std::list<Node*> lru_;  // front = least recently used
+  uint64_t cache_leaf_bytes_ = 0;
+
+  std::unique_ptr<JournalWriter> journal_;
+  fs::File* journal_file_ = nullptr;
+  bool replaying_ = false;
+
+  kv::KvStoreStats stats_;
+  bool in_checkpoint_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace ptsb::btree
+
+#endif  // PTSB_BTREE_BTREE_STORE_H_

@@ -1,0 +1,72 @@
+#include "btree/journal.h"
+
+#include <string>
+
+#include "util/crc32.h"
+#include "util/encoding.h"
+
+namespace ptsb::btree {
+
+JournalWriter::JournalWriter(fs::File* file, uint64_t sync_every_bytes)
+    : file_(file), sync_every_bytes_(sync_every_bytes) {}
+
+Status JournalWriter::Append(JournalOp op, std::string_view key,
+                             std::string_view value) {
+  std::string payload;
+  payload.push_back(static_cast<char>(op));
+  PutLengthPrefixed(&payload, key);
+  PutLengthPrefixed(&payload, value);
+
+  std::string record;
+  PutFixed32(&record, MaskCrc(Crc32c(payload)));
+  PutVarint32(&record, static_cast<uint32_t>(payload.size()));
+  record += payload;
+  PTSB_RETURN_IF_ERROR(file_->Append(record));
+  bytes_written_ += record.size();
+  if (sync_every_bytes_ > 0) {
+    unsynced_ += record.size();
+    if (unsynced_ >= sync_every_bytes_) {
+      unsynced_ = 0;
+      return file_->Sync();
+    }
+  }
+  return Status::OK();
+}
+
+Status JournalWriter::Sync() {
+  unsynced_ = 0;
+  return file_->Sync();
+}
+
+Status ReplayJournal(
+    fs::File* file,
+    const std::function<void(JournalOp, std::string_view, std::string_view)>&
+        fn) {
+  std::string data(file->size(), '\0');
+  PTSB_ASSIGN_OR_RETURN(const uint64_t got,
+                        file->ReadAt(0, data.size(), data.data()));
+  std::string_view in(data.data(), got);
+  while (!in.empty()) {
+    std::string_view record = in;
+    uint32_t crc, len;
+    if (!GetFixed32(&record, &crc) || !GetVarint32(&record, &len) ||
+        record.size() < len) {
+      break;
+    }
+    const std::string_view payload = record.substr(0, len);
+    if (UnmaskCrc(crc) != Crc32c(payload)) break;
+    std::string_view p = payload;
+    if (p.empty()) break;
+    const auto op = static_cast<JournalOp>(p[0]);
+    p.remove_prefix(1);
+    std::string_view key, value;
+    if (!GetLengthPrefixed(&p, &key) || !GetLengthPrefixed(&p, &value)) {
+      break;
+    }
+    fn(op, key, value);
+    in = record.substr(len);
+  }
+  return Status::OK();
+}
+
+}  // namespace ptsb::btree

@@ -1,0 +1,42 @@
+// Optional write-ahead journal for the B+Tree (WiredTiger's logging).
+// Disabled by default to match the paper's standalone-WiredTiger setup;
+// enabling it trades extra writes for durability between checkpoints.
+#ifndef PTSB_BTREE_JOURNAL_H_
+#define PTSB_BTREE_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "fs/file.h"
+#include "util/status.h"
+
+namespace ptsb::btree {
+
+enum class JournalOp : uint8_t { kPut = 1, kDelete = 2 };
+
+class JournalWriter {
+ public:
+  JournalWriter(fs::File* file, uint64_t sync_every_bytes);
+
+  Status Append(JournalOp op, std::string_view key, std::string_view value);
+  Status Sync();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  fs::File* file_;
+  uint64_t sync_every_bytes_;
+  uint64_t bytes_written_ = 0;
+  uint64_t unsynced_ = 0;
+};
+
+// Replays intact records in order; stops silently at a torn tail.
+Status ReplayJournal(
+    fs::File* file,
+    const std::function<void(JournalOp, std::string_view key,
+                             std::string_view value)>& fn);
+
+}  // namespace ptsb::btree
+
+#endif  // PTSB_BTREE_JOURNAL_H_

@@ -1,0 +1,123 @@
+#include "btree/node.h"
+
+#include <algorithm>
+
+#include "util/crc32.h"
+#include "util/encoding.h"
+#include "util/logging.h"
+
+namespace ptsb::btree {
+
+uint64_t Node::RecomputeBytes() const {
+  uint64_t n = kNodeOverhead;
+  if (is_leaf) {
+    for (const auto& [k, v] : items) {
+      n += k.size() + v.size() + kLeafItemOverhead;
+    }
+  } else {
+    for (const auto& c : children) n += c.first_key.size() + kChildOverhead;
+  }
+  return n;
+}
+
+size_t Node::FindChildIdx(std::string_view key) const {
+  PTSB_DCHECK(!is_leaf);
+  PTSB_DCHECK(!children.empty());
+  // Last child whose first_key <= key; keys below everything clamp to 0.
+  size_t lo = 0, hi = children.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (children[mid].first_key <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+size_t Node::FindChildIdxExact(std::string_view route) const {
+  const size_t idx = FindChildIdx(route);
+  PTSB_CHECK(children[idx].first_key == route)
+      << "child route key not found: " << route;
+  return idx;
+}
+
+std::string Node::Serialize() const {
+  std::string payload;
+  payload.push_back(is_leaf ? 1 : 0);
+  if (is_leaf) {
+    PutVarint64(&payload, items.size());
+    for (const auto& [k, v] : items) {
+      PutLengthPrefixed(&payload, k);
+      PutLengthPrefixed(&payload, v);
+    }
+  } else {
+    PutVarint64(&payload, children.size());
+    for (const auto& c : children) {
+      PTSB_CHECK(!c.addr.IsNull()) << "serializing internal with unwritten child";
+      PutLengthPrefixed(&payload, c.first_key);
+      PutVarint64(&payload, c.addr.offset);
+      PutVarint64(&payload, c.addr.bytes);
+    }
+  }
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  out += payload;
+  PutFixed32(&out, MaskCrc(Crc32c(payload)));
+  return out;
+}
+
+StatusOr<std::unique_ptr<Node>> Node::Deserialize(std::string_view data) {
+  uint32_t len;
+  if (!GetFixed32(&data, &len) || data.size() < len + 4) {
+    return Status::Corruption("node frame truncated");
+  }
+  const std::string_view payload = data.substr(0, len);
+  std::string_view crc_in = data.substr(len, 4);
+  uint32_t crc;
+  GetFixed32(&crc_in, &crc);
+  if (UnmaskCrc(crc) != Crc32c(payload)) {
+    return Status::Corruption("node checksum mismatch");
+  }
+  std::string_view in = payload;
+  if (in.empty()) return Status::Corruption("empty node");
+  const bool is_leaf = in[0] == 1;
+  in.remove_prefix(1);
+  uint64_t count;
+  if (!GetVarint64(&in, &count)) return Status::Corruption("bad node count");
+
+  auto node = std::make_unique<Node>();
+  node->is_leaf = is_leaf;
+  if (is_leaf) {
+    node->items.reserve(count);
+    for (uint64_t i = 0; i < count; i++) {
+      std::string_view k, v;
+      if (!GetLengthPrefixed(&in, &k) || !GetLengthPrefixed(&in, &v)) {
+        return Status::Corruption("bad leaf item");
+      }
+      node->items.emplace_back(std::string(k), std::string(v));
+    }
+  } else {
+    node->children.reserve(count);
+    for (uint64_t i = 0; i < count; i++) {
+      std::string_view k;
+      uint64_t off, bytes;
+      if (!GetLengthPrefixed(&in, &k) || !GetVarint64(&in, &off) ||
+          !GetVarint64(&in, &bytes)) {
+        return Status::Corruption("bad child ref");
+      }
+      ChildRef ref;
+      ref.first_key.assign(k.data(), k.size());
+      ref.addr = BlockAddr{off, bytes};
+      node->children.push_back(std::move(ref));
+    }
+    if (node->children.empty()) {
+      return Status::Corruption("internal node without children");
+    }
+  }
+  node->bytes = node->RecomputeBytes();
+  return node;
+}
+
+}  // namespace ptsb::btree

@@ -1,0 +1,68 @@
+// In-memory B+Tree nodes and their on-disk (de)serialization.
+//
+// Internal nodes reference children by block address (as WiredTiger's
+// internal pages do); the in-memory tree additionally caches child
+// pointers. A leaf's relocation on writeback updates only its parent's
+// in-memory address cell; parents are persisted at checkpoint.
+#ifndef PTSB_BTREE_NODE_H_
+#define PTSB_BTREE_NODE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "btree/block_manager.h"
+#include "util/status.h"
+
+namespace ptsb::btree {
+
+struct Node {
+  bool is_leaf = true;
+  // Needs (re)writing: structural change, or a child address changed.
+  bool dirty = false;
+  Node* parent = nullptr;       // null for the root
+  std::string route_key;        // the parent entry's first_key ("" for root)
+  BlockAddr addr;               // last on-disk location (null if never written)
+  uint64_t bytes = 0;           // running serialized-size estimate
+
+  // Leaf payload: sorted by key.
+  std::vector<std::pair<std::string, std::string>> items;
+
+  // Internal payload: sorted by first_key; child may be null (not loaded).
+  struct ChildRef {
+    std::string first_key;
+    BlockAddr addr;
+    std::unique_ptr<Node> child;
+  };
+  std::vector<ChildRef> children;
+
+  // LRU bookkeeping (leaves only).
+  std::list<Node*>::iterator lru_it;
+  bool in_lru = false;
+  // Bytes currently charged to the cache accounting for this node.
+  uint64_t accounted_bytes = 0;
+
+  // Size-estimate bookkeeping.
+  static constexpr uint64_t kNodeOverhead = 16;
+  static constexpr uint64_t kLeafItemOverhead = 8;
+  static constexpr uint64_t kChildOverhead = 24;
+
+  uint64_t RecomputeBytes() const;
+
+  // Routing: index of the child covering `key` (clamped to 0).
+  size_t FindChildIdx(std::string_view key) const;
+  // Exact entry index for a child's route key (used by writeback).
+  size_t FindChildIdxExact(std::string_view route) const;
+
+  // Serializes payload: u8 kind | varint count | entries | crc32.
+  std::string Serialize() const;
+  // Parses a serialized node. Children of internals come back unloaded.
+  static StatusOr<std::unique_ptr<Node>> Deserialize(std::string_view data);
+};
+
+}  // namespace ptsb::btree
+
+#endif  // PTSB_BTREE_NODE_H_

@@ -1,0 +1,84 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/human.h"
+
+namespace ptsb::core {
+
+uint64_t DrivesNeeded(const SystemProfile& system, double total_dataset_tb,
+                      double target_kops) {
+  const double total_bytes = total_dataset_tb * 1e12;
+  uint64_t best = 0;
+  for (const OperatingPoint& p : system.points) {
+    if (p.dataset_bytes_per_instance == 0 || p.kops_per_instance <= 0) {
+      continue;
+    }
+    const auto capacity_bound = static_cast<uint64_t>(std::ceil(
+        total_bytes / static_cast<double>(p.dataset_bytes_per_instance)));
+    const auto throughput_bound = static_cast<uint64_t>(
+        std::ceil(target_kops / p.kops_per_instance));
+    const uint64_t drives =
+        std::max<uint64_t>(1, std::max(capacity_bound, throughput_bound));
+    if (best == 0 || drives < best) best = drives;
+  }
+  return best;
+}
+
+CostHeatmap ComputeHeatmap(const SystemProfile& a, const SystemProfile& b,
+                           const std::vector<double>& dataset_tb_axis,
+                           const std::vector<double>& kops_axis) {
+  CostHeatmap map;
+  map.system_a = a.name;
+  map.system_b = b.name;
+  map.dataset_tb_axis = dataset_tb_axis;
+  map.kops_axis = kops_axis;
+  for (const double kops : kops_axis) {
+    for (const double ds : dataset_tb_axis) {
+      HeatmapCell cell;
+      cell.dataset_tb = ds;
+      cell.target_kops = kops;
+      cell.drives_a = DrivesNeeded(a, ds, kops);
+      cell.drives_b = DrivesNeeded(b, ds, kops);
+      if (cell.drives_a == 0 && cell.drives_b == 0) {
+        cell.winner = 0;
+      } else if (cell.drives_a == 0) {
+        cell.winner = 1;
+      } else if (cell.drives_b == 0) {
+        cell.winner = -1;
+      } else if (cell.drives_a < cell.drives_b) {
+        cell.winner = -1;
+      } else if (cell.drives_b < cell.drives_a) {
+        cell.winner = 1;
+      }
+      map.cells.push_back(cell);
+    }
+  }
+  return map;
+}
+
+std::string CostHeatmap::Render() const {
+  // 'A' cell: system A needs fewer drives; 'B': system B; '=': same.
+  std::string out = StrPrintf("storage-cost winner: A=%s  B=%s\n",
+                              system_a.c_str(), system_b.c_str());
+  out += "  target Kops/s |";
+  for (const double ds : dataset_tb_axis) {
+    out += StrPrintf(" %4.1fTB", ds);
+  }
+  out += "\n  --------------+";
+  for (size_t i = 0; i < dataset_tb_axis.size(); i++) out += "------";
+  out += "\n";
+  for (size_t k = kops_axis.size(); k-- > 0;) {
+    out += StrPrintf("  %12.1f  |", kops_axis[k]);
+    for (size_t d = 0; d < dataset_tb_axis.size(); d++) {
+      const HeatmapCell& cell = At(k, d);
+      const char* sym = cell.winner < 0 ? "A" : cell.winner > 0 ? "B" : "=";
+      out += StrPrintf("   %s  ", sym);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ptsb::core

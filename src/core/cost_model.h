@@ -1,0 +1,63 @@
+// The paper's back-of-the-envelope storage-cost model (Figs. 6c and 8):
+// how many drives does a deployment need to hold a dataset AND sustain a
+// target throughput, given per-instance measurements (one PTS instance per
+// SSD, aggregate throughput = sum of instances).
+#ifndef PTSB_CORE_COST_MODEL_H_
+#define PTSB_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptsb::core {
+
+// One measured operating point of a system: a per-instance dataset size
+// with its steady-state throughput. Points where the system ran out of
+// space are simply not included.
+struct OperatingPoint {
+  uint64_t dataset_bytes_per_instance = 0;
+  double kops_per_instance = 0;
+};
+
+struct SystemProfile {
+  std::string name;
+  std::vector<OperatingPoint> points;
+};
+
+// Minimum number of drives over all operating points:
+//   max(ceil(total_dataset / per-instance dataset),
+//       ceil(target_kops / per-instance kops)).
+// Returns 0 if the system has no feasible operating point.
+uint64_t DrivesNeeded(const SystemProfile& system, double total_dataset_tb,
+                      double target_kops);
+
+struct HeatmapCell {
+  double dataset_tb = 0;
+  double target_kops = 0;
+  uint64_t drives_a = 0;
+  uint64_t drives_b = 0;
+  // -1: A cheaper, 0: same cost, +1: B cheaper (matches the paper's
+  // three-region heatmaps).
+  int winner = 0;
+};
+
+struct CostHeatmap {
+  std::string system_a, system_b;
+  std::vector<double> dataset_tb_axis;
+  std::vector<double> kops_axis;
+  std::vector<HeatmapCell> cells;  // row-major: kops x dataset
+
+  const HeatmapCell& At(size_t kops_idx, size_t ds_idx) const {
+    return cells[kops_idx * dataset_tb_axis.size() + ds_idx];
+  }
+  // ASCII rendering in the style of the paper's Figs. 6c/8.
+  std::string Render() const;
+};
+
+CostHeatmap ComputeHeatmap(const SystemProfile& a, const SystemProfile& b,
+                           const std::vector<double>& dataset_tb_axis,
+                           const std::vector<double>& kops_axis);
+
+}  // namespace ptsb::core
+
+#endif  // PTSB_CORE_COST_MODEL_H_

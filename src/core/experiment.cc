@@ -1,0 +1,306 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "btree/btree_store.h"
+#include "core/steady_state.h"
+#include "lsm/lsm_store.h"
+#include "util/histogram.h"
+#include "util/human.h"
+#include "util/logging.h"
+
+namespace ptsb::core {
+
+const char* EngineName(EngineKind kind) {
+  return kind == EngineKind::kLsm ? "rocksdb-like-lsm" : "wiredtiger-like-btree";
+}
+
+lsm::LsmOptions ScaledLsmOptions(const ExperimentConfig& config,
+                                 sim::SimClock* clock) {
+  lsm::LsmOptions o;
+  const uint64_t s = config.scale;
+  o.memtable_bytes = std::max<uint64_t>((64ull << 20) / s, 64 << 10);
+  o.l1_target_bytes = std::max<uint64_t>((256ull << 20) / s, 256 << 10);
+  o.sst_target_bytes = std::max<uint64_t>((64ull << 20) / s, 64 << 10);
+  o.block_bytes = 4096;          // unscaled: device page granularity
+  o.bloom_bits_per_key = 10;
+  o.clock = clock;
+  if (config.lsm_tweak) config.lsm_tweak(&o);
+  return o;
+}
+
+btree::BTreeOptions ScaledBTreeOptions(const ExperimentConfig& config,
+                                       sim::SimClock* clock) {
+  btree::BTreeOptions o;
+  const uint64_t s = config.scale;
+  o.leaf_max_bytes = 32 << 10;   // unscaled page sizes
+  o.internal_max_bytes = 4 << 10;
+  o.cache_bytes = std::max<uint64_t>((10ull << 20) / s, 4 * o.leaf_max_bytes);
+  o.checkpoint_every_bytes = std::max<uint64_t>((256ull << 20) / s, 1 << 20);
+  o.file_grow_bytes = std::max<uint64_t>((64ull << 20) / s, 1 << 20);
+  o.clock = clock;
+  if (config.btree_tweak) config.btree_tweak(&o);
+  return o;
+}
+
+fs::FsOptions ScaledFsOptions(const ExperimentConfig& config) {
+  fs::FsOptions o;
+  o.nodiscard = config.fs_nodiscard;
+  // Extent sizes are device-side properties (ext4 block groups, command
+  // sizes) and deliberately do NOT scale: large writes must stay large so
+  // per-command latency amortizes as it does on real hardware.
+  o.max_extent_pages = (8ull << 20) / 4096;
+  o.append_alloc_pages = (1ull << 20) / 4096;
+  o.metadata_pages = 64;
+  return o;
+}
+
+namespace {
+
+struct Stack {
+  sim::SimClock clock;
+  std::unique_ptr<ssd::SsdDevice> ssd;
+  std::unique_ptr<block::IoStatCollector> iostat;
+  std::unique_ptr<block::LbaTraceCollector> trace;
+  std::unique_ptr<block::PartitionView> partition;
+  std::unique_ptr<fs::SimpleFs> fs;
+  std::unique_ptr<kv::KVStore> store;
+};
+
+Status BuildStack(const ExperimentConfig& config, Stack* stack) {
+  auto ssd_config = ssd::MakeProfile(config.profile, config.device_bytes,
+                                     config.scale);
+  stack->ssd = std::make_unique<ssd::SsdDevice>(ssd_config, &stack->clock);
+  stack->iostat = std::make_unique<block::IoStatCollector>(stack->ssd.get());
+  block::BlockDevice* top = stack->iostat.get();
+  if (config.collect_lba_trace) {
+    stack->trace = std::make_unique<block::LbaTraceCollector>(top);
+    top = stack->trace.get();
+  }
+  const auto part_lbas = static_cast<uint64_t>(
+      config.partition_frac * static_cast<double>(top->num_lbas()));
+  PTSB_CHECK_GT(part_lbas, 0u);
+  stack->partition =
+      std::make_unique<block::PartitionView>(top, 0, part_lbas);
+
+  // Initial drive state: whole-device trim, then (optionally) precondition
+  // the PTS partition (paper Sections 3.4 and 4.6).
+  PTSB_RETURN_IF_ERROR(ssd::TrimAll(stack->ssd.get()));
+  if (config.initial_state == ssd::InitialState::kPreconditioned) {
+    PTSB_RETURN_IF_ERROR(
+        ssd::Precondition(stack->partition.get(), 2.0, config.seed));
+  }
+
+  stack->fs = std::make_unique<fs::SimpleFs>(stack->partition.get(),
+                                             ScaledFsOptions(config));
+  if (config.engine == EngineKind::kLsm) {
+    PTSB_ASSIGN_OR_RETURN(
+        stack->store,
+        lsm::LsmStore::Open(stack->fs.get(),
+                            ScaledLsmOptions(config, &stack->clock)));
+  } else {
+    PTSB_ASSIGN_OR_RETURN(
+        stack->store,
+        btree::BTreeStore::Open(stack->fs.get(),
+                                ScaledBTreeOptions(config, &stack->clock)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<ExperimentResult> RunExperiment(
+    const ExperimentConfig& config,
+    const std::function<void(const std::string&)>& progress) {
+  ExperimentResult result;
+  result.config = config;
+
+  Stack stack;
+  PTSB_RETURN_IF_ERROR(BuildStack(config, &stack));
+  const double time_scale = static_cast<double>(config.scale);
+  const uint64_t dataset_bytes = config.DatasetBytes();
+
+  // ---- Load phase: sequential ingest (paper Section 3.2).
+  kv::WorkloadSpec spec;
+  spec.num_keys = config.NumKeys();
+  spec.key_bytes = config.key_bytes;
+  spec.value_bytes = config.value_bytes;
+  spec.write_fraction = config.write_fraction;
+  spec.distribution = config.distribution;
+  spec.zipf_theta = config.zipf_theta;
+  spec.seed = config.seed;
+
+  const double load_start_min = stack.clock.NowMinutes();
+  {
+    kv::WorkloadGenerator gen(spec);
+    for (uint64_t id = 0; id < spec.num_keys; id++) {
+      const Status s = stack.store->Put(gen.KeyFor(id),
+                                        gen.ValueFor(SplitMix64(id ^ 777)));
+      if (s.IsNoSpace()) {
+        result.ran_out_of_space = true;
+        break;
+      }
+      PTSB_RETURN_IF_ERROR(s);
+    }
+    if (!result.ran_out_of_space) {
+      PTSB_RETURN_IF_ERROR(stack.store->Flush());
+      // Let compaction debt from the bulk load settle, so the measurement
+      // phase starts from a quiesced tree (the paper's plots exclude the
+      // loading phase).
+      PTSB_RETURN_IF_ERROR(stack.store->SettleBackgroundWork());
+    }
+  }
+  result.load_minutes =
+      (stack.clock.NowMinutes() - load_start_min) * time_scale;
+  if (result.ran_out_of_space) {
+    // Fig. 6: RocksDB cannot hold the two largest datasets at all.
+    result.peak_disk_utilization = stack.fs->GetStats().Utilization();
+    return result;
+  }
+
+  // ---- Update phase.
+  const double t0_min = stack.clock.NowMinutes();
+  const double window_sim_min = config.window_minutes / time_scale;
+  const double duration_sim_min = config.duration_minutes / time_scale;
+
+  // Baselines: WA metrics measure the update phase, as the paper's plots
+  // do (load-phase performance is excluded from the figures).
+  const auto io0 = stack.iostat->counters();
+  const auto smart0 = stack.ssd->smart();
+  const auto engine0 = stack.store->GetStats();
+
+  kv::WorkloadGenerator gen(spec);
+  double window_start = t0_min;
+  auto io_window_start = io0;
+  auto smart_window_start = smart0;
+  uint64_t ops_window_start = 0;
+  uint64_t stalls_window_start = 0;
+
+  Histogram op_latency;  // per-window, in virtual nanoseconds
+  std::string read_value;
+  while (stack.clock.NowMinutes() - t0_min < duration_sim_min &&
+         !result.ran_out_of_space) {
+    const int64_t op_start_ns = stack.clock.NowNanos();
+    const kv::Op op = gen.Next();
+    if (op.type == kv::Op::Type::kPut) {
+      const Status s = stack.store->Put(
+          gen.KeyFor(op.key_id),
+          kv::MakeValue(op.value_seed, spec.value_bytes));
+      if (s.IsNoSpace()) {
+        result.ran_out_of_space = true;
+        break;
+      }
+      PTSB_RETURN_IF_ERROR(s);
+    } else {
+      const Status s = stack.store->Get(gen.KeyFor(op.key_id), &read_value);
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+    result.update_ops++;
+    op_latency.Record(
+        static_cast<uint64_t>(stack.clock.NowNanos() - op_start_ns));
+
+    // Window boundary?
+    const double now_min = stack.clock.NowMinutes();
+    if (now_min - window_start >= window_sim_min) {
+      const double window_sec = (now_min - window_start) * 60.0;
+      const auto io = stack.iostat->counters();
+      const auto smart = stack.ssd->smart();
+      const auto engine = stack.store->GetStats();
+      const auto fs_stats = stack.fs->GetStats();
+
+      WindowSample w;
+      w.t_minutes = (now_min - t0_min) * time_scale;
+      w.kv_kops = static_cast<double>(result.update_ops - ops_window_start) /
+                  window_sec / 1000.0;
+      w.dev_write_mbps =
+          static_cast<double>(io.write_bytes - io_window_start.write_bytes) /
+          window_sec / 1e6;
+      w.dev_read_mbps =
+          static_cast<double>(io.read_bytes - io_window_start.read_bytes) /
+          window_sec / 1e6;
+      const uint64_t user_bytes =
+          engine.user_bytes_written - engine0.user_bytes_written;
+      const uint64_t host_bytes = io.write_bytes - io0.write_bytes;
+      const uint64_t nand_bytes =
+          smart.nand_bytes_written - smart0.nand_bytes_written;
+      const uint64_t host_cum_for_device =
+          smart.host_bytes_written - smart0.host_bytes_written;
+      w.wa_a_cum = user_bytes > 0 ? static_cast<double>(host_bytes) /
+                                        static_cast<double>(user_bytes)
+                                  : 0;
+      w.wa_d_cum = host_cum_for_device > 0
+                       ? static_cast<double>(nand_bytes) /
+                             static_cast<double>(host_cum_for_device)
+                       : 1.0;
+      const uint64_t host_w =
+          smart.host_bytes_written - smart_window_start.host_bytes_written;
+      const uint64_t nand_w =
+          smart.nand_bytes_written - smart_window_start.nand_bytes_written;
+      w.wa_d_window = host_w > 0 ? static_cast<double>(nand_w) /
+                                       static_cast<double>(host_w)
+                                 : 1.0;
+      w.disk_utilization = fs_stats.Utilization() * config.partition_frac;
+      w.space_amp = static_cast<double>(stack.store->DiskBytesUsed()) /
+                    static_cast<double>(dataset_bytes);
+      w.stalls = engine.stall_count - stalls_window_start;
+      w.cache_backlog_mb =
+          static_cast<double>(stack.ssd->GetCacheState().occupancy_bytes) /
+          1e6;
+      w.op_p50_us = op_latency.Percentile(50) / 1000.0;
+      w.op_p99_us = op_latency.Percentile(99) / 1000.0;
+      w.op_max_us = static_cast<double>(op_latency.max()) / 1000.0;
+      op_latency.Reset();
+      result.series.windows.push_back(w);
+      result.peak_disk_utilization =
+          std::max(result.peak_disk_utilization, w.disk_utilization);
+      result.peak_space_amp = std::max(result.peak_space_amp, w.space_amp);
+
+      if (progress != nullptr) {
+        progress(StrPrintf(
+            "[%s] t=%5.0fmin  %6.2f Kops/s  devW=%6.1f MB/s  WA-A=%5.2f  "
+            "WA-D=%4.2f  util=%4.1f%%",
+            config.name.c_str(), w.t_minutes, w.kv_kops, w.dev_write_mbps,
+            w.wa_a_cum, w.wa_d_cum, w.disk_utilization * 100));
+      }
+
+      window_start = now_min;
+      io_window_start = io;
+      smart_window_start = smart;
+      ops_window_start = result.update_ops;
+      stalls_window_start = engine.stall_count;
+    }
+  }
+
+  result.steady = result.series.SteadyState();
+  result.throughput_cv = result.series.ThroughputCv();
+  result.final_space_amp =
+      static_cast<double>(stack.store->DiskBytesUsed()) /
+      static_cast<double>(dataset_bytes);
+  result.engine_stats = stack.store->GetStats();
+  result.smart = stack.ssd->smart();
+  if (stack.trace != nullptr) {
+    result.lba_fraction_untouched = stack.trace->FractionUntouched();
+    result.lba_cdf = stack.trace->WriteCdf(101);
+  }
+
+  // Steady-state detection over the recorded windows (paper Section 4.1).
+  SteadyStateDetector detector;
+  for (const WindowSample& w : result.series.windows) {
+    detector.AddWindow(w.kv_kops, w.wa_a_cum, w.wa_d_cum,
+                       result.smart.host_bytes_written,
+                       config.ScaledDeviceBytes());
+  }
+  result.reached_steady_state = detector.IsSteady();
+
+  const Status close_status = stack.store->Close();
+  if (close_status.IsNoSpace()) {
+    // A store that filled the device may be unable to flush on shutdown;
+    // that is data, not an error (paper Fig. 6).
+    result.ran_out_of_space = true;
+  } else {
+    PTSB_RETURN_IF_ERROR(close_status);
+  }
+  return result;
+}
+
+}  // namespace ptsb::core

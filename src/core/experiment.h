@@ -1,0 +1,130 @@
+// Experiment driver: assembles the full stack the paper's testbed has
+// (SSD -> iostat -> blktrace -> partition -> filesystem -> engine), applies
+// the drive's initial state, runs the load phase and the timed update
+// phase, and samples the paper's metrics every window.
+//
+// All sizes are specified at *paper scale* (400 GB drive, 200 GB dataset,
+// 10 MiB caches, ...) and divided by `scale`. Because every structural
+// size shrinks by the same factor, the time axis compresses by it too; all
+// reported times are mapped back to paper-equivalent minutes.
+#ifndef PTSB_CORE_EXPERIMENT_H_
+#define PTSB_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "block/iostat.h"
+#include "block/partition.h"
+#include "block/trace.h"
+#include "btree/options.h"
+#include "core/metrics.h"
+#include "fs/filesystem.h"
+#include "kv/kvstore.h"
+#include "kv/workload.h"
+#include "lsm/options.h"
+#include "sim/clock.h"
+#include "ssd/precondition.h"
+#include "ssd/profiles.h"
+#include "ssd/ssd_device.h"
+#include "util/status.h"
+
+namespace ptsb::core {
+
+enum class EngineKind { kLsm, kBtree };
+const char* EngineName(EngineKind kind);
+
+struct ExperimentConfig {
+  std::string name = "experiment";
+  uint64_t scale = 100;  // divide all paper-scale sizes by this
+
+  // Device.
+  ssd::ProfileKind profile = ssd::ProfileKind::kSsd1Enterprise;
+  ssd::InitialState initial_state = ssd::InitialState::kTrimmed;
+  uint64_t device_bytes = ssd::kPaperDeviceBytes;  // paper scale
+
+  // Partition: fraction of the device the filesystem gets; the rest stays
+  // trimmed as software over-provisioning (paper Section 4.6).
+  double partition_frac = 1.0;
+
+  // Dataset: fraction of the (whole) device capacity (paper default 0.5).
+  double dataset_frac = 0.5;
+  size_t key_bytes = 16;
+  size_t value_bytes = 4000;
+
+  // Update phase.
+  double write_fraction = 1.0;
+  kv::Distribution distribution = kv::Distribution::kUniform;
+  double zipf_theta = 0.99;  // used when distribution is zipfian
+  double duration_minutes = 210;  // paper-equivalent minutes
+  double window_minutes = 10;
+
+  EngineKind engine = EngineKind::kLsm;
+  bool collect_lba_trace = true;
+  uint64_t seed = 42;
+
+  // Filesystem behavior (paper: ext4 with nodiscard).
+  bool fs_nodiscard = true;
+
+  // Optional hooks to tweak engine options beyond the scaled defaults.
+  std::function<void(lsm::LsmOptions*)> lsm_tweak;
+  std::function<void(btree::BTreeOptions*)> btree_tweak;
+
+  // Derived values (after scaling).
+  uint64_t ScaledDeviceBytes() const { return device_bytes / scale; }
+  uint64_t DatasetBytes() const {
+    return static_cast<uint64_t>(dataset_frac *
+                                 static_cast<double>(ScaledDeviceBytes()));
+  }
+  uint64_t NumKeys() const {
+    return DatasetBytes() / (key_bytes + value_bytes);
+  }
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  MetricsSeries series;
+
+  // Steady-state summary (tail-window averages).
+  WindowSample steady;
+  double throughput_cv = 0;
+
+  double load_minutes = 0;            // paper-equivalent
+  double peak_disk_utilization = 0;
+  double final_space_amp = 0;
+  // The paper reports the *maximum* utilization RocksDB reaches, since its
+  // footprint fluctuates with compaction churn (Section 4.5).
+  double peak_space_amp = 0;
+  bool ran_out_of_space = false;
+  bool reached_steady_state = false;
+
+  // LBA-trace analysis (paper Fig. 4).
+  double lba_fraction_untouched = 0;
+  std::vector<block::LbaTraceCollector::CdfPoint> lba_cdf;
+
+  kv::KvStoreStats engine_stats;
+  ssd::SmartCounters smart;
+  uint64_t update_ops = 0;
+
+  // End-to-end write amplification = WA-A x WA-D (paper Section 4.2).
+  double EndToEndWa() const { return steady.wa_a_cum * steady.wa_d_cum; }
+};
+
+// Builds the stack, runs load + update, returns the sampled result.
+// `progress` (optional) is invoked with a short status line per window.
+StatusOr<ExperimentResult> RunExperiment(
+    const ExperimentConfig& config,
+    const std::function<void(const std::string&)>& progress = nullptr);
+
+// Scaled engine option defaults (exposed for tests and examples).
+lsm::LsmOptions ScaledLsmOptions(const ExperimentConfig& config,
+                                 sim::SimClock* clock);
+btree::BTreeOptions ScaledBTreeOptions(const ExperimentConfig& config,
+                                       sim::SimClock* clock);
+fs::FsOptions ScaledFsOptions(const ExperimentConfig& config);
+
+}  // namespace ptsb::core
+
+#endif  // PTSB_CORE_EXPERIMENT_H_

@@ -1,0 +1,80 @@
+#include "core/metrics.h"
+
+#include "util/human.h"
+#include "util/stats.h"
+
+namespace ptsb::core {
+
+WindowSample MetricsSeries::SteadyState(size_t tail) const {
+  WindowSample avg;
+  if (windows.empty()) return avg;
+  if (tail == 0) tail = std::max<size_t>(3, windows.size() / 4);
+  tail = std::min(tail, windows.size());
+  const size_t start = windows.size() - tail;
+  for (size_t i = start; i < windows.size(); i++) {
+    const WindowSample& w = windows[i];
+    avg.kv_kops += w.kv_kops;
+    avg.dev_write_mbps += w.dev_write_mbps;
+    avg.dev_read_mbps += w.dev_read_mbps;
+    avg.wa_a_cum += w.wa_a_cum;
+    avg.wa_d_cum += w.wa_d_cum;
+    avg.wa_d_window += w.wa_d_window;
+    avg.disk_utilization += w.disk_utilization;
+    avg.space_amp += w.space_amp;
+    avg.stalls += w.stalls;
+  }
+  const double n = static_cast<double>(tail);
+  avg.t_minutes = windows.back().t_minutes;
+  avg.kv_kops /= n;
+  avg.dev_write_mbps /= n;
+  avg.dev_read_mbps /= n;
+  avg.wa_a_cum /= n;
+  avg.wa_d_cum /= n;
+  avg.wa_d_window /= n;
+  avg.disk_utilization /= n;
+  avg.space_amp /= n;
+  return avg;
+}
+
+double MetricsSeries::ThroughputCv() const {
+  if (windows.size() < 4) return 0;
+  RunningStats stats;
+  for (size_t i = windows.size() / 2; i < windows.size(); i++) {
+    stats.Add(windows[i].kv_kops);
+  }
+  return stats.Cv();
+}
+
+std::string MetricsSeries::ToTable(const std::string& title) const {
+  std::string out = title + "\n";
+  out +=
+      "  t(min)    Kops/s   devW(MB/s)  devR(MB/s)   WA-A   WA-D  "
+      "util%  spaceAmp  stalls\n";
+  for (const WindowSample& w : windows) {
+    out += StrPrintf(
+        "  %6.1f  %8.2f   %9.1f   %9.1f  %5.2f  %5.2f  %5.1f  %8.2f  %6llu\n",
+        w.t_minutes, w.kv_kops, w.dev_write_mbps, w.dev_read_mbps, w.wa_a_cum,
+        w.wa_d_cum, w.disk_utilization * 100.0, w.space_amp,
+        static_cast<unsigned long long>(w.stalls));
+  }
+  return out;
+}
+
+std::string MetricsSeries::ToCsv() const {
+  std::string out =
+      "t_minutes,kv_kops,dev_write_mbps,dev_read_mbps,wa_a_cum,wa_d_cum,"
+      "wa_d_window,disk_utilization,space_amp,stalls,cache_backlog_mb,"
+      "op_p50_us,op_p99_us,op_max_us\n";
+  for (const WindowSample& w : windows) {
+    out += StrPrintf(
+        "%.3f,%.4f,%.2f,%.2f,%.4f,%.4f,%.4f,%.5f,%.4f,%llu,%.2f,%.1f,%.1f,"
+        "%.1f\n",
+        w.t_minutes, w.kv_kops, w.dev_write_mbps, w.dev_read_mbps,
+        w.wa_a_cum, w.wa_d_cum, w.wa_d_window, w.disk_utilization,
+        w.space_amp, static_cast<unsigned long long>(w.stalls),
+        w.cache_backlog_mb, w.op_p50_us, w.op_p99_us, w.op_max_us);
+  }
+  return out;
+}
+
+}  // namespace ptsb::core

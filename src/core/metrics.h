@@ -1,0 +1,54 @@
+// Windowed experiment metrics: exactly the indicators the paper reports
+// (Section 3.3) — KV throughput, device throughput via iostat, WA-A from
+// host-vs-user bytes, WA-D from SMART counters, space amplification — in
+// 10-minute windows (paper default).
+#ifndef PTSB_CORE_METRICS_H_
+#define PTSB_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptsb::core {
+
+// One averaging window of the update phase. Times are in *paper-equivalent
+// minutes* (simulated time multiplied by the scale factor).
+struct WindowSample {
+  double t_minutes = 0;  // window end, measured from update-phase start
+  double kv_kops = 0;    // KV operations per second (thousands)
+  double dev_write_mbps = 0;
+  double dev_read_mbps = 0;
+  double wa_a_cum = 0;    // cumulative host writes / user writes
+  double wa_d_cum = 0;    // cumulative NAND / host writes (update phase)
+  double wa_d_window = 0; // same, over this window only
+  double disk_utilization = 0;
+  double space_amp = 0;
+  uint64_t stalls = 0;
+  double cache_backlog_mb = 0;  // device write-cache occupancy
+
+  // Operation latency percentiles within this window (microseconds of
+  // virtual time). Write stalls and GC bursts surface here as p99 spikes
+  // long before they dent the window-average throughput.
+  double op_p50_us = 0;
+  double op_p99_us = 0;
+  double op_max_us = 0;
+};
+
+// Aggregate over a run, plus steady-state summary values.
+struct MetricsSeries {
+  std::vector<WindowSample> windows;
+
+  // Averages over the last `tail` windows (the steady-state report).
+  WindowSample SteadyState(size_t tail = 0) const;
+
+  // Coefficient of variation of kv_kops over the last half of the run
+  // (throughput-variability comparison, paper Fig. 10).
+  double ThroughputCv() const;
+
+  std::string ToTable(const std::string& title) const;
+  std::string ToCsv() const;
+};
+
+}  // namespace ptsb::core
+
+#endif  // PTSB_CORE_METRICS_H_

@@ -1,0 +1,76 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/human.h"
+
+namespace ptsb::core {
+
+Report::Report(std::string title) : title_(std::move(title)) {}
+
+void Report::AddComparison(const std::string& label, double paper,
+                           double measured, const std::string& unit) {
+  rows_.push_back({label, paper, measured, unit});
+}
+
+void Report::AddNote(const std::string& note) { notes_.push_back(note); }
+
+std::string Report::Render() const {
+  std::string out = "== " + title_ + " ==\n";
+  if (!rows_.empty()) {
+    out += StrPrintf("  %-52s %12s %12s  %-8s %s\n", "metric", "paper",
+                     "measured", "unit", "ratio");
+    for (const ComparisonRow& r : rows_) {
+      const double ratio =
+          r.paper_value != 0 ? r.measured_value / r.paper_value : 0;
+      out += StrPrintf("  %-52s %12.2f %12.2f  %-8s %.2fx\n", r.label.c_str(),
+                       r.paper_value, r.measured_value, r.unit.c_str(),
+                       ratio);
+    }
+  }
+  for (const std::string& n : notes_) {
+    out += "  note: " + n + "\n";
+  }
+  return out;
+}
+
+void Report::PrintTo(FILE* out) const {
+  const std::string s = Render();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+std::string WriteResultsFile(const std::string& name,
+                             const std::string& content) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/" + name;
+  std::ofstream f(path);
+  if (!f) return "";
+  f << content;
+  return path;
+}
+
+std::string SteadySummaryCsv(const std::vector<ExperimentResult>& results) {
+  std::string out =
+      "name,engine,profile,initial_state,dataset_frac,partition_frac,"
+      "value_bytes,write_fraction,kops,dev_write_mbps,wa_a,wa_d,e2e_wa,"
+      "disk_utilization,space_amp,tput_cv,out_of_space,lba_untouched\n";
+  for (const ExperimentResult& r : results) {
+    out += StrPrintf(
+        "%s,%s,%s,%s,%.3f,%.3f,%zu,%.2f,%.3f,%.1f,%.2f,%.3f,%.2f,%.4f,%.3f,"
+        "%.3f,%d,%.3f\n",
+        r.config.name.c_str(), EngineName(r.config.engine),
+        ssd::ProfileName(r.config.profile).c_str(),
+        ssd::InitialStateName(r.config.initial_state), r.config.dataset_frac,
+        r.config.partition_frac, r.config.value_bytes,
+        r.config.write_fraction, r.steady.kv_kops, r.steady.dev_write_mbps,
+        r.steady.wa_a_cum, r.steady.wa_d_cum, r.EndToEndWa(),
+        r.steady.disk_utilization, r.final_space_amp, r.throughput_cv,
+        r.ran_out_of_space ? 1 : 0, r.lba_fraction_untouched);
+  }
+  return out;
+}
+
+}  // namespace ptsb::core

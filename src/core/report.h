@@ -1,0 +1,51 @@
+// Reporting helpers shared by the benches: paper-vs-measured comparison
+// rows, series tables, and CSV export under results/.
+#ifndef PTSB_CORE_REPORT_H_
+#define PTSB_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace ptsb::core {
+
+// One "paper reported X, we measured Y" line.
+struct ComparisonRow {
+  std::string label;
+  double paper_value = 0;
+  double measured_value = 0;
+  std::string unit;
+};
+
+class Report {
+ public:
+  explicit Report(std::string title);
+
+  void AddComparison(const std::string& label, double paper, double measured,
+                     const std::string& unit = "");
+  void AddNote(const std::string& note);
+
+  // Renders the full report (comparison table + notes).
+  std::string Render() const;
+  void PrintTo(FILE* out) const;
+
+  const std::vector<ComparisonRow>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<ComparisonRow> rows_;
+  std::vector<std::string> notes_;
+};
+
+// Writes `content` to results/<name> (creates the directory). Returns the
+// path written, or empty on failure (benches treat CSV export as optional).
+std::string WriteResultsFile(const std::string& name,
+                             const std::string& content);
+
+// CSV with one row per experiment's steady-state summary.
+std::string SteadySummaryCsv(const std::vector<ExperimentResult>& results);
+
+}  // namespace ptsb::core
+
+#endif  // PTSB_CORE_REPORT_H_

@@ -1,0 +1,77 @@
+// Steady-state detection, per the paper's guidelines (Section 4.1):
+//  - CUSUM (Page's continuous inspection scheme) to detect that a metric
+//    has stopped drifting;
+//  - a holistic detector requiring KV throughput, WA-A and WA-D to all be
+//    stable for a while;
+//  - the 3x-device-capacity rule of thumb on cumulative host writes.
+#ifndef PTSB_CORE_STEADY_STATE_H_
+#define PTSB_CORE_STEADY_STATE_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <deque>
+
+namespace ptsb::core {
+
+// Two-sided CUSUM change detector (E.S. Page, Biometrika 1954). The
+// reference mean is estimated from the first `warmup` samples; `k` is the
+// allowed drift and `h` the alarm threshold, both relative to the mean.
+class CusumDetector {
+ public:
+  CusumDetector(int warmup = 5, double k_rel = 0.05, double h_rel = 0.5);
+
+  // Feeds one sample; returns true if a change alarm fires now.
+  bool Add(double x);
+
+  // Re-baselines at the current sample mean (typically after an alarm).
+  void Reset();
+
+  bool HasBaseline() const { return samples_seen_ >= warmup_; }
+  double baseline() const { return mean_; }
+  double positive_sum() const { return s_pos_; }
+  double negative_sum() const { return s_neg_; }
+  int alarms() const { return alarms_; }
+
+ private:
+  int warmup_;
+  double k_rel_;
+  double h_rel_;
+  int samples_seen_ = 0;
+  double warmup_acc_ = 0;
+  double mean_ = 0;
+  double s_pos_ = 0;
+  double s_neg_ = 0;
+  int alarms_ = 0;
+};
+
+// Holistic steady-state detection over experiment windows.
+class SteadyStateDetector {
+ public:
+  // Steady when for `window_count` consecutive windows, each tracked
+  // metric's spread (max-min)/mean stays below `rel_tolerance`; or when
+  // cumulative host writes reach `capacity_multiple` x device capacity.
+  SteadyStateDetector(size_t window_count = 6, double rel_tolerance = 0.1,
+                      double capacity_multiple = 3.0);
+
+  void AddWindow(double kv_kops, double wa_a, double wa_d,
+                 uint64_t cumulative_host_bytes, uint64_t device_capacity);
+
+  bool IsSteady() const { return steady_; }
+  bool SteadyByMetrics() const { return steady_by_metrics_; }
+  bool SteadyByVolume() const { return steady_by_volume_; }
+
+ private:
+  static bool Stable(const std::deque<double>& values, double tol);
+
+  size_t window_count_;
+  double rel_tolerance_;
+  double capacity_multiple_;
+  std::deque<double> tput_, wa_a_, wa_d_;
+  bool steady_ = false;
+  bool steady_by_metrics_ = false;
+  bool steady_by_volume_ = false;
+};
+
+}  // namespace ptsb::core
+
+#endif  // PTSB_CORE_STEADY_STATE_H_

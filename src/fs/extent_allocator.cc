@@ -1,0 +1,114 @@
+#include "fs/extent_allocator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ptsb::fs {
+
+ExtentAllocator::ExtentAllocator(uint64_t first_page, uint64_t num_pages)
+    : first_page_(first_page),
+      total_pages_(num_pages),
+      free_pages_(num_pages),
+      cursor_(first_page) {
+  if (num_pages > 0) free_[first_page] = num_pages;
+}
+
+Extent ExtentAllocator::TakeFrom(std::map<uint64_t, uint64_t>::iterator it,
+                                 uint64_t max_pages) {
+  const uint64_t start = it->first;
+  const uint64_t len = it->second;
+  const uint64_t take = std::min(len, max_pages);
+  free_.erase(it);
+  if (take < len) {
+    free_[start + take] = len - take;
+  }
+  free_pages_ -= take;
+  cursor_ = start + take;
+  return Extent{start, take};
+}
+
+StatusOr<std::vector<Extent>> ExtentAllocator::Allocate(
+    uint64_t num_pages, uint64_t max_extent_pages) {
+  if (num_pages == 0) return std::vector<Extent>{};
+  if (max_extent_pages == 0) max_extent_pages = total_pages_;
+  if (num_pages > free_pages_) {
+    return Status::NoSpace("extent allocator exhausted");
+  }
+  std::vector<Extent> result;
+  uint64_t remaining = num_pages;
+  while (remaining > 0) {
+    // Next-fit: first free extent at or after the cursor, wrapping around.
+    auto it = free_.lower_bound(cursor_);
+    if (it == free_.end()) it = free_.begin();
+    PTSB_CHECK(it != free_.end());
+    Extent e = TakeFrom(it, std::min(remaining, max_extent_pages));
+    // Merge with the previous extent if physically contiguous, so that
+    // one logical allocation does not get artificially chopped.
+    if (!result.empty() && result.back().end() == e.first_page &&
+        result.back().num_pages + e.num_pages <= max_extent_pages) {
+      result.back().num_pages += e.num_pages;
+    } else {
+      result.push_back(e);
+    }
+    remaining -= e.num_pages;
+  }
+  return result;
+}
+
+void ExtentAllocator::Free(const Extent& extent) {
+  if (extent.num_pages == 0) return;
+  PTSB_DCHECK(extent.first_page >= first_page_ &&
+              extent.end() <= first_page_ + total_pages_);
+  auto [it, inserted] = free_.emplace(extent.first_page, extent.num_pages);
+  PTSB_CHECK(inserted) << "double free of extent";
+  // Coalesce with successor.
+  auto next = std::next(it);
+  if (next != free_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != free_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      PTSB_CHECK(prev->first + prev->second <= it->first)
+          << "overlapping free extents";
+      prev->second += it->second;
+      free_.erase(it);
+    }
+  }
+  free_pages_ += extent.num_pages;
+}
+
+uint64_t ExtentAllocator::LargestFreeExtent() const {
+  uint64_t best = 0;
+  for (const auto& [start, len] : free_) best = std::max(best, len);
+  return best;
+}
+
+Status ExtentAllocator::CheckConsistency() const {
+  uint64_t total = 0;
+  uint64_t prev_end = 0;
+  bool first = true;
+  for (const auto& [start, len] : free_) {
+    if (len == 0) return Status::Corruption("zero-length free extent");
+    if (start < first_page_ || start + len > first_page_ + total_pages_) {
+      return Status::Corruption("free extent out of range");
+    }
+    if (!first && start <= prev_end) {
+      return Status::Corruption(start == prev_end
+                                    ? "uncoalesced free extents"
+                                    : "overlapping free extents");
+    }
+    prev_end = start + len;
+    first = false;
+    total += len;
+  }
+  if (total != free_pages_) {
+    return Status::Corruption("free page count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace ptsb::fs

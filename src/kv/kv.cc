@@ -1,0 +1,74 @@
+#include "kv/kv.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/encoding.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ptsb::kv {
+
+std::string MakeKey(uint64_t id, size_t key_bytes) {
+  PTSB_CHECK_GE(key_bytes, 8u);
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%0*" PRIu64,
+                static_cast<int>(key_bytes - 1), id);
+  std::string key;
+  key.reserve(key_bytes);
+  key.push_back('u');
+  key.append(digits, key_bytes - 1);
+  return key;
+}
+
+bool ParseKey(std::string_view key, uint64_t* id) {
+  if (key.size() < 8 || key[0] != 'u') return false;
+  uint64_t v = 0;
+  for (size_t i = 1; i < key.size(); i++) {
+    const char c = key[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *id = v;
+  return true;
+}
+
+std::string MakeValue(uint64_t seed, size_t value_bytes) {
+  PTSB_CHECK_GE(value_bytes, 16u);
+  std::string value(value_bytes, '\0');
+  EncodeFixed64(value.data(), seed);
+  EncodeFixed64(value.data() + 8, value_bytes);
+  uint64_t x = seed;
+  size_t pos = 16;
+  while (pos < value_bytes) {
+    x = SplitMix64(x);
+    const size_t n = std::min<size_t>(8, value_bytes - pos);
+    std::memcpy(value.data() + pos, &x, n);
+    pos += n;
+  }
+  return value;
+}
+
+bool VerifyValue(std::string_view value) {
+  if (value.size() < 16) return false;
+  const uint64_t seed = DecodeFixed64(value.data());
+  const uint64_t size = DecodeFixed64(value.data() + 8);
+  if (size != value.size()) return false;
+  uint64_t x = seed;
+  size_t pos = 16;
+  while (pos < value.size()) {
+    x = SplitMix64(x);
+    const size_t n = std::min<size_t>(8, value.size() - pos);
+    if (std::memcmp(value.data() + pos, &x, n) != 0) return false;
+    pos += n;
+  }
+  return true;
+}
+
+uint64_t ValueSeed(std::string_view value) {
+  if (value.size() < 16) return 0;
+  return DecodeFixed64(value.data());
+}
+
+}  // namespace ptsb::kv

@@ -1,0 +1,36 @@
+// Key/value primitives shared by the engines, the workload generators and
+// the experiment driver. The paper's dataset is 16-byte keys with 4000-byte
+// values (Section 3.2); keys here are fixed-width decimal strings so that
+// lexicographic order equals numeric order.
+#ifndef PTSB_KV_KV_H_
+#define PTSB_KV_KV_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ptsb::kv {
+
+constexpr size_t kDefaultKeyBytes = 16;
+constexpr size_t kDefaultValueBytes = 4000;
+
+// "user00000000001234"-style fixed-width key.
+std::string MakeKey(uint64_t id, size_t key_bytes = kDefaultKeyBytes);
+
+// Recovers the numeric id from a key (returns false on malformed input).
+bool ParseKey(std::string_view key, uint64_t* id);
+
+// Deterministic, verifiable value payload: the first 16 bytes encode
+// (seed, size); the rest is a pseudo-random stream derived from seed.
+std::string MakeValue(uint64_t seed, size_t value_bytes);
+
+// Verifies that `value` was produced by MakeValue (integrity check used in
+// tests and examples).
+bool VerifyValue(std::string_view value);
+
+// Extracts the seed from a MakeValue payload (0 if malformed).
+uint64_t ValueSeed(std::string_view value);
+
+}  // namespace ptsb::kv
+
+#endif  // PTSB_KV_KV_H_

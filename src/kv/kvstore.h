@@ -1,0 +1,81 @@
+// The engine-neutral key-value store interface. LsmStore (RocksDB-like) and
+// BTreeStore (WiredTiger-like) implement it; the experiment driver and the
+// examples program against it.
+#ifndef PTSB_KV_KVSTORE_H_
+#define PTSB_KV_KVSTORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ptsb::kv {
+
+// Engine-side write accounting (application-level write breakdown). The
+// paper's WA-A is measured at the block layer (host bytes / user bytes);
+// these counters let benches attribute it to engine mechanisms.
+struct KvStoreStats {
+  uint64_t user_puts = 0;
+  uint64_t user_gets = 0;
+  uint64_t user_deletes = 0;
+  uint64_t user_scans = 0;
+  uint64_t user_bytes_written = 0;  // sum of key+value sizes put
+  uint64_t user_bytes_read = 0;
+
+  uint64_t wal_bytes_written = 0;         // LSM write-ahead log / journal
+  uint64_t flush_bytes_written = 0;       // LSM memtable flushes
+  uint64_t compaction_bytes_written = 0;  // LSM compaction output
+  uint64_t compaction_bytes_read = 0;     // LSM compaction input
+  uint64_t page_write_bytes = 0;          // B+Tree page writebacks
+  uint64_t page_read_bytes = 0;           // B+Tree page reads
+  uint64_t checkpoint_bytes_written = 0;  // B+Tree checkpoints
+
+  uint64_t stall_count = 0;  // engine-level write stalls (LSM L0 pressure)
+
+  // Virtual-time breakdown (nanoseconds of simulated time spent inside
+  // each engine mechanism); only filled when a clock is attached.
+  int64_t time_wal_ns = 0;
+  int64_t time_flush_ns = 0;
+  int64_t time_compaction_ns = 0;
+  int64_t time_read_path_ns = 0;
+  int64_t time_writeback_ns = 0;   // B+Tree leaf writebacks + page reads
+  int64_t time_checkpoint_ns = 0;  // B+Tree checkpoints
+};
+
+class KVStore {
+ public:
+  virtual ~KVStore() = default;
+
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+  virtual Status Get(std::string_view key, std::string* value) = 0;
+  virtual Status Delete(std::string_view key) = 0;
+
+  // Collects up to `count` pairs with key >= start_key in ascending order.
+  virtual Status Scan(std::string_view start_key, size_t count,
+                      std::vector<std::pair<std::string, std::string>>* out) = 0;
+
+  // Forces all buffered state to stable storage (memtable flush or
+  // checkpoint), e.g. before measuring space, or before Close.
+  virtual Status Flush() = 0;
+
+  // Completes pending background work (compaction debt). Used between a
+  // load phase and a measurement phase; engines without background work
+  // keep the default no-op.
+  virtual Status SettleBackgroundWork() { return Status::OK(); }
+
+  // Graceful shutdown; the store can be re-opened from disk state.
+  virtual Status Close() = 0;
+
+  virtual KvStoreStats GetStats() const = 0;
+  virtual std::string Name() const = 0;
+
+  // Bytes of live engine data on the filesystem (for space amplification).
+  virtual uint64_t DiskBytesUsed() const = 0;
+};
+
+}  // namespace ptsb::kv
+
+#endif  // PTSB_KV_KVSTORE_H_

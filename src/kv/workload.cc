@@ -1,0 +1,39 @@
+#include "kv/workload.h"
+
+namespace ptsb::kv {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec)
+    : spec_(spec),
+      rng_(spec.seed),
+      zipf_(spec.num_keys, spec.zipf_theta, spec.seed ^ 0x5bd1e995u) {}
+
+Op WorkloadGenerator::Next() {
+  Op op;
+  op.type = rng_.Bernoulli(spec_.write_fraction) ? Op::Type::kPut
+                                                 : Op::Type::kGet;
+  op.key_id = spec_.distribution == Distribution::kUniform
+                  ? rng_.Uniform(spec_.num_keys)
+                  : zipf_.Next();
+  // A fresh seed per update makes every rewrite of a key produce different
+  // bytes, like a real update stream.
+  op.value_seed = SplitMix64(spec_.seed ^ (0x9e3779b97f4a7c15ULL +
+                                           ++op_counter_));
+  return op;
+}
+
+Status LoadSequential(KVStore* store, const WorkloadSpec& spec,
+                      void (*progress)(uint64_t, uint64_t),
+                      uint64_t progress_every) {
+  for (uint64_t id = 0; id < spec.num_keys; id++) {
+    const std::string key = MakeKey(id, spec.key_bytes);
+    const std::string value =
+        MakeValue(SplitMix64(spec.seed ^ id), spec.value_bytes);
+    PTSB_RETURN_IF_ERROR(store->Put(key, value));
+    if (progress != nullptr && (id + 1) % progress_every == 0) {
+      progress(id + 1, spec.num_keys);
+    }
+  }
+  return store->Flush();
+}
+
+}  // namespace ptsb::kv

@@ -1,0 +1,73 @@
+// Workload generation per Section 3.2 of the paper: sequential-order load
+// of N key-value pairs, then a single-threaded op mix (default write-only
+// uniform-random updates of existing keys). Variants cover the paper's
+// additional workloads (50:50 read/write mix, 128-byte values) and a
+// zipfian extension.
+#ifndef PTSB_KV_WORKLOAD_H_
+#define PTSB_KV_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kv/kv.h"
+#include "kv/kvstore.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ptsb::kv {
+
+enum class Distribution { kUniform, kZipfian };
+
+struct WorkloadSpec {
+  uint64_t num_keys = 50'000'000;
+  size_t key_bytes = kDefaultKeyBytes;
+  size_t value_bytes = kDefaultValueBytes;
+  // Fraction of operations that are writes (paper default: write-only).
+  double write_fraction = 1.0;
+  Distribution distribution = Distribution::kUniform;
+  double zipf_theta = 0.99;
+  uint64_t seed = 7;
+
+  uint64_t DatasetBytes() const {
+    return num_keys * (key_bytes + value_bytes);
+  }
+};
+
+struct Op {
+  enum class Type { kPut, kGet } type = Type::kPut;
+  uint64_t key_id = 0;
+  uint64_t value_seed = 0;  // for puts
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadSpec& spec);
+
+  // Next operation of the update/read phase.
+  Op Next();
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+  std::string KeyFor(uint64_t id) const {
+    return MakeKey(id, spec_.key_bytes);
+  }
+  std::string ValueFor(uint64_t seed) const {
+    return MakeValue(seed, spec_.value_bytes);
+  }
+
+ private:
+  WorkloadSpec spec_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  uint64_t op_counter_ = 0;
+};
+
+// Ingests all keys in sequential order (the paper's loading phase).
+// Calls progress(i, num_keys) every `progress_every` keys if non-null.
+Status LoadSequential(KVStore* store, const WorkloadSpec& spec,
+                      void (*progress)(uint64_t, uint64_t) = nullptr,
+                      uint64_t progress_every = 1u << 20);
+
+}  // namespace ptsb::kv
+
+#endif  // PTSB_KV_WORKLOAD_H_

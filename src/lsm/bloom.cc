@@ -1,0 +1,93 @@
+#include "lsm/bloom.h"
+
+#include <algorithm>
+
+namespace ptsb::lsm {
+
+uint32_t BloomHash(std::string_view key) {
+  // Murmur-inspired hash (LevelDB's Hash()).
+  constexpr uint32_t kSeed = 0xbc9f1d34;
+  constexpr uint32_t kM = 0xc6a4a793;
+  const size_t n = key.size();
+  const char* data = key.data();
+  uint32_t h = kSeed ^ (static_cast<uint32_t>(n) * kM);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint32_t w;
+    __builtin_memcpy(&w, data + i, 4);
+    h += w;
+    h *= kM;
+    h ^= (h >> 16);
+  }
+  switch (n - i) {
+    case 3:
+      h += static_cast<uint8_t>(data[i + 2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<uint8_t>(data[i + 1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<uint8_t>(data[i]);
+      h *= kM;
+      h ^= (h >> 24);
+      break;
+  }
+  return h;
+}
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key) {}
+
+void BloomFilterBuilder::AddKey(std::string_view key) {
+  if (bits_per_key_ <= 0) return;
+  hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  if (bits_per_key_ <= 0 || hashes_.empty()) {
+    return std::string(1, '\0');  // empty filter: matches everything
+  }
+  // k = bits_per_key * ln(2), clamped as in LevelDB.
+  int k = static_cast<int>(bits_per_key_ * 0.69);
+  k = std::clamp(k, 1, 30);
+
+  size_t bits = hashes_.size() * static_cast<size_t>(bits_per_key_);
+  bits = std::max<size_t>(bits, 64);
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes + 1, '\0');
+  filter[bytes] = static_cast<char>(k);
+  for (uint32_t h : hashes_) {
+    uint32_t delta = (h >> 17) | (h << 15);  // double hashing
+    for (int j = 0; j < k; j++) {
+      const size_t bit = h % bits;
+      filter[bit / 8] = static_cast<char>(
+          static_cast<uint8_t>(filter[bit / 8]) | (1 << (bit % 8)));
+      h += delta;
+    }
+  }
+  hashes_.clear();
+  return filter;
+}
+
+BloomFilter::BloomFilter(std::string data) : data_(std::move(data)) {}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  if (data_.size() <= 1) return true;
+  const size_t bits = (data_.size() - 1) * 8;
+  const int k = data_[data_.size() - 1];
+  if (k <= 0 || k > 30) return true;  // treat malformed as match-all
+  uint32_t h = BloomHash(key);
+  uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    const size_t bit = h % bits;
+    if ((static_cast<uint8_t>(data_[bit / 8]) & (1 << (bit % 8))) == 0) {
+      return false;
+    }
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace ptsb::lsm

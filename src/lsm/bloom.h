@@ -1,0 +1,50 @@
+// Standard double-hashing Bloom filter for SST files (same construction as
+// LevelDB's BloomFilterPolicy).
+#ifndef PTSB_LSM_BLOOM_H_
+#define PTSB_LSM_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptsb::lsm {
+
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key);
+
+  void AddKey(std::string_view key);
+
+  // Serializes the filter: [bit array][1 byte k].
+  std::string Finish();
+
+  size_t num_keys() const { return hashes_.size(); }
+
+ private:
+  int bits_per_key_;
+  std::vector<uint32_t> hashes_;
+};
+
+class BloomFilter {
+ public:
+  // data as produced by BloomFilterBuilder::Finish. Keeps a copy.
+  explicit BloomFilter(std::string data);
+
+  // May return a false positive; never a false negative.
+  bool MayContain(std::string_view key) const;
+
+  // An empty filter (e.g. bloom disabled) matches everything.
+  bool empty() const { return data_.size() <= 1; }
+  size_t SizeBytes() const { return data_.size(); }
+
+ private:
+  std::string data_;
+};
+
+// The hash both sides use.
+uint32_t BloomHash(std::string_view key);
+
+}  // namespace ptsb::lsm
+
+#endif  // PTSB_LSM_BLOOM_H_

@@ -1,0 +1,113 @@
+// Leveled compaction: picking (score-based, with RocksDB-style trivial
+// moves) and execution (an incremental job that merges input tables into
+// the next level in bounded steps, so compaction I/O interleaves with user
+// operations the way background compaction threads would).
+#ifndef PTSB_LSM_COMPACTION_H_
+#define PTSB_LSM_COMPACTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/filesystem.h"
+#include "lsm/options.h"
+#include "lsm/sst.h"
+#include "lsm/version.h"
+#include "util/status.h"
+
+namespace ptsb::lsm {
+
+// Target size for a level under the leveled policy.
+uint64_t LevelTargetBytes(const LsmOptions& options, int level);
+
+// Compaction pressure of a level: >= 1.0 means compaction is due.
+double LevelScore(const VersionSet& versions, const LsmOptions& options,
+                  int level);
+
+// True when no level deeper than `output_level` holds any file, i.e.
+// tombstones compacted to `output_level` can be dropped.
+bool CanDropTombstones(const VersionSet& versions, int output_level);
+
+struct CompactionPick {
+  bool valid = false;
+  bool trivial_move = false;  // single input, no overlap: just relink
+  int level = 0;              // input level
+  std::vector<FileMeta> inputs0;  // files from `level`
+  std::vector<FileMeta> inputs1;  // overlapping files from `level + 1`
+  bool drop_tombstones = false;
+  double score = 0;
+};
+
+// Chooses the most pressured level. `cursors` holds one round-robin file
+// cursor per level and is advanced by the pick.
+CompactionPick PickCompaction(const VersionSet& versions,
+                              const LsmOptions& options,
+                              std::vector<uint64_t>* cursors);
+
+// Byte-level accounting of one compaction, merged into the engine stats.
+struct CompactionIoStats {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t entries_dropped = 0;  // shadowed versions + dropped tombstones
+};
+
+// Merges inputs0+inputs1 into new tables at level+1. Drives in steps.
+class CompactionJob {
+ public:
+  CompactionJob(fs::SimpleFs* fs, std::string dir, VersionSet* versions,
+                const LsmOptions& options, CompactionPick pick);
+  ~CompactionJob();
+
+  CompactionJob(const CompactionJob&) = delete;
+  CompactionJob& operator=(const CompactionJob&) = delete;
+
+  // Opens input tables. Must be called once before Step.
+  Status Prepare();
+
+  // Processes about `max_bytes` of input data. Returns true when the whole
+  // compaction is finished and installed (inputs deleted).
+  StatusOr<bool> Step(uint64_t max_bytes);
+
+  bool finished() const { return finished_; }
+  const CompactionIoStats& io_stats() const { return io_; }
+  const CompactionPick& pick() const { return pick_; }
+  // File numbers of tables this job deleted (for table-cache invalidation).
+  const std::vector<uint64_t>& deleted_files() const { return deleted_; }
+
+ private:
+  struct Input {
+    FileMeta meta;
+    std::unique_ptr<SstReader> reader;
+    std::unique_ptr<SstReader::Iterator> iter;
+  };
+
+  // Index of the input whose current entry is smallest in internal order,
+  // or -1 when all are exhausted.
+  int FindSmallest() const;
+  Status OpenOutput();
+  Status FinishOutput();
+  Status Install();
+
+  fs::SimpleFs* fs_;
+  std::string dir_;
+  VersionSet* versions_;
+  const LsmOptions& options_;
+  CompactionPick pick_;
+
+  std::vector<Input> inputs_;
+  std::unique_ptr<SstBuilder> builder_;
+  fs::File* output_file_ = nullptr;
+  uint64_t output_number_ = 0;
+  std::vector<std::pair<FileMeta, uint64_t>> outputs_;  // meta, number
+  std::string last_emitted_key_;
+  bool emitted_any_ = false;
+  bool prepared_ = false;
+  bool finished_ = false;
+  CompactionIoStats io_;
+  std::vector<uint64_t> deleted_;
+};
+
+}  // namespace ptsb::lsm
+
+#endif  // PTSB_LSM_COMPACTION_H_

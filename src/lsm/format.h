@@ -1,0 +1,57 @@
+// Internal record format shared by the memtable, WAL, and SSTs.
+//
+// An internal entry is (user_key, sequence, type, value). Internal ordering
+// is by user key ascending, then sequence descending (newer first), exactly
+// as in LevelDB/RocksDB.
+#ifndef PTSB_LSM_FORMAT_H_
+#define PTSB_LSM_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ptsb::lsm {
+
+enum class EntryType : uint8_t {
+  kDelete = 0,
+  kPut = 1,
+};
+
+using SequenceNumber = uint64_t;
+
+struct InternalEntry {
+  std::string_view user_key;
+  SequenceNumber seq = 0;
+  EntryType type = EntryType::kPut;
+  std::string_view value;
+};
+
+// Three-way comparison in internal order: user key ascending, sequence
+// descending. Returns <0, 0, >0.
+inline int CompareInternal(std::string_view a_key, SequenceNumber a_seq,
+                           std::string_view b_key, SequenceNumber b_seq) {
+  const int c = a_key.compare(b_key);
+  if (c != 0) return c;
+  if (a_seq > b_seq) return -1;  // higher sequence sorts first
+  if (a_seq < b_seq) return 1;
+  return 0;
+}
+
+// Packs (seq, type) into the 64-bit tag stored on disk (seq << 8 | type).
+inline uint64_t PackSeqType(SequenceNumber seq, EntryType type) {
+  return (seq << 8) | static_cast<uint64_t>(type);
+}
+inline SequenceNumber UnpackSeq(uint64_t tag) { return tag >> 8; }
+inline EntryType UnpackType(uint64_t tag) {
+  return static_cast<EntryType>(tag & 0xff);
+}
+
+// SST file footer magic ("ptsbsst1" little-endian-ish).
+constexpr uint64_t kSstMagic = 0x3174737362737470ULL;
+// WAL record magic-free; WAL uses per-record CRCs.
+
+constexpr int kFooterBytes = 8 + 4 + 8 + 4 + 8 + 8;  // see SstBuilder::Finish
+
+}  // namespace ptsb::lsm
+
+#endif  // PTSB_LSM_FORMAT_H_

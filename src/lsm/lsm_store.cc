@@ -1,0 +1,422 @@
+#include "lsm/lsm_store.h"
+
+#include <algorithm>
+
+#include "util/human.h"
+#include "util/logging.h"
+
+namespace ptsb::lsm {
+
+LsmStore::LsmStore(fs::SimpleFs* fs, const LsmOptions& options,
+                   std::string dir)
+    : fs_(fs), options_(options), dir_(std::move(dir)) {}
+
+LsmStore::~LsmStore() {
+  if (!closed_) {
+    // Best-effort shutdown; errors are not recoverable in a destructor.
+    Close().ok();
+  }
+}
+
+StatusOr<std::unique_ptr<LsmStore>> LsmStore::Open(fs::SimpleFs* fs,
+                                                   const LsmOptions& options,
+                                                   std::string dir) {
+  auto store =
+      std::unique_ptr<LsmStore>(new LsmStore(fs, options, std::move(dir)));
+  store->versions_ = std::make_unique<VersionSet>(fs, store->dir_,
+                                                  options.max_levels);
+  PTSB_RETURN_IF_ERROR(store->versions_->Recover());
+  store->memtable_ = std::make_unique<Memtable>();
+  store->seq_ = store->versions_->last_sequence();
+
+  // Replay WALs at or above the manifest's log number, in file order.
+  std::vector<std::string> logs = fs->List(store->dir_ + "/");
+  std::erase_if(logs, [](const std::string& n) {
+    return !n.ends_with(".log");
+  });
+  std::sort(logs.begin(), logs.end());
+  fs::File* newest_wal = nullptr;
+  uint64_t newest_number = 0;
+  for (const std::string& name : logs) {
+    const size_t slash = name.rfind('/');
+    const uint64_t number = std::stoull(name.substr(slash + 1));
+    if (number < store->versions_->log_number()) {
+      // Obsolete: already flushed.
+      PTSB_RETURN_IF_ERROR(fs->Delete(name));
+      continue;
+    }
+    PTSB_ASSIGN_OR_RETURN(fs::File * file, fs->Open(name));
+    SequenceNumber max_seq = store->seq_;
+    PTSB_RETURN_IF_ERROR(ReplayWal(
+        file, [&](std::string_view key, SequenceNumber seq, EntryType type,
+                  std::string_view value) {
+          store->memtable_->Add(key, seq, type, value);
+          max_seq = std::max(max_seq, seq);
+        }));
+    store->seq_ = max_seq;
+    newest_wal = file;
+    newest_number = number;
+  }
+  if (options.wal_enabled) {
+    if (newest_wal == nullptr) {
+      newest_number = store->versions_->NewFileNumber();
+      PTSB_ASSIGN_OR_RETURN(
+          newest_wal,
+          fs->Create(VersionSet::WalFileName(store->dir_, newest_number)));
+      VersionEdit edit;
+      edit.log_number = newest_number;
+      PTSB_RETURN_IF_ERROR(store->versions_->LogAndApply(edit));
+    }
+    store->wal_file_ = newest_wal;
+    store->wal_number_ = newest_number;
+    store->wal_ = std::make_unique<WalWriter>(newest_wal,
+                                              options.wal_sync_every_bytes,
+                                              options.wal_buffer_bytes);
+  }
+  return store;
+}
+
+void LsmStore::ChargeCpu(int64_t ns) const {
+  if (options_.clock != nullptr) options_.clock->Advance(ns);
+}
+
+Status LsmStore::Put(std::string_view key, std::string_view value) {
+  stats_.user_puts++;
+  stats_.user_bytes_written += key.size() + value.size();
+  return WriteInternal(key, EntryType::kPut, value);
+}
+
+Status LsmStore::Delete(std::string_view key) {
+  stats_.user_deletes++;
+  stats_.user_bytes_written += key.size();
+  return WriteInternal(key, EntryType::kDelete, "");
+}
+
+Status LsmStore::WriteInternal(std::string_view key, EntryType type,
+                               std::string_view value) {
+  PTSB_CHECK(!closed_);
+  ChargeCpu(options_.cpu_put_ns);
+  const SequenceNumber seq = ++seq_;
+  auto now = [this]() {
+    return options_.clock != nullptr ? options_.clock->NowNanos() : 0;
+  };
+  if (wal_ != nullptr) {
+    const int64_t t0 = now();
+    PTSB_RETURN_IF_ERROR(wal_->Add(key, seq, type, value));
+    stats_.time_wal_ns += now() - t0;
+    stats_.wal_bytes_written += key.size() + value.size() + 16;
+  }
+  memtable_->Add(key, seq, type, value);
+
+  if (memtable_->ApproximateBytes() >= options_.memtable_bytes) {
+    const int64_t t0 = now();
+    PTSB_RETURN_IF_ERROR(FlushMemtable());
+    stats_.time_flush_ns += now() - t0;
+  }
+  // Background compaction's share of the device, paced by user traffic.
+  const int64_t t1 = now();
+  PTSB_RETURN_IF_ERROR(
+      CompactionWork((key.size() + value.size()) *
+                     options_.compaction_work_per_user_write));
+  PTSB_RETURN_IF_ERROR(MaybeStall());
+  stats_.time_compaction_ns += now() - t1;
+  return Status::OK();
+}
+
+Status LsmStore::FlushMemtable() {
+  if (memtable_->empty()) return Status::OK();
+  const uint64_t number = versions_->NewFileNumber();
+  PTSB_ASSIGN_OR_RETURN(fs::File * file,
+                        fs_->Create(VersionSet::SstFileName(dir_, number)));
+  SstBuilder builder(file, options_.block_bytes, options_.bloom_bits_per_key);
+  Memtable::Iterator it(memtable_.get());
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    PTSB_RETURN_IF_ERROR(builder.Add(it.key(), it.seq(), it.type(),
+                                     it.value()));
+  }
+  PTSB_RETURN_IF_ERROR(builder.Finish());
+  stats_.flush_bytes_written += builder.file_bytes();
+
+  FileMeta meta;
+  meta.number = number;
+  meta.file_bytes = builder.file_bytes();
+  meta.num_entries = builder.num_entries();
+  meta.smallest = builder.smallest();
+  meta.largest = builder.largest();
+
+  VersionEdit edit;
+  edit.added.emplace_back(0, std::move(meta));
+  edit.last_sequence = seq_;
+
+  // Rotate the WAL: the flushed SST covers everything in the old log.
+  uint64_t old_wal = wal_number_;
+  if (wal_ != nullptr) {
+    wal_number_ = versions_->NewFileNumber();
+    PTSB_ASSIGN_OR_RETURN(
+        wal_file_, fs_->Create(VersionSet::WalFileName(dir_, wal_number_)));
+    wal_ = std::make_unique<WalWriter>(wal_file_,
+                                       options_.wal_sync_every_bytes,
+                                       options_.wal_buffer_bytes);
+    edit.log_number = wal_number_;
+  }
+  PTSB_RETURN_IF_ERROR(versions_->LogAndApply(edit));
+  if (wal_ != nullptr) {
+    PTSB_RETURN_IF_ERROR(
+        fs_->Delete(VersionSet::WalFileName(dir_, old_wal)));
+  }
+  memtable_ = std::make_unique<Memtable>();
+  return Status::OK();
+}
+
+Status LsmStore::CompactionWork(uint64_t budget) {
+  if (job_ == nullptr) {
+    CompactionPick pick =
+        PickCompaction(*versions_, options_, &compaction_cursors_);
+    if (!pick.valid) return Status::OK();
+    if (pick.trivial_move) {
+      // Relink the file into the next level; no I/O at all.
+      VersionEdit edit;
+      edit.removed.emplace_back(pick.level, pick.inputs0[0].number);
+      edit.added.emplace_back(pick.level + 1, pick.inputs0[0]);
+      return versions_->LogAndApply(edit);
+    }
+    job_ = std::make_unique<CompactionJob>(fs_, dir_, versions_.get(),
+                                           options_, std::move(pick));
+    PTSB_RETURN_IF_ERROR(job_->Prepare());
+  }
+  PTSB_ASSIGN_OR_RETURN(const bool done, job_->Step(budget));
+  if (done) {
+    stats_.compaction_bytes_read += job_->io_stats().bytes_read;
+    stats_.compaction_bytes_written += job_->io_stats().bytes_written;
+    EvictReaders(job_->deleted_files());
+    job_.reset();
+  }
+  return Status::OK();
+}
+
+Status LsmStore::MaybeStall() {
+  // RocksDB's stop-writes condition: too many L0 files. The user write
+  // blocks while compaction catches up (device time accrues through the
+  // compaction's I/O).
+  while (static_cast<int>(versions_->LevelFiles(0).size()) >=
+         options_.l0_stall_trigger) {
+    stats_.stall_count++;
+    PTSB_RETURN_IF_ERROR(CompactionWork(8 << 20));
+    if (job_ == nullptr &&
+        static_cast<int>(versions_->LevelFiles(0).size()) >=
+            options_.l0_stall_trigger) {
+      // Compaction pressure resolved elsewhere or nothing to do; avoid a
+      // livelock.
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status LsmStore::DrainCompactions() {
+  // Finish the in-flight job and keep compacting until no level is over
+  // its trigger.
+  for (;;) {
+    PTSB_RETURN_IF_ERROR(CompactionWork(64 << 20));
+    if (job_ != nullptr) continue;
+    CompactionPick pick =
+        PickCompaction(*versions_, options_, &compaction_cursors_);
+    if (!pick.valid) return Status::OK();
+  }
+}
+
+Status LsmStore::CompactAll() {
+  PTSB_RETURN_IF_ERROR(FlushMemtable());
+  PTSB_RETURN_IF_ERROR(DrainCompactions());
+  const int bottom = versions_->MaxPopulatedLevel();
+  if (bottom < 0) return Status::OK();
+
+  // Force every level (including the current bottom, so its own tombstones
+  // get a chance to drop) down one step, top to bottom.
+  const int last_forced = std::min(bottom, versions_->num_levels() - 2);
+  for (int level = 0; level <= last_forced; level++) {
+    while (!versions_->LevelFiles(level).empty()) {
+      CompactionPick pick;
+      pick.valid = true;
+      pick.level = level;
+      pick.inputs0 = versions_->LevelFiles(level);
+      std::string smallest, largest;
+      for (const FileMeta& f : pick.inputs0) {
+        if (smallest.empty() || f.smallest < smallest) smallest = f.smallest;
+        if (largest.empty() || f.largest > largest) largest = f.largest;
+      }
+      pick.inputs1 = versions_->Overlapping(level + 1, smallest, largest);
+      pick.drop_tombstones = CanDropTombstones(*versions_, level + 1);
+      auto job = std::make_unique<CompactionJob>(fs_, dir_, versions_.get(),
+                                                 options_, std::move(pick));
+      PTSB_RETURN_IF_ERROR(job->Prepare());
+      for (;;) {
+        PTSB_ASSIGN_OR_RETURN(const bool done, job->Step(64 << 20));
+        if (done) break;
+      }
+      stats_.compaction_bytes_read += job->io_stats().bytes_read;
+      stats_.compaction_bytes_written += job->io_stats().bytes_written;
+      EvictReaders(job->deleted_files());
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<SstReader*> LsmStore::GetReader(uint64_t number) {
+  auto it = readers_.find(number);
+  if (it != readers_.end()) return it->second.get();
+  PTSB_ASSIGN_OR_RETURN(fs::File * file,
+                        fs_->Open(VersionSet::SstFileName(dir_, number)));
+  PTSB_ASSIGN_OR_RETURN(auto reader, SstReader::Open(file));
+  SstReader* raw = reader.get();
+  readers_[number] = std::move(reader);
+  return raw;
+}
+
+void LsmStore::EvictReaders(const std::vector<uint64_t>& numbers) {
+  for (const uint64_t n : numbers) readers_.erase(n);
+}
+
+Status LsmStore::Get(std::string_view key, std::string* value) {
+  PTSB_CHECK(!closed_);
+  ChargeCpu(options_.cpu_get_ns);
+  stats_.user_gets++;
+
+  const auto mem = memtable_->Get(key);
+  if (mem.found) {
+    if (mem.deleted) return Status::NotFound("deleted");
+    *value = mem.value;
+    stats_.user_bytes_read += value->size();
+    return Status::OK();
+  }
+  // L0 newest-first, then deeper levels.
+  for (int level = 0; level < versions_->num_levels(); level++) {
+    for (const FileMeta& f : versions_->LevelFiles(level)) {
+      if (key < f.smallest || key > f.largest) continue;
+      PTSB_ASSIGN_OR_RETURN(SstReader * reader, GetReader(f.number));
+      PTSB_ASSIGN_OR_RETURN(auto result, reader->Get(key));
+      if (result.found) {
+        if (result.type == EntryType::kDelete) {
+          return Status::NotFound("deleted");
+        }
+        *value = std::move(result.value);
+        stats_.user_bytes_read += value->size();
+        return Status::OK();
+      }
+      // L1+ files are disjoint: no other file in this level can match.
+      if (level > 0) break;
+    }
+  }
+  return Status::NotFound("no such key");
+}
+
+Status LsmStore::Scan(std::string_view start_key, size_t count,
+                      std::vector<std::pair<std::string, std::string>>* out) {
+  PTSB_CHECK(!closed_);
+  stats_.user_scans++;
+  out->clear();
+
+  // Sources: memtable + one iterator per live SST (opened lazily would be
+  // better for huge stores; scans here are example/test workloads).
+  struct Source {
+    // Exactly one of mem/sst is set.
+    std::unique_ptr<Memtable::Iterator> mem;
+    std::unique_ptr<SstReader::Iterator> sst;
+    bool Valid() const { return mem ? mem->Valid() : sst->Valid(); }
+    std::string_view key() const { return mem ? mem->key() : sst->key(); }
+    SequenceNumber seq() const { return mem ? mem->seq() : sst->seq(); }
+    EntryType type() const { return mem ? mem->type() : sst->type(); }
+    std::string_view value() const {
+      return mem ? mem->value() : sst->value();
+    }
+    Status Next() {
+      if (mem) {
+        mem->Next();
+        return Status::OK();
+      }
+      return sst->Next();
+    }
+  };
+  std::vector<Source> sources;
+  {
+    Source s;
+    s.mem = std::make_unique<Memtable::Iterator>(memtable_.get());
+    s.mem->Seek(start_key);
+    sources.push_back(std::move(s));
+  }
+  for (int level = 0; level < versions_->num_levels(); level++) {
+    for (const FileMeta& f : versions_->LevelFiles(level)) {
+      if (f.largest < start_key) continue;
+      PTSB_ASSIGN_OR_RETURN(SstReader * reader, GetReader(f.number));
+      Source s;
+      s.sst = std::make_unique<SstReader::Iterator>(reader);
+      PTSB_RETURN_IF_ERROR(s.sst->Seek(start_key));
+      sources.push_back(std::move(s));
+    }
+  }
+
+  std::string last_key;
+  bool have_last = false;
+  while (out->size() < count) {
+    int best = -1;
+    for (size_t i = 0; i < sources.size(); i++) {
+      if (!sources[i].Valid()) continue;
+      if (best < 0 ||
+          CompareInternal(sources[i].key(), sources[i].seq(),
+                          sources[best].key(), sources[best].seq()) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    Source& src = sources[best];
+    const bool shadowed = have_last && src.key() == last_key;
+    if (!shadowed) {
+      last_key.assign(src.key().data(), src.key().size());
+      have_last = true;
+      if (src.type() == EntryType::kPut) {
+        out->emplace_back(last_key, std::string(src.value()));
+        stats_.user_bytes_read += src.key().size() + src.value().size();
+      }
+    }
+    PTSB_RETURN_IF_ERROR(src.Next());
+  }
+  return Status::OK();
+}
+
+Status LsmStore::Flush() {
+  PTSB_CHECK(!closed_);
+  PTSB_RETURN_IF_ERROR(FlushMemtable());
+  return Status::OK();
+}
+
+Status LsmStore::Close() {
+  if (closed_) return Status::OK();
+  PTSB_RETURN_IF_ERROR(FlushMemtable());
+  if (wal_ != nullptr) PTSB_RETURN_IF_ERROR(wal_->Sync());
+  closed_ = true;
+  return Status::OK();
+}
+
+uint64_t LsmStore::DiskBytesUsed() const {
+  uint64_t total = 0;
+  for (const std::string& name : fs_->List(dir_ + "/")) {
+    auto size = fs_->FileSize(name);
+    if (size.ok()) total += *size;
+  }
+  return total;
+}
+
+std::string LsmStore::DebugString() const {
+  std::string out = StrPrintf("LsmStore seq=%llu memtable=%s\n",
+                              static_cast<unsigned long long>(seq_),
+                              HumanBytes(memtable_->ApproximateBytes()).c_str());
+  for (int l = 0; l < versions_->num_levels(); l++) {
+    const auto& files = versions_->LevelFiles(l);
+    if (files.empty()) continue;
+    out += StrPrintf("  L%d: %3zu files  %s\n", l, files.size(),
+                     HumanBytes(versions_->LevelBytes(l)).c_str());
+  }
+  return out;
+}
+
+}  // namespace ptsb::lsm

@@ -1,0 +1,94 @@
+// LsmStore: the RocksDB-analog key-value store. Memtable + WAL in front,
+// leveled SSTs behind, compaction interleaved with user operations.
+#ifndef PTSB_LSM_LSM_STORE_H_
+#define PTSB_LSM_LSM_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/filesystem.h"
+#include "kv/kvstore.h"
+#include "lsm/compaction.h"
+#include "lsm/memtable.h"
+#include "lsm/options.h"
+#include "lsm/sst.h"
+#include "lsm/version.h"
+#include "lsm/wal.h"
+
+namespace ptsb::lsm {
+
+class LsmStore : public kv::KVStore {
+ public:
+  // Opens (or creates) a store rooted at `dir` within `fs`. Recovers the
+  // manifest and replays the WAL.
+  static StatusOr<std::unique_ptr<LsmStore>> Open(fs::SimpleFs* fs,
+                                                  const LsmOptions& options,
+                                                  std::string dir = "lsm");
+  ~LsmStore() override;
+
+  // kv::KVStore interface.
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) override;
+  Status Delete(std::string_view key) override;
+  Status Scan(std::string_view start_key, size_t count,
+              std::vector<std::pair<std::string, std::string>>* out) override;
+  Status Flush() override;
+  Status SettleBackgroundWork() override { return DrainCompactions(); }
+  Status Close() override;
+  kv::KvStoreStats GetStats() const override { return stats_; }
+  std::string Name() const override { return "lsm(rocksdb-like)"; }
+  uint64_t DiskBytesUsed() const override;
+
+  // Introspection for tests and benches.
+  const VersionSet& versions() const { return *versions_; }
+  uint64_t MemtableBytes() const { return memtable_->ApproximateBytes(); }
+  bool CompactionPending() const { return job_ != nullptr; }
+  // Runs compaction to completion (tests; also used by Flush).
+  Status DrainCompactions();
+  // Manual full compaction (RocksDB CompactRange analog): pushes all data
+  // to a single bottom level, dropping every shadowed version and
+  // tombstone on the way.
+  Status CompactAll();
+  std::string DebugString() const;
+
+ private:
+  LsmStore(fs::SimpleFs* fs, const LsmOptions& options, std::string dir);
+
+  Status WriteInternal(std::string_view key, EntryType type,
+                       std::string_view value);
+  Status FlushMemtable();
+  // Runs up to `budget` bytes of compaction work, starting a job if due.
+  Status CompactionWork(uint64_t budget);
+  Status MaybeStall();
+  StatusOr<SstReader*> GetReader(uint64_t number);
+  void EvictReaders(const std::vector<uint64_t>& numbers);
+  void ChargeCpu(int64_t ns) const;
+
+  fs::SimpleFs* fs_;
+  LsmOptions options_;
+  std::string dir_;
+
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<Memtable> memtable_;
+  std::unique_ptr<WalWriter> wal_;
+  fs::File* wal_file_ = nullptr;
+  uint64_t wal_number_ = 0;
+
+  std::unique_ptr<CompactionJob> job_;
+  std::vector<uint64_t> compaction_cursors_;
+
+  // Table cache: open readers with pinned index+bloom (never evicted while
+  // the file is live, as RocksDB effectively does for filter/index blocks).
+  std::map<uint64_t, std::unique_ptr<SstReader>> readers_;
+
+  SequenceNumber seq_ = 0;
+  kv::KvStoreStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace ptsb::lsm
+
+#endif  // PTSB_LSM_LSM_STORE_H_

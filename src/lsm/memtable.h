@@ -1,0 +1,84 @@
+// In-memory write buffer: a skiplist keyed by user key holding the newest
+// (seq, type, value) per key. The paper's workload has no snapshots or
+// transactions, so retaining older versions in memory is unnecessary;
+// on-disk SSTs still carry full (key, seq, type) records.
+#ifndef PTSB_LSM_MEMTABLE_H_
+#define PTSB_LSM_MEMTABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "lsm/format.h"
+#include "util/random.h"
+
+namespace ptsb::lsm {
+
+class Memtable {
+ public:
+  Memtable();
+  ~Memtable();  // defined out of line: Node is an incomplete type here
+
+  Memtable(const Memtable&) = delete;
+  Memtable& operator=(const Memtable&) = delete;
+
+  // Inserts or updates a key. Delete is an Add with EntryType::kDelete.
+  void Add(std::string_view key, SequenceNumber seq, EntryType type,
+           std::string_view value);
+
+  // Lookup result semantics: found=true + deleted=false -> value set;
+  // found=true + deleted=true -> key has a tombstone here.
+  struct LookupResult {
+    bool found = false;
+    bool deleted = false;
+    std::string value;
+    SequenceNumber seq = 0;
+  };
+  LookupResult Get(std::string_view key) const;
+
+  // Approximate memory footprint (keys + values + node overhead).
+  uint64_t ApproximateBytes() const { return bytes_; }
+  uint64_t entries() const { return entries_; }
+  bool empty() const { return entries_ == 0; }
+
+  // Ordered forward iteration (for flush and scans).
+  class Iterator {
+   public:
+    explicit Iterator(const Memtable* mt);
+    bool Valid() const;
+    void SeekToFirst();
+    void Seek(std::string_view key);  // first entry with key >= target
+    void Next();
+    std::string_view key() const;
+    SequenceNumber seq() const;
+    EntryType type() const;
+    std::string_view value() const;
+
+   private:
+    friend class Memtable;
+    const Memtable* mt_;
+    const void* node_;  // Memtable::Node*
+  };
+
+ private:
+  struct Node;
+  static constexpr int kMaxHeight = 12;
+
+  Node* NewNode(std::string_view key, int height);
+  // Returns the last node with key < target at each level (prev array).
+  Node* FindGreaterOrEqual(std::string_view key, Node** prev) const;
+  int RandomHeight();
+
+  std::deque<std::unique_ptr<Node>> arena_;
+  Node* head_;
+  int height_ = 1;
+  Rng rng_;
+  uint64_t bytes_ = 0;
+  uint64_t entries_ = 0;
+};
+
+}  // namespace ptsb::lsm
+
+#endif  // PTSB_LSM_MEMTABLE_H_

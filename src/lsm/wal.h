@@ -1,0 +1,59 @@
+// Write-ahead log. One record per Put/Delete:
+//   fixed32 masked-crc(payload) | varint32 len | payload
+//   payload: fixed64 tag | varint32 klen | key | varint32 vlen | value
+// Replay stops cleanly at the first truncated or corrupt record, which is
+// exactly what a post-crash tail looks like.
+#ifndef PTSB_LSM_WAL_H_
+#define PTSB_LSM_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "fs/file.h"
+#include "lsm/format.h"
+#include "util/status.h"
+
+namespace ptsb::lsm {
+
+class WalWriter {
+ public:
+  // Does not take ownership. sync_every_bytes == 0 -> never explicit sync
+  // (full filesystem pages still reach the device as they fill).
+  // Records are staged in a `buffer_bytes` memory buffer before hitting
+  // the filesystem (RocksDB's log writer buffering), so the device sees
+  // few large WAL writes. Buffered-but-unflushed records are lost on
+  // crash, exactly like the default (unsynced) RocksDB WAL.
+  WalWriter(fs::File* file, uint64_t sync_every_bytes,
+            uint64_t buffer_bytes = 64 << 10);
+
+  Status Add(std::string_view key, SequenceNumber seq, EntryType type,
+             std::string_view value);
+
+  Status Sync();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Status FlushBuffer();
+
+  fs::File* file_;
+  uint64_t sync_every_bytes_;
+  uint64_t buffer_bytes_;
+  std::string buffer_;
+  uint64_t bytes_written_ = 0;
+  uint64_t unsynced_ = 0;
+};
+
+// Replays a WAL file; invokes fn for every intact record in order. Returns
+// OK even if the tail is truncated/corrupt (that is the normal crash case);
+// returns Corruption only for structurally impossible states.
+Status ReplayWal(fs::File* file,
+                 const std::function<void(std::string_view key,
+                                          SequenceNumber seq, EntryType type,
+                                          std::string_view value)>& fn);
+
+}  // namespace ptsb::lsm
+
+#endif  // PTSB_LSM_WAL_H_

@@ -1,0 +1,24 @@
+#include "sim/clock.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ptsb::sim {
+
+void SimClock::Advance(int64_t delta_ns) {
+  PTSB_DCHECK(delta_ns >= 0);
+  now_ns_ += delta_ns;
+}
+
+void SimClock::AdvanceTo(int64_t t_ns) {
+  if (t_ns > now_ns_) now_ns_ = t_ns;
+}
+
+int64_t BytesToNanos(uint64_t bytes, double bytes_per_second) {
+  PTSB_DCHECK(bytes_per_second > 0);
+  return static_cast<int64_t>(
+      std::llround(static_cast<double>(bytes) / bytes_per_second * 1e9));
+}
+
+}  // namespace ptsb::sim

@@ -1,0 +1,43 @@
+// Virtual time. Every latency in the system (flash programs, GC, cache
+// stalls, CPU cost per KV op) advances this clock, so experiments report
+// "minutes" of device time while running in milliseconds of wall-clock.
+#ifndef PTSB_SIM_CLOCK_H_
+#define PTSB_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace ptsb::sim {
+
+constexpr int64_t kNanosPerMicro = 1000;
+constexpr int64_t kNanosPerMilli = 1000 * 1000;
+constexpr int64_t kNanosPerSecond = 1000 * 1000 * 1000;
+constexpr int64_t kNanosPerMinute = 60 * kNanosPerSecond;
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  int64_t NowNanos() const { return now_ns_; }
+  double NowSeconds() const {
+    return static_cast<double>(now_ns_) / 1e9;
+  }
+  double NowMinutes() const { return NowSeconds() / 60.0; }
+
+  // Advances time by a non-negative delta.
+  void Advance(int64_t delta_ns);
+
+  // Advances time to t if t is in the future; no-op otherwise.
+  void AdvanceTo(int64_t t_ns);
+
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  int64_t now_ns_ = 0;
+};
+
+// Converts a byte count and a bandwidth (bytes/s) into nanoseconds.
+int64_t BytesToNanos(uint64_t bytes, double bytes_per_second);
+
+}  // namespace ptsb::sim
+
+#endif  // PTSB_SIM_CLOCK_H_

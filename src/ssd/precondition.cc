@@ -1,0 +1,46 @@
+#include "ssd/precondition.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace ptsb::ssd {
+
+Status TrimAll(block::BlockDevice* device) {
+  return device->Trim(0, device->num_lbas());
+}
+
+Status Precondition(block::BlockDevice* device, double overwrite_multiplier,
+                    uint64_t seed) {
+  const uint64_t lbas = device->num_lbas();
+  // Phase 1: sequential full-device write so every LBA has valid data.
+  const uint64_t batch = 1024;
+  for (uint64_t lba = 0; lba < lbas; lba += batch) {
+    const uint64_t n = std::min(batch, lbas - lba);
+    PTSB_RETURN_IF_ERROR(device->Write(lba, n, nullptr));
+  }
+  // Phase 2: random single-page overwrites, 2x the capacity by default, to
+  // trigger garbage collection and scramble the block layout.
+  Rng rng(seed);
+  const auto overwrites = static_cast<uint64_t>(
+      overwrite_multiplier * static_cast<double>(lbas));
+  for (uint64_t i = 0; i < overwrites; i++) {
+    PTSB_RETURN_IF_ERROR(device->Write(rng.Uniform(lbas), 1, nullptr));
+  }
+  return Status::OK();
+}
+
+Status ApplyInitialState(block::BlockDevice* device, InitialState state,
+                         uint64_t seed) {
+  PTSB_RETURN_IF_ERROR(TrimAll(device));
+  if (state == InitialState::kPreconditioned) {
+    return Precondition(device, 2.0, seed);
+  }
+  return Status::OK();
+}
+
+const char* InitialStateName(InitialState s) {
+  return s == InitialState::kTrimmed ? "trimmed" : "preconditioned";
+}
+
+}  // namespace ptsb::ssd

@@ -1,0 +1,39 @@
+// Drive state preparation, mirroring Section 3.4 of the paper:
+//   Trimmed:        blkdiscard of every block — factory-fresh behavior.
+//   Preconditioned: sequential full-device write, then random writes of
+//                   2x the device capacity to reach GC steady state.
+//
+// These operate on the BlockDevice interface so they can target either a
+// whole drive or a partition (the paper preconditions the PTS partition in
+// the over-provisioning experiment of Section 4.6).
+#ifndef PTSB_SSD_PRECONDITION_H_
+#define PTSB_SSD_PRECONDITION_H_
+
+#include <cstdint>
+
+#include "block/block_device.h"
+#include "util/status.h"
+
+namespace ptsb::ssd {
+
+enum class InitialState { kTrimmed, kPreconditioned };
+
+// blkdiscard equivalent: trims the whole logical space of `device`.
+Status TrimAll(block::BlockDevice* device);
+
+// Sequential fill + `overwrite_multiplier`x random single-page overwrites
+// (the paper uses 2x). Uses payload-free writes, so no content memory is
+// allocated. Deterministic under `seed`.
+Status Precondition(block::BlockDevice* device,
+                    double overwrite_multiplier = 2.0, uint64_t seed = 42);
+
+// Applies the requested state (TrimAll first in both cases, so the state
+// is reproducible regardless of prior device history).
+Status ApplyInitialState(block::BlockDevice* device, InitialState state,
+                         uint64_t seed = 42);
+
+const char* InitialStateName(InitialState s);
+
+}  // namespace ptsb::ssd
+
+#endif  // PTSB_SSD_PRECONDITION_H_

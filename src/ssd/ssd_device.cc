@@ -1,0 +1,219 @@
+#include "ssd/ssd_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace ptsb::ssd {
+
+SsdDevice::SsdDevice(const SsdConfig& config, sim::SimClock* clock)
+    : config_(config),
+      clock_(clock),
+      ftl_(std::make_unique<FlashTranslationLayer>(
+          config.geometry, config.gc_separate_open_block,
+          config.host_open_blocks)) {
+  const uint64_t chunks =
+      (config_.geometry.LogicalPages() + kPagesPerChunk - 1) / kPagesPerChunk;
+  chunks_.resize(chunks);
+}
+
+SsdDevice::~SsdDevice() = default;
+
+uint8_t* SsdDevice::ChunkFor(uint64_t lpn, bool create) {
+  const uint64_t idx = lpn / kPagesPerChunk;
+  if (!chunks_[idx]) {
+    if (!create) return nullptr;
+    const uint64_t bytes = kPagesPerChunk * config_.geometry.page_bytes;
+    chunks_[idx] = std::make_unique<uint8_t[]>(bytes);
+    std::memset(chunks_[idx].get(), 0, bytes);
+  }
+  return chunks_[idx].get();
+}
+
+void SsdDevice::CopyIn(uint64_t lpn, const uint8_t* src) {
+  const uint64_t page = config_.geometry.page_bytes;
+  uint8_t* chunk = ChunkFor(lpn, /*create=*/true);
+  std::memcpy(chunk + (lpn % kPagesPerChunk) * page, src, page);
+}
+
+void SsdDevice::CopyOut(uint64_t lpn, uint8_t* dst) const {
+  const uint64_t page = config_.geometry.page_bytes;
+  const uint64_t idx = lpn / kPagesPerChunk;
+  const uint8_t* chunk = chunks_[idx].get();
+  if (chunk == nullptr) {
+    std::memset(dst, 0, page);
+  } else {
+    std::memcpy(dst, chunk + (lpn % kPagesPerChunk) * page, page);
+  }
+}
+
+void SsdDevice::DrainCache(int64_t now_ns) {
+  while (!cache_fifo_.empty() && cache_fifo_.front().first <= now_ns) {
+    cache_occupancy_ -= cache_fifo_.front().second;
+    cache_fifo_.pop_front();
+  }
+}
+
+void SsdDevice::WaitForCacheSpace(uint64_t bytes) {
+  const uint64_t cache_cap = config_.timing.cache_bytes;
+  if (cache_cap == 0) {
+    // No cache: the host write is synchronous with the backend.
+    clock_->AdvanceTo(backend_busy_until_);
+    return;
+  }
+  DrainCache(clock_->NowNanos());
+  // An oversized request is admitted once the cache is empty.
+  while (cache_occupancy_ > 0 && cache_occupancy_ + bytes > cache_cap) {
+    // Stall until the oldest cached entry reaches flash.
+    clock_->AdvanceTo(cache_fifo_.front().first);
+    DrainCache(clock_->NowNanos());
+  }
+}
+
+void SsdDevice::EnqueueBackend(int64_t cost_ns, uint64_t cached_bytes) {
+  const int64_t start = std::max(clock_->NowNanos(), backend_busy_until_);
+  backend_busy_until_ = start + cost_ns;
+  if (cached_bytes > 0) {
+    cache_fifo_.emplace_back(backend_busy_until_, cached_bytes);
+    cache_occupancy_ += cached_bytes;
+  }
+}
+
+int64_t SsdDevice::BackendBacklogNanos() const {
+  return std::max<int64_t>(0, backend_busy_until_ - clock_->NowNanos());
+}
+
+Status SsdDevice::Read(uint64_t lba, uint64_t count, uint8_t* dst) {
+  if (lba + count > num_lbas()) {
+    return Status::InvalidArgument("read beyond device");
+  }
+  const uint64_t page = config_.geometry.page_bytes;
+  const uint64_t bytes = count * page;
+  // Content.
+  for (uint64_t i = 0; i < count; i++) {
+    CopyOut(lba + i, dst + i * page);
+  }
+  // Timing: command latency + transfer + a slice of backend interference.
+  int64_t cost = config_.timing.read_latency_ns +
+                 sim::BytesToNanos(bytes, config_.timing.read_bw);
+  // Reads queue behind a slice of the program backlog; bounded, since real
+  // firmware prioritizes reads over background programs.
+  const auto interference =
+      std::min(static_cast<int64_t>(config_.timing.read_interference *
+                                    static_cast<double>(BackendBacklogNanos())),
+               5 * config_.timing.read_latency_ns);
+  cost += interference;
+  times_.read_ns += cost;
+  times_.read_interference_ns += interference;
+  times_.read_commands++;
+  clock_->Advance(cost);
+  DrainCache(clock_->NowNanos());
+  smart_.host_bytes_read += bytes;
+  return Status::OK();
+}
+
+Status SsdDevice::Write(uint64_t lba, uint64_t count, const uint8_t* src) {
+  if (lba + count > num_lbas()) {
+    return Status::InvalidArgument("write beyond device");
+  }
+  const uint64_t page = config_.geometry.page_bytes;
+  // Process in bounded batches so cache admission interleaves with large
+  // writes the way real transfers do. Batches must fit well inside the
+  // cache, or admission degrades to stop-and-wait.
+  uint64_t batch_bytes = 1u << 20;
+  if (config_.timing.cache_bytes > 0) {
+    batch_bytes = std::min(batch_bytes, config_.timing.cache_bytes / 4);
+  }
+  const uint64_t batch_pages = std::max<uint64_t>(1, batch_bytes / page);
+  uint64_t done = 0;
+  bool first_command = true;
+  while (done < count) {
+    const uint64_t n = std::min(batch_pages, count - done);
+    const uint64_t bytes = n * page;
+
+    // Admission into the device cache (may stall).
+    const int64_t stall_t0 = clock_->NowNanos();
+    WaitForCacheSpace(bytes);
+    times_.write_stall_ns += clock_->NowNanos() - stall_t0;
+
+    // FTL work for these pages.
+    FlashTranslationLayer::WorkDone work;
+    for (uint64_t i = 0; i < n; i++) {
+      const uint64_t lpn = lba + done + i;
+      work.Add(ftl_->HostWrite(lpn));
+      if (src != nullptr) CopyIn(lpn, src + (done + i) * page);
+    }
+
+    // Backend cost: GC first (it makes room), then the host program.
+    const auto& t = config_.timing;
+    int64_t gc_cost =
+        sim::BytesToNanos(work.gc_read_pages * page, t.gc_read_bw) +
+        sim::BytesToNanos(work.gc_write_pages * page, t.program_bw) +
+        static_cast<int64_t>(work.blocks_erased) * t.erase_latency_ns;
+    if (gc_cost > 0) EnqueueBackend(gc_cost, 0);
+    EnqueueBackend(sim::BytesToNanos(bytes, t.program_bw), bytes);
+
+    // Host-side cost: ack latency (once per command) + bus transfer.
+    int64_t host_cost = sim::BytesToNanos(bytes, t.host_write_bw);
+    if (first_command) {
+      host_cost += t.write_ack_latency_ns;
+      first_command = false;
+      times_.write_commands++;
+    }
+    times_.write_host_ns += host_cost;
+    clock_->Advance(host_cost);
+    DrainCache(clock_->NowNanos());
+
+    smart_.host_bytes_written += bytes;
+    done += n;
+  }
+  // Refresh NAND counters from the FTL.
+  const auto stats = ftl_->GetStats();
+  smart_.nand_bytes_written = stats.nand_pages_written() * page;
+  smart_.blocks_erased = stats.blocks_erased;
+  return Status::OK();
+}
+
+Status SsdDevice::Trim(uint64_t lba, uint64_t count) {
+  if (lba + count > num_lbas()) {
+    return Status::InvalidArgument("trim beyond device");
+  }
+  for (uint64_t i = 0; i < count; i++) {
+    const uint64_t lpn = lba + i;
+    ftl_->Trim(lpn);
+    // Drop content so reads of trimmed pages return zeros.
+    const uint64_t idx = lpn / kPagesPerChunk;
+    if (chunks_[idx]) {
+      const uint64_t page = config_.geometry.page_bytes;
+      std::memset(chunks_[idx].get() + (lpn % kPagesPerChunk) * page, 0, page);
+    }
+  }
+  smart_.pages_trimmed += count;
+  // TRIM commands are cheap but not free.
+  clock_->Advance(10'000);
+  return Status::OK();
+}
+
+Status SsdDevice::Flush() {
+  clock_->Advance(config_.timing.flush_latency_ns);
+  DrainCache(clock_->NowNanos());
+  return Status::OK();
+}
+
+SsdDevice::CacheState SsdDevice::GetCacheState() const {
+  CacheState s;
+  s.occupancy_bytes = cache_occupancy_;
+  s.backend_lag_ns = BackendBacklogNanos();
+  return s;
+}
+
+uint64_t SsdDevice::ContentMemoryBytes() const {
+  uint64_t n = 0;
+  for (const auto& c : chunks_) {
+    if (c) n += kPagesPerChunk * config_.geometry.page_bytes;
+  }
+  return n;
+}
+
+}  // namespace ptsb::ssd

@@ -1,0 +1,123 @@
+// SsdDevice: a simulated flash SSD behind the BlockDevice interface.
+//
+// It combines:
+//  - the FTL (mapping + garbage collection, from which WA-D emerges),
+//  - a sparse content store keyed by *logical* page (GC moves no data),
+//  - a timing model: host-interface transfer, per-command ack latency,
+//    a write-back cache that drains into flash at the program bandwidth,
+//    and a single "backend" timeline shared by programs, GC reads and
+//    erases. When the cache is full, host writes stall until the backend
+//    catches up — reproducing the sustained-write cliff and the bursty
+//    stalls of consumer drives (paper Sections 4.1 and 4.7),
+//  - SMART-style counters (host vs NAND bytes written) used to measure
+//    device write amplification exactly as the paper does.
+#ifndef PTSB_SSD_SSD_DEVICE_H_
+#define PTSB_SSD_SSD_DEVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "block/block_device.h"
+#include "sim/clock.h"
+#include "ssd/config.h"
+#include "ssd/ftl.h"
+
+namespace ptsb::ssd {
+
+// SMART-like attribute snapshot.
+struct SmartCounters {
+  uint64_t host_bytes_written = 0;
+  uint64_t host_bytes_read = 0;
+  uint64_t nand_bytes_written = 0;
+  uint64_t blocks_erased = 0;
+  uint64_t pages_trimmed = 0;
+
+  // Cumulative device write amplification (paper Section 2.2.3).
+  double WaD() const {
+    if (host_bytes_written == 0) return 1.0;
+    return static_cast<double>(nand_bytes_written) /
+           static_cast<double>(host_bytes_written);
+  }
+};
+
+class SsdDevice : public block::BlockDevice {
+ public:
+  SsdDevice(const SsdConfig& config, sim::SimClock* clock);
+  ~SsdDevice() override;
+
+  SsdDevice(const SsdDevice&) = delete;
+  SsdDevice& operator=(const SsdDevice&) = delete;
+
+  // BlockDevice interface.
+  uint64_t lba_bytes() const override { return config_.geometry.page_bytes; }
+  uint64_t num_lbas() const override {
+    return config_.geometry.LogicalPages();
+  }
+  Status Read(uint64_t lba, uint64_t count, uint8_t* dst) override;
+  Status Write(uint64_t lba, uint64_t count, const uint8_t* src) override;
+  Status Trim(uint64_t lba, uint64_t count) override;
+  Status Flush() override;
+
+  SmartCounters smart() const { return smart_; }
+  const FlashTranslationLayer& ftl() const { return *ftl_; }
+  const SsdConfig& config() const { return config_; }
+  sim::SimClock* clock() const { return clock_; }
+
+  // Dynamic state for diagnostics.
+  struct CacheState {
+    uint64_t occupancy_bytes = 0;
+    int64_t backend_lag_ns = 0;  // how far the flash backend is behind
+  };
+
+  // Cumulative virtual time charged by category (diagnostics).
+  struct TimeBreakdown {
+    int64_t read_ns = 0;
+    int64_t read_interference_ns = 0;
+    int64_t write_host_ns = 0;   // ack + bus transfer
+    int64_t write_stall_ns = 0;  // cache-full waits
+    uint64_t read_commands = 0;
+    uint64_t write_commands = 0;
+  };
+  const TimeBreakdown& time_breakdown() const { return times_; }
+  CacheState GetCacheState() const;
+
+  // Memory actually allocated for page contents (diagnostics).
+  uint64_t ContentMemoryBytes() const;
+
+ private:
+  void CopyIn(uint64_t lpn, const uint8_t* src);
+  void CopyOut(uint64_t lpn, uint8_t* dst) const;
+  uint8_t* ChunkFor(uint64_t lpn, bool create);
+
+  // Timing helpers.
+  void DrainCache(int64_t now_ns);
+  // Blocks (advances the clock) until `bytes` fit in the cache.
+  void WaitForCacheSpace(uint64_t bytes);
+  // Appends backend work; `cached_bytes` > 0 ties a cache entry to its
+  // completion.
+  void EnqueueBackend(int64_t cost_ns, uint64_t cached_bytes);
+  int64_t BackendBacklogNanos() const;
+
+  SsdConfig config_;
+  sim::SimClock* clock_;
+  std::unique_ptr<FlashTranslationLayer> ftl_;
+
+  // Sparse content store: fixed-size chunks of pages, allocated on first
+  // data write. A chunk left null reads as zeros.
+  static constexpr uint64_t kPagesPerChunk = 256;
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+
+  // Write-back cache: FIFO of (backend completion time, bytes).
+  std::deque<std::pair<int64_t, uint64_t>> cache_fifo_;
+  uint64_t cache_occupancy_ = 0;
+  int64_t backend_busy_until_ = 0;
+
+  SmartCounters smart_;
+  TimeBreakdown times_;
+};
+
+}  // namespace ptsb::ssd
+
+#endif  // PTSB_SSD_SSD_DEVICE_H_

@@ -1,0 +1,63 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace ptsb {
+
+namespace {
+
+// Slice-by-8 CRC-32C: processes 8 bytes per step, ~6-8x faster than the
+// byte-at-a-time loop. The simulator checksums every SST block and page
+// twice (build + verify), so this is on the simulation's critical path.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t{};
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++) {
+        c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = t[0][i];
+      for (int s = 1; s < 8; s++) {
+        c = t[0][c & 0xff] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32cTables kT;
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Align to 8 bytes.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = kT.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    n--;
+  }
+  while (n >= 8) {
+    uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    w ^= crc;
+    crc = kT.t[7][w & 0xff] ^ kT.t[6][(w >> 8) & 0xff] ^
+          kT.t[5][(w >> 16) & 0xff] ^ kT.t[4][(w >> 24) & 0xff] ^
+          kT.t[3][(w >> 32) & 0xff] ^ kT.t[2][(w >> 40) & 0xff] ^
+          kT.t[1][(w >> 48) & 0xff] ^ kT.t[0][(w >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = kT.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    n--;
+  }
+  return ~crc;
+}
+
+}  // namespace ptsb

@@ -1,0 +1,31 @@
+// CRC-32C (Castagnoli) checksums for on-"disk" format integrity (SST blocks,
+// WAL records, B+Tree pages, journal entries).
+#ifndef PTSB_UTIL_CRC32_H_
+#define PTSB_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ptsb {
+
+// Computes CRC-32C of data[0, n), extending an initial crc (0 to start).
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32c(0, data.data(), data.size());
+}
+
+// Masked CRC stored in files, so that a CRC of data that embeds CRCs does not
+// degenerate (same trick as LevelDB/RocksDB).
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8ul;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace ptsb
+
+#endif  // PTSB_UTIL_CRC32_H_

@@ -1,0 +1,50 @@
+// Little-endian fixed-width and varint encoding helpers used by the on-"disk"
+// file formats (SSTables, WAL, B+Tree pages, journal).
+#ifndef PTSB_UTIL_ENCODING_H_
+#define PTSB_UTIL_ENCODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace ptsb {
+
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+
+// Varint32/64 (LEB128, as in protobuf/LevelDB formats).
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+
+// Length-prefixed string.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+// Each Get* consumes bytes from *input on success; returns false on
+// malformed input (callers surface Status::Corruption).
+bool GetFixed32(std::string_view* input, uint32_t* value);
+bool GetFixed64(std::string_view* input, uint64_t* value);
+bool GetVarint32(std::string_view* input, uint32_t* value);
+bool GetVarint64(std::string_view* input, uint64_t* value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+// Number of bytes PutVarint64 would emit.
+int VarintLength(uint64_t v);
+
+}  // namespace ptsb
+
+#endif  // PTSB_UTIL_ENCODING_H_

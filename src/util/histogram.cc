@@ -1,0 +1,113 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace ptsb {
+
+Histogram::Histogram()
+    : buckets_(kNumBuckets, 0), count_(0), sum_(0), min_(UINT64_MAX), max_(0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < (1u << kSubBucketBits)) return static_cast<int>(value);
+  const int log2 = 63 - std::countl_zero(value);
+  const int sub = static_cast<int>((value >> (log2 - kSubBucketBits)) &
+                                   ((1u << kSubBucketBits) - 1));
+  const int bucket =
+      ((log2 - kSubBucketBits + 1) << kSubBucketBits) + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(int bucket) {
+  if (bucket < (1 << kSubBucketBits)) return static_cast<uint64_t>(bucket);
+  const int log2 = (bucket >> kSubBucketBits) + kSubBucketBits - 1;
+  const int sub = bucket & ((1 << kSubBucketBits) - 1);
+  return (1ull << log2) +
+         (static_cast<uint64_t>(sub) << (log2 - kSubBucketBits));
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket >= kNumBuckets - 1) return UINT64_MAX;
+  return BucketLowerBound(bucket + 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target && buckets_[i] > 0) {
+      // Linear interpolation within the bucket.
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = static_cast<double>(
+          std::min(BucketUpperBound(i), max_));
+      const double before =
+          static_cast<double>(cumulative - buckets_[i]);
+      const double frac =
+          (target - before) / static_cast<double>(buckets_[i]);
+      const double v = lo + frac * (hi - lo);
+      return std::clamp(v, static_cast<double>(min()), static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "count=%llu mean=%.1f min=%llu max=%llu p50=%.0f p99=%.0f\n",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(max_), Percentile(50),
+                Percentile(99));
+  out += line;
+  if (count_ == 0) return out;
+  for (int i = 0; i < kNumBuckets; i++) {
+    if (buckets_[i] == 0) continue;
+    const double frac =
+        static_cast<double>(buckets_[i]) / static_cast<double>(count_);
+    const int bars = static_cast<int>(frac * 50 + 0.5);
+    std::snprintf(line, sizeof(line), "[%12llu, %12llu) %8llu %5.1f%% %s\n",
+                  static_cast<unsigned long long>(BucketLowerBound(i)),
+                  static_cast<unsigned long long>(BucketUpperBound(i)),
+                  static_cast<unsigned long long>(buckets_[i]), frac * 100.0,
+                  std::string(bars, '#').c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ptsb

@@ -1,0 +1,50 @@
+// Power-of-two bucketed histogram for latencies and sizes, plus exact
+// percentile support for small sample sets.
+#ifndef PTSB_UTIL_HISTOGRAM_H_
+#define PTSB_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptsb {
+
+// Log-bucketed histogram with 4 sub-buckets per power of two. Records
+// non-negative values (typically nanoseconds or bytes). Percentile queries
+// interpolate within a bucket.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  double Percentile(double p) const;  // p in [0, 100]
+  double Median() const { return Percentile(50.0); }
+
+  // Multi-line human-readable dump (bucket bar chart).
+  std::string ToString() const;
+
+ private:
+  static constexpr int kSubBucketBits = 2;
+  static constexpr int kNumBuckets = 64 << kSubBucketBits;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketLowerBound(int bucket);
+  static uint64_t BucketUpperBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace ptsb
+
+#endif  // PTSB_UTIL_HISTOGRAM_H_

@@ -1,0 +1,65 @@
+#include "util/human.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ptsb {
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 5) {
+    v /= 1024.0;
+    u++;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string HumanCount(double n) {
+  char buf[64];
+  if (n >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f G", n / 1e9);
+  } else if (n >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f M", n / 1e6);
+  } else if (n >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f K", n / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", n);
+  }
+  return buf;
+}
+
+std::string HumanDuration(double seconds) {
+  const auto total = static_cast<long long>(seconds);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld", total / 3600,
+                (total / 60) % 60, total % 60);
+  return buf;
+}
+
+std::string StrPrintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  char stack_buf[512];
+  const int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, ap);
+  va_end(ap);
+  if (n < 0) return "";
+  if (static_cast<size_t>(n) < sizeof(stack_buf)) {
+    return std::string(stack_buf, n);
+  }
+  std::string out(static_cast<size_t>(n), '\0');
+  va_start(ap, fmt);
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+  va_end(ap);
+  return out;
+}
+
+}  // namespace ptsb

@@ -1,0 +1,24 @@
+// Human-readable formatting helpers for reports and benches.
+#ifndef PTSB_UTIL_HUMAN_H_
+#define PTSB_UTIL_HUMAN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ptsb {
+
+// 1536 -> "1.5 KiB", 4294967296 -> "4.0 GiB".
+std::string HumanBytes(uint64_t bytes);
+
+// 1234567 -> "1.23 M", 999 -> "999".
+std::string HumanCount(double n);
+
+// Seconds to "hh:mm:ss".
+std::string HumanDuration(double seconds);
+
+// printf-style into std::string.
+std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ptsb
+
+#endif  // PTSB_UTIL_HUMAN_H_

@@ -1,0 +1,82 @@
+// Minimal CHECK facilities. CHECK failures abort: in a storage engine,
+// continuing past a broken invariant corrupts user data.
+#ifndef PTSB_UTIL_LOGGING_H_
+#define PTSB_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ptsb {
+namespace internal {
+
+// Stream adapter so PTSB_CHECK(x) << "context" works; aborts in the
+// destructor, at the end of the full expression.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageBuilder() {
+    std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file_, line_, expr_,
+                 stream_.str().c_str());
+    std::abort();
+  }
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed messages when the check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace ptsb
+
+// The while-loop form keeps the builder out of the hot path and lets callers
+// stream context: PTSB_CHECK(a == b) << "while merging " << name;
+// The builder's destructor never returns, so the loop executes at most once.
+#define PTSB_CHECK(cond)                                                    \
+  while (!(cond))                                                           \
+  ::ptsb::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define PTSB_CHECK_OK(status_expr)                                          \
+  do {                                                                      \
+    const ::ptsb::Status _ptsb_st = (status_expr);                          \
+    PTSB_CHECK(_ptsb_st.ok()) << _ptsb_st.ToString();                       \
+  } while (0)
+
+#define PTSB_CHECK_EQ(a, b) \
+  PTSB_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define PTSB_CHECK_NE(a, b) PTSB_CHECK((a) != (b))
+#define PTSB_CHECK_LE(a, b) \
+  PTSB_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define PTSB_CHECK_LT(a, b) \
+  PTSB_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define PTSB_CHECK_GE(a, b) \
+  PTSB_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define PTSB_CHECK_GT(a, b) \
+  PTSB_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifndef NDEBUG
+#define PTSB_DCHECK(cond) PTSB_CHECK(cond)
+#else
+#define PTSB_DCHECK(cond) \
+  while (false) ::ptsb::internal::NullStream()
+#endif
+
+#endif  // PTSB_UTIL_LOGGING_H_

@@ -1,0 +1,102 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace ptsb {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed all four lanes through SplitMix64 per xoshiro authors' guidance.
+  uint64_t x = seed;
+  for (auto& lane : s_) {
+    x = SplitMix64(x);
+    lane = x != 0 ? x : 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  if (n == 0) return 0;
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+uint64_t Rng::UniformRange(uint64_t lo, uint64_t hi) {
+  if (hi <= lo) return lo;
+  return lo + Uniform(hi - lo);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+void Rng::FillBytes(void* dst, size_t n) {
+  auto* out = static_cast<uint8_t*>(dst);
+  while (n >= 8) {
+    uint64_t v = Next();
+    std::memcpy(out, &v, 8);
+    out += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t v = Next();
+    std::memcpy(out, &v, n);
+  }
+}
+
+uint64_t Rng::Skewed(uint64_t n) {
+  if (n == 0) return 0;
+  const uint64_t bits = Uniform(64);
+  const uint64_t r = Next() >> (63 - (bits & 63));
+  return r % n;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(n_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) const {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace ptsb

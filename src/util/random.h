@@ -1,0 +1,76 @@
+// Deterministic PRNGs and workload distributions. All experiment randomness
+// flows through these so runs are reproducible bit-for-bit.
+#ifndef PTSB_UTIL_RANDOM_H_
+#define PTSB_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ptsb {
+
+// SplitMix64: used for seeding and synthetic value payloads.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// xoshiro256**-based PRNG; fast, 2^256 period, deterministic across
+// platforms (no std:: distribution usage anywhere in the library).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  uint64_t Next();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform in [lo, hi).
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Fill a buffer with pseudo-random bytes.
+  void FillBytes(void* dst, size_t n);
+
+  // Skewed distribution helper: returns a value in [0, n) where smaller
+  // indices are exponentially more likely (used in fault-injection tests).
+  uint64_t Skewed(uint64_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipfian generator over [0, n) with parameter theta (YCSB-style).
+// Used by the extension workloads; the paper's default update workload is
+// uniform random.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Rng rng_;
+};
+
+}  // namespace ptsb
+
+#endif  // PTSB_UTIL_RANDOM_H_

@@ -1,0 +1,52 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ptsb {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_++;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(count_ + other.count_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / n;
+  mean_ += delta * static_cast<double>(other.count_) / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::Cv() const {
+  if (count_ == 0 || mean_ == 0) return 0;
+  return StdDev() / mean_;
+}
+
+}  // namespace ptsb

@@ -1,0 +1,39 @@
+// Streaming statistics: Welford mean/variance and simple counters with
+// windowed rates, used by the metrics layer.
+#ifndef PTSB_UTIL_STATS_H_
+#define PTSB_UTIL_STATS_H_
+
+#include <cstdint>
+
+namespace ptsb {
+
+// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double Variance() const;
+  double StdDev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // Coefficient of variation: stddev / mean. Used to quantify the paper's
+  // throughput-variability comparison (Fig. 10).
+  double Cv() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace ptsb
+
+#endif  // PTSB_UTIL_STATS_H_

@@ -1,0 +1,153 @@
+// Status and StatusOr: exception-free error propagation used across all
+// ptsbench modules (the core I/O paths never throw).
+#ifndef PTSB_UTIL_STATUS_H_
+#define PTSB_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ptsb {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kCorruption,
+  kInvalidArgument,
+  kIoError,
+  kNoSpace,
+  kNotSupported,
+  kFailedPrecondition,
+};
+
+// A lightweight absl::Status-alike. Ok status carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg = "") {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NoSpace(std::string msg = "") {
+    return Status(StatusCode::kNoSpace, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kCorruption: name = "Corruption"; break;
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kIoError: name = "IoError"; break;
+      case StatusCode::kNoSpace: name = "NoSpace"; break;
+      case StatusCode::kNotSupported: name = "NotSupported"; break;
+      case StatusCode::kFailedPrecondition: name = "FailedPrecondition"; break;
+    }
+    if (message_.empty()) return name;
+    return name + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// StatusOr<T>: either a value or a non-OK status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok());
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagate a non-OK status to the caller.
+#define PTSB_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::ptsb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+// Assign the value of a StatusOr expression or propagate its status.
+#define PTSB_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto PTSB_CONCAT_(_sor_, __LINE__) = (expr);            \
+  if (!PTSB_CONCAT_(_sor_, __LINE__).ok())                \
+    return PTSB_CONCAT_(_sor_, __LINE__).status();        \
+  lhs = std::move(PTSB_CONCAT_(_sor_, __LINE__)).value()
+
+#define PTSB_CONCAT_(a, b) PTSB_CONCAT_IMPL_(a, b)
+#define PTSB_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace ptsb
+
+#endif  // PTSB_UTIL_STATUS_H_

@@ -1,0 +1,166 @@
+// Tests for the block layer: memory device, iostat decorator, LBA trace
+// collector (Fig. 4 machinery), partition view (software OP machinery).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "block/iostat.h"
+#include "block/memory_device.h"
+#include "block/partition.h"
+#include "block/trace.h"
+
+namespace ptsb::block {
+namespace {
+
+TEST(MemoryDeviceTest, RoundTrip) {
+  MemoryBlockDevice dev(4096, 64);
+  std::vector<uint8_t> w(4096, 0x5a), r(4096);
+  ASSERT_TRUE(dev.Write(3, 1, w.data()).ok());
+  ASSERT_TRUE(dev.Read(3, 1, r.data()).ok());
+  EXPECT_EQ(std::memcmp(w.data(), r.data(), 4096), 0);
+}
+
+TEST(MemoryDeviceTest, NullPayloadWritesZeros) {
+  MemoryBlockDevice dev(4096, 8);
+  std::vector<uint8_t> w(4096, 0xff), r(4096, 0xff);
+  ASSERT_TRUE(dev.Write(0, 1, w.data()).ok());
+  ASSERT_TRUE(dev.Write(0, 1, nullptr).ok());
+  ASSERT_TRUE(dev.Read(0, 1, r.data()).ok());
+  for (uint8_t b : r) EXPECT_EQ(b, 0);
+}
+
+TEST(MemoryDeviceTest, FaultInjection) {
+  MemoryBlockDevice dev(4096, 8);
+  dev.FailNextWrites(2);
+  EXPECT_TRUE(dev.Write(0, 1, nullptr).IsIoError());
+  EXPECT_TRUE(dev.Write(0, 1, nullptr).IsIoError());
+  EXPECT_TRUE(dev.Write(0, 1, nullptr).ok());
+}
+
+TEST(MemoryDeviceTest, BoundsChecked) {
+  MemoryBlockDevice dev(4096, 8);
+  std::vector<uint8_t> buf(4096);
+  EXPECT_TRUE(dev.Read(8, 1, buf.data()).IsInvalidArgument());
+  EXPECT_TRUE(dev.Write(7, 2, nullptr).IsInvalidArgument());
+}
+
+TEST(IoStatTest, CountsBytesAndOps) {
+  MemoryBlockDevice dev(4096, 64);
+  IoStatCollector io(&dev);
+  std::vector<uint8_t> buf(4096 * 4);
+  ASSERT_TRUE(io.Write(0, 4, buf.data()).ok());
+  ASSERT_TRUE(io.Read(0, 2, buf.data()).ok());
+  ASSERT_TRUE(io.Trim(8, 8).ok());
+  ASSERT_TRUE(io.Flush().ok());
+  const auto& c = io.counters();
+  EXPECT_EQ(c.write_ops, 1u);
+  EXPECT_EQ(c.write_bytes, 4u * 4096);
+  EXPECT_EQ(c.read_ops, 1u);
+  EXPECT_EQ(c.read_bytes, 2u * 4096);
+  EXPECT_EQ(c.trim_bytes, 8u * 4096);
+  EXPECT_EQ(c.flushes, 1u);
+}
+
+TEST(IoStatTest, FailedOpsNotCounted) {
+  MemoryBlockDevice dev(4096, 64);
+  IoStatCollector io(&dev);
+  dev.FailNextWrites(1);
+  EXPECT_FALSE(io.Write(0, 1, nullptr).ok());
+  EXPECT_EQ(io.counters().write_ops, 0u);
+}
+
+TEST(IoStatTest, DeltaOperator) {
+  MemoryBlockDevice dev(4096, 64);
+  IoStatCollector io(&dev);
+  ASSERT_TRUE(io.Write(0, 2, nullptr).ok());
+  const IoCounters before = io.counters();
+  ASSERT_TRUE(io.Write(0, 3, nullptr).ok());
+  const IoCounters delta = io.counters() - before;
+  EXPECT_EQ(delta.write_bytes, 3u * 4096);
+  EXPECT_EQ(delta.write_ops, 1u);
+}
+
+TEST(TraceTest, FractionUntouched) {
+  MemoryBlockDevice dev(4096, 100);
+  LbaTraceCollector trace(&dev);
+  // Write the first 55 LBAs only (the WiredTiger pattern of Fig. 4).
+  for (uint64_t lba = 0; lba < 55; lba++) {
+    ASSERT_TRUE(trace.Write(lba, 1, nullptr).ok());
+  }
+  EXPECT_DOUBLE_EQ(trace.FractionUntouched(), 0.45);
+}
+
+TEST(TraceTest, CdfShapeForSkewedWrites) {
+  MemoryBlockDevice dev(4096, 100);
+  LbaTraceCollector trace(&dev);
+  // 90 writes to LBA 0, one write each to LBAs 1..10 (100 writes total).
+  for (int i = 0; i < 90; i++) ASSERT_TRUE(trace.Write(0, 1, nullptr).ok());
+  for (uint64_t lba = 1; lba <= 10; lba++) {
+    ASSERT_TRUE(trace.Write(lba, 1, nullptr).ok());
+  }
+  const auto cdf = trace.WriteCdf(101);
+  ASSERT_EQ(cdf.size(), 101u);
+  EXPECT_DOUBLE_EQ(cdf.front().write_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().write_fraction, 1.0);
+  // The hottest 1% of LBAs (LBA 0) received 90% of the writes.
+  EXPECT_NEAR(cdf[1].write_fraction, 0.9, 1e-9);
+  // By 11% of the LBA space the CDF is complete.
+  EXPECT_NEAR(cdf[11].write_fraction, 1.0, 1e-9);
+}
+
+TEST(TraceTest, ResetClears) {
+  MemoryBlockDevice dev(4096, 10);
+  LbaTraceCollector trace(&dev);
+  ASSERT_TRUE(trace.Write(0, 5, nullptr).ok());
+  trace.Reset();
+  EXPECT_DOUBLE_EQ(trace.FractionUntouched(), 1.0);
+}
+
+TEST(PartitionTest, OffsetsMapToBase) {
+  MemoryBlockDevice dev(4096, 100);
+  PartitionView part(&dev, 10, 50);
+  std::vector<uint8_t> w(4096, 0x77), r(4096);
+  ASSERT_TRUE(part.Write(0, 1, w.data()).ok());
+  ASSERT_TRUE(dev.Read(10, 1, r.data()).ok());
+  EXPECT_EQ(std::memcmp(w.data(), r.data(), 4096), 0);
+  EXPECT_EQ(part.num_lbas(), 50u);
+  EXPECT_EQ(part.capacity_bytes(), 50u * 4096);
+}
+
+TEST(PartitionTest, RejectsOutOfRange) {
+  MemoryBlockDevice dev(4096, 100);
+  PartitionView part(&dev, 10, 50);
+  std::vector<uint8_t> buf(4096);
+  EXPECT_TRUE(part.Read(50, 1, buf.data()).IsInvalidArgument());
+  EXPECT_TRUE(part.Write(49, 2, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(part.Trim(50, 1).IsInvalidArgument());
+}
+
+TEST(PartitionTest, TrimStaysInPartition) {
+  MemoryBlockDevice dev(4096, 100);
+  PartitionView part(&dev, 10, 50);
+  std::vector<uint8_t> w(4096, 0x33), r(4096);
+  ASSERT_TRUE(dev.Write(9, 1, w.data()).ok());   // outside, before
+  ASSERT_TRUE(dev.Write(60, 1, w.data()).ok());  // outside, after
+  ASSERT_TRUE(part.Trim(0, 50).ok());
+  ASSERT_TRUE(dev.Read(9, 1, r.data()).ok());
+  EXPECT_EQ(r[0], 0x33);
+  ASSERT_TRUE(dev.Read(60, 1, r.data()).ok());
+  EXPECT_EQ(r[0], 0x33);
+}
+
+TEST(StackingTest, DecoratorsCompose) {
+  // ssd-like stack used by experiments: device -> iostat -> trace -> part.
+  MemoryBlockDevice dev(4096, 100);
+  IoStatCollector io(&dev);
+  LbaTraceCollector trace(&io);
+  PartitionView part(&trace, 20, 60);
+  ASSERT_TRUE(part.Write(5, 2, nullptr).ok());
+  EXPECT_EQ(io.counters().write_bytes, 2u * 4096);
+  EXPECT_GT(trace.write_counts()[25], 0u);
+  EXPECT_EQ(dev.writes(), 2u);
+}
+
+}  // namespace
+}  // namespace ptsb::block

@@ -1,0 +1,197 @@
+// Tests for B+Tree building blocks: block manager (allocation, deferred
+// frees, persistence) and node serialization.
+#include <gtest/gtest.h>
+
+#include "block/memory_device.h"
+#include "btree/block_manager.h"
+#include "btree/node.h"
+#include "fs/file.h"
+#include "fs/filesystem.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ptsb::btree {
+namespace {
+
+constexpr uint64_t kUnit = BlockManager::kUnit;
+
+class BlockManagerTest : public ::testing::Test {
+ protected:
+  BlockManagerTest() : dev_(4096, 4096), fs_(&dev_, {}) {
+    file_ = *fs_.Create("tree");
+    PTSB_CHECK_OK(file_->Extend(2 * kUnit));
+  }
+  block::MemoryBlockDevice dev_;
+  fs::SimpleFs fs_;
+  fs::File* file_;
+};
+
+TEST_F(BlockManagerTest, AllocateRoundsUpToUnit) {
+  BlockManager bm(file_, 2 * kUnit, true, 16 * kUnit);
+  auto a = bm.Allocate(100);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->bytes, kUnit);
+  EXPECT_EQ(a->offset % kUnit, 0u);
+  EXPECT_GE(a->offset, 2 * kUnit);
+  EXPECT_EQ(bm.allocated_bytes(), kUnit);
+}
+
+TEST_F(BlockManagerTest, FreedBlocksNotReusedUntilMerge) {
+  BlockManager bm(file_, 2 * kUnit, true, 4 * kUnit);
+  auto a = *bm.Allocate(kUnit);
+  bm.Free(a);
+  // Before the merge, the same offset must not be handed out again.
+  auto b = *bm.Allocate(kUnit);
+  EXPECT_NE(b.offset, a.offset);
+  bm.MergePendingFrees();
+  // Now the low offset is preferred (first fit).
+  auto c = *bm.Allocate(kUnit);
+  EXPECT_EQ(c.offset, a.offset);
+  EXPECT_TRUE(bm.CheckConsistency().ok());
+}
+
+TEST_F(BlockManagerTest, FirstFitKeepsFootprintCompact) {
+  BlockManager bm(file_, 2 * kUnit, true, 64 * kUnit);
+  std::vector<BlockAddr> blocks;
+  for (int i = 0; i < 32; i++) blocks.push_back(*bm.Allocate(kUnit));
+  const uint64_t end_before = bm.file_bytes();
+  // Free everything, merge, and reallocate: no growth.
+  for (const auto& b : blocks) bm.Free(b);
+  bm.MergePendingFrees();
+  for (int i = 0; i < 32; i++) blocks[i] = *bm.Allocate(kUnit);
+  EXPECT_EQ(bm.file_bytes(), end_before);
+  EXPECT_TRUE(bm.CheckConsistency().ok());
+}
+
+TEST_F(BlockManagerTest, AppendOnlyModeGrowsForever) {
+  BlockManager bm(file_, 2 * kUnit, /*reuse_freed_blocks=*/false, 4 * kUnit);
+  auto a = *bm.Allocate(4 * kUnit);
+  bm.Free(a);
+  bm.MergePendingFrees();
+  auto b = *bm.Allocate(4 * kUnit);
+  EXPECT_GT(b.offset, a.offset);  // never reuses the freed range
+}
+
+TEST_F(BlockManagerTest, EncodeDecodeRoundTrip) {
+  BlockManager bm(file_, 2 * kUnit, true, 8 * kUnit);
+  auto a = *bm.Allocate(2 * kUnit);
+  auto b = *bm.Allocate(3 * kUnit);
+  bm.Free(a);
+  bm.MergePendingFrees();
+  const std::string blob = bm.EncodeFreeList();
+
+  BlockManager restored(file_, 2 * kUnit, true, 8 * kUnit);
+  ASSERT_TRUE(restored.DecodeFreeList(blob).ok());
+  EXPECT_EQ(restored.file_bytes(), bm.file_bytes());
+  EXPECT_EQ(restored.allocated_bytes(), bm.allocated_bytes());
+  EXPECT_EQ(restored.free_bytes(), bm.free_bytes());
+  // And the restored instance allocates from the same free space.
+  auto c = *restored.Allocate(kUnit);
+  EXPECT_EQ(c.offset, a.offset);
+  (void)b;
+}
+
+TEST_F(BlockManagerTest, MergedEncodingIncludesPendingAndExtra) {
+  BlockManager bm(file_, 2 * kUnit, true, 8 * kUnit);
+  auto keep = *bm.Allocate(kUnit);
+  auto freed = *bm.Allocate(kUnit);
+  auto old_blob = *bm.Allocate(kUnit);
+  bm.Free(freed);  // pending
+  const std::string blob = bm.EncodeMergedFreeList(old_blob);
+
+  BlockManager restored(file_, 2 * kUnit, true, 8 * kUnit);
+  ASSERT_TRUE(restored.DecodeFreeList(blob).ok());
+  // Post-commit view: only `keep` stays allocated (Free() already removed
+  // `freed` from the allocated count; `old_blob` is subtracted as extra);
+  // `freed` and `old_blob` are both free space.
+  EXPECT_EQ(restored.allocated_bytes(), kUnit);
+  EXPECT_GE(restored.free_bytes(), 2 * kUnit);
+  (void)keep;
+}
+
+TEST_F(BlockManagerTest, DecodeRejectsGarbage) {
+  BlockManager bm(file_, 2 * kUnit, true, 8 * kUnit);
+  EXPECT_FALSE(bm.DecodeFreeList("nonsense").ok());
+}
+
+TEST_F(BlockManagerTest, StressRandomAllocFree) {
+  BlockManager bm(file_, 2 * kUnit, true, 32 * kUnit);
+  Rng rng(5);
+  std::vector<BlockAddr> live;
+  for (int i = 0; i < 3000; i++) {
+    if (rng.Bernoulli(0.6) || live.empty()) {
+      auto a = bm.Allocate(rng.UniformRange(1, 6 * kUnit));
+      ASSERT_TRUE(a.ok());
+      live.push_back(*a);
+    } else {
+      const size_t idx = rng.Uniform(live.size());
+      bm.Free(live[idx]);
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+    if (i % 100 == 0) bm.MergePendingFrees();
+    ASSERT_TRUE(bm.CheckConsistency().ok()) << "iteration " << i;
+  }
+  uint64_t live_bytes = 0;
+  for (const auto& a : live) live_bytes += a.bytes;
+  EXPECT_EQ(bm.allocated_bytes(), live_bytes);
+}
+
+TEST(NodeTest, LeafSerializeRoundTrip) {
+  Node leaf;
+  leaf.is_leaf = true;
+  leaf.items = {{"alpha", "1"}, {"beta", std::string(5000, 'x')}, {"gamma", ""}};
+  leaf.bytes = leaf.RecomputeBytes();
+  auto restored = Node::Deserialize(leaf.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE((*restored)->is_leaf);
+  ASSERT_EQ((*restored)->items.size(), 3u);
+  EXPECT_EQ((*restored)->items[1].second.size(), 5000u);
+  EXPECT_EQ((*restored)->bytes, leaf.bytes);
+}
+
+TEST(NodeTest, InternalSerializeRoundTrip) {
+  Node internal;
+  internal.is_leaf = false;
+  for (int i = 0; i < 5; i++) {
+    Node::ChildRef ref;
+    ref.first_key = "key" + std::to_string(i * 10);
+    ref.addr = BlockAddr{static_cast<uint64_t>(i) * 8192, 4096};
+    internal.children.push_back(std::move(ref));
+  }
+  auto restored = Node::Deserialize(internal.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE((*restored)->is_leaf);
+  ASSERT_EQ((*restored)->children.size(), 5u);
+  EXPECT_EQ((*restored)->children[3].addr.offset, 3u * 8192);
+  EXPECT_EQ((*restored)->children[3].child, nullptr);  // unloaded
+}
+
+TEST(NodeTest, DeserializeRejectsCorruption) {
+  Node leaf;
+  leaf.is_leaf = true;
+  leaf.items = {{"k", "v"}};
+  std::string data = leaf.Serialize();
+  data[6] ^= 0x40;
+  EXPECT_TRUE(Node::Deserialize(data).status().IsCorruption());
+  EXPECT_TRUE(Node::Deserialize("").status().IsCorruption());
+}
+
+TEST(NodeTest, RoutingClampsBelowFirstKey) {
+  Node internal;
+  internal.is_leaf = false;
+  for (const char* k : {"g", "m", "t"}) {
+    Node::ChildRef ref;
+    ref.first_key = k;
+    ref.addr = BlockAddr{4096, 4096};
+    internal.children.push_back(std::move(ref));
+  }
+  EXPECT_EQ(internal.FindChildIdx("a"), 0u);  // below everything
+  EXPECT_EQ(internal.FindChildIdx("g"), 0u);
+  EXPECT_EQ(internal.FindChildIdx("h"), 0u);
+  EXPECT_EQ(internal.FindChildIdx("m"), 1u);
+  EXPECT_EQ(internal.FindChildIdx("s"), 1u);
+  EXPECT_EQ(internal.FindChildIdx("z"), 2u);
+}
+
+}  // namespace
+}  // namespace ptsb::btree

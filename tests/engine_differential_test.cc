@@ -1,0 +1,205 @@
+// Differential testing: both engines implement kv::KVStore, so identical
+// operation streams must produce identical visible state — through
+// flushes, compactions, evictions, checkpoints and reopen. Also checks
+// cross-stack accounting invariants (user <= host <= NAND bytes) and
+// error propagation from injected device faults.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "block/iostat.h"
+#include "block/memory_device.h"
+#include "btree/btree_store.h"
+#include "fs/filesystem.h"
+#include "kv/kv.h"
+#include "lsm/lsm_store.h"
+#include "sim/clock.h"
+#include "ssd/ssd_device.h"
+#include "test_support.h"
+#include "util/random.h"
+
+namespace ptsb {
+namespace {
+
+lsm::LsmOptions TinyLsm() {
+  lsm::LsmOptions o;
+  o.memtable_bytes = 16 << 10;
+  o.l1_target_bytes = 64 << 10;
+  o.sst_target_bytes = 32 << 10;
+  o.block_bytes = 1024;
+  return o;
+}
+
+btree::BTreeOptions TinyBTree() {
+  btree::BTreeOptions o;
+  o.leaf_max_bytes = 2 << 10;
+  o.internal_max_bytes = 512;
+  o.cache_bytes = 16 << 10;
+  o.checkpoint_every_bytes = 64 << 10;
+  o.file_grow_bytes = 64 << 10;
+  return o;
+}
+
+struct EngineHarness {
+  block::MemoryBlockDevice dev{4096, 1 << 15};
+  fs::SimpleFs fs{&dev, {}};
+  std::unique_ptr<kv::KVStore> store;
+};
+
+std::unique_ptr<EngineHarness> MakeLsm() {
+  auto h = std::make_unique<EngineHarness>();
+  h->store = *lsm::LsmStore::Open(&h->fs, TinyLsm());
+  return h;
+}
+
+std::unique_ptr<EngineHarness> MakeBTree() {
+  auto h = std::make_unique<EngineHarness>();
+  h->store = *btree::BTreeStore::Open(&h->fs, TinyBTree());
+  return h;
+}
+
+// One deterministic op stream applied to both engines.
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, EnginesAgreeOnEverything) {
+  auto lsm = MakeLsm();
+  auto bt = MakeBTree();
+  Rng rng(GetParam());
+  for (int i = 0; i < 3000; i++) {
+    const std::string key = "k" + std::to_string(rng.Uniform(600));
+    const int pick = static_cast<int>(rng.Uniform(10));
+    if (pick < 7) {
+      std::string value(rng.UniformRange(1, 800), '\0');
+      rng.FillBytes(value.data(), value.size());
+      ASSERT_TRUE(lsm->store->Put(key, value).ok());
+      ASSERT_TRUE(bt->store->Put(key, value).ok());
+    } else if (pick < 9) {
+      ASSERT_TRUE(lsm->store->Delete(key).ok());
+      ASSERT_TRUE(bt->store->Delete(key).ok());
+    } else {
+      std::string a, b;
+      const Status sa = lsm->store->Get(key, &a);
+      const Status sb = bt->store->Get(key, &b);
+      ASSERT_EQ(sa.ok(), sb.ok()) << key << " at op " << i;
+      if (sa.ok()) ASSERT_EQ(a, b);
+    }
+  }
+  // Full-range scans must agree exactly.
+  std::vector<std::pair<std::string, std::string>> sa, sb;
+  ASSERT_TRUE(lsm->store->Scan("", 100000, &sa).ok());
+  ASSERT_TRUE(bt->store->Scan("", 100000, &sb).ok());
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); i++) {
+    EXPECT_EQ(sa[i].first, sb[i].first);
+    EXPECT_EQ(sa[i].second, sb[i].second);
+  }
+  ASSERT_TRUE(lsm->store->Close().ok());
+  ASSERT_TRUE(bt->store->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(DifferentialTest, EnginesAgreeAfterReopen) {
+  block::MemoryBlockDevice dev_a(4096, 1 << 15), dev_b(4096, 1 << 15);
+  fs::SimpleFs fs_a(&dev_a, {}), fs_b(&dev_b, {});
+  testing::ReferenceModel model;
+  {
+    auto lsm = *lsm::LsmStore::Open(&fs_a, TinyLsm());
+    auto bt = *btree::BTreeStore::Open(&fs_b, TinyBTree());
+    Rng rng(42);
+    for (int i = 0; i < 1500; i++) {
+      const std::string key = "k" + std::to_string(rng.Uniform(300));
+      std::string value(200, '\0');
+      rng.FillBytes(value.data(), value.size());
+      ASSERT_TRUE(lsm->Put(key, value).ok());
+      ASSERT_TRUE(bt->Put(key, value).ok());
+      model.Put(key, value);
+    }
+    ASSERT_TRUE(lsm->Close().ok());
+    ASSERT_TRUE(bt->Close().ok());
+  }
+  auto lsm = *lsm::LsmStore::Open(&fs_a, TinyLsm());
+  auto bt = *btree::BTreeStore::Open(&fs_b, TinyBTree());
+  testing::VerifyAll(lsm.get(), model);
+  testing::VerifyAll(bt.get(), model);
+  ASSERT_TRUE(lsm->Close().ok());
+  ASSERT_TRUE(bt->Close().ok());
+}
+
+// Full-stack accounting invariant: user bytes <= host bytes <= NAND bytes
+// (write amplification can never be < 1 at either layer).
+TEST(StackInvariantTest, WriteAmplificationLayersNest) {
+  sim::SimClock clock;
+  ssd::SsdConfig cfg;
+  cfg.geometry.logical_bytes = 64 << 20;
+  cfg.geometry.hardware_op_frac = 0.15;
+  ssd::SsdDevice dev(cfg, &clock);
+  block::IoStatCollector io(&dev);
+  fs::SimpleFs fs(&io, {});
+  auto store = *lsm::LsmStore::Open(&fs, TinyLsm());
+  Rng rng(7);
+  for (int i = 0; i < 4000; i++) {
+    ASSERT_TRUE(store
+                    ->Put("key" + std::to_string(rng.Uniform(500)),
+                          std::string(600, 'v'))
+                    .ok());
+  }
+  ASSERT_TRUE(store->Flush().ok());
+  const auto engine = store->GetStats();
+  const auto host = io.counters();
+  const auto smart = dev.smart();
+  EXPECT_LE(engine.user_bytes_written, host.write_bytes);
+  EXPECT_LE(host.write_bytes, smart.nand_bytes_written);
+  EXPECT_EQ(host.write_bytes, smart.host_bytes_written);
+  ASSERT_TRUE(store->Close().ok());
+}
+
+TEST(FaultInjectionTest, LsmSurfacesDeviceWriteErrors) {
+  block::MemoryBlockDevice dev(4096, 1 << 14);
+  fs::SimpleFs fs(&dev, {});
+  auto options = TinyLsm();
+  options.wal_buffer_bytes = 1;  // write-through so faults hit immediately
+  auto store = *lsm::LsmStore::Open(&fs, options);
+  std::string value(8000, 'v');  // spans pages: reaches the device now
+  ASSERT_TRUE(store->Put("a", value).ok());
+  dev.FailNextWrites(1);
+  Status s = store->Put("b", value);
+  EXPECT_TRUE(s.IsIoError()) << s.ToString();
+}
+
+TEST(FaultInjectionTest, BTreeSurfacesCheckpointErrors) {
+  block::MemoryBlockDevice dev(4096, 1 << 14);
+  fs::SimpleFs fs(&dev, {});
+  auto store = *btree::BTreeStore::Open(&fs, TinyBTree());
+  ASSERT_TRUE(store->Put("a", std::string(500, 'v')).ok());
+  dev.FailNextWrites(1);
+  Status s = store->Flush();  // checkpoint must write pages
+  EXPECT_TRUE(s.IsIoError()) << s.ToString();
+}
+
+TEST(FaultInjectionTest, EnginesFailCleanlyWhenDeviceFull) {
+  // A device far too small for the workload: both engines must surface
+  // NoSpace without aborting.
+  for (const bool use_lsm : {true, false}) {
+    block::MemoryBlockDevice dev(4096, 256);  // 1 MiB
+    fs::SimpleFs fs(&dev, {});
+    std::unique_ptr<kv::KVStore> store;
+    if (use_lsm) {
+      store = *lsm::LsmStore::Open(&fs, TinyLsm());
+    } else {
+      store = *btree::BTreeStore::Open(&fs, TinyBTree());
+    }
+    Status s = Status::OK();
+    std::string value(900, 'v');
+    for (int i = 0; i < 4000 && s.ok(); i++) {
+      s = store->Put("k" + std::to_string(i), value);
+    }
+    EXPECT_TRUE(s.IsNoSpace()) << "engine=" << (use_lsm ? "lsm" : "btree")
+                               << " got: " << s.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ptsb

@@ -1,0 +1,141 @@
+// Tests for the kv layer: key/value codecs and workload generation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "kv/kv.h"
+#include "kv/workload.h"
+
+namespace ptsb::kv {
+namespace {
+
+TEST(KeyTest, FixedWidthAndOrdered) {
+  const std::string a = MakeKey(5);
+  const std::string b = MakeKey(50);
+  const std::string c = MakeKey(500000);
+  EXPECT_EQ(a.size(), kDefaultKeyBytes);
+  EXPECT_EQ(b.size(), kDefaultKeyBytes);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(KeyTest, ParseRoundTrip) {
+  for (uint64_t id : {0ull, 1ull, 123456ull, 49'999'999ull}) {
+    uint64_t out;
+    ASSERT_TRUE(ParseKey(MakeKey(id), &out));
+    EXPECT_EQ(out, id);
+  }
+  uint64_t out;
+  EXPECT_FALSE(ParseKey("xxx", &out));
+  EXPECT_FALSE(ParseKey("u12a4567890123456", &out));
+}
+
+TEST(KeyTest, CustomWidth) {
+  const std::string k = MakeKey(7, 24);
+  EXPECT_EQ(k.size(), 24u);
+  uint64_t out;
+  ASSERT_TRUE(ParseKey(k, &out));
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(ValueTest, RoundTripAndVerify) {
+  const std::string v = MakeValue(12345, 4000);
+  EXPECT_EQ(v.size(), 4000u);
+  EXPECT_TRUE(VerifyValue(v));
+  EXPECT_EQ(ValueSeed(v), 12345u);
+}
+
+TEST(ValueTest, CorruptionDetected) {
+  std::string v = MakeValue(9, 128);
+  v[64] ^= 0x01;
+  EXPECT_FALSE(VerifyValue(v));
+}
+
+TEST(ValueTest, DifferentSeedsDiffer) {
+  EXPECT_NE(MakeValue(1, 128), MakeValue(2, 128));
+}
+
+TEST(ValueTest, MinimumSize) {
+  const std::string v = MakeValue(3, 16);
+  EXPECT_EQ(v.size(), 16u);
+  EXPECT_TRUE(VerifyValue(v));
+}
+
+TEST(WorkloadTest, WriteOnlyProducesOnlyPuts) {
+  WorkloadSpec spec;
+  spec.num_keys = 1000;
+  spec.write_fraction = 1.0;
+  WorkloadGenerator gen(spec);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_EQ(gen.Next().type, Op::Type::kPut);
+  }
+}
+
+TEST(WorkloadTest, MixedRatioApproximatelyHolds) {
+  WorkloadSpec spec;
+  spec.num_keys = 1000;
+  spec.write_fraction = 0.5;
+  WorkloadGenerator gen(spec);
+  int puts = 0;
+  const int kOps = 20000;
+  for (int i = 0; i < kOps; i++) {
+    puts += gen.Next().type == Op::Type::kPut ? 1 : 0;
+  }
+  EXPECT_NEAR(puts, kOps / 2, kOps / 20);
+}
+
+TEST(WorkloadTest, KeysInRangeAndCoverSpace) {
+  WorkloadSpec spec;
+  spec.num_keys = 100;
+  WorkloadGenerator gen(spec);
+  std::map<uint64_t, int> seen;
+  for (int i = 0; i < 10000; i++) {
+    const Op op = gen.Next();
+    ASSERT_LT(op.key_id, 100u);
+    seen[op.key_id]++;
+  }
+  EXPECT_EQ(seen.size(), 100u);  // uniform across the whole key space
+}
+
+TEST(WorkloadTest, ValueSeedsUniquePerOp) {
+  WorkloadSpec spec;
+  spec.num_keys = 10;
+  WorkloadGenerator gen(spec);
+  std::map<uint64_t, int> seeds;
+  for (int i = 0; i < 1000; i++) seeds[gen.Next().value_seed]++;
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadSpec spec;
+  spec.num_keys = 1000;
+  spec.seed = 42;
+  WorkloadGenerator a(spec), b(spec);
+  for (int i = 0; i < 100; i++) {
+    const Op oa = a.Next();
+    const Op ob = b.Next();
+    EXPECT_EQ(oa.key_id, ob.key_id);
+    EXPECT_EQ(oa.value_seed, ob.value_seed);
+  }
+}
+
+TEST(WorkloadTest, ZipfianConcentrates) {
+  WorkloadSpec spec;
+  spec.num_keys = 100000;
+  spec.distribution = Distribution::kZipfian;
+  WorkloadGenerator gen(spec);
+  uint64_t hot = 0;
+  const int kOps = 20000;
+  for (int i = 0; i < kOps; i++) {
+    if (gen.Next().key_id < 1000) hot++;  // hottest 1%
+  }
+  EXPECT_GT(hot, static_cast<uint64_t>(kOps) / 5);
+}
+
+TEST(WorkloadTest, DatasetBytesMatchesPaperMath) {
+  WorkloadSpec spec;  // 50M x (16 + 4000)
+  EXPECT_NEAR(static_cast<double>(spec.DatasetBytes()), 200.8e9, 1e9);
+}
+
+}  // namespace
+}  // namespace ptsb::kv

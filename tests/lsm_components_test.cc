@@ -1,0 +1,485 @@
+// Tests for LSM building blocks: memtable skiplist, bloom filter, SST
+// builder/reader/iterator, WAL framing and replay, version set/manifest.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "block/memory_device.h"
+#include "fs/file.h"
+#include "fs/filesystem.h"
+#include "lsm/bloom.h"
+#include "lsm/compaction.h"
+#include "lsm/memtable.h"
+#include "lsm/sst.h"
+#include "lsm/version.h"
+#include "lsm/wal.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ptsb::lsm {
+namespace {
+
+TEST(MemtableTest, AddAndGet) {
+  Memtable mt;
+  mt.Add("b", 1, EntryType::kPut, "vb");
+  mt.Add("a", 2, EntryType::kPut, "va");
+  auto r = mt.Get("a");
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.value, "va");
+  EXPECT_FALSE(mt.Get("c").found);
+  EXPECT_EQ(mt.entries(), 2u);
+}
+
+TEST(MemtableTest, UpdateKeepsNewestOnly) {
+  Memtable mt;
+  mt.Add("k", 1, EntryType::kPut, "v1");
+  mt.Add("k", 2, EntryType::kPut, "v2");
+  auto r = mt.Get("k");
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.value, "v2");
+  EXPECT_EQ(r.seq, 2u);
+  EXPECT_EQ(mt.entries(), 1u);
+}
+
+TEST(MemtableTest, TombstoneVisible) {
+  Memtable mt;
+  mt.Add("k", 1, EntryType::kPut, "v");
+  mt.Add("k", 2, EntryType::kDelete, "");
+  auto r = mt.Get("k");
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.deleted);
+}
+
+TEST(MemtableTest, IterationIsSorted) {
+  Memtable mt;
+  Rng rng(1);
+  std::set<std::string> keys;
+  for (int i = 0; i < 1000; i++) {
+    const std::string k = "k" + std::to_string(rng.Uniform(10000));
+    keys.insert(k);
+    mt.Add(k, i + 1, EntryType::kPut, "v");
+  }
+  Memtable::Iterator it(&mt);
+  auto expect = keys.begin();
+  for (it.SeekToFirst(); it.Valid(); it.Next(), ++expect) {
+    ASSERT_NE(expect, keys.end());
+    EXPECT_EQ(it.key(), *expect);
+  }
+  EXPECT_EQ(expect, keys.end());
+}
+
+TEST(MemtableTest, SeekFindsLowerBound) {
+  Memtable mt;
+  mt.Add("b", 1, EntryType::kPut, "");
+  mt.Add("d", 2, EntryType::kPut, "");
+  Memtable::Iterator it(&mt);
+  it.Seek("c");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "d");
+  it.Seek("e");
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(MemtableTest, BytesTracked) {
+  Memtable mt;
+  EXPECT_EQ(mt.ApproximateBytes(), 0u);
+  mt.Add("key", 1, EntryType::kPut, std::string(100, 'v'));
+  const uint64_t b1 = mt.ApproximateBytes();
+  EXPECT_GE(b1, 103u);
+  // Updating with a smaller value shrinks the accounted bytes.
+  mt.Add("key", 2, EntryType::kPut, "v");
+  EXPECT_LT(mt.ApproximateBytes(), b1);
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; i++) keys.push_back("key" + std::to_string(i));
+  for (const auto& k : keys) builder.AddKey(k);
+  BloomFilter filter(builder.Finish());
+  for (const auto& k : keys) EXPECT_TRUE(filter.MayContain(k));
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 10000; i++) builder.AddKey("in" + std::to_string(i));
+  BloomFilter filter(builder.Finish());
+  int fp = 0;
+  const int kProbes = 10000;
+  for (int i = 0; i < kProbes; i++) {
+    if (filter.MayContain("out" + std::to_string(i))) fp++;
+  }
+  // 10 bits/key gives ~1% FP; allow generous margin.
+  EXPECT_LT(fp, kProbes / 20);
+}
+
+TEST(BloomTest, DisabledMatchesEverything) {
+  BloomFilterBuilder builder(0);
+  builder.AddKey("a");
+  BloomFilter filter(builder.Finish());
+  EXPECT_TRUE(filter.MayContain("anything"));
+  EXPECT_TRUE(filter.empty());
+}
+
+class SstTest : public ::testing::Test {
+ protected:
+  SstTest() : dev_(4096, 4096), fs_(&dev_, {}) {}
+  block::MemoryBlockDevice dev_;
+  fs::SimpleFs fs_;
+};
+
+TEST_F(SstTest, BuildAndGet) {
+  fs::File* file = *fs_.Create("t.sst");
+  SstBuilder builder(file, 4096, 10);
+  for (int i = 0; i < 1000; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(builder.Add(key, 1000 + i, EntryType::kPut,
+                            "value" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_EQ(builder.num_entries(), 1000u);
+  EXPECT_EQ(builder.smallest(), "k000000");
+  EXPECT_EQ(builder.largest(), "k000999");
+
+  auto reader = SstReader::Open(file);
+  ASSERT_TRUE(reader.ok());
+  for (int i : {0, 1, 499, 998, 999}) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    auto r = (*reader)->Get(key);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->found) << key;
+    EXPECT_EQ(r->value, "value" + std::to_string(i));
+    EXPECT_EQ(r->seq, 1000u + i);
+  }
+  auto miss = (*reader)->Get("k9999999");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->found);
+}
+
+TEST_F(SstTest, NewestVersionWinsWithinTable) {
+  fs::File* file = *fs_.Create("t.sst");
+  SstBuilder builder(file, 4096, 10);
+  // Internal order: same key, descending seq.
+  ASSERT_TRUE(builder.Add("k", 5, EntryType::kPut, "new").ok());
+  ASSERT_TRUE(builder.Add("k", 3, EntryType::kPut, "old").ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = SstReader::Open(file);
+  ASSERT_TRUE(reader.ok());
+  auto r = (*reader)->Get("k");
+  ASSERT_TRUE(r.ok() && r->found);
+  EXPECT_EQ(r->value, "new");
+  EXPECT_EQ(r->seq, 5u);
+}
+
+TEST_F(SstTest, TombstonesSurfaceAsDeleteType) {
+  fs::File* file = *fs_.Create("t.sst");
+  SstBuilder builder(file, 4096, 10);
+  ASSERT_TRUE(builder.Add("k", 7, EntryType::kDelete, "").ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = SstReader::Open(file);
+  auto r = (*reader)->Get("k");
+  ASSERT_TRUE(r.ok() && r->found);
+  EXPECT_EQ(r->type, EntryType::kDelete);
+}
+
+TEST_F(SstTest, IteratorWalksEverythingInOrder) {
+  fs::File* file = *fs_.Create("t.sst");
+  SstBuilder builder(file, 1024, 10);  // small blocks: many of them
+  const int kN = 500;
+  for (int i = 0; i < kN; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(
+        builder.Add(key, i + 1, EntryType::kPut, std::string(50, 'x')).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = SstReader::Open(file);
+  ASSERT_TRUE(reader.ok());
+  SstReader::Iterator it(reader->get());
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  int count = 0;
+  std::string prev;
+  while (it.Valid()) {
+    if (count > 0) EXPECT_GT(it.key(), prev);
+    prev = it.key();
+    count++;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, kN);
+}
+
+TEST_F(SstTest, IteratorSeek) {
+  fs::File* file = *fs_.Create("t.sst");
+  SstBuilder builder(file, 1024, 10);
+  for (int i = 0; i < 100; i += 2) {  // even keys only
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(builder.Add(key, i + 1, EntryType::kPut, "v").ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = SstReader::Open(file);
+  SstReader::Iterator it(reader->get());
+  ASSERT_TRUE(it.Seek("k000051").ok());  // odd: lands on 52
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "k000052");
+  ASSERT_TRUE(it.Seek("k000099").ok());
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(SstTest, CorruptBlockDetected) {
+  fs::File* file = *fs_.Create("t.sst");
+  SstBuilder builder(file, 4096, 10);
+  for (int i = 0; i < 100; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(
+        builder.Add(key, i + 1, EntryType::kPut, std::string(200, 'x')).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  // Flip a byte inside the first data block (offset 100 is data).
+  std::string page(4096, '\0');
+  ASSERT_TRUE(file->ReadAt(0, 4096, page.data()).ok());
+  page[100] ^= 0xff;
+  ASSERT_TRUE(file->WriteAt(0, page).ok());
+  auto reader = SstReader::Open(file);
+  ASSERT_TRUE(reader.ok());  // footer/index are intact
+  auto r = (*reader)->Get("k000000");
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST_F(SstTest, OpenRejectsGarbage) {
+  fs::File* file = *fs_.Create("junk");
+  ASSERT_TRUE(file->Append(std::string(8192, 'j')).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  EXPECT_TRUE(SstReader::Open(file).status().IsCorruption());
+  fs::File* tiny = *fs_.Create("tiny");
+  ASSERT_TRUE(tiny->Append("x").ok());
+  EXPECT_TRUE(SstReader::Open(tiny).status().IsCorruption());
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest() : dev_(4096, 2048), fs_(&dev_, {}) {}
+  block::MemoryBlockDevice dev_;
+  fs::SimpleFs fs_;
+};
+
+TEST_F(WalTest, WriteAndReplay) {
+  fs::File* file = *fs_.Create("wal");
+  WalWriter writer(file, 0);
+  ASSERT_TRUE(writer.Add("a", 1, EntryType::kPut, "va").ok());
+  ASSERT_TRUE(writer.Add("b", 2, EntryType::kDelete, "").ok());
+  ASSERT_TRUE(writer.Sync().ok());
+
+  std::vector<std::tuple<std::string, SequenceNumber, EntryType, std::string>>
+      got;
+  ASSERT_TRUE(ReplayWal(file, [&](std::string_view k, SequenceNumber s,
+                                  EntryType t, std::string_view v) {
+                got.emplace_back(std::string(k), s, t, std::string(v));
+              }).ok());
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(std::get<0>(got[0]), "a");
+  EXPECT_EQ(std::get<1>(got[0]), 1u);
+  EXPECT_EQ(std::get<2>(got[1]), EntryType::kDelete);
+}
+
+TEST_F(WalTest, ReplayStopsAtTornTail) {
+  fs::File* file = *fs_.Create("wal");
+  // Small writer buffer so records reach the filesystem promptly; the
+  // filesystem's own page buffering still leaves a torn tail on crash.
+  WalWriter writer(file, 0, /*buffer_bytes=*/1);
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(
+        writer.Add("k" + std::to_string(i), i + 1, EntryType::kPut,
+                   std::string(3000, 'v')).ok());
+  }
+  // No sync: simulate a crash that loses the buffered tail.
+  fs_.SimulateCrash();
+  int replayed = 0;
+  ASSERT_TRUE(ReplayWal(file, [&](std::string_view, SequenceNumber,
+                                  EntryType, std::string_view) {
+                replayed++;
+              }).ok());
+  EXPECT_LT(replayed, 10);  // the torn record and later ones are dropped
+  EXPECT_GE(replayed, 1);   // durable full pages replay fine
+}
+
+TEST_F(WalTest, BufferedRecordsLostWithoutFlush) {
+  fs::File* file = *fs_.Create("wal");
+  WalWriter writer(file, 0, /*buffer_bytes=*/64 << 10);
+  ASSERT_TRUE(writer.Add("k", 1, EntryType::kPut, "small").ok());
+  // Entirely buffered: nothing on the filesystem yet (RocksDB's unsynced
+  // WAL semantics).
+  int replayed = 0;
+  ASSERT_TRUE(ReplayWal(file, [&](std::string_view, SequenceNumber,
+                                  EntryType, std::string_view) {
+                replayed++;
+              }).ok());
+  EXPECT_EQ(replayed, 0);
+  // Sync makes it durable.
+  ASSERT_TRUE(writer.Sync().ok());
+  ASSERT_TRUE(ReplayWal(file, [&](std::string_view, SequenceNumber,
+                                  EntryType, std::string_view) {
+                replayed++;
+              }).ok());
+  EXPECT_EQ(replayed, 1);
+}
+
+TEST_F(WalTest, CorruptRecordStopsReplay) {
+  fs::File* file = *fs_.Create("wal");
+  WalWriter writer(file, 0);
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(writer.Add("key" + std::to_string(i), i + 1, EntryType::kPut,
+                           std::string(100, 'v')).ok());
+  }
+  ASSERT_TRUE(writer.Sync().ok());
+  // Corrupt the third record's payload area.
+  std::string page(4096, '\0');
+  ASSERT_TRUE(file->ReadAt(0, 4096, page.data()).ok());
+  page[260] ^= 0x01;
+  ASSERT_TRUE(file->Extend(4096).ok());
+  ASSERT_TRUE(file->WriteAt(0, page).ok());
+  int replayed = 0;
+  ASSERT_TRUE(ReplayWal(file, [&](std::string_view, SequenceNumber,
+                                  EntryType, std::string_view) {
+                replayed++;
+              }).ok());
+  EXPECT_LT(replayed, 5);
+}
+
+class VersionTest : public ::testing::Test {
+ protected:
+  VersionTest() : dev_(4096, 4096), fs_(&dev_, {}) {}
+
+  static FileMeta MakeFile(uint64_t number, const std::string& lo,
+                           const std::string& hi) {
+    FileMeta f;
+    f.number = number;
+    f.file_bytes = 1000;
+    f.num_entries = 10;
+    f.smallest = lo;
+    f.largest = hi;
+    return f;
+  }
+
+  block::MemoryBlockDevice dev_;
+  fs::SimpleFs fs_;
+};
+
+TEST_F(VersionTest, EditEncodeDecodeRoundTrip) {
+  VersionEdit edit;
+  edit.next_file_number = 42;
+  edit.last_sequence = 1234567;
+  edit.log_number = 7;
+  edit.added.emplace_back(2, MakeFile(10, "aaa", "zzz"));
+  edit.removed.emplace_back(1, 9);
+  auto decoded = VersionEdit::Decode(edit.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded->next_file_number, 42u);
+  EXPECT_EQ(*decoded->last_sequence, 1234567u);
+  EXPECT_EQ(*decoded->log_number, 7u);
+  ASSERT_EQ(decoded->added.size(), 1u);
+  EXPECT_EQ(decoded->added[0].first, 2);
+  EXPECT_EQ(decoded->added[0].second.smallest, "aaa");
+  ASSERT_EQ(decoded->removed.size(), 1u);
+  EXPECT_EQ(decoded->removed[0].second, 9u);
+}
+
+TEST_F(VersionTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(VersionEdit::Decode("\xff\xff\xff garbage").ok());
+}
+
+TEST_F(VersionTest, RecoverFreshThenPersist) {
+  {
+    VersionSet vs(&fs_, "db", 7);
+    ASSERT_TRUE(vs.Recover().ok());
+    VersionEdit edit;
+    edit.added.emplace_back(1, MakeFile(5, "a", "m"));
+    edit.added.emplace_back(1, MakeFile(6, "n", "z"));
+    edit.last_sequence = 99;
+    ASSERT_TRUE(vs.LogAndApply(edit).ok());
+    ASSERT_TRUE(vs.CheckInvariants().ok());
+  }
+  {
+    // A second VersionSet recovers the same state from disk.
+    VersionSet vs(&fs_, "db", 7);
+    ASSERT_TRUE(vs.Recover().ok());
+    EXPECT_EQ(vs.LevelFiles(1).size(), 2u);
+    EXPECT_EQ(vs.last_sequence(), 99u);
+    EXPECT_GE(vs.NewFileNumber(), 7u);  // never reuses persisted numbers
+    ASSERT_TRUE(vs.CheckInvariants().ok());
+  }
+}
+
+TEST_F(VersionTest, L0OrderedNewestFirst) {
+  VersionSet vs(&fs_, "db", 7);
+  ASSERT_TRUE(vs.Recover().ok());
+  VersionEdit edit;
+  edit.added.emplace_back(0, MakeFile(3, "a", "z"));
+  edit.added.emplace_back(0, MakeFile(8, "a", "z"));
+  edit.added.emplace_back(0, MakeFile(5, "a", "z"));
+  ASSERT_TRUE(vs.LogAndApply(edit).ok());
+  const auto& l0 = vs.LevelFiles(0);
+  ASSERT_EQ(l0.size(), 3u);
+  EXPECT_EQ(l0[0].number, 8u);
+  EXPECT_EQ(l0[1].number, 5u);
+  EXPECT_EQ(l0[2].number, 3u);
+}
+
+TEST_F(VersionTest, OverlappingQuery) {
+  VersionSet vs(&fs_, "db", 7);
+  ASSERT_TRUE(vs.Recover().ok());
+  VersionEdit edit;
+  edit.added.emplace_back(2, MakeFile(1, "a", "f"));
+  edit.added.emplace_back(2, MakeFile(2, "g", "m"));
+  edit.added.emplace_back(2, MakeFile(3, "n", "z"));
+  ASSERT_TRUE(vs.LogAndApply(edit).ok());
+  EXPECT_EQ(vs.Overlapping(2, "h", "p").size(), 2u);
+  EXPECT_EQ(vs.Overlapping(2, "aa", "b").size(), 1u);
+  EXPECT_EQ(vs.Overlapping(2, "zz", "zzz").size(), 0u);
+}
+
+TEST_F(VersionTest, RemoveFiles) {
+  VersionSet vs(&fs_, "db", 7);
+  ASSERT_TRUE(vs.Recover().ok());
+  VersionEdit add;
+  add.added.emplace_back(1, MakeFile(1, "a", "c"));
+  add.added.emplace_back(1, MakeFile(2, "d", "f"));
+  ASSERT_TRUE(vs.LogAndApply(add).ok());
+  VersionEdit rm;
+  rm.removed.emplace_back(1, 1);
+  ASSERT_TRUE(vs.LogAndApply(rm).ok());
+  ASSERT_EQ(vs.LevelFiles(1).size(), 1u);
+  EXPECT_EQ(vs.LevelFiles(1)[0].number, 2u);
+}
+
+TEST_F(VersionTest, ManifestRotationKeepsState) {
+  VersionSet vs(&fs_, "db", 7);
+  ASSERT_TRUE(vs.Recover().ok());
+  // More edits than one manifest holds (kEditsPerManifest = 512).
+  for (int i = 0; i < 600; i++) {
+    VersionEdit edit;
+    edit.added.emplace_back(
+        1, MakeFile(vs.NewFileNumber(), "k" + std::to_string(i * 2),
+                    "k" + std::to_string(i * 2 + 1)));
+    ASSERT_TRUE(vs.LogAndApply(edit).ok());
+  }
+  VersionSet fresh(&fs_, "db", 7);
+  ASSERT_TRUE(fresh.Recover().ok());
+  EXPECT_EQ(fresh.LevelFiles(1).size(), 600u);
+}
+
+TEST(LevelMathTest, TargetsGrowByRatio) {
+  LsmOptions o;
+  o.l1_target_bytes = 100;
+  o.level_size_ratio = 10;
+  EXPECT_EQ(LevelTargetBytes(o, 1), 100u);
+  EXPECT_EQ(LevelTargetBytes(o, 2), 1000u);
+  EXPECT_EQ(LevelTargetBytes(o, 4), 100000u);
+}
+
+}  // namespace
+}  // namespace ptsb::lsm

@@ -1,0 +1,50 @@
+// Unit tests for the virtual clock.
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+
+namespace ptsb::sim {
+namespace {
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock c;
+  EXPECT_EQ(c.NowNanos(), 0);
+  EXPECT_EQ(c.NowSeconds(), 0.0);
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock c;
+  c.Advance(kNanosPerSecond);
+  c.Advance(500 * kNanosPerMilli);
+  EXPECT_DOUBLE_EQ(c.NowSeconds(), 1.5);
+  EXPECT_DOUBLE_EQ(c.NowMinutes(), 1.5 / 60.0);
+}
+
+TEST(SimClockTest, AdvanceToOnlyMovesForward) {
+  SimClock c;
+  c.AdvanceTo(100);
+  EXPECT_EQ(c.NowNanos(), 100);
+  c.AdvanceTo(50);
+  EXPECT_EQ(c.NowNanos(), 100);
+  c.AdvanceTo(200);
+  EXPECT_EQ(c.NowNanos(), 200);
+}
+
+TEST(SimClockTest, Reset) {
+  SimClock c;
+  c.Advance(123);
+  c.Reset();
+  EXPECT_EQ(c.NowNanos(), 0);
+}
+
+TEST(BytesToNanosTest, MatchesBandwidthMath) {
+  // 1 MiB at 1 MiB/s = 1 second.
+  EXPECT_EQ(BytesToNanos(1u << 20, static_cast<double>(1u << 20)),
+            kNanosPerSecond);
+  // 4 KiB at 550 MB/s ~ 7.45 us.
+  EXPECT_NEAR(static_cast<double>(BytesToNanos(4096, 550e6)), 7447.0, 1.0);
+  EXPECT_EQ(BytesToNanos(0, 100.0), 0);
+}
+
+}  // namespace
+}  // namespace ptsb::sim

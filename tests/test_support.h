@@ -1,0 +1,81 @@
+// Shared test helpers: a reference model (std::map oracle) and common
+// fixtures for engine tests.
+#ifndef PTSB_TESTS_TEST_SUPPORT_H_
+#define PTSB_TESTS_TEST_SUPPORT_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "kv/kvstore.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ptsb::testing {
+
+// Oracle for property tests: mirrors every mutation applied to an engine.
+class ReferenceModel {
+ public:
+  void Put(const std::string& key, const std::string& value) {
+    map_[key] = value;
+  }
+  void Delete(const std::string& key) { map_.erase(key); }
+  std::optional<std::string> Get(const std::string& key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+  size_t size() const { return map_.size(); }
+  const std::map<std::string, std::string>& map() const { return map_; }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+// Applies `ops` random operations to both the engine and the model;
+// periodically cross-checks random keys. put_bias in [0,1], delete the rest.
+inline void RunRandomOps(kv::KVStore* store, ReferenceModel* model,
+                         Rng* rng, int ops, uint64_t key_space,
+                         size_t value_bytes, double put_bias = 0.8) {
+  for (int i = 0; i < ops; i++) {
+    const std::string key = "k" + std::to_string(rng->Uniform(key_space));
+    if (rng->Bernoulli(put_bias)) {
+      std::string value(value_bytes, '\0');
+      rng->FillBytes(value.data(), value.size());
+      ASSERT_TRUE(store->Put(key, value).ok()) << "put " << key;
+      model->Put(key, value);
+    } else {
+      const Status s = store->Delete(key);
+      ASSERT_TRUE(s.ok()) << "delete " << key << ": " << s.ToString();
+      model->Delete(key);
+    }
+    if (i % 97 == 0) {
+      const std::string probe = "k" + std::to_string(rng->Uniform(key_space));
+      std::string got;
+      const Status s = store->Get(probe, &got);
+      const auto expected = model->Get(probe);
+      if (expected.has_value()) {
+        ASSERT_TRUE(s.ok()) << "missing " << probe << " at op " << i;
+        ASSERT_EQ(got, *expected) << "wrong value for " << probe;
+      } else {
+        ASSERT_TRUE(s.IsNotFound()) << "phantom " << probe << " at op " << i;
+      }
+    }
+  }
+}
+
+// Verifies every key in the model against the engine.
+inline void VerifyAll(kv::KVStore* store, const ReferenceModel& model) {
+  for (const auto& [key, expected] : model.map()) {
+    std::string got;
+    const Status s = store->Get(key, &got);
+    ASSERT_TRUE(s.ok()) << "missing " << key << ": " << s.ToString();
+    ASSERT_EQ(got, expected) << "wrong value for " << key;
+  }
+}
+
+}  // namespace ptsb::testing
+
+#endif  // PTSB_TESTS_TEST_SUPPORT_H_
