@@ -31,8 +31,7 @@ int Main(int argc, char** argv) {
   const Variant variants[3] = {{"uniform", kv::Distribution::kUniform, 0},
                                {"zipf0.8", kv::Distribution::kZipfian, 0.8},
                                {"zipf0.99", kv::Distribution::kZipfian, 0.99}};
-  const core::EngineKind engines[2] = {core::EngineKind::kLsm,
-                                       core::EngineKind::kBtree};
+  const std::string engines[2] = {"lsm", "btree"};
 
   std::vector<core::ExperimentResult> all;
   double wad[2][3], kops[2][3], waa[2][3];
@@ -45,7 +44,7 @@ int Main(int argc, char** argv) {
       c.zipf_theta = variants[v].theta;
       c.duration_minutes = 120;
       c.collect_lba_trace = false;
-      c.name = std::string("ext-skew-") + core::EngineName(engines[e]) +
+      c.name = std::string("ext-skew-") + engines[e] +
                "-" + variants[v].tag;
       flags.Apply(&c);
       auto r = bench::MustRun(c, flags);

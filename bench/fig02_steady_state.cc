@@ -13,14 +13,14 @@
 namespace ptsb {
 namespace {
 
-core::ExperimentConfig BaseConfig(core::EngineKind engine) {
+core::ExperimentConfig BaseConfig(const std::string& engine) {
   core::ExperimentConfig c;
   c.engine = engine;
   c.initial_state = ssd::InitialState::kTrimmed;
   c.dataset_frac = 0.5;
   c.duration_minutes = 210;
   c.window_minutes = 10;
-  c.name = std::string("fig02-") + core::EngineName(engine);
+  c.name = "fig02-" + engine;
   return c;
 }
 
@@ -29,11 +29,11 @@ int Main(int argc, char** argv) {
   std::printf(
       "=== Fig. 2: steady-state vs bursty performance (trimmed SSD1) ===\n");
 
-  auto lsm_cfg = BaseConfig(core::EngineKind::kLsm);
+  auto lsm_cfg = BaseConfig("lsm");
   flags.Apply(&lsm_cfg);
   auto lsm = bench::MustRun(lsm_cfg, flags);
 
-  auto bt_cfg = BaseConfig(core::EngineKind::kBtree);
+  auto bt_cfg = BaseConfig("btree");
   flags.Apply(&bt_cfg);
   auto bt = bench::MustRun(bt_cfg, flags);
 

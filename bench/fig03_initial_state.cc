@@ -20,8 +20,7 @@ int Main(int argc, char** argv) {
       "=== Fig. 3: initial drive state (trimmed vs preconditioned) ===\n");
 
   core::ExperimentResult r[2][2];  // [engine][state]
-  const core::EngineKind engines[2] = {core::EngineKind::kLsm,
-                                       core::EngineKind::kBtree};
+  const std::string engines[2] = {"lsm", "btree"};
   const ssd::InitialState states[2] = {ssd::InitialState::kTrimmed,
                                        ssd::InitialState::kPreconditioned};
   for (int e = 0; e < 2; e++) {
@@ -30,7 +29,7 @@ int Main(int argc, char** argv) {
       c.engine = engines[e];
       c.initial_state = states[s];
       c.duration_minutes = 210;
-      c.name = std::string("fig03-") + core::EngineName(engines[e]) + "-" +
+      c.name = std::string("fig03-") + engines[e] + "-" +
                ssd::InitialStateName(states[s]);
       flags.Apply(&c);
       r[e][s] = bench::MustRun(c, flags);

@@ -14,14 +14,13 @@ int Main(int argc, char** argv) {
   std::printf("=== Fig. 4: CDF of LBA write probability ===\n");
 
   core::ExperimentResult results[2];
-  const core::EngineKind engines[2] = {core::EngineKind::kLsm,
-                                       core::EngineKind::kBtree};
+  const std::string engines[2] = {"lsm", "btree"};
   for (int e = 0; e < 2; e++) {
     core::ExperimentConfig c;
     c.engine = engines[e];
     c.duration_minutes = 210;
     c.collect_lba_trace = true;
-    c.name = std::string("fig04-") + core::EngineName(engines[e]);
+    c.name = std::string("fig04-") + engines[e];
     flags.Apply(&c);
     results[e] = bench::MustRun(c, flags);
   }

@@ -19,8 +19,7 @@ int Main(int argc, char** argv) {
   std::printf("=== Fig. 5: dataset size vs steady-state behavior ===\n");
 
   const double fracs[] = {0.25, 0.37, 0.5, 0.62};
-  const core::EngineKind engines[2] = {core::EngineKind::kLsm,
-                                       core::EngineKind::kBtree};
+  const std::string engines[2] = {"lsm", "btree"};
   const ssd::InitialState states[2] = {ssd::InitialState::kTrimmed,
                                        ssd::InitialState::kPreconditioned};
 
@@ -35,7 +34,7 @@ int Main(int argc, char** argv) {
         c.dataset_frac = fracs[f];
         c.duration_minutes = 120;
         c.collect_lba_trace = false;
-        c.name = std::string("fig05-") + core::EngineName(engines[e]) + "-" +
+        c.name = std::string("fig05-") + engines[e] + "-" +
                  ssd::InitialStateName(states[s]) + "-" +
                  std::to_string(fracs[f]).substr(0, 4);
         flags.Apply(&c);

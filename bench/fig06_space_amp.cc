@@ -19,8 +19,7 @@ int Main(int argc, char** argv) {
   std::printf("=== Fig. 6: space amplification and storage cost ===\n");
 
   const double fracs[] = {0.25, 0.37, 0.5, 0.62, 0.75, 0.88};
-  const core::EngineKind engines[2] = {core::EngineKind::kLsm,
-                                       core::EngineKind::kBtree};
+  const std::string engines[2] = {"lsm", "btree"};
   std::vector<core::ExperimentResult> all;
   double util[2][6] = {}, amp[2][6] = {}, kops[2][6] = {};
   bool oos[2][6] = {};
@@ -31,7 +30,7 @@ int Main(int argc, char** argv) {
       c.dataset_frac = fracs[f];
       c.duration_minutes = 90;
       c.collect_lba_trace = false;
-      c.name = std::string("fig06-") + core::EngineName(engines[e]) + "-" +
+      c.name = std::string("fig06-") + engines[e] + "-" +
                std::to_string(fracs[f]).substr(0, 4);
       flags.Apply(&c);
       auto r = bench::MustRun(c, flags);

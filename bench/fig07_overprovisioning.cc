@@ -16,8 +16,7 @@ int Main(int argc, char** argv) {
   if (flags.scale == 100) flags.scale = 400;
   std::printf("=== Fig. 7: software over-provisioning (OP) ===\n");
 
-  const core::EngineKind engines[2] = {core::EngineKind::kLsm,
-                                       core::EngineKind::kBtree};
+  const std::string engines[2] = {"lsm", "btree"};
   const ssd::InitialState states[2] = {ssd::InitialState::kTrimmed,
                                        ssd::InitialState::kPreconditioned};
   const double partitions[2] = {1.0, 0.75};  // no OP vs 100GB/400GB extra OP
@@ -34,7 +33,7 @@ int Main(int argc, char** argv) {
         c.dataset_frac = 0.5;  // the 200 GB dataset
         c.duration_minutes = 120;
         c.collect_lba_trace = false;
-        c.name = std::string("fig07-") + core::EngineName(engines[e]) + "-" +
+        c.name = std::string("fig07-") + engines[e] + "-" +
                  ssd::InitialStateName(states[s]) +
                  (p == 0 ? "-noOP" : "-extraOP");
         flags.Apply(&c);

@@ -26,7 +26,7 @@ int Main(int argc, char** argv) {
   for (int p = 0; p < 2; p++) {
     for (const double frac : fracs) {
       core::ExperimentConfig c;
-      c.engine = core::EngineKind::kLsm;
+      c.engine = "lsm";
       c.initial_state = ssd::InitialState::kPreconditioned;
       c.partition_frac = partitions[p];
       c.dataset_frac = frac;

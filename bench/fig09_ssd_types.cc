@@ -23,8 +23,7 @@ int Main(int argc, char** argv) {
   const ssd::ProfileKind profiles[3] = {ssd::ProfileKind::kSsd1Enterprise,
                                         ssd::ProfileKind::kSsd2ConsumerQlc,
                                         ssd::ProfileKind::kSsd3Optane};
-  const core::EngineKind engines[2] = {core::EngineKind::kLsm,
-                                       core::EngineKind::kBtree};
+  const std::string engines[2] = {"lsm", "btree"};
   std::vector<core::ExperimentResult> all;
   double kops[2][3];
   for (int e = 0; e < 2; e++) {
@@ -36,7 +35,7 @@ int Main(int argc, char** argv) {
       c.initial_state = ssd::InitialState::kTrimmed;
       c.duration_minutes = 90;
       c.collect_lba_trace = false;
-      c.name = std::string("fig09-") + core::EngineName(engines[e]) + "-" +
+      c.name = std::string("fig09-") + engines[e] + "-" +
                ssd::ProfileName(profiles[p]);
       flags.Apply(&c);
       auto r = bench::MustRun(c, flags);

@@ -17,8 +17,7 @@ int Main(int argc, char** argv) {
   const ssd::ProfileKind profiles[3] = {ssd::ProfileKind::kSsd1Enterprise,
                                         ssd::ProfileKind::kSsd2ConsumerQlc,
                                         ssd::ProfileKind::kSsd3Optane};
-  const core::EngineKind engines[2] = {core::EngineKind::kLsm,
-                                       core::EngineKind::kBtree};
+  const std::string engines[2] = {"lsm", "btree"};
   std::vector<core::ExperimentResult> all;
   double cv[2][3];
   for (int e = 0; e < 2; e++) {
@@ -31,7 +30,7 @@ int Main(int argc, char** argv) {
       c.duration_minutes = 90;
       c.window_minutes = 1;  // the paper's 1-minute averaging for this figure
       c.collect_lba_trace = false;
-      c.name = std::string("fig10-") + core::EngineName(engines[e]) + "-" +
+      c.name = std::string("fig10-") + engines[e] + "-" +
                ssd::ProfileName(profiles[p]);
       flags.Apply(&c);
       auto r = bench::MustRun(c, flags);

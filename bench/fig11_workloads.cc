@@ -27,8 +27,7 @@ int Main(int argc, char** argv) {
   };
   const Variant variants[2] = {{"128B-values", 128, 1.0},
                                {"rw50", 4000, 0.5}};
-  const core::EngineKind engines[2] = {core::EngineKind::kLsm,
-                                       core::EngineKind::kBtree};
+  const std::string engines[2] = {"lsm", "btree"};
   const ssd::InitialState states[2] = {ssd::InitialState::kTrimmed,
                                        ssd::InitialState::kPreconditioned};
 
@@ -44,7 +43,7 @@ int Main(int argc, char** argv) {
         c.duration_minutes = 120;
         c.collect_lba_trace = false;
         c.name = std::string("fig11-") + v.tag + "-" +
-                 core::EngineName(engines[e]) + "-" +
+                 engines[e] + "-" +
                  ssd::InitialStateName(states[s]);
         flags.Apply(&c);
         auto r = bench::MustRun(c, flags);

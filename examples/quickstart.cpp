@@ -1,16 +1,17 @@
 // Quickstart: build the full simulated stack (SSD -> filesystem -> engine),
-// write and read some data with both engines, and peek at the metrics the
-// paper is about (WA-A at the block layer, WA-D from SMART).
+// open both engines through the registry (kv::OpenStore), write data with
+// batched group commit, stream a range with an iterator, and peek at the
+// metrics the paper is about (WA-A at the block layer, WA-D from SMART).
 //
-//   ./build/examples/quickstart
+//   ./build/quickstart
 #include <cstdio>
 #include <memory>
 
 #include "block/iostat.h"
-#include "btree/btree_store.h"
 #include "fs/filesystem.h"
 #include "kv/kv.h"
-#include "lsm/lsm_store.h"
+#include "kv/registry.h"
+#include "kv/write_batch.h"
 #include "sim/clock.h"
 #include "ssd/precondition.h"
 #include "ssd/profiles.h"
@@ -25,10 +26,17 @@ static void Demo(const char* title, kv::KVStore* store,
   std::printf("--- %s ---\n", title);
   const auto smart0 = ssd->smart();  // measure this demo only
 
-  // Write 20k key-value pairs, update a few, delete one.
+  // Write 20k key-value pairs in batches of 64 (group commit: one WAL /
+  // journal record per batch), update a few, delete one.
+  kv::WriteBatch batch;
   for (uint64_t i = 0; i < 20'000; i++) {
-    PTSB_CHECK_OK(store->Put(kv::MakeKey(i), kv::MakeValue(i, 512)));
+    batch.Put(kv::MakeKey(i), kv::MakeValue(i, 512));
+    if (batch.Count() == 64) {
+      PTSB_CHECK_OK(store->Write(batch));
+      batch.Clear();
+    }
   }
+  if (!batch.empty()) PTSB_CHECK_OK(store->Write(batch));
   PTSB_CHECK_OK(store->Put(kv::MakeKey(7), kv::MakeValue(777, 512)));
   PTSB_CHECK_OK(store->Delete(kv::MakeKey(13)));
   PTSB_CHECK_OK(store->Flush());
@@ -40,13 +48,17 @@ static void Demo(const char* title, kv::KVStore* store,
   PTSB_CHECK(kv::VerifyValue(value)) << "payload integrity";
   PTSB_CHECK(store->Get(kv::MakeKey(13), &value).IsNotFound());
 
-  // Range scan.
-  std::vector<std::pair<std::string, std::string>> rows;
-  PTSB_CHECK_OK(store->Scan(kv::MakeKey(10), 5, &rows));
-  std::printf("scan from %s:\n", kv::MakeKey(10).c_str());
-  for (const auto& [k, v] : rows) {
-    std::printf("  %s -> %zu bytes\n", k.c_str(), v.size());
+  // Streaming range read: 5 entries from key 10 (note 13 is deleted).
+  std::printf("iterate from %s:\n", kv::MakeKey(10).c_str());
+  auto it = store->NewIterator();
+  int shown = 0;
+  for (it->Seek(kv::MakeKey(10)); it->Valid() && shown < 5; it->Next()) {
+    std::printf("  %.*s -> %zu bytes\n",
+                static_cast<int>(it->key().size()), it->key().data(),
+                it->value().size());
+    shown++;
   }
+  PTSB_CHECK_OK(it->status());
 
   // The paper's metrics.
   const auto stats = store->GetStats();
@@ -61,6 +73,9 @@ static void Demo(const char* title, kv::KVStore* store,
   std::printf("user writes: %s   host writes: %s   NAND writes: %s\n",
               HumanBytes(stats.user_bytes_written).c_str(),
               HumanBytes(io.write_bytes).c_str(), HumanBytes(nand).c_str());
+  std::printf("log bytes: %s across %llu batches (group commit)\n",
+              HumanBytes(stats.wal_bytes_written).c_str(),
+              static_cast<unsigned long long>(stats.user_batches));
   std::printf("WA-A (application) = %.2f   WA-D (device) = %.2f   "
               "end-to-end = %.2f\n",
               wa_a, wa_d, wa_a * wa_d);
@@ -79,21 +94,26 @@ int main() {
   fs::SimpleFs fs(&iostat, {});
 
   {
-    lsm::LsmOptions options;
-    options.memtable_bytes = 2 << 20;
-    options.l1_target_bytes = 8 << 20;
-    options.sst_target_bytes = 2 << 20;
+    kv::EngineOptions options;
+    options.engine = "lsm";
+    options.fs = &fs;
     options.clock = &clock;
-    auto store = *lsm::LsmStore::Open(&fs, options);
+    options.params["memtable_bytes"] = std::to_string(2 << 20);
+    options.params["l1_target_bytes"] = std::to_string(8 << 20);
+    options.params["sst_target_bytes"] = std::to_string(2 << 20);
+    auto store = *kv::OpenStore(options);
     Demo("LSM-tree engine (RocksDB-like)", store.get(), &iostat, &ssd);
     PTSB_CHECK_OK(store->Close());
   }
   iostat.ResetCounters();
   {
-    btree::BTreeOptions options;
-    options.cache_bytes = 4 << 20;
+    kv::EngineOptions options;
+    options.engine = "btree";
+    options.fs = &fs;
     options.clock = &clock;
-    auto store = *btree::BTreeStore::Open(&fs, options);
+    options.params["cache_bytes"] = std::to_string(4 << 20);
+    options.params["journal_enabled"] = "1";
+    auto store = *kv::OpenStore(options);
     Demo("B+Tree engine (WiredTiger-like)", store.get(), &iostat, &ssd);
     PTSB_CHECK_OK(store->Close());
   }

@@ -2,8 +2,7 @@
 // engine, a device profile, an initial state, a dataset size, a workload
 // mix — get the paper's metrics, windows and steady-state verdict.
 //
-//   ./build/examples/run_experiment --engine=btree --state=preconditioned \
-//       --dataset-frac=0.6 --profile=ssd2 --minutes=120 --scale=400
+//   ./build/run_experiment --engine=btree --state=preconditioned --dataset-frac=0.6 --profile=ssd2 --minutes=120 --scale=400
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,13 +20,17 @@ namespace {
 [[noreturn]] void Usage() {
   std::printf(
       "flags:\n"
-      "  --engine=lsm|btree          (default lsm)\n"
+      "  --engine=NAME               any registered engine (default lsm)\n"
+      "  --engine-param=KEY=VALUE    engine option override (repeatable)\n"
       "  --profile=ssd1|ssd2|ssd3    (default ssd1)\n"
       "  --state=trimmed|preconditioned\n"
       "  --dataset-frac=F            dataset as fraction of device (0.5)\n"
       "  --partition-frac=F          filesystem partition fraction (1.0)\n"
       "  --value-bytes=N             value size (4000)\n"
       "  --write-frac=F              write fraction of ops (1.0)\n"
+      "  --delete-frac=F             deletes among write ops (0.0)\n"
+      "  --scan-frac=F               scans among read ops (0.0)\n"
+      "  --batch-size=N              puts per write batch (1)\n"
       "  --zipf=THETA                zipfian updates (default: uniform)\n"
       "  --minutes=M                 paper-equivalent duration (210)\n"
       "  --window=M                  averaging window minutes (10)\n"
@@ -49,14 +52,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; i++) {
     const std::string a = argv[i];
     if (a.starts_with("--engine=")) {
-      const std::string v = a.substr(9);
-      if (v == "lsm") {
-        config.engine = core::EngineKind::kLsm;
-      } else if (v == "btree") {
-        config.engine = core::EngineKind::kBtree;
-      } else {
-        Usage();
-      }
+      config.engine = a.substr(9);
+      if (config.engine.empty()) Usage();
+    } else if (a.starts_with("--engine-param=")) {
+      const std::string kv_pair = a.substr(15);
+      const size_t eq = kv_pair.find('=');
+      if (eq == std::string::npos || eq == 0) Usage();
+      config.engine_params[kv_pair.substr(0, eq)] = kv_pair.substr(eq + 1);
     } else if (a.starts_with("--profile=")) {
       config.profile = ssd::ProfileFromName(a.substr(10));
     } else if (a.starts_with("--state=")) {
@@ -71,6 +73,13 @@ int main(int argc, char** argv) {
       config.value_bytes = static_cast<size_t>(ArgF(argv[i], "--value-bytes="));
     } else if (a.starts_with("--write-frac=")) {
       config.write_fraction = ArgF(argv[i], "--write-frac=");
+    } else if (a.starts_with("--delete-frac=")) {
+      config.delete_fraction = ArgF(argv[i], "--delete-frac=");
+    } else if (a.starts_with("--scan-frac=")) {
+      config.scan_fraction = ArgF(argv[i], "--scan-frac=");
+    } else if (a.starts_with("--batch-size=")) {
+      config.batch_size =
+          static_cast<size_t>(ArgF(argv[i], "--batch-size="));
     } else if (a.starts_with("--zipf=")) {
       config.distribution = kv::Distribution::kZipfian;
       config.zipf_theta = ArgF(argv[i], "--zipf=");
@@ -89,7 +98,7 @@ int main(int argc, char** argv) {
 
   std::printf("engine=%s profile=%s state=%s dataset=%.2f of device "
               "(%llu keys), partition=%.2f, scale=1/%llu\n\n",
-              core::EngineName(config.engine),
+              config.engine.c_str(),
               ssd::ProfileName(config.profile).c_str(),
               ssd::InitialStateName(config.initial_state),
               config.dataset_frac,

@@ -16,7 +16,7 @@ using namespace ptsb;
 int main(int argc, char** argv) {
   core::ExperimentConfig config;
   config.scale = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400;
-  config.engine = core::EngineKind::kLsm;
+  config.engine = "lsm";
   config.duration_minutes = 150;
   config.window_minutes = 10;
   config.name = "steady-state-monitor";

@@ -399,33 +399,60 @@ void BTreeStore::ChargeCpu(int64_t ns) const {
   if (options_.clock != nullptr) options_.clock->Advance(ns);
 }
 
-Status BTreeStore::Put(std::string_view key, std::string_view value) {
-  PTSB_CHECK(!closed_);
-  ChargeCpu(options_.cpu_put_ns);
-  stats_.user_puts++;
-  stats_.user_bytes_written += key.size() + value.size();
-  if (journal_ != nullptr && !replaying_) {
-    PTSB_RETURN_IF_ERROR(
-        journal_->Append(JournalOp::kPut, key, value));
-    stats_.wal_bytes_written += key.size() + value.size() + 16;
-  }
+Status BTreeStore::ApplyEntry(const kv::WriteBatch::Entry& entry) {
+  const std::string_view key = entry.key;
   PTSB_ASSIGN_OR_RETURN(Node* leaf, DescendToLeaf(key));
   auto it = std::lower_bound(
       leaf->items.begin(), leaf->items.end(), key,
       [](const auto& item, std::string_view k) { return item.first < k; });
-  if (it != leaf->items.end() && it->first == key) {
-    leaf->bytes += value.size();
-    leaf->bytes -= it->second.size();
-    it->second.assign(value.data(), value.size());
+  const bool present = it != leaf->items.end() && it->first == key;
+  if (entry.kind == kv::WriteBatch::EntryKind::kPut) {
+    const std::string_view value = entry.value;
+    if (present) {
+      leaf->bytes += value.size();
+      leaf->bytes -= it->second.size();
+      it->second.assign(value.data(), value.size());
+    } else {
+      leaf->items.emplace(it, std::string(key), std::string(value));
+      leaf->bytes += key.size() + value.size() + Node::kLeafItemOverhead;
+    }
   } else {
-    leaf->items.emplace(it, std::string(key), std::string(value));
-    leaf->bytes += key.size() + value.size() + Node::kLeafItemOverhead;
+    if (!present) return Status::OK();
+    leaf->bytes -= key.size() + it->second.size() + Node::kLeafItemOverhead;
+    leaf->items.erase(it);
   }
   leaf->dirty = true;
   TouchLeaf(leaf);
-  PTSB_RETURN_IF_ERROR(SplitIfNeeded(leaf));
+  return SplitIfNeeded(leaf);
+}
 
-  bytes_since_checkpoint_ += key.size() + value.size();
+Status BTreeStore::Write(const kv::WriteBatch& batch) {
+  PTSB_CHECK(!closed_);
+  if (batch.empty()) return Status::OK();
+  ChargeCpu(options_.cpu_put_ns * static_cast<int64_t>(batch.Count()));
+  stats_.user_batches++;
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    if (e.kind == kv::WriteBatch::EntryKind::kPut) {
+      stats_.user_puts++;
+      stats_.user_bytes_written += e.key.size() + e.value.size();
+    } else {
+      stats_.user_deletes++;
+      stats_.user_bytes_written += e.key.size();
+    }
+  }
+  if (journal_ != nullptr && !replaying_) {
+    // Group commit: one journal record, one crc, for the whole batch.
+    const uint64_t journal_before = journal_->bytes_written();
+    PTSB_RETURN_IF_ERROR(journal_->AppendBatch(batch));
+    stats_.wal_bytes_written += journal_->bytes_written() - journal_before;
+  }
+  // Apply all entries before any checkpoint/eviction pacing: page
+  // writebacks for the whole batch are deferred to one decision point.
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    PTSB_RETURN_IF_ERROR(ApplyEntry(e));
+  }
+
+  bytes_since_checkpoint_ += batch.ByteSize();
   if (!replaying_ &&
       bytes_since_checkpoint_ >= options_.checkpoint_every_bytes) {
     PTSB_RETURN_IF_ERROR(Checkpoint());
@@ -451,69 +478,128 @@ Status BTreeStore::Get(std::string_view key, std::string* value) {
   return result;
 }
 
-Status BTreeStore::Delete(std::string_view key) {
-  PTSB_CHECK(!closed_);
-  ChargeCpu(options_.cpu_put_ns);
-  stats_.user_deletes++;
-  stats_.user_bytes_written += key.size();
-  if (journal_ != nullptr && !replaying_) {
-    PTSB_RETURN_IF_ERROR(journal_->Append(JournalOp::kDelete, key, ""));
-    stats_.wal_bytes_written += key.size() + 16;
-  }
-  PTSB_ASSIGN_OR_RETURN(Node* leaf, DescendToLeaf(key));
-  const auto it = std::lower_bound(
-      leaf->items.begin(), leaf->items.end(), key,
-      [](const auto& item, std::string_view k) { return item.first < k; });
-  if (it != leaf->items.end() && it->first == key) {
-    leaf->bytes -= key.size() + it->second.size() + Node::kLeafItemOverhead;
-    leaf->items.erase(it);
-    leaf->dirty = true;
-    TouchLeaf(leaf);
-    bytes_since_checkpoint_ += key.size();
-  }
-  return EvictIfNeeded();
-}
+// Leaf-walking cursor: descends to the target leaf, then streams items in
+// order, hopping to the next leaf through the stack of internal-node
+// positions. The cache cap is enforced only when moving OFF a leaf (the
+// current leaf must stay resident while views into it are live); internal
+// nodes are pinned by design, so stack frames never dangle.
+class BTreeStore::Cursor : public kv::KVStore::Iterator {
+ public:
+  explicit Cursor(BTreeStore* store) : store_(store) {}
 
-Status BTreeStore::Scan(std::string_view start_key, size_t count,
-                        std::vector<std::pair<std::string, std::string>>* out) {
+  void SeekToFirst() override { Seek(""); }
+
+  void Seek(std::string_view target) override {
+    status_ = Status::OK();
+    valid_ = false;
+    stack_.clear();
+    leaf_ = nullptr;
+    item_ = 0;
+    // Enforce the cache cap before loading anything: short seek-bounded
+    // scans never reach AdvanceToNextLeaf, and without this the cursor
+    // path would grow the leaf cache without bound.
+    status_ = store_->EvictIfNeeded();
+    if (!status_.ok()) return;
+    Node* node = store_->root_.get();
+    while (!node->is_leaf) {
+      const size_t idx = node->FindChildIdx(target);
+      stack_.push_back({node, idx});
+      auto child = store_->FetchChild(node, idx);
+      if (!child.ok()) {
+        status_ = child.status();
+        return;
+      }
+      node = *child;
+    }
+    leaf_ = node;
+    const auto it = std::lower_bound(
+        leaf_->items.begin(), leaf_->items.end(), target,
+        [](const auto& item, std::string_view k) { return item.first < k; });
+    item_ = static_cast<size_t>(it - leaf_->items.begin());
+    if (item_ < leaf_->items.size()) {
+      SetCurrent();
+    } else {
+      AdvanceToNextLeaf();
+    }
+  }
+
+  bool Valid() const override { return valid_; }
+
+  void Next() override {
+    if (!valid_) return;
+    valid_ = false;
+    item_++;
+    if (item_ < leaf_->items.size()) {
+      SetCurrent();
+    } else {
+      AdvanceToNextLeaf();
+    }
+  }
+
+  std::string_view key() const override { return leaf_->items[item_].first; }
+  std::string_view value() const override {
+    return leaf_->items[item_].second;
+  }
+  Status status() const override { return status_; }
+
+ private:
+  struct Frame {
+    Node* node;  // internal node (never cache-evicted)
+    size_t idx;  // child currently being explored
+  };
+
+  void SetCurrent() {
+    valid_ = true;
+    store_->stats_.user_bytes_read +=
+        leaf_->items[item_].first.size() + leaf_->items[item_].second.size();
+  }
+
+  void AdvanceToNextLeaf() {
+    leaf_ = nullptr;
+    item_ = 0;
+    // Off the previous leaf: the only safe point to enforce the cache cap.
+    status_ = store_->EvictIfNeeded();
+    while (status_.ok() && !stack_.empty()) {
+      Frame& top = stack_.back();
+      top.idx++;
+      if (top.idx >= top.node->children.size()) {
+        stack_.pop_back();
+        continue;
+      }
+      // Descend the leftmost path under the next sibling.
+      Node* node = top.node;
+      size_t idx = top.idx;
+      for (;;) {
+        auto child = store_->FetchChild(node, idx);
+        if (!child.ok()) {
+          status_ = child.status();
+          return;
+        }
+        node = *child;
+        if (node->is_leaf) break;
+        stack_.push_back({node, 0});
+        idx = 0;
+      }
+      if (node->items.empty()) continue;  // deletes can leave empty leaves
+      leaf_ = node;
+      item_ = 0;
+      SetCurrent();
+      return;
+    }
+  }
+
+  BTreeStore* store_;
+  std::vector<Frame> stack_;
+  Node* leaf_ = nullptr;
+  size_t item_ = 0;
+  bool valid_ = false;
+  Status status_;
+};
+
+std::unique_ptr<kv::KVStore::Iterator> BTreeStore::NewIterator() {
   PTSB_CHECK(!closed_);
   stats_.user_scans++;
-  out->clear();
-  // Iterative DFS over (node, next child index) to bound native recursion.
-  struct Frame {
-    Node* node;
-    size_t idx;
-  };
-  std::vector<Frame> stack;
-  stack.push_back({root_.get(), 0});
-  if (!root_->is_leaf) {
-    stack.back().idx = root_->FindChildIdx(start_key);
-  }
-  while (!stack.empty() && out->size() < count) {
-    Frame& top = stack.back();
-    if (top.node->is_leaf) {
-      auto it = std::lower_bound(
-          top.node->items.begin(), top.node->items.end(), start_key,
-          [](const auto& item, std::string_view k) { return item.first < k; });
-      for (; it != top.node->items.end() && out->size() < count; ++it) {
-        out->push_back(*it);
-        stats_.user_bytes_read += it->first.size() + it->second.size();
-      }
-      stack.pop_back();
-      PTSB_RETURN_IF_ERROR(EvictIfNeeded());
-      continue;
-    }
-    if (top.idx >= top.node->children.size()) {
-      stack.pop_back();
-      continue;
-    }
-    PTSB_ASSIGN_OR_RETURN(Node* child, FetchChild(top.node, top.idx));
-    top.idx++;
-    size_t child_start = 0;
-    if (!child->is_leaf) child_start = child->FindChildIdx(start_key);
-    stack.push_back({child, child_start});
-  }
-  return EvictIfNeeded();
+  return std::make_unique<Cursor>(this);
 }
 
 Status BTreeStore::Flush() {
@@ -589,6 +675,61 @@ Status BTreeStore::CheckSubtree(Node* node, int depth, int expect_depth,
     PTSB_RETURN_IF_ERROR(CheckSubtree(child, depth + 1, expect_depth, bound));
   }
   return Status::OK();
+}
+
+namespace {
+
+BTreeOptions BTreeOptionsFromEngineOptions(const kv::EngineOptions& eo) {
+  BTreeOptions o;
+  o.leaf_max_bytes = kv::ParamUint64(eo, "leaf_max_bytes", o.leaf_max_bytes);
+  o.internal_max_bytes =
+      kv::ParamUint64(eo, "internal_max_bytes", o.internal_max_bytes);
+  o.cache_bytes = kv::ParamUint64(eo, "cache_bytes", o.cache_bytes);
+  o.checkpoint_every_bytes = kv::ParamUint64(eo, "checkpoint_every_bytes",
+                                             o.checkpoint_every_bytes);
+  o.journal_enabled =
+      kv::ParamBool(eo, "journal_enabled", o.journal_enabled);
+  o.journal_sync_every_bytes = kv::ParamUint64(
+      eo, "journal_sync_every_bytes", o.journal_sync_every_bytes);
+  o.reuse_freed_blocks =
+      kv::ParamBool(eo, "reuse_freed_blocks", o.reuse_freed_blocks);
+  o.file_grow_bytes =
+      kv::ParamUint64(eo, "file_grow_bytes", o.file_grow_bytes);
+  o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
+  o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
+  o.clock = eo.clock;
+  return o;
+}
+
+}  // namespace
+
+void RegisterBTreeEngine() {
+  kv::EngineRegistry::Global().Register(
+      "btree",
+      [](const kv::EngineOptions& eo)
+          -> StatusOr<std::unique_ptr<kv::KVStore>> {
+        auto opened =
+            BTreeStore::Open(eo.fs, BTreeOptionsFromEngineOptions(eo),
+                             eo.root.empty() ? "btree/tree.db" : eo.root);
+        if (!opened.ok()) return opened.status();
+        return std::unique_ptr<kv::KVStore>(std::move(*opened));
+      });
+}
+
+std::map<std::string, std::string> EncodeEngineParams(const BTreeOptions& o) {
+  std::map<std::string, std::string> p;
+  p["leaf_max_bytes"] = std::to_string(o.leaf_max_bytes);
+  p["internal_max_bytes"] = std::to_string(o.internal_max_bytes);
+  p["cache_bytes"] = std::to_string(o.cache_bytes);
+  p["checkpoint_every_bytes"] = std::to_string(o.checkpoint_every_bytes);
+  p["journal_enabled"] = o.journal_enabled ? "1" : "0";
+  p["journal_sync_every_bytes"] =
+      std::to_string(o.journal_sync_every_bytes);
+  p["reuse_freed_blocks"] = o.reuse_freed_blocks ? "1" : "0";
+  p["file_grow_bytes"] = std::to_string(o.file_grow_bytes);
+  p["cpu_put_ns"] = std::to_string(o.cpu_put_ns);
+  p["cpu_get_ns"] = std::to_string(o.cpu_get_ns);
+  return p;
 }
 
 Status BTreeStore::CheckStructure() {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "btree/options.h"
 #include "fs/filesystem.h"
 #include "kv/kvstore.h"
+#include "kv/registry.h"
 
 namespace ptsb::btree {
 
@@ -28,12 +30,15 @@ class BTreeStore : public kv::KVStore {
       std::string file_name = "btree/tree.db");
   ~BTreeStore() override;
 
-  // kv::KVStore interface.
-  Status Put(std::string_view key, std::string_view value) override;
+  // kv::KVStore interface. Write is the group-commit path: one journal
+  // record for the whole batch, then all leaf updates applied with page
+  // writebacks deferred (dirty pages sit in the cache; checkpoint/evict
+  // pacing runs once per batch).
+  Status Write(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
-  Status Delete(std::string_view key) override;
-  Status Scan(std::string_view start_key, size_t count,
-              std::vector<std::pair<std::string, std::string>>* out) override;
+  // Leaf-walking cursor in key order. Invalidated by any write to the
+  // store (splits and evictions move items between pages).
+  std::unique_ptr<kv::KVStore::Iterator> NewIterator() override;
   Status Flush() override;  // checkpoint
   Status Close() override;
   kv::KvStoreStats GetStats() const override { return stats_; }
@@ -48,8 +53,13 @@ class BTreeStore : public kv::KVStore {
   Status CheckStructure();
 
  private:
+  class Cursor;
+
   BTreeStore(fs::SimpleFs* fs, const BTreeOptions& options,
              std::string file_name);
+
+  // Applies one batch entry to its leaf (insert/overwrite/erase + split).
+  Status ApplyEntry(const kv::WriteBatch::Entry& entry);
 
   Status Recover();
   StatusOr<std::unique_ptr<Node>> ReadNode(const BlockAddr& addr);
@@ -102,6 +112,17 @@ class BTreeStore : public kv::KVStore {
   bool in_checkpoint_ = false;
   bool closed_ = false;
 };
+
+// Registers the "btree" engine factory with kv::EngineRegistry. Recognized
+// params mirror BTreeOptions field names (e.g. "cache_bytes",
+// "journal_enabled"); the factory starts from default BTreeOptions and
+// applies overrides.
+void RegisterBTreeEngine();
+
+// Encodes every numeric/bool BTreeOptions field into an EngineOptions
+// param map (the inverse of what the factory parses); the clock is
+// carried by EngineOptions itself, not the map.
+std::map<std::string, std::string> EncodeEngineParams(const BTreeOptions& o);
 
 }  // namespace ptsb::btree
 

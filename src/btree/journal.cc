@@ -1,6 +1,7 @@
 #include "btree/journal.h"
 
 #include <string>
+#include <vector>
 
 #include "util/crc32.h"
 #include "util/encoding.h"
@@ -10,17 +11,41 @@ namespace ptsb::btree {
 JournalWriter::JournalWriter(fs::File* file, uint64_t sync_every_bytes)
     : file_(file), sync_every_bytes_(sync_every_bytes) {}
 
+namespace {
+
+void AppendTuple(std::string* payload, JournalOp op, std::string_view key,
+                 std::string_view value) {
+  payload->push_back(static_cast<char>(op));
+  PutLengthPrefixed(payload, key);
+  PutLengthPrefixed(payload, value);
+}
+
+}  // namespace
+
 Status JournalWriter::Append(JournalOp op, std::string_view key,
                              std::string_view value) {
   std::string payload;
-  payload.push_back(static_cast<char>(op));
-  PutLengthPrefixed(&payload, key);
-  PutLengthPrefixed(&payload, value);
+  AppendTuple(&payload, op, key, value);
+  return EmitRecord(payload);
+}
 
+Status JournalWriter::AppendBatch(const kv::WriteBatch& batch) {
+  std::string payload;
+  payload.reserve(batch.ByteSize() + batch.Count() * 11);
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    const JournalOp op = e.kind == kv::WriteBatch::EntryKind::kPut
+                             ? JournalOp::kPut
+                             : JournalOp::kDelete;
+    AppendTuple(&payload, op, e.key, e.value);
+  }
+  return EmitRecord(payload);
+}
+
+Status JournalWriter::EmitRecord(std::string_view payload) {
   std::string record;
   PutFixed32(&record, MaskCrc(Crc32c(payload)));
   PutVarint32(&record, static_cast<uint32_t>(payload.size()));
-  record += payload;
+  record.append(payload.data(), payload.size());
   PTSB_RETURN_IF_ERROR(file_->Append(record));
   bytes_written_ += record.size();
   if (sync_every_bytes_ > 0) {
@@ -55,15 +80,30 @@ Status ReplayJournal(
     }
     const std::string_view payload = record.substr(0, len);
     if (UnmaskCrc(crc) != Crc32c(payload)) break;
+    // One tuple per batched operation (group commit); legacy single-op
+    // records are one-tuple batches. Parse the whole record before
+    // applying anything: a batch must replay atomically, never as a
+    // prefix.
+    struct ParsedTuple {
+      JournalOp op;
+      std::string_view key;
+      std::string_view value;
+    };
+    std::vector<ParsedTuple> tuples;
     std::string_view p = payload;
-    if (p.empty()) break;
-    const auto op = static_cast<JournalOp>(p[0]);
-    p.remove_prefix(1);
-    std::string_view key, value;
-    if (!GetLengthPrefixed(&p, &key) || !GetLengthPrefixed(&p, &value)) {
-      break;
+    bool parsed_ok = !p.empty();
+    while (!p.empty()) {
+      const auto op = static_cast<JournalOp>(p[0]);
+      p.remove_prefix(1);
+      std::string_view key, value;
+      if (!GetLengthPrefixed(&p, &key) || !GetLengthPrefixed(&p, &value)) {
+        parsed_ok = false;
+        break;
+      }
+      tuples.push_back({op, key, value});
     }
-    fn(op, key, value);
+    if (!parsed_ok) break;
+    for (const ParsedTuple& t : tuples) fn(t.op, t.key, t.value);
     in = record.substr(len);
   }
   return Status::OK();

@@ -1,6 +1,11 @@
 // Optional write-ahead journal for the B+Tree (WiredTiger's logging).
 // Disabled by default to match the paper's standalone-WiredTiger setup;
 // enabling it trades extra writes for durability between checkpoints.
+//
+// Record format: fixed32 masked-crc | varint32 len | payload, where the
+// payload holds one (op, key, value) tuple per batched operation. A
+// single-op Append is a one-tuple batch, so legacy records replay
+// unchanged; batched appends pay the framing once (group commit).
 #ifndef PTSB_BTREE_JOURNAL_H_
 #define PTSB_BTREE_JOURNAL_H_
 
@@ -9,6 +14,7 @@
 #include <string_view>
 
 #include "fs/file.h"
+#include "kv/write_batch.h"
 #include "util/status.h"
 
 namespace ptsb::btree {
@@ -20,11 +26,15 @@ class JournalWriter {
   JournalWriter(fs::File* file, uint64_t sync_every_bytes);
 
   Status Append(JournalOp op, std::string_view key, std::string_view value);
+  // Appends the whole batch as ONE record (group commit).
+  Status AppendBatch(const kv::WriteBatch& batch);
   Status Sync();
 
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
+  Status EmitRecord(std::string_view payload);
+
   fs::File* file_;
   uint64_t sync_every_bytes_;
   uint64_t bytes_written_ = 0;

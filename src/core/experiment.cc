@@ -4,6 +4,8 @@
 
 #include "btree/btree_store.h"
 #include "core/steady_state.h"
+#include "kv/registry.h"
+#include "kv/write_batch.h"
 #include "lsm/lsm_store.h"
 #include "util/histogram.h"
 #include "util/human.h"
@@ -11,12 +13,7 @@
 
 namespace ptsb::core {
 
-const char* EngineName(EngineKind kind) {
-  return kind == EngineKind::kLsm ? "rocksdb-like-lsm" : "wiredtiger-like-btree";
-}
-
-lsm::LsmOptions ScaledLsmOptions(const ExperimentConfig& config,
-                                 sim::SimClock* clock) {
+lsm::LsmOptions ScaledLsmOptions(const ExperimentConfig& config) {
   lsm::LsmOptions o;
   const uint64_t s = config.scale;
   o.memtable_bytes = std::max<uint64_t>((64ull << 20) / s, 64 << 10);
@@ -24,13 +21,10 @@ lsm::LsmOptions ScaledLsmOptions(const ExperimentConfig& config,
   o.sst_target_bytes = std::max<uint64_t>((64ull << 20) / s, 64 << 10);
   o.block_bytes = 4096;          // unscaled: device page granularity
   o.bloom_bits_per_key = 10;
-  o.clock = clock;
-  if (config.lsm_tweak) config.lsm_tweak(&o);
   return o;
 }
 
-btree::BTreeOptions ScaledBTreeOptions(const ExperimentConfig& config,
-                                       sim::SimClock* clock) {
+btree::BTreeOptions ScaledBTreeOptions(const ExperimentConfig& config) {
   btree::BTreeOptions o;
   const uint64_t s = config.scale;
   o.leaf_max_bytes = 32 << 10;   // unscaled page sizes
@@ -38,8 +32,6 @@ btree::BTreeOptions ScaledBTreeOptions(const ExperimentConfig& config,
   o.cache_bytes = std::max<uint64_t>((10ull << 20) / s, 4 * o.leaf_max_bytes);
   o.checkpoint_every_bytes = std::max<uint64_t>((256ull << 20) / s, 1 << 20);
   o.file_grow_bytes = std::max<uint64_t>((64ull << 20) / s, 1 << 20);
-  o.clock = clock;
-  if (config.btree_tweak) config.btree_tweak(&o);
   return o;
 }
 
@@ -93,17 +85,23 @@ Status BuildStack(const ExperimentConfig& config, Stack* stack) {
 
   stack->fs = std::make_unique<fs::SimpleFs>(stack->partition.get(),
                                              ScaledFsOptions(config));
-  if (config.engine == EngineKind::kLsm) {
-    PTSB_ASSIGN_OR_RETURN(
-        stack->store,
-        lsm::LsmStore::Open(stack->fs.get(),
-                            ScaledLsmOptions(config, &stack->clock)));
-  } else {
-    PTSB_ASSIGN_OR_RETURN(
-        stack->store,
-        btree::BTreeStore::Open(stack->fs.get(),
-                                ScaledBTreeOptions(config, &stack->clock)));
+
+  // Registry-driven engine construction: scaled defaults for the built-in
+  // engines, then the caller's overrides, then kv::OpenStore by name.
+  kv::EngineOptions engine_options;
+  engine_options.engine = config.engine;
+  engine_options.fs = stack->fs.get();
+  engine_options.clock = &stack->clock;
+  if (config.engine == "lsm") {
+    engine_options.params = lsm::EncodeEngineParams(ScaledLsmOptions(config));
+  } else if (config.engine == "btree") {
+    engine_options.params =
+        btree::EncodeEngineParams(ScaledBTreeOptions(config));
   }
+  for (const auto& [key, value] : config.engine_params) {
+    engine_options.params[key] = value;
+  }
+  PTSB_ASSIGN_OR_RETURN(stack->store, kv::OpenStore(engine_options));
   return Status::OK();
 }
 
@@ -126,6 +124,10 @@ StatusOr<ExperimentResult> RunExperiment(
   spec.key_bytes = config.key_bytes;
   spec.value_bytes = config.value_bytes;
   spec.write_fraction = config.write_fraction;
+  spec.delete_fraction = config.delete_fraction;
+  spec.scan_fraction = config.scan_fraction;
+  spec.batch_size = std::max<size_t>(1, config.batch_size);
+  spec.scan_count = config.scan_count;
   spec.distribution = config.distribution;
   spec.zipf_theta = config.zipf_theta;
   spec.seed = config.seed;
@@ -178,26 +180,74 @@ StatusOr<ExperimentResult> RunExperiment(
 
   Histogram op_latency;  // per-window, in virtual nanoseconds
   std::string read_value;
+  kv::WriteBatch batch;
   while (stack.clock.NowMinutes() - t0_min < duration_sim_min &&
          !result.ran_out_of_space) {
     const int64_t op_start_ns = stack.clock.NowNanos();
     const kv::Op op = gen.Next();
-    if (op.type == kv::Op::Type::kPut) {
-      const Status s = stack.store->Put(
-          gen.KeyFor(op.key_id),
-          kv::MakeValue(op.value_seed, spec.value_bytes));
-      if (s.IsNoSpace()) {
-        result.ran_out_of_space = true;
+    uint64_t ops_done = 1;
+    switch (op.type) {
+      case kv::Op::Type::kPut: {
+        const Status s = stack.store->Put(
+            gen.KeyFor(op.key_id),
+            kv::MakeValue(op.value_seed, spec.value_bytes));
+        if (s.IsNoSpace()) {
+          result.ran_out_of_space = true;
+        } else {
+          PTSB_RETURN_IF_ERROR(s);
+        }
         break;
       }
-      PTSB_RETURN_IF_ERROR(s);
-    } else {
-      const Status s = stack.store->Get(gen.KeyFor(op.key_id), &read_value);
-      if (!s.ok() && !s.IsNotFound()) return s;
+      case kv::Op::Type::kBatchPut: {
+        batch.Clear();
+        batch.Put(gen.KeyFor(op.key_id),
+                  kv::MakeValue(op.value_seed, spec.value_bytes));
+        for (size_t j = 1; j < spec.batch_size; j++) {
+          batch.Put(gen.KeyFor(gen.NextKeyId()),
+                    kv::MakeValue(gen.NextValueSeed(), spec.value_bytes));
+        }
+        const Status s = stack.store->Write(batch);
+        if (s.IsNoSpace()) {
+          result.ran_out_of_space = true;
+        } else {
+          PTSB_RETURN_IF_ERROR(s);
+        }
+        ops_done = batch.Count();
+        break;
+      }
+      case kv::Op::Type::kDelete: {
+        const Status s = stack.store->Delete(gen.KeyFor(op.key_id));
+        if (s.IsNoSpace()) {
+          result.ran_out_of_space = true;
+        } else {
+          PTSB_RETURN_IF_ERROR(s);
+        }
+        break;
+      }
+      case kv::Op::Type::kGet: {
+        const Status s = stack.store->Get(gen.KeyFor(op.key_id), &read_value);
+        if (!s.ok() && !s.IsNotFound()) return s;
+        break;
+      }
+      case kv::Op::Type::kScan: {
+        auto it = stack.store->NewIterator();
+        size_t seen = 0;
+        for (it->Seek(gen.KeyFor(op.key_id));
+             it->Valid() && seen < spec.scan_count; it->Next()) {
+          seen++;
+        }
+        PTSB_RETURN_IF_ERROR(it->status());
+        break;
+      }
     }
-    result.update_ops++;
+    if (result.ran_out_of_space) break;
+    result.update_ops += ops_done;
+    // Per-entry latency: a batch is one submission covering ops_done
+    // entries, so divide its elapsed time to keep the histogram in the
+    // same per-op units as kv_kops.
     op_latency.Record(
-        static_cast<uint64_t>(stack.clock.NowNanos() - op_start_ns));
+        static_cast<uint64_t>(stack.clock.NowNanos() - op_start_ns) /
+        std::max<uint64_t>(1, ops_done));
 
     // Window boundary?
     const double now_min = stack.clock.NowMinutes();

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,9 +34,6 @@
 
 namespace ptsb::core {
 
-enum class EngineKind { kLsm, kBtree };
-const char* EngineName(EngineKind kind);
-
 struct ExperimentConfig {
   std::string name = "experiment";
   uint64_t scale = 100;  // divide all paper-scale sizes by this
@@ -54,23 +52,32 @@ struct ExperimentConfig {
   size_t key_bytes = 16;
   size_t value_bytes = 4000;
 
-  // Update phase.
+  // Update phase. batch_size > 1 groups puts into one KVStore::Write
+  // (group commit); delete_fraction carves deletes out of the write ops;
+  // scan_fraction carves scan_count-entry range scans out of the reads.
   double write_fraction = 1.0;
+  double delete_fraction = 0.0;
+  double scan_fraction = 0.0;
+  size_t batch_size = 1;
+  size_t scan_count = 100;
   kv::Distribution distribution = kv::Distribution::kUniform;
   double zipf_theta = 0.99;  // used when distribution is zipfian
   double duration_minutes = 210;  // paper-equivalent minutes
   double window_minutes = 10;
 
-  EngineKind engine = EngineKind::kLsm;
+  // Engine selection: a kv::EngineRegistry name plus option overrides.
+  // For the built-in "lsm"/"btree" engines the driver first fills the
+  // scaled defaults (ScaledLsmOptions / ScaledBTreeOptions below), then
+  // applies engine_params on top, so any registered engine — including
+  // out-of-tree ones — is configured the same way.
+  std::string engine = "lsm";
+  std::map<std::string, std::string> engine_params;
+
   bool collect_lba_trace = true;
   uint64_t seed = 42;
 
   // Filesystem behavior (paper: ext4 with nodiscard).
   bool fs_nodiscard = true;
-
-  // Optional hooks to tweak engine options beyond the scaled defaults.
-  std::function<void(lsm::LsmOptions*)> lsm_tweak;
-  std::function<void(btree::BTreeOptions*)> btree_tweak;
 
   // Derived values (after scaling).
   uint64_t ScaledDeviceBytes() const { return device_bytes / scale; }
@@ -118,11 +125,10 @@ StatusOr<ExperimentResult> RunExperiment(
     const ExperimentConfig& config,
     const std::function<void(const std::string&)>& progress = nullptr);
 
-// Scaled engine option defaults (exposed for tests and examples).
-lsm::LsmOptions ScaledLsmOptions(const ExperimentConfig& config,
-                                 sim::SimClock* clock);
-btree::BTreeOptions ScaledBTreeOptions(const ExperimentConfig& config,
-                                       sim::SimClock* clock);
+// Scaled engine option defaults (exposed for tests and examples). The
+// clock is attached by the engine factory via kv::EngineOptions, not here.
+lsm::LsmOptions ScaledLsmOptions(const ExperimentConfig& config);
+btree::BTreeOptions ScaledBTreeOptions(const ExperimentConfig& config);
 fs::FsOptions ScaledFsOptions(const ExperimentConfig& config);
 
 }  // namespace ptsb::core

@@ -61,7 +61,7 @@ std::string SteadySummaryCsv(const std::vector<ExperimentResult>& results) {
     out += StrPrintf(
         "%s,%s,%s,%s,%.3f,%.3f,%zu,%.2f,%.3f,%.1f,%.2f,%.3f,%.2f,%.4f,%.3f,"
         "%.3f,%d,%.3f\n",
-        r.config.name.c_str(), EngineName(r.config.engine),
+        r.config.name.c_str(), r.config.engine.c_str(),
         ssd::ProfileName(r.config.profile).c_str(),
         ssd::InitialStateName(r.config.initial_state), r.config.dataset_frac,
         r.config.partition_frac, r.config.value_bytes,

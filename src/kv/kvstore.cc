@@ -1,0 +1,15 @@
+#include "kv/kvstore.h"
+
+namespace ptsb::kv {
+
+Status KVStore::Scan(std::string_view start_key, size_t count,
+                     std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  std::unique_ptr<Iterator> it = NewIterator();
+  for (it->Seek(start_key); it->Valid() && out->size() < count; it->Next()) {
+    out->emplace_back(std::string(it->key()), std::string(it->value()));
+  }
+  return it->status();
+}
+
+}  // namespace ptsb::kv

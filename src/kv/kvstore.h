@@ -1,27 +1,56 @@
-// The engine-neutral key-value store interface. LsmStore (RocksDB-like) and
-// BTreeStore (WiredTiger-like) implement it; the experiment driver and the
-// examples program against it.
+// The engine-neutral key-value store interface. LsmStore (RocksDB-like)
+// and BTreeStore (WiredTiger-like) implement it; the experiment driver,
+// the benches and the examples program against it.
+//
+// The API has three pillars:
+//
+//  1. Batched writes. Write(const WriteBatch&) is the primary mutation
+//     path: the engine persists the whole batch under a single WAL or
+//     journal record (group commit), then applies the entries in order.
+//     Put and Delete are thin one-entry convenience wrappers over Write —
+//     correct, but paying the full per-record log overhead each call.
+//
+//  2. Streaming reads. NewIterator() returns a cursor (Seek / Valid /
+//     Next / key / value) that walks the store in ascending key order
+//     without materializing results: a merging iterator over
+//     memtable + SSTs in the LSM, a leaf-walking cursor in the B+Tree.
+//     An iterator observes the store as of its creation and is
+//     invalidated by writes (no snapshot pinning, like a RocksDB
+//     iterator without a snapshot); create, consume, discard.
+//     Scan(start, count, out) remains as a deprecated shim over
+//     NewIterator() for callers mid-migration.
+//
+//  3. Registry construction. Engines self-register by name ("lsm",
+//     "btree") in kv::EngineRegistry; callers build stores through
+//     kv::OpenStore(EngineOptions) with a string name + option map
+//     instead of linking against a concrete engine type (see
+//     kv/registry.h).
 #ifndef PTSB_KV_KVSTORE_H_
 #define PTSB_KV_KVSTORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "kv/write_batch.h"
 #include "util/status.h"
 
 namespace ptsb::kv {
 
 // Engine-side write accounting (application-level write breakdown). The
 // paper's WA-A is measured at the block layer (host bytes / user bytes);
-// these counters let benches attribute it to engine mechanisms.
+// these counters let benches attribute it to engine mechanisms. Under
+// group commit, wal_bytes_written grows sub-linearly with batch size:
+// record framing is paid once per batch, not once per entry.
 struct KvStoreStats {
   uint64_t user_puts = 0;
   uint64_t user_gets = 0;
   uint64_t user_deletes = 0;
-  uint64_t user_scans = 0;
+  uint64_t user_scans = 0;   // iterators created (incl. via the Scan shim)
+  uint64_t user_batches = 0; // Write calls (Put/Delete count as size-1)
   uint64_t user_bytes_written = 0;  // sum of key+value sizes put
   uint64_t user_bytes_read = 0;
 
@@ -47,15 +76,57 @@ struct KvStoreStats {
 
 class KVStore {
  public:
+  // Streaming cursor over the store in ascending key order. Deleted keys
+  // are skipped; each user key surfaces once (newest version). After
+  // construction the cursor is unpositioned: call Seek or SeekToFirst
+  // first. If an I/O error occurs the cursor becomes !Valid() and
+  // status() holds the error (end-of-data leaves status() OK).
+  class Iterator {
+   public:
+    virtual ~Iterator() = default;
+
+    virtual void SeekToFirst() = 0;
+    // Positions at the first live key >= target.
+    virtual void Seek(std::string_view target) = 0;
+    virtual bool Valid() const = 0;
+    virtual void Next() = 0;
+
+    // Valid only while Valid() is true and until the next move.
+    virtual std::string_view key() const = 0;
+    virtual std::string_view value() const = 0;
+
+    virtual Status status() const = 0;
+  };
+
   virtual ~KVStore() = default;
 
-  virtual Status Put(std::string_view key, std::string_view value) = 0;
-  virtual Status Get(std::string_view key, std::string* value) = 0;
-  virtual Status Delete(std::string_view key) = 0;
+  // Primary mutation path: applies all entries atomically with respect to
+  // logging (one WAL/journal record for the whole batch).
+  virtual Status Write(const WriteBatch& batch) = 0;
 
-  // Collects up to `count` pairs with key >= start_key in ascending order.
-  virtual Status Scan(std::string_view start_key, size_t count,
-                      std::vector<std::pair<std::string, std::string>>* out) = 0;
+  // One-entry conveniences over Write.
+  Status Put(std::string_view key, std::string_view value) {
+    WriteBatch batch;
+    batch.Put(key, value);
+    return Write(batch);
+  }
+  Status Delete(std::string_view key) {
+    WriteBatch batch;
+    batch.Delete(key);
+    return Write(batch);
+  }
+
+  virtual Status Get(std::string_view key, std::string* value) = 0;
+
+  // The streaming read path. Never returns null; a failed setup yields an
+  // iterator whose status() carries the error.
+  virtual std::unique_ptr<Iterator> NewIterator() = 0;
+
+  // DEPRECATED migration shim: collects up to `count` pairs with
+  // key >= start_key via NewIterator(). New code should hold the iterator
+  // directly and stream.
+  Status Scan(std::string_view start_key, size_t count,
+              std::vector<std::pair<std::string, std::string>>* out);
 
   // Forces all buffered state to stable storage (memtable flush or
   // checkpoint), e.g. before measuring space, or before Close.

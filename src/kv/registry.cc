@@ -1,0 +1,129 @@
+#include "kv/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ptsb::kv {
+
+namespace {
+
+// A malformed override would otherwise silently fall back to the default
+// and run the whole experiment with the wrong configuration.
+void WarnUnparsable(const std::string& key, const std::string& raw,
+                    const char* expected) {
+  std::fprintf(stderr,
+               "ptsb: ignoring unparsable engine param %s=\"%s\" "
+               "(expected %s); using the default\n",
+               key.c_str(), raw.c_str(), expected);
+}
+
+}  // namespace
+
+EngineRegistry& EngineRegistry::Global() {
+  static EngineRegistry* registry = new EngineRegistry();
+  return *registry;
+}
+
+void EngineRegistry::Register(const std::string& name,
+                              EngineFactory factory) {
+  factories_[name] = std::move(factory);
+}
+
+bool EngineRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+StatusOr<std::unique_ptr<KVStore>> EngineRegistry::Open(
+    const EngineOptions& options) const {
+  if (options.fs == nullptr) {
+    return Status::InvalidArgument("EngineOptions.fs is required");
+  }
+  const auto it = factories_.find(options.engine);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& name : Names()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::InvalidArgument("unknown engine \"" + options.engine +
+                                   "\" (registered: " + known + ")");
+  }
+  return it->second(options);
+}
+
+StatusOr<std::unique_ptr<KVStore>> OpenStore(const EngineOptions& options) {
+  RegisterBuiltinEngines();
+  return EngineRegistry::Global().Open(options);
+}
+
+namespace {
+
+const std::string* FindParam(const EngineOptions& options,
+                             const std::string& key) {
+  const auto it = options.params.find(key);
+  return it == options.params.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+uint64_t ParamUint64(const EngineOptions& options, const std::string& key,
+                     uint64_t def) {
+  const std::string* raw = FindParam(options, key);
+  if (raw == nullptr) return def;
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(raw->c_str(), &end, 10);
+  if (end == raw->c_str() || *end != '\0') {
+    WarnUnparsable(key, *raw, "unsigned integer");
+    return def;
+  }
+  return v;
+}
+
+int64_t ParamInt64(const EngineOptions& options, const std::string& key,
+                   int64_t def) {
+  const std::string* raw = FindParam(options, key);
+  if (raw == nullptr) return def;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(raw->c_str(), &end, 10);
+  if (end == raw->c_str() || *end != '\0') {
+    WarnUnparsable(key, *raw, "integer");
+    return def;
+  }
+  return v;
+}
+
+int ParamInt(const EngineOptions& options, const std::string& key, int def) {
+  return static_cast<int>(ParamInt64(options, key, def));
+}
+
+double ParamDouble(const EngineOptions& options, const std::string& key,
+                   double def) {
+  const std::string* raw = FindParam(options, key);
+  if (raw == nullptr) return def;
+  char* end = nullptr;
+  const double v = std::strtod(raw->c_str(), &end);
+  if (end == raw->c_str() || *end != '\0') {
+    WarnUnparsable(key, *raw, "number");
+    return def;
+  }
+  return v;
+}
+
+bool ParamBool(const EngineOptions& options, const std::string& key,
+               bool def) {
+  const std::string* raw = FindParam(options, key);
+  if (raw == nullptr) return def;
+  if (*raw == "1" || *raw == "true") return true;
+  if (*raw == "0" || *raw == "false") return false;
+  WarnUnparsable(key, *raw, "1/0/true/false");
+  return def;
+}
+
+}  // namespace ptsb::kv

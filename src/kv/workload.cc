@@ -1,5 +1,9 @@
 #include "kv/workload.h"
 
+#include <algorithm>
+
+#include "kv/write_batch.h"
+
 namespace ptsb::kv {
 
 WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec)
@@ -7,28 +11,50 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec)
       rng_(spec.seed),
       zipf_(spec.num_keys, spec.zipf_theta, spec.seed ^ 0x5bd1e995u) {}
 
-Op WorkloadGenerator::Next() {
-  Op op;
-  op.type = rng_.Bernoulli(spec_.write_fraction) ? Op::Type::kPut
-                                                 : Op::Type::kGet;
-  op.key_id = spec_.distribution == Distribution::kUniform
-                  ? rng_.Uniform(spec_.num_keys)
-                  : zipf_.Next();
+uint64_t WorkloadGenerator::NextKeyId() {
+  return spec_.distribution == Distribution::kUniform
+             ? rng_.Uniform(spec_.num_keys)
+             : zipf_.Next();
+}
+
+uint64_t WorkloadGenerator::NextValueSeed() {
   // A fresh seed per update makes every rewrite of a key produce different
   // bytes, like a real update stream.
-  op.value_seed = SplitMix64(spec_.seed ^ (0x9e3779b97f4a7c15ULL +
-                                           ++op_counter_));
+  return SplitMix64(spec_.seed ^ (0x9e3779b97f4a7c15ULL + ++op_counter_));
+}
+
+Op WorkloadGenerator::Next() {
+  Op op;
+  if (rng_.Bernoulli(spec_.write_fraction)) {
+    if (spec_.delete_fraction > 0 && rng_.Bernoulli(spec_.delete_fraction)) {
+      op.type = Op::Type::kDelete;
+    } else {
+      op.type = spec_.batch_size > 1 ? Op::Type::kBatchPut : Op::Type::kPut;
+    }
+  } else {
+    if (spec_.scan_fraction > 0 && rng_.Bernoulli(spec_.scan_fraction)) {
+      op.type = Op::Type::kScan;
+    } else {
+      op.type = Op::Type::kGet;
+    }
+  }
+  op.key_id = NextKeyId();
+  op.value_seed = NextValueSeed();
   return op;
 }
 
 Status LoadSequential(KVStore* store, const WorkloadSpec& spec,
                       void (*progress)(uint64_t, uint64_t),
                       uint64_t progress_every) {
+  const size_t batch_size = std::max<size_t>(1, spec.batch_size);
+  WriteBatch batch;
   for (uint64_t id = 0; id < spec.num_keys; id++) {
-    const std::string key = MakeKey(id, spec.key_bytes);
-    const std::string value =
-        MakeValue(SplitMix64(spec.seed ^ id), spec.value_bytes);
-    PTSB_RETURN_IF_ERROR(store->Put(key, value));
+    batch.Put(MakeKey(id, spec.key_bytes),
+              MakeValue(SplitMix64(spec.seed ^ id), spec.value_bytes));
+    if (batch.Count() >= batch_size || id + 1 == spec.num_keys) {
+      PTSB_RETURN_IF_ERROR(store->Write(batch));
+      batch.Clear();
+    }
     if (progress != nullptr && (id + 1) % progress_every == 0) {
       progress(id + 1, spec.num_keys);
     }

@@ -1,8 +1,11 @@
 // Workload generation per Section 3.2 of the paper: sequential-order load
 // of N key-value pairs, then a single-threaded op mix (default write-only
 // uniform-random updates of existing keys). Variants cover the paper's
-// additional workloads (50:50 read/write mix, 128-byte values) and a
-// zipfian extension.
+// additional workloads (50:50 read/write mix, 128-byte values), a zipfian
+// extension, and the batched/delete/scan mixes the engine API supports:
+// write ops become kBatchPut groups when batch_size > 1, a delete_fraction
+// of writes are deletes, and a scan_fraction of reads are scan_count-entry
+// range scans.
 #ifndef PTSB_KV_WORKLOAD_H_
 #define PTSB_KV_WORKLOAD_H_
 
@@ -24,6 +27,15 @@ struct WorkloadSpec {
   size_t value_bytes = kDefaultValueBytes;
   // Fraction of operations that are writes (paper default: write-only).
   double write_fraction = 1.0;
+  // Of the write ops: fraction that are deletes (the rest are puts).
+  double delete_fraction = 0.0;
+  // Of the read ops: fraction that are range scans (the rest are gets).
+  double scan_fraction = 0.0;
+  // Puts are emitted as kBatchPut when batch_size > 1; the driver groups
+  // this many entries into one KVStore::Write (group commit).
+  size_t batch_size = 1;
+  // Entries consumed per scan op.
+  size_t scan_count = 100;
   Distribution distribution = Distribution::kUniform;
   double zipf_theta = 0.99;
   uint64_t seed = 7;
@@ -34,8 +46,8 @@ struct WorkloadSpec {
 };
 
 struct Op {
-  enum class Type { kPut, kGet } type = Type::kPut;
-  uint64_t key_id = 0;
+  enum class Type { kPut, kGet, kBatchPut, kDelete, kScan } type = Type::kPut;
+  uint64_t key_id = 0;      // target key (first key of a batch / scan start)
   uint64_t value_seed = 0;  // for puts
 };
 
@@ -45,6 +57,11 @@ class WorkloadGenerator {
 
   // Next operation of the update/read phase.
   Op Next();
+
+  // Additional draws for filling a kBatchPut: the driver calls these
+  // (batch_size - 1) times per batch op, keeping the stream deterministic.
+  uint64_t NextKeyId();
+  uint64_t NextValueSeed();
 
   const WorkloadSpec& spec() const { return spec_; }
 
@@ -62,8 +79,9 @@ class WorkloadGenerator {
   uint64_t op_counter_ = 0;
 };
 
-// Ingests all keys in sequential order (the paper's loading phase).
-// Calls progress(i, num_keys) every `progress_every` keys if non-null.
+// Ingests all keys in sequential order (the paper's loading phase),
+// batching spec.batch_size keys per KVStore::Write. Calls
+// progress(i, num_keys) every `progress_every` keys if non-null.
 Status LoadSequential(KVStore* store, const WorkloadSpec& spec,
                       void (*progress)(uint64_t, uint64_t) = nullptr,
                       uint64_t progress_every = 1u << 20);

@@ -1,0 +1,64 @@
+// WriteBatch: an ordered group of Put/Delete entries submitted to an
+// engine as one unit through KVStore::Write. Batching is the mechanism
+// behind group commit: the engine persists the whole batch with a single
+// WAL/journal record (one header, one crc) instead of one per operation,
+// so the log overhead amortizes across the batch — the behavior RocksDB
+// and WiredTiger both rely on under concurrent writers.
+//
+// A batch is a plain value type: build it up, hand it to Write, Clear and
+// reuse. Entries are applied in insertion order; a later entry for the
+// same key shadows an earlier one, exactly as if the operations had been
+// submitted individually.
+#ifndef PTSB_KV_WRITE_BATCH_H_
+#define PTSB_KV_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptsb::kv {
+
+class WriteBatch {
+ public:
+  enum class EntryKind : uint8_t { kPut = 1, kDelete = 2 };
+
+  struct Entry {
+    EntryKind kind;
+    std::string key;
+    std::string value;  // empty for deletes
+  };
+
+  void Put(std::string_view key, std::string_view value) {
+    entries_.push_back(Entry{EntryKind::kPut, std::string(key),
+                             std::string(value)});
+    byte_size_ += key.size() + value.size();
+  }
+
+  void Delete(std::string_view key) {
+    entries_.push_back(Entry{EntryKind::kDelete, std::string(key), ""});
+    byte_size_ += key.size();
+  }
+
+  void Clear() {
+    entries_.clear();
+    byte_size_ = 0;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  size_t Count() const { return entries_.size(); }
+
+  // Sum of key+value payload bytes across all entries (the engine-neutral
+  // "user bytes" this batch represents).
+  uint64_t ByteSize() const { return byte_size_; }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+  uint64_t byte_size_ = 0;
+};
+
+}  // namespace ptsb::kv
+
+#endif  // PTSB_KV_WRITE_BATCH_H_

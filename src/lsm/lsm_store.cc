@@ -80,33 +80,41 @@ void LsmStore::ChargeCpu(int64_t ns) const {
   if (options_.clock != nullptr) options_.clock->Advance(ns);
 }
 
-Status LsmStore::Put(std::string_view key, std::string_view value) {
-  stats_.user_puts++;
-  stats_.user_bytes_written += key.size() + value.size();
-  return WriteInternal(key, EntryType::kPut, value);
-}
-
-Status LsmStore::Delete(std::string_view key) {
-  stats_.user_deletes++;
-  stats_.user_bytes_written += key.size();
-  return WriteInternal(key, EntryType::kDelete, "");
-}
-
-Status LsmStore::WriteInternal(std::string_view key, EntryType type,
-                               std::string_view value) {
+Status LsmStore::Write(const kv::WriteBatch& batch) {
   PTSB_CHECK(!closed_);
-  ChargeCpu(options_.cpu_put_ns);
-  const SequenceNumber seq = ++seq_;
+  if (batch.empty()) return Status::OK();
+  ChargeCpu(options_.cpu_put_ns * static_cast<int64_t>(batch.Count()));
+  stats_.user_batches++;
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    if (e.kind == kv::WriteBatch::EntryKind::kPut) {
+      stats_.user_puts++;
+      stats_.user_bytes_written += e.key.size() + e.value.size();
+    } else {
+      stats_.user_deletes++;
+      stats_.user_bytes_written += e.key.size();
+    }
+  }
+
+  const SequenceNumber first_seq = seq_ + 1;
+  seq_ += batch.Count();
   auto now = [this]() {
     return options_.clock != nullptr ? options_.clock->NowNanos() : 0;
   };
   if (wal_ != nullptr) {
+    // Group commit: one record, one crc, for the whole batch.
     const int64_t t0 = now();
-    PTSB_RETURN_IF_ERROR(wal_->Add(key, seq, type, value));
+    const uint64_t wal_before = wal_->bytes_written();
+    PTSB_RETURN_IF_ERROR(wal_->AddBatch(batch, first_seq));
     stats_.time_wal_ns += now() - t0;
-    stats_.wal_bytes_written += key.size() + value.size() + 16;
+    stats_.wal_bytes_written += wal_->bytes_written() - wal_before;
   }
-  memtable_->Add(key, seq, type, value);
+  SequenceNumber seq = first_seq;
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    const EntryType type = e.kind == kv::WriteBatch::EntryKind::kPut
+                               ? EntryType::kPut
+                               : EntryType::kDelete;
+    memtable_->Add(e.key, seq++, type, e.value);
+  }
 
   if (memtable_->ApproximateBytes() >= options_.memtable_bytes) {
     const int64_t t0 = now();
@@ -115,9 +123,8 @@ Status LsmStore::WriteInternal(std::string_view key, EntryType type,
   }
   // Background compaction's share of the device, paced by user traffic.
   const int64_t t1 = now();
-  PTSB_RETURN_IF_ERROR(
-      CompactionWork((key.size() + value.size()) *
-                     options_.compaction_work_per_user_write));
+  PTSB_RETURN_IF_ERROR(CompactionWork(
+      batch.ByteSize() * options_.compaction_work_per_user_write));
   PTSB_RETURN_IF_ERROR(MaybeStall());
   stats_.time_compaction_ns += now() - t1;
   return Status::OK();
@@ -310,26 +317,91 @@ Status LsmStore::Get(std::string_view key, std::string* value) {
   return Status::NotFound("no such key");
 }
 
-Status LsmStore::Scan(std::string_view start_key, size_t count,
-                      std::vector<std::pair<std::string, std::string>>* out) {
-  PTSB_CHECK(!closed_);
-  stats_.user_scans++;
-  out->clear();
+// Streaming merge over the memtable and every live SST: picks the
+// smallest entry in internal order, surfaces the newest version of each
+// user key, skips tombstones. Sources are positioned at creation; any
+// write to the store invalidates the iterator (memtable rotation,
+// compaction file deletion).
+class LsmStore::MergingIterator : public kv::KVStore::Iterator {
+ public:
+  explicit MergingIterator(LsmStore* store) : store_(store) {
+    Source mem_source;
+    mem_source.mem = std::make_unique<Memtable::Iterator>(
+        store_->memtable_.get());
+    sources_.push_back(std::move(mem_source));
+    for (int level = 0; level < store_->versions_->num_levels(); level++) {
+      for (const FileMeta& f : store_->versions_->LevelFiles(level)) {
+        auto reader = store_->GetReader(f.number);
+        if (!reader.ok()) {
+          status_ = reader.status();
+          return;
+        }
+        Source s;
+        s.sst = std::make_unique<SstReader::Iterator>(*reader);
+        s.largest = f.largest;
+        sources_.push_back(std::move(s));
+      }
+    }
+  }
 
-  // Sources: memtable + one iterator per live SST (opened lazily would be
-  // better for huge stores; scans here are example/test workloads).
+  void SeekToFirst() override { Seek(""); }
+
+  void Seek(std::string_view target) override {
+    if (!status_.ok()) return;
+    valid_ = false;
+    have_last_ = false;
+    for (Source& s : sources_) {
+      const Status st = s.Seek(target);
+      if (!st.ok()) {
+        status_ = st;
+        return;
+      }
+    }
+    FindNextLiveEntry();
+  }
+
+  bool Valid() const override { return valid_; }
+
+  void Next() override {
+    if (!valid_) return;
+    valid_ = false;
+    status_ = sources_[current_].Advance();
+    if (!status_.ok()) return;
+    FindNextLiveEntry();
+  }
+
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+  Status status() const override { return status_; }
+
+ private:
   struct Source {
     // Exactly one of mem/sst is set.
     std::unique_ptr<Memtable::Iterator> mem;
     std::unique_ptr<SstReader::Iterator> sst;
-    bool Valid() const { return mem ? mem->Valid() : sst->Valid(); }
+    std::string largest;  // sst only: upper key bound for pruning
+    bool pruned = false;  // file cannot contain keys >= the seek target
+    bool Valid() const {
+      return !pruned && (mem ? mem->Valid() : sst->Valid());
+    }
     std::string_view key() const { return mem ? mem->key() : sst->key(); }
     SequenceNumber seq() const { return mem ? mem->seq() : sst->seq(); }
     EntryType type() const { return mem ? mem->type() : sst->type(); }
     std::string_view value() const {
       return mem ? mem->value() : sst->value();
     }
-    Status Next() {
+    Status Seek(std::string_view target) {
+      if (mem) {
+        mem->Seek(target);
+        return Status::OK();
+      }
+      // Skip the index search and block read for files entirely below
+      // the target (the dominant case when seeking into a big store).
+      pruned = largest < target;
+      if (pruned) return Status::OK();
+      return sst->Seek(target);
+    }
+    Status Advance() {
       if (mem) {
         mem->Next();
         return Status::OK();
@@ -337,50 +409,54 @@ Status LsmStore::Scan(std::string_view start_key, size_t count,
       return sst->Next();
     }
   };
-  std::vector<Source> sources;
-  {
-    Source s;
-    s.mem = std::make_unique<Memtable::Iterator>(memtable_.get());
-    s.mem->Seek(start_key);
-    sources.push_back(std::move(s));
-  }
-  for (int level = 0; level < versions_->num_levels(); level++) {
-    for (const FileMeta& f : versions_->LevelFiles(level)) {
-      if (f.largest < start_key) continue;
-      PTSB_ASSIGN_OR_RETURN(SstReader * reader, GetReader(f.number));
-      Source s;
-      s.sst = std::make_unique<SstReader::Iterator>(reader);
-      PTSB_RETURN_IF_ERROR(s.sst->Seek(start_key));
-      sources.push_back(std::move(s));
+
+  // Advances past shadowed versions and tombstones until positioned on
+  // the newest live version of the next user key (or exhausts sources).
+  void FindNextLiveEntry() {
+    while (status_.ok()) {
+      int best = -1;
+      for (size_t i = 0; i < sources_.size(); i++) {
+        if (!sources_[i].Valid()) continue;
+        if (best < 0 ||
+            CompareInternal(sources_[i].key(), sources_[i].seq(),
+                            sources_[best].key(), sources_[best].seq()) < 0) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) return;  // all sources exhausted: clean end
+      Source& src = sources_[best];
+      const bool shadowed = have_last_ && src.key() == last_user_key_;
+      if (!shadowed) {
+        last_user_key_.assign(src.key().data(), src.key().size());
+        have_last_ = true;
+        if (src.type() == EntryType::kPut) {
+          key_ = last_user_key_;
+          value_.assign(src.value().data(), src.value().size());
+          current_ = static_cast<size_t>(best);
+          valid_ = true;
+          store_->stats_.user_bytes_read += key_.size() + value_.size();
+          return;
+        }
+      }
+      status_ = src.Advance();
     }
   }
 
-  std::string last_key;
-  bool have_last = false;
-  while (out->size() < count) {
-    int best = -1;
-    for (size_t i = 0; i < sources.size(); i++) {
-      if (!sources[i].Valid()) continue;
-      if (best < 0 ||
-          CompareInternal(sources[i].key(), sources[i].seq(),
-                          sources[best].key(), sources[best].seq()) < 0) {
-        best = static_cast<int>(i);
-      }
-    }
-    if (best < 0) break;
-    Source& src = sources[best];
-    const bool shadowed = have_last && src.key() == last_key;
-    if (!shadowed) {
-      last_key.assign(src.key().data(), src.key().size());
-      have_last = true;
-      if (src.type() == EntryType::kPut) {
-        out->emplace_back(last_key, std::string(src.value()));
-        stats_.user_bytes_read += src.key().size() + src.value().size();
-      }
-    }
-    PTSB_RETURN_IF_ERROR(src.Next());
-  }
-  return Status::OK();
+  LsmStore* store_;
+  std::vector<Source> sources_;
+  size_t current_ = 0;  // source providing the current entry
+  std::string last_user_key_;
+  bool have_last_ = false;
+  bool valid_ = false;
+  std::string key_;
+  std::string value_;
+  Status status_;
+};
+
+std::unique_ptr<kv::KVStore::Iterator> LsmStore::NewIterator() {
+  PTSB_CHECK(!closed_);
+  stats_.user_scans++;
+  return std::make_unique<MergingIterator>(this);
 }
 
 Status LsmStore::Flush() {
@@ -404,6 +480,79 @@ uint64_t LsmStore::DiskBytesUsed() const {
     if (size.ok()) total += *size;
   }
   return total;
+}
+
+namespace {
+
+LsmOptions LsmOptionsFromEngineOptions(const kv::EngineOptions& eo) {
+  LsmOptions o;
+  o.memtable_bytes = kv::ParamUint64(eo, "memtable_bytes", o.memtable_bytes);
+  o.l0_compaction_trigger =
+      kv::ParamInt(eo, "l0_compaction_trigger", o.l0_compaction_trigger);
+  o.l0_stall_trigger =
+      kv::ParamInt(eo, "l0_stall_trigger", o.l0_stall_trigger);
+  o.l1_target_bytes =
+      kv::ParamUint64(eo, "l1_target_bytes", o.l1_target_bytes);
+  o.level_size_ratio =
+      kv::ParamDouble(eo, "level_size_ratio", o.level_size_ratio);
+  o.max_levels = kv::ParamInt(eo, "max_levels", o.max_levels);
+  o.sst_target_bytes =
+      kv::ParamUint64(eo, "sst_target_bytes", o.sst_target_bytes);
+  o.block_bytes = kv::ParamUint64(eo, "block_bytes", o.block_bytes);
+  o.bloom_bits_per_key =
+      kv::ParamInt(eo, "bloom_bits_per_key", o.bloom_bits_per_key);
+  o.wal_enabled = kv::ParamBool(eo, "wal_enabled", o.wal_enabled);
+  o.wal_sync_every_bytes =
+      kv::ParamUint64(eo, "wal_sync_every_bytes", o.wal_sync_every_bytes);
+  o.wal_buffer_bytes =
+      kv::ParamUint64(eo, "wal_buffer_bytes", o.wal_buffer_bytes);
+  o.compaction_readahead_bytes = kv::ParamUint64(
+      eo, "compaction_readahead_bytes", o.compaction_readahead_bytes);
+  o.compaction_work_per_user_write =
+      kv::ParamUint64(eo, "compaction_work_per_user_write",
+                      o.compaction_work_per_user_write);
+  o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
+  o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
+  o.clock = eo.clock;
+  return o;
+}
+
+}  // namespace
+
+void RegisterLsmEngine() {
+  kv::EngineRegistry::Global().Register(
+      "lsm",
+      [](const kv::EngineOptions& eo)
+          -> StatusOr<std::unique_ptr<kv::KVStore>> {
+        auto opened =
+            LsmStore::Open(eo.fs, LsmOptionsFromEngineOptions(eo),
+                           eo.root.empty() ? "lsm" : eo.root);
+        if (!opened.ok()) return opened.status();
+        return std::unique_ptr<kv::KVStore>(std::move(*opened));
+      });
+}
+
+std::map<std::string, std::string> EncodeEngineParams(const LsmOptions& o) {
+  std::map<std::string, std::string> p;
+  p["memtable_bytes"] = std::to_string(o.memtable_bytes);
+  p["l0_compaction_trigger"] = std::to_string(o.l0_compaction_trigger);
+  p["l0_stall_trigger"] = std::to_string(o.l0_stall_trigger);
+  p["l1_target_bytes"] = std::to_string(o.l1_target_bytes);
+  p["level_size_ratio"] = std::to_string(o.level_size_ratio);
+  p["max_levels"] = std::to_string(o.max_levels);
+  p["sst_target_bytes"] = std::to_string(o.sst_target_bytes);
+  p["block_bytes"] = std::to_string(o.block_bytes);
+  p["bloom_bits_per_key"] = std::to_string(o.bloom_bits_per_key);
+  p["wal_enabled"] = o.wal_enabled ? "1" : "0";
+  p["wal_sync_every_bytes"] = std::to_string(o.wal_sync_every_bytes);
+  p["wal_buffer_bytes"] = std::to_string(o.wal_buffer_bytes);
+  p["compaction_readahead_bytes"] =
+      std::to_string(o.compaction_readahead_bytes);
+  p["compaction_work_per_user_write"] =
+      std::to_string(o.compaction_work_per_user_write);
+  p["cpu_put_ns"] = std::to_string(o.cpu_put_ns);
+  p["cpu_get_ns"] = std::to_string(o.cpu_get_ns);
+  return p;
 }
 
 std::string LsmStore::DebugString() const {

@@ -11,6 +11,7 @@
 
 #include "fs/filesystem.h"
 #include "kv/kvstore.h"
+#include "kv/registry.h"
 #include "lsm/compaction.h"
 #include "lsm/memtable.h"
 #include "lsm/options.h"
@@ -29,12 +30,14 @@ class LsmStore : public kv::KVStore {
                                                   std::string dir = "lsm");
   ~LsmStore() override;
 
-  // kv::KVStore interface.
-  Status Put(std::string_view key, std::string_view value) override;
+  // kv::KVStore interface. Write is the group-commit path: the whole
+  // batch becomes ONE WAL record, then one memtable insertion pass;
+  // flush/compaction pacing runs once per batch.
+  Status Write(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
-  Status Delete(std::string_view key) override;
-  Status Scan(std::string_view start_key, size_t count,
-              std::vector<std::pair<std::string, std::string>>* out) override;
+  // Merging iterator over the memtable and every live SST. Invalidated by
+  // any write to the store (no snapshot pinning).
+  std::unique_ptr<kv::KVStore::Iterator> NewIterator() override;
   Status Flush() override;
   Status SettleBackgroundWork() override { return DrainCompactions(); }
   Status Close() override;
@@ -55,10 +58,10 @@ class LsmStore : public kv::KVStore {
   std::string DebugString() const;
 
  private:
+  class MergingIterator;
+
   LsmStore(fs::SimpleFs* fs, const LsmOptions& options, std::string dir);
 
-  Status WriteInternal(std::string_view key, EntryType type,
-                       std::string_view value);
   Status FlushMemtable();
   // Runs up to `budget` bytes of compaction work, starting a job if due.
   Status CompactionWork(uint64_t budget);
@@ -88,6 +91,17 @@ class LsmStore : public kv::KVStore {
   kv::KvStoreStats stats_;
   bool closed_ = false;
 };
+
+// Registers the "lsm" engine factory with kv::EngineRegistry. Recognized
+// params mirror LsmOptions field names (e.g. "memtable_bytes",
+// "wal_enabled", "level_size_ratio"); the factory starts from default
+// LsmOptions and applies overrides.
+void RegisterLsmEngine();
+
+// Encodes every numeric/bool LsmOptions field into an EngineOptions param
+// map (the inverse of what the factory parses); the clock is carried by
+// EngineOptions itself, not the map.
+std::map<std::string, std::string> EncodeEngineParams(const LsmOptions& o);
 
 }  // namespace ptsb::lsm
 

@@ -1,5 +1,7 @@
 #include "lsm/wal.h"
 
+#include <vector>
+
 #include "util/crc32.h"
 #include "util/encoding.h"
 
@@ -18,20 +20,47 @@ Status WalWriter::FlushBuffer() {
   return Status::OK();
 }
 
+namespace {
+
+void AppendEntry(std::string* payload, std::string_view key,
+                 SequenceNumber seq, EntryType type, std::string_view value) {
+  PutFixed64(payload, PackSeqType(seq, type));
+  PutVarint32(payload, static_cast<uint32_t>(key.size()));
+  payload->append(key.data(), key.size());
+  PutVarint32(payload, static_cast<uint32_t>(value.size()));
+  payload->append(value.data(), value.size());
+}
+
+}  // namespace
+
 Status WalWriter::Add(std::string_view key, SequenceNumber seq,
                       EntryType type, std::string_view value) {
   std::string payload;
   payload.reserve(key.size() + value.size() + 24);
-  PutFixed64(&payload, PackSeqType(seq, type));
-  PutVarint32(&payload, static_cast<uint32_t>(key.size()));
-  payload.append(key.data(), key.size());
-  PutVarint32(&payload, static_cast<uint32_t>(value.size()));
-  payload.append(value.data(), value.size());
+  AppendEntry(&payload, key, seq, type, value);
+  return EmitRecord(payload);
+}
 
+Status WalWriter::AddBatch(const kv::WriteBatch& batch,
+                           SequenceNumber first_seq) {
+  std::string payload;
+  payload.reserve(batch.ByteSize() + batch.Count() * 24);
+  SequenceNumber seq = first_seq;
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    const EntryType type = e.kind == kv::WriteBatch::EntryKind::kPut
+                               ? EntryType::kPut
+                               : EntryType::kDelete;
+    AppendEntry(&payload, e.key, seq++, type, e.value);
+  }
+  return EmitRecord(payload);
+}
+
+Status WalWriter::EmitRecord(std::string_view payload) {
+  const size_t framed_start = buffer_.size();
   PutFixed32(&buffer_, MaskCrc(Crc32c(payload)));
   PutVarint32(&buffer_, static_cast<uint32_t>(payload.size()));
-  buffer_.append(payload);
-  bytes_written_ += payload.size() + 9;
+  buffer_.append(payload.data(), payload.size());
+  bytes_written_ += buffer_.size() - framed_start;
 
   if (buffer_.size() >= buffer_bytes_) {
     PTSB_RETURN_IF_ERROR(FlushBuffer());
@@ -71,19 +100,40 @@ Status ReplayWal(fs::File* file,
     if (UnmaskCrc(stored_crc) != Crc32c(payload)) {
       break;  // torn record: stop replay here
     }
+    // A record holds one entry per batched operation (group commit);
+    // legacy single-op records are one-entry batches. Parse the whole
+    // record before applying anything: a batch must replay atomically,
+    // never as a prefix.
+    struct ParsedEntry {
+      std::string_view key;
+      uint64_t tag;
+      std::string_view value;
+    };
+    std::vector<ParsedEntry> entries;
     std::string_view p = payload;
-    uint64_t tag;
-    uint32_t klen, vlen;
-    if (!GetFixed64(&p, &tag) || !GetVarint32(&p, &klen) || p.size() < klen) {
-      break;
+    bool parsed_ok = true;
+    while (!p.empty()) {
+      uint64_t tag;
+      uint32_t klen, vlen;
+      if (!GetFixed64(&p, &tag) || !GetVarint32(&p, &klen) ||
+          p.size() < klen) {
+        parsed_ok = false;
+        break;
+      }
+      const std::string_view key = p.substr(0, klen);
+      p.remove_prefix(klen);
+      if (!GetVarint32(&p, &vlen) || p.size() < vlen) {
+        parsed_ok = false;
+        break;
+      }
+      const std::string_view value = p.substr(0, vlen);
+      p.remove_prefix(vlen);
+      entries.push_back({key, tag, value});
     }
-    const std::string_view key = p.substr(0, klen);
-    p.remove_prefix(klen);
-    if (!GetVarint32(&p, &vlen) || p.size() < vlen) {
-      break;
+    if (!parsed_ok) break;  // crc passed but malformed: treat as torn
+    for (const ParsedEntry& e : entries) {
+      fn(e.key, UnpackSeq(e.tag), UnpackType(e.tag), e.value);
     }
-    const std::string_view value = p.substr(0, vlen);
-    fn(key, UnpackSeq(tag), UnpackType(tag), value);
     in = record.substr(len);
   }
   return Status::OK();

@@ -1,6 +1,9 @@
-// Write-ahead log. One record per Put/Delete:
+// Write-ahead log. One record per write *batch* (group commit):
 //   fixed32 masked-crc(payload) | varint32 len | payload
-//   payload: fixed64 tag | varint32 klen | key | varint32 vlen | value
+//   payload: (fixed64 tag | varint32 klen | key | varint32 vlen | value)+
+// A single-op Put/Delete is a one-entry batch, so the legacy one-entry
+// records parse identically. Record framing (crc + length) is paid once
+// per batch — the WAL byte overhead amortizes across batched entries.
 // Replay stops cleanly at the first truncated or corrupt record, which is
 // exactly what a post-crash tail looks like.
 #ifndef PTSB_LSM_WAL_H_
@@ -12,6 +15,7 @@
 #include <string_view>
 
 #include "fs/file.h"
+#include "kv/write_batch.h"
 #include "lsm/format.h"
 #include "util/status.h"
 
@@ -31,11 +35,18 @@ class WalWriter {
   Status Add(std::string_view key, SequenceNumber seq, EntryType type,
              std::string_view value);
 
+  // Appends the whole batch as ONE record; entry i gets sequence
+  // first_seq + i. This is the group-commit path.
+  Status AddBatch(const kv::WriteBatch& batch, SequenceNumber first_seq);
+
   Status Sync();
 
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
+  // Frames `payload` (crc + length), stages it, handles buffer flush and
+  // periodic sync. Updates bytes_written_ with the exact record size.
+  Status EmitRecord(std::string_view payload);
   Status FlushBuffer();
 
   fs::File* file_;

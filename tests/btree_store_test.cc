@@ -243,6 +243,92 @@ TEST_F(BTreeStoreTest, ScanReturnsSortedRange) {
   ASSERT_TRUE(store->Close().ok());
 }
 
+TEST_F(BTreeStoreTest, CursorWalksLeavesAcrossSplitsAndEmptyPages) {
+  auto store = *BTreeStore::Open(&fs_, TinyOptions());
+  // Enough data to build a multi-level tree (2 KiB leaves).
+  std::string value(100, 'v');
+  for (int i = 0; i < 500; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_TRUE(store->Put(key, value).ok());
+  }
+  // Empty out a whole key range mid-tree: the cursor must skip the
+  // resulting empty leaves without surfacing anything.
+  for (int i = 200; i < 300; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_TRUE(store->Delete(key).ok());
+  }
+  auto it = store->NewIterator();
+  int seen = 0;
+  std::string prev;
+  for (it->Seek("k0100"); it->Valid(); it->Next()) {
+    const std::string key(it->key());
+    if (!prev.empty()) {
+      ASSERT_LT(prev, key);
+    }
+    const int id = std::stoi(key.substr(1));
+    ASSERT_TRUE(id < 200 || id >= 300) << key << " was deleted";
+    prev = key;
+    seen++;
+  }
+  ASSERT_TRUE(it->status().ok());
+  EXPECT_EQ(seen, 300);  // [100,200) plus [300,500)
+  EXPECT_EQ(prev, "k0499");
+  ASSERT_TRUE(store->Close().ok());
+}
+
+TEST_F(BTreeStoreTest, BatchedWriteIsOneJournalRecord) {
+  auto options = TinyOptions();
+  options.journal_enabled = true;
+  auto store = *BTreeStore::Open(&fs_, options);
+  kv::WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("a");
+  ASSERT_TRUE(store->Write(batch).ok());
+  std::string v;
+  EXPECT_TRUE(store->Get("a", &v).IsNotFound());
+  ASSERT_TRUE(store->Get("b", &v).ok());
+  const auto stats = store->GetStats();
+  EXPECT_EQ(stats.user_batches, 1u);
+  EXPECT_EQ(stats.user_puts, 2u);
+  EXPECT_EQ(stats.user_deletes, 1u);
+  ASSERT_TRUE(store->CheckStructure().ok());
+  ASSERT_TRUE(store->Close().ok());
+}
+
+TEST_F(BTreeStoreTest, BatchedJournalRecordsReplayAfterCrash) {
+  auto options = TinyOptions();
+  options.journal_enabled = true;
+  options.journal_sync_every_bytes = 1;  // sync every record
+  options.checkpoint_every_bytes = 8 << 20;  // rely on the journal alone
+  kv::WriteBatch batch;
+  {
+    auto store = *BTreeStore::Open(&fs_, options);
+    for (int i = 0; i < 200; i++) {
+      batch.Put("k" + std::to_string(i), "v" + std::to_string(i));
+      if (batch.Count() == 16) {
+        ASSERT_TRUE(store->Write(batch).ok());
+        batch.Clear();
+      }
+    }
+    if (!batch.empty()) {
+      ASSERT_TRUE(store->Write(batch).ok());
+    }
+    fs_.SimulateCrash();
+    store.release();  // NOLINT: intentional leak of a "crashed" instance
+  }
+  auto store = *BTreeStore::Open(&fs_, options);
+  std::string v;
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(store->Get("k" + std::to_string(i), &v).ok()) << i;
+    EXPECT_EQ(v, "v" + std::to_string(i));
+  }
+  ASSERT_TRUE(store->CheckStructure().ok());
+  ASSERT_TRUE(store->Close().ok());
+}
+
 TEST_F(BTreeStoreTest, CheckpointCountsAdvance) {
   auto options = TinyOptions();
   options.checkpoint_every_bytes = 8 << 10;

@@ -160,7 +160,7 @@ TEST(ReportTest, RenderContainsRowsAndRatio) {
 
 // ---- End-to-end experiment runs at tiny scale.
 
-ExperimentConfig TinyConfig(EngineKind engine) {
+ExperimentConfig TinyConfig(const std::string& engine) {
   ExperimentConfig c;
   c.scale = 2000;  // 200 MB device, ~100 MB dataset
   c.engine = engine;
@@ -172,7 +172,8 @@ ExperimentConfig TinyConfig(EngineKind engine) {
   return c;
 }
 
-class ExperimentEngineTest : public ::testing::TestWithParam<EngineKind> {};
+class ExperimentEngineTest
+    : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(ExperimentEngineTest, ProducesSaneSeries) {
   auto result = RunExperiment(TinyConfig(GetParam()));
@@ -203,14 +204,14 @@ TEST_P(ExperimentEngineTest, ProducesSaneSeries) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Engines, ExperimentEngineTest,
-                         ::testing::Values(EngineKind::kLsm,
-                                           EngineKind::kBtree));
+                         ::testing::Values(std::string("lsm"),
+                                           std::string("btree")));
 
 TEST(ExperimentTest, LsmSweepsLbaSpaceWhileBtreeStaysPut) {
   // The Fig. 4 mechanism at unit-test scale: the LSM's file churn keeps
   // claiming previously-untouched LBAs as the run gets longer, while the
   // B+Tree's in-place file keeps its footprint essentially constant.
-  auto short_cfg = TinyConfig(EngineKind::kLsm);
+  auto short_cfg = TinyConfig("lsm");
   auto long_cfg = short_cfg;
   long_cfg.duration_minutes = 160;
   auto lsm_short = RunExperiment(short_cfg);
@@ -219,7 +220,7 @@ TEST(ExperimentTest, LsmSweepsLbaSpaceWhileBtreeStaysPut) {
   EXPECT_GT(lsm_short->lba_fraction_untouched,
             lsm_long->lba_fraction_untouched + 0.03);
 
-  auto bt_short_cfg = TinyConfig(EngineKind::kBtree);
+  auto bt_short_cfg = TinyConfig("btree");
   auto bt_long_cfg = bt_short_cfg;
   bt_long_cfg.duration_minutes = 160;
   auto bt_short = RunExperiment(bt_short_cfg);
@@ -230,7 +231,7 @@ TEST(ExperimentTest, LsmSweepsLbaSpaceWhileBtreeStaysPut) {
 }
 
 TEST(ExperimentTest, PreconditioningRaisesBtreeWaD) {
-  auto trimmed = TinyConfig(EngineKind::kBtree);
+  auto trimmed = TinyConfig("btree");
   auto prec = trimmed;
   prec.initial_state = ssd::InitialState::kPreconditioned;
   prec.duration_minutes = 60;
@@ -243,7 +244,7 @@ TEST(ExperimentTest, PreconditioningRaisesBtreeWaD) {
 }
 
 TEST(ExperimentTest, PartitionReservesSoftwareOp) {
-  auto c = TinyConfig(EngineKind::kLsm);
+  auto c = TinyConfig("lsm");
   c.partition_frac = 0.7;
   c.dataset_frac = 0.4;
   auto r = RunExperiment(c);
@@ -254,7 +255,7 @@ TEST(ExperimentTest, PartitionReservesSoftwareOp) {
 }
 
 TEST(ExperimentTest, OutOfSpaceSurfacesGracefully) {
-  auto c = TinyConfig(EngineKind::kLsm);
+  auto c = TinyConfig("lsm");
   c.dataset_frac = 0.95;  // cannot fit with LSM space amplification
   auto r = RunExperiment(c);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -266,7 +267,7 @@ TEST(ExperimentTest, OutOfSpaceDuringUpdatePhaseIsData) {
   // runs out of space later, as compaction fills the level structure —
   // including the final Close() flush — must report ran_out_of_space, not
   // an error. This is the paper's Fig. 6 RocksDB scenario.
-  auto c = TinyConfig(EngineKind::kLsm);
+  auto c = TinyConfig("lsm");
   c.dataset_frac = 0.90;
   c.duration_minutes = 120;
   auto r = RunExperiment(c);
@@ -276,7 +277,7 @@ TEST(ExperimentTest, OutOfSpaceDuringUpdatePhaseIsData) {
 }
 
 TEST(ExperimentTest, DeterministicAcrossRuns) {
-  auto c = TinyConfig(EngineKind::kLsm);
+  auto c = TinyConfig("lsm");
   c.duration_minutes = 20;
   auto a = RunExperiment(c);
   auto b = RunExperiment(c);
@@ -288,7 +289,7 @@ TEST(ExperimentTest, DeterministicAcrossRuns) {
 }
 
 TEST(ExperimentTest, SmallValuesWorkloadRuns) {
-  auto c = TinyConfig(EngineKind::kBtree);
+  auto c = TinyConfig("btree");
   c.value_bytes = 128;
   c.duration_minutes = 20;
   auto r = RunExperiment(c);
@@ -297,7 +298,7 @@ TEST(ExperimentTest, SmallValuesWorkloadRuns) {
 }
 
 TEST(ExperimentTest, MixedWorkloadRuns) {
-  auto c = TinyConfig(EngineKind::kLsm);
+  auto c = TinyConfig("lsm");
   c.write_fraction = 0.5;
   c.duration_minutes = 20;
   auto r = RunExperiment(c);
@@ -308,7 +309,7 @@ TEST(ExperimentTest, MixedWorkloadRuns) {
 TEST(ExperimentTest, Ssd2AndSsd3ProfilesRun) {
   for (const auto profile : {ssd::ProfileKind::kSsd2ConsumerQlc,
                              ssd::ProfileKind::kSsd3Optane}) {
-    auto c = TinyConfig(EngineKind::kLsm);
+    auto c = TinyConfig("lsm");
     c.profile = profile;
     c.duration_minutes = 20;
     auto r = RunExperiment(c);

@@ -1,19 +1,23 @@
-// Differential testing: both engines implement kv::KVStore, so identical
-// operation streams must produce identical visible state — through
-// flushes, compactions, evictions, checkpoints and reopen. Also checks
-// cross-stack accounting invariants (user <= host <= NAND bytes) and
-// error propagation from injected device faults.
+// Differential testing: both engines implement kv::KVStore and are opened
+// through kv::OpenStore, so identical operation streams — single puts,
+// batched writes, deletes, point reads and iterator scans — must produce
+// identical visible state through flushes, compactions, evictions,
+// checkpoints and reopen. Also checks cross-stack accounting invariants
+// (user <= host <= NAND bytes), group-commit log accounting (WAL/journal
+// bytes grow sub-linearly with batch size), registry behavior, and error
+// propagation from injected device faults.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
 
 #include "block/iostat.h"
 #include "block/memory_device.h"
-#include "btree/btree_store.h"
 #include "fs/filesystem.h"
 #include "kv/kv.h"
-#include "lsm/lsm_store.h"
+#include "kv/registry.h"
+#include "kv/write_batch.h"
 #include "sim/clock.h"
 #include "ssd/ssd_device.h"
 #include "test_support.h"
@@ -22,23 +26,23 @@
 namespace ptsb {
 namespace {
 
-lsm::LsmOptions TinyLsm() {
-  lsm::LsmOptions o;
-  o.memtable_bytes = 16 << 10;
-  o.l1_target_bytes = 64 << 10;
-  o.sst_target_bytes = 32 << 10;
-  o.block_bytes = 1024;
-  return o;
+std::map<std::string, std::string> TinyLsmParams() {
+  return {{"memtable_bytes", std::to_string(16 << 10)},
+          {"l1_target_bytes", std::to_string(64 << 10)},
+          {"sst_target_bytes", std::to_string(32 << 10)},
+          {"block_bytes", "1024"}};
 }
 
-btree::BTreeOptions TinyBTree() {
-  btree::BTreeOptions o;
-  o.leaf_max_bytes = 2 << 10;
-  o.internal_max_bytes = 512;
-  o.cache_bytes = 16 << 10;
-  o.checkpoint_every_bytes = 64 << 10;
-  o.file_grow_bytes = 64 << 10;
-  return o;
+std::map<std::string, std::string> TinyBTreeParams() {
+  return {{"leaf_max_bytes", std::to_string(2 << 10)},
+          {"internal_max_bytes", "512"},
+          {"cache_bytes", std::to_string(16 << 10)},
+          {"checkpoint_every_bytes", std::to_string(64 << 10)},
+          {"file_grow_bytes", std::to_string(64 << 10)}};
+}
+
+std::map<std::string, std::string> TinyParams(const std::string& engine) {
+  return engine == "lsm" ? TinyLsmParams() : TinyBTreeParams();
 }
 
 struct EngineHarness {
@@ -47,24 +51,68 @@ struct EngineHarness {
   std::unique_ptr<kv::KVStore> store;
 };
 
-std::unique_ptr<EngineHarness> MakeLsm() {
+std::unique_ptr<EngineHarness> MakeEngine(
+    const std::string& engine,
+    std::map<std::string, std::string> extra_params = {}) {
   auto h = std::make_unique<EngineHarness>();
-  h->store = *lsm::LsmStore::Open(&h->fs, TinyLsm());
+  kv::EngineOptions options;
+  options.engine = engine;
+  options.fs = &h->fs;
+  options.params = TinyParams(engine);
+  for (auto& [k, v] : extra_params) options.params[k] = v;
+  auto opened = kv::OpenStore(options);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  h->store = *std::move(opened);
   return h;
 }
 
-std::unique_ptr<EngineHarness> MakeBTree() {
-  auto h = std::make_unique<EngineHarness>();
-  h->store = *btree::BTreeStore::Open(&h->fs, TinyBTree());
-  return h;
+// Re-opens an engine on an existing harness (reopen/recovery tests).
+void Reopen(EngineHarness* h, const std::string& engine) {
+  kv::EngineOptions options;
+  options.engine = engine;
+  options.fs = &h->fs;
+  options.params = TinyParams(engine);
+  auto opened = kv::OpenStore(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  h->store = *std::move(opened);
+}
+
+TEST(RegistryTest, BuiltinEnginesRegisteredAndUnknownRejected) {
+  kv::RegisterBuiltinEngines();
+  EXPECT_TRUE(kv::EngineRegistry::Global().Contains("lsm"));
+  EXPECT_TRUE(kv::EngineRegistry::Global().Contains("btree"));
+
+  block::MemoryBlockDevice dev(4096, 1 << 14);
+  fs::SimpleFs fs(&dev, {});
+  kv::EngineOptions options;
+  options.engine = "no-such-engine";
+  options.fs = &fs;
+  auto opened = kv::OpenStore(options);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsInvalidArgument());
+  // The error names what IS available.
+  EXPECT_NE(opened.status().message().find("lsm"), std::string::npos);
+
+  options.engine = "lsm";
+  options.fs = nullptr;
+  EXPECT_FALSE(kv::OpenStore(options).ok());
+}
+
+TEST(RegistryTest, ParamsConfigureTheEngine) {
+  // A param the factory parses must change engine behavior: with the WAL
+  // disabled, no wal bytes are ever accounted.
+  auto h = MakeEngine("lsm", {{"wal_enabled", "0"}});
+  ASSERT_TRUE(h->store->Put("k", "v").ok());
+  EXPECT_EQ(h->store->GetStats().wal_bytes_written, 0u);
+  ASSERT_TRUE(h->store->Close().ok());
 }
 
 // One deterministic op stream applied to both engines.
 class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DifferentialTest, EnginesAgreeOnEverything) {
-  auto lsm = MakeLsm();
-  auto bt = MakeBTree();
+  auto lsm = MakeEngine("lsm");
+  auto bt = MakeEngine("btree");
   Rng rng(GetParam());
   for (int i = 0; i < 3000; i++) {
     const std::string key = "k" + std::to_string(rng.Uniform(600));
@@ -82,7 +130,9 @@ TEST_P(DifferentialTest, EnginesAgreeOnEverything) {
       const Status sa = lsm->store->Get(key, &a);
       const Status sb = bt->store->Get(key, &b);
       ASSERT_EQ(sa.ok(), sb.ok()) << key << " at op " << i;
-      if (sa.ok()) ASSERT_EQ(a, b);
+      if (sa.ok()) {
+        ASSERT_EQ(a, b);
+      }
     }
   }
   // Full-range scans must agree exactly.
@@ -101,31 +151,185 @@ TEST_P(DifferentialTest, EnginesAgreeOnEverything) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Values(1u, 2u, 3u, 4u));
 
-TEST(DifferentialTest, EnginesAgreeAfterReopen) {
-  block::MemoryBlockDevice dev_a(4096, 1 << 15), dev_b(4096, 1 << 15);
-  fs::SimpleFs fs_a(&dev_a, {}), fs_b(&dev_b, {});
+// The batched-API trace: randomized WriteBatch / Delete / iterator ops
+// through kv::OpenStore, cross-checked between engines and against a
+// reference model, with streamed iterator comparison at checkpoints.
+class BatchedDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchedDifferentialTest, BatchedTraceProducesIdenticalState) {
+  auto lsm = MakeEngine("lsm");
+  auto bt = MakeEngine("btree", {{"journal_enabled", "1"}});
   testing::ReferenceModel model;
-  {
-    auto lsm = *lsm::LsmStore::Open(&fs_a, TinyLsm());
-    auto bt = *btree::BTreeStore::Open(&fs_b, TinyBTree());
-    Rng rng(42);
-    for (int i = 0; i < 1500; i++) {
-      const std::string key = "k" + std::to_string(rng.Uniform(300));
-      std::string value(200, '\0');
-      rng.FillBytes(value.data(), value.size());
-      ASSERT_TRUE(lsm->Put(key, value).ok());
-      ASSERT_TRUE(bt->Put(key, value).ok());
-      model.Put(key, value);
+  Rng rng(GetParam() ^ 0xbadc0ffe);
+
+  for (int round = 0; round < 120; round++) {
+    const int pick = static_cast<int>(rng.Uniform(10));
+    if (pick < 6) {
+      // A mixed batch of puts and deletes, applied as one Write.
+      kv::WriteBatch batch;
+      const size_t n = 1 + rng.Uniform(32);
+      for (size_t j = 0; j < n; j++) {
+        const std::string key = "k" + std::to_string(rng.Uniform(400));
+        if (rng.Bernoulli(0.85)) {
+          std::string value(rng.UniformRange(1, 400), '\0');
+          rng.FillBytes(value.data(), value.size());
+          batch.Put(key, value);
+          model.Put(key, value);
+        } else {
+          batch.Delete(key);
+          model.Delete(key);
+        }
+      }
+      ASSERT_TRUE(lsm->store->Write(batch).ok());
+      ASSERT_TRUE(bt->store->Write(batch).ok());
+    } else if (pick < 8) {
+      const std::string key = "k" + std::to_string(rng.Uniform(400));
+      std::string a, b;
+      const Status sa = lsm->store->Get(key, &a);
+      const Status sb = bt->store->Get(key, &b);
+      ASSERT_EQ(sa.ok(), sb.ok()) << key << " at round " << round;
+      if (sa.ok()) {
+        ASSERT_EQ(a, b);
+      }
+      const auto expected = model.Get(key);
+      ASSERT_EQ(sa.ok(), expected.has_value());
+      if (expected.has_value()) {
+        ASSERT_EQ(a, *expected);
+      }
+    } else {
+      // Streaming comparison from a random start key: both iterators must
+      // yield the same bounded run, matching the model.
+      const std::string start = "k" + std::to_string(rng.Uniform(400));
+      auto ia = lsm->store->NewIterator();
+      auto ib = bt->store->NewIterator();
+      ia->Seek(start);
+      ib->Seek(start);
+      auto im = model.map().lower_bound(start);
+      for (int step = 0; step < 25; step++) {
+        ASSERT_EQ(ia->Valid(), ib->Valid()) << "round " << round;
+        ASSERT_EQ(ia->Valid(), im != model.map().end());
+        if (!ia->Valid()) break;
+        EXPECT_EQ(ia->key(), ib->key());
+        EXPECT_EQ(ia->value(), ib->value());
+        EXPECT_EQ(std::string(ia->key()), im->first);
+        EXPECT_EQ(std::string(ia->value()), im->second);
+        ia->Next();
+        ib->Next();
+        ++im;
+      }
+      ASSERT_TRUE(ia->status().ok()) << ia->status().ToString();
+      ASSERT_TRUE(ib->status().ok()) << ib->status().ToString();
     }
-    ASSERT_TRUE(lsm->Close().ok());
-    ASSERT_TRUE(bt->Close().ok());
   }
-  auto lsm = *lsm::LsmStore::Open(&fs_a, TinyLsm());
-  auto bt = *btree::BTreeStore::Open(&fs_b, TinyBTree());
-  testing::VerifyAll(lsm.get(), model);
-  testing::VerifyAll(bt.get(), model);
-  ASSERT_TRUE(lsm->Close().ok());
-  ASSERT_TRUE(bt->Close().ok());
+
+  // Final full sweep via iterators (not the Scan shim).
+  auto ia = lsm->store->NewIterator();
+  auto ib = bt->store->NewIterator();
+  ia->SeekToFirst();
+  ib->SeekToFirst();
+  auto im = model.map().begin();
+  size_t n = 0;
+  while (ia->Valid() || ib->Valid()) {
+    ASSERT_EQ(ia->Valid(), ib->Valid());
+    ASSERT_NE(im, model.map().end());
+    EXPECT_EQ(ia->key(), ib->key());
+    EXPECT_EQ(ia->value(), ib->value());
+    EXPECT_EQ(std::string(ia->key()), im->first);
+    ia->Next();
+    ib->Next();
+    ++im;
+    n++;
+  }
+  EXPECT_EQ(n, model.size());
+  ASSERT_TRUE(ia->status().ok());
+  ASSERT_TRUE(ib->status().ok());
+
+  // Stats invariants under the batched API: every entry was counted, and
+  // batches were counted as submitted (Write calls), not per entry.
+  for (kv::KVStore* store : {lsm->store.get(), bt->store.get()}) {
+    const auto stats = store->GetStats();
+    EXPECT_GT(stats.user_batches, 0u);
+    EXPECT_GE(stats.user_puts + stats.user_deletes, stats.user_batches);
+  }
+
+  ASSERT_TRUE(lsm->store->Close().ok());
+  ASSERT_TRUE(bt->store->Close().ok());
+
+  // Both engines reopen to the same state (journal/WAL + checkpoint replay
+  // of batched records).
+  Reopen(lsm.get(), "lsm");
+  Reopen(bt.get(), "btree");
+  testing::VerifyAll(lsm->store.get(), model);
+  testing::VerifyAll(bt->store.get(), model);
+  ASSERT_TRUE(lsm->store->Close().ok());
+  ASSERT_TRUE(bt->store->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedDifferentialTest,
+                         ::testing::Values(11u, 12u, 13u));
+
+// Group commit: the same logical write stream costs fewer log bytes at
+// larger batch sizes (record framing amortizes), and strictly fewer than
+// one-at-a-time submission.
+TEST(GroupCommitTest, WalBytesGrowSubLinearlyWithBatchSize) {
+  const std::map<std::string, std::string> btree_journal = {
+      {"journal_enabled", "1"}};
+  for (const std::string engine : {"lsm", "btree"}) {
+    uint64_t prev_wal_bytes = 0;
+    bool first = true;
+    for (const size_t batch_size : {1u, 8u, 64u}) {
+      auto h = MakeEngine(engine,
+                          engine == "btree"
+                              ? btree_journal
+                              : std::map<std::string, std::string>{});
+      kv::WriteBatch batch;
+      for (uint64_t i = 0; i < 1024; i++) {
+        batch.Put(kv::MakeKey(i), kv::MakeValue(i, 64));
+        if (batch.Count() >= batch_size) {
+          ASSERT_TRUE(h->store->Write(batch).ok());
+          batch.Clear();
+        }
+      }
+      if (!batch.empty()) {
+        ASSERT_TRUE(h->store->Write(batch).ok());
+      }
+      const auto stats = h->store->GetStats();
+      EXPECT_EQ(stats.user_puts, 1024u);
+      EXPECT_GT(stats.wal_bytes_written, stats.user_bytes_written)
+          << engine << " must log payload plus framing";
+      if (!first) {
+        EXPECT_LT(stats.wal_bytes_written, prev_wal_bytes)
+            << engine << " batch=" << batch_size
+            << ": group commit must amortize log framing";
+      }
+      prev_wal_bytes = stats.wal_bytes_written;
+      first = false;
+      ASSERT_TRUE(h->store->Close().ok());
+    }
+  }
+}
+
+TEST(DifferentialTest, EnginesAgreeAfterReopen) {
+  auto lsm = MakeEngine("lsm");
+  auto bt = MakeEngine("btree");
+  testing::ReferenceModel model;
+  Rng rng(42);
+  for (int i = 0; i < 1500; i++) {
+    const std::string key = "k" + std::to_string(rng.Uniform(300));
+    std::string value(200, '\0');
+    rng.FillBytes(value.data(), value.size());
+    ASSERT_TRUE(lsm->store->Put(key, value).ok());
+    ASSERT_TRUE(bt->store->Put(key, value).ok());
+    model.Put(key, value);
+  }
+  ASSERT_TRUE(lsm->store->Close().ok());
+  ASSERT_TRUE(bt->store->Close().ok());
+  Reopen(lsm.get(), "lsm");
+  Reopen(bt.get(), "btree");
+  testing::VerifyAll(lsm->store.get(), model);
+  testing::VerifyAll(bt->store.get(), model);
+  ASSERT_TRUE(lsm->store->Close().ok());
+  ASSERT_TRUE(bt->store->Close().ok());
 }
 
 // Full-stack accounting invariant: user bytes <= host bytes <= NAND bytes
@@ -138,7 +342,12 @@ TEST(StackInvariantTest, WriteAmplificationLayersNest) {
   ssd::SsdDevice dev(cfg, &clock);
   block::IoStatCollector io(&dev);
   fs::SimpleFs fs(&io, {});
-  auto store = *lsm::LsmStore::Open(&fs, TinyLsm());
+  kv::EngineOptions options;
+  options.engine = "lsm";
+  options.fs = &fs;
+  options.clock = &clock;
+  options.params = TinyLsmParams();
+  auto store = *kv::OpenStore(options);
   Rng rng(7);
   for (int i = 0; i < 4000; i++) {
     ASSERT_TRUE(store
@@ -157,47 +366,46 @@ TEST(StackInvariantTest, WriteAmplificationLayersNest) {
 }
 
 TEST(FaultInjectionTest, LsmSurfacesDeviceWriteErrors) {
-  block::MemoryBlockDevice dev(4096, 1 << 14);
-  fs::SimpleFs fs(&dev, {});
-  auto options = TinyLsm();
-  options.wal_buffer_bytes = 1;  // write-through so faults hit immediately
-  auto store = *lsm::LsmStore::Open(&fs, options);
+  EngineHarness h;
+  kv::EngineOptions options;
+  options.engine = "lsm";
+  options.fs = &h.fs;
+  options.params = TinyLsmParams();
+  options.params["wal_buffer_bytes"] = "1";  // write-through: faults hit now
+  auto store = *kv::OpenStore(options);
   std::string value(8000, 'v');  // spans pages: reaches the device now
   ASSERT_TRUE(store->Put("a", value).ok());
-  dev.FailNextWrites(1);
+  h.dev.FailNextWrites(1);
   Status s = store->Put("b", value);
   EXPECT_TRUE(s.IsIoError()) << s.ToString();
 }
 
 TEST(FaultInjectionTest, BTreeSurfacesCheckpointErrors) {
-  block::MemoryBlockDevice dev(4096, 1 << 14);
-  fs::SimpleFs fs(&dev, {});
-  auto store = *btree::BTreeStore::Open(&fs, TinyBTree());
-  ASSERT_TRUE(store->Put("a", std::string(500, 'v')).ok());
-  dev.FailNextWrites(1);
-  Status s = store->Flush();  // checkpoint must write pages
+  auto h = MakeEngine("btree");
+  ASSERT_TRUE(h->store->Put("a", std::string(500, 'v')).ok());
+  h->dev.FailNextWrites(1);
+  Status s = h->store->Flush();  // checkpoint must write pages
   EXPECT_TRUE(s.IsIoError()) << s.ToString();
 }
 
 TEST(FaultInjectionTest, EnginesFailCleanlyWhenDeviceFull) {
   // A device far too small for the workload: both engines must surface
   // NoSpace without aborting.
-  for (const bool use_lsm : {true, false}) {
+  for (const std::string engine : {"lsm", "btree"}) {
     block::MemoryBlockDevice dev(4096, 256);  // 1 MiB
     fs::SimpleFs fs(&dev, {});
-    std::unique_ptr<kv::KVStore> store;
-    if (use_lsm) {
-      store = *lsm::LsmStore::Open(&fs, TinyLsm());
-    } else {
-      store = *btree::BTreeStore::Open(&fs, TinyBTree());
-    }
+    kv::EngineOptions options;
+    options.engine = engine;
+    options.fs = &fs;
+    options.params = TinyParams(engine);
+    auto store = *kv::OpenStore(options);
     Status s = Status::OK();
     std::string value(900, 'v');
     for (int i = 0; i < 4000 && s.ok(); i++) {
       s = store->Put("k" + std::to_string(i), value);
     }
-    EXPECT_TRUE(s.IsNoSpace()) << "engine=" << (use_lsm ? "lsm" : "btree")
-                               << " got: " << s.ToString();
+    EXPECT_TRUE(s.IsNoSpace())
+        << "engine=" << engine << " got: " << s.ToString();
   }
 }
 

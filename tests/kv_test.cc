@@ -1,13 +1,42 @@
-// Tests for the kv layer: key/value codecs and workload generation.
+// Tests for the kv layer: key/value codecs, the WriteBatch container and
+// workload generation.
 #include <gtest/gtest.h>
 
 #include <map>
 
 #include "kv/kv.h"
 #include "kv/workload.h"
+#include "kv/write_batch.h"
 
 namespace ptsb::kv {
 namespace {
+
+TEST(WriteBatchTest, AccumulatesEntriesInOrder) {
+  WriteBatch batch;
+  EXPECT_TRUE(batch.empty());
+  batch.Put("a", "1");
+  batch.Delete("bb");
+  batch.Put("ccc", "22");
+  EXPECT_EQ(batch.Count(), 3u);
+  ASSERT_EQ(batch.entries().size(), 3u);
+  EXPECT_EQ(batch.entries()[0].kind, WriteBatch::EntryKind::kPut);
+  EXPECT_EQ(batch.entries()[0].key, "a");
+  EXPECT_EQ(batch.entries()[0].value, "1");
+  EXPECT_EQ(batch.entries()[1].kind, WriteBatch::EntryKind::kDelete);
+  EXPECT_EQ(batch.entries()[1].key, "bb");
+  EXPECT_EQ(batch.entries()[2].key, "ccc");
+}
+
+TEST(WriteBatchTest, ByteSizeCountsKeysAndValues) {
+  WriteBatch batch;
+  batch.Put("abc", "xy");   // 5 bytes
+  batch.Delete("defg");     // 4 bytes (no value)
+  EXPECT_EQ(batch.ByteSize(), 9u);
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.Count(), 0u);
+  EXPECT_EQ(batch.ByteSize(), 0u);
+}
 
 TEST(KeyTest, FixedWidthAndOrdered) {
   const std::string a = MakeKey(5);
@@ -130,6 +159,76 @@ TEST(WorkloadTest, ZipfianConcentrates) {
     if (gen.Next().key_id < 1000) hot++;  // hottest 1%
   }
   EXPECT_GT(hot, static_cast<uint64_t>(kOps) / 5);
+}
+
+TEST(WorkloadTest, DeleteFractionCarvesDeletesOutOfWrites) {
+  WorkloadSpec spec;
+  spec.num_keys = 1000;
+  spec.write_fraction = 0.8;
+  spec.delete_fraction = 0.25;
+  WorkloadGenerator gen(spec);
+  int puts = 0, deletes = 0, gets = 0;
+  const int kOps = 20000;
+  for (int i = 0; i < kOps; i++) {
+    switch (gen.Next().type) {
+      case Op::Type::kPut: puts++; break;
+      case Op::Type::kDelete: deletes++; break;
+      case Op::Type::kGet: gets++; break;
+      default: FAIL() << "unexpected op type";
+    }
+  }
+  // writes ~80%, of which ~25% deletes.
+  EXPECT_NEAR(puts + deletes, kOps * 0.8, kOps * 0.05);
+  EXPECT_NEAR(deletes, kOps * 0.8 * 0.25, kOps * 0.05);
+  EXPECT_NEAR(gets, kOps * 0.2, kOps * 0.05);
+}
+
+TEST(WorkloadTest, BatchSizeTurnsPutsIntoBatchPuts) {
+  WorkloadSpec spec;
+  spec.num_keys = 1000;
+  spec.batch_size = 16;
+  WorkloadGenerator gen(spec);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(gen.Next().type, Op::Type::kBatchPut);
+  }
+}
+
+TEST(WorkloadTest, ScanFractionCarvesScansOutOfReads) {
+  WorkloadSpec spec;
+  spec.num_keys = 1000;
+  spec.write_fraction = 0.0;
+  spec.scan_fraction = 0.5;
+  WorkloadGenerator gen(spec);
+  int scans = 0, gets = 0;
+  const int kOps = 10000;
+  for (int i = 0; i < kOps; i++) {
+    const Op op = gen.Next();
+    if (op.type == Op::Type::kScan) {
+      scans++;
+    } else {
+      ASSERT_EQ(op.type, Op::Type::kGet);
+      gets++;
+    }
+  }
+  EXPECT_NEAR(scans, kOps / 2, kOps / 20);
+  EXPECT_NEAR(gets, kOps / 2, kOps / 20);
+}
+
+TEST(WorkloadTest, BatchFillDrawsAreDeterministic) {
+  WorkloadSpec spec;
+  spec.num_keys = 1000;
+  spec.batch_size = 8;
+  spec.seed = 99;
+  WorkloadGenerator a(spec), b(spec);
+  for (int i = 0; i < 50; i++) {
+    const Op oa = a.Next();
+    const Op ob = b.Next();
+    EXPECT_EQ(oa.key_id, ob.key_id);
+    for (size_t j = 1; j < spec.batch_size; j++) {
+      EXPECT_EQ(a.NextKeyId(), b.NextKeyId());
+      EXPECT_EQ(a.NextValueSeed(), b.NextValueSeed());
+    }
+  }
 }
 
 TEST(WorkloadTest, DatasetBytesMatchesPaperMath) {
