@@ -5,13 +5,17 @@
 #ifndef PTSB_BENCH_BENCH_COMMON_H_
 #define PTSB_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 
+#include "alog/alog_store.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "util/human.h"
 
 namespace ptsb::bench {
 
@@ -68,6 +72,42 @@ inline core::ExperimentResult MustRun(const core::ExperimentConfig& config,
     std::exit(1);
   }
   return *std::move(result);
+}
+
+// Applies an engine name to a config, threading the scaled alog params
+// when needed (the driver scales "lsm"/"btree" itself; out-of-core
+// engines get their structural sizes through engine_params), so the fig
+// benches can sweep all three engines uniformly. Params the bench set
+// before calling win over the scaled defaults, matching run_experiment's
+// --engine-param semantics.
+inline void SelectEngine(core::ExperimentConfig* config,
+                         const std::string& engine) {
+  config->engine = engine;
+  if (engine == "alog") {
+    for (const auto& [key, value] :
+         alog::ScaledEngineParams(config->scale)) {
+      config->engine_params.emplace(key, value);
+    }
+  }
+}
+
+// One-line application-level write breakdown, so the benches can attribute
+// WA-A to engine mechanisms: compaction for the LSM, page writebacks and
+// checkpoints for the B+Tree, segment GC for the log engine.
+inline void PrintWriteAttribution(const std::string& name,
+                                  const kv::KvStoreStats& s) {
+  std::printf(
+      "  %-10s user=%-9s log=%-9s flush=%-9s compact w/r=%s/%s  "
+      "page=%-9s ckpt=%-9s gc w/r=%s/%s\n",
+      name.c_str(), HumanBytes(s.user_bytes_written).c_str(),
+      HumanBytes(s.wal_bytes_written).c_str(),
+      HumanBytes(s.flush_bytes_written).c_str(),
+      HumanBytes(s.compaction_bytes_written).c_str(),
+      HumanBytes(s.compaction_bytes_read).c_str(),
+      HumanBytes(s.page_write_bytes).c_str(),
+      HumanBytes(s.checkpoint_bytes_written).c_str(),
+      HumanBytes(s.gc_bytes_written).c_str(),
+      HumanBytes(s.gc_bytes_read).c_str());
 }
 
 }  // namespace ptsb::bench

@@ -27,16 +27,15 @@ int Main(int argc, char** argv) {
   };
   const Variant variants[2] = {{"128B-values", 128, 1.0},
                                {"rw50", 4000, 0.5}};
-  const std::string engines[2] = {"lsm", "btree"};
+  const std::string engines[3] = {"lsm", "btree", "alog"};
   const ssd::InitialState states[2] = {ssd::InitialState::kTrimmed,
                                        ssd::InitialState::kPreconditioned};
 
   std::vector<core::ExperimentResult> all;
   for (const auto& v : variants) {
-    for (int e = 0; e < 2; e++) {
+    for (int e = 0; e < 3; e++) {
       for (int s = 0; s < 2; s++) {
         core::ExperimentConfig c;
-        c.engine = engines[e];
         c.initial_state = states[s];
         c.value_bytes = v.value_bytes;  // NumKeys scales automatically
         c.write_fraction = v.write_fraction;
@@ -46,6 +45,7 @@ int Main(int argc, char** argv) {
                  engines[e] + "-" +
                  ssd::InitialStateName(states[s]);
         flags.Apply(&c);
+        bench::SelectEngine(&c, engines[e]);
         auto r = bench::MustRun(c, flags);
         std::printf("%s\n", r.series.ToTable(c.name).c_str());
         all.push_back(std::move(r));
@@ -55,7 +55,7 @@ int Main(int argc, char** argv) {
 
   // Index into `all`: variant-major, then engine, then state.
   auto at = [&](int v, int e, int s) -> const core::ExperimentResult& {
-    return all[static_cast<size_t>(v * 4 + e * 2 + s)];
+    return all[static_cast<size_t>(v * 6 + e * 2 + s)];
   };
 
   core::Report report("Fig. 11: paper vs measured");
@@ -77,6 +77,11 @@ int Main(int argc, char** argv) {
       "x");
   report.AddNote("pitfalls 1-3 (short tests, WA-D, initial state) show in "
                  "every variant with a sustained write component");
+  report.AddNote(StrPrintf(
+      "alog (not in paper): 128B trim %.2f Kops/s, rw50 trim %.2f Kops/s — "
+      "small values amortize poorly in every engine but the log pays no "
+      "read-modify-write for them",
+      at(0, 2, 0).steady.kv_kops, at(1, 2, 0).steady.kv_kops));
   report.PrintTo(stdout);
 
   core::WriteResultsFile("fig11_summary.csv", core::SteadySummaryCsv(all));

@@ -1,11 +1,13 @@
-// google-benchmark microbenchmarks of the two engines' operation costs on
-// a plain in-memory block device (no SSD timing): the software-side cost
-// the paper's CPU-overhead discussion refers to.
+// google-benchmark microbenchmarks of the three engines' operation costs
+// on a plain in-memory block device (no SSD timing): the software-side
+// cost the paper's CPU-overhead discussion refers to.
 //
-// Both engines are instantiated exclusively through kv::OpenStore, and the
+// All engines are instantiated exclusively through kv::OpenStore, and the
 // BM_*Write benchmarks sweep the batch size: the wal_bytes_per_op counter
 // shows group commit amortizing the per-record log overhead (one crc +
-// length frame per batch instead of per op).
+// length frame per batch instead of per op). The alog write benchmarks
+// also report gc_bytes_per_op — the log engine's entire application-level
+// write amplification beyond the appends themselves.
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -50,6 +52,11 @@ std::map<std::string, std::string> BTreeBenchParams(bool journal) {
           {"journal_enabled", journal ? "1" : "0"}};
 }
 
+std::map<std::string, std::string> AlogBenchParams() {
+  return {{"segment_bytes", std::to_string(4 << 20)},
+          {"gc_trigger", "0.5"}};
+}
+
 // Batched writes, state.range(0) = entries per batch (1 = single-op puts).
 // Reported counter wal_bytes_per_op makes the group-commit amortization
 // visible: per-op log bytes drop as the batch grows.
@@ -75,6 +82,10 @@ void RunWriteBatchBench(benchmark::State& state, const std::string& engine,
       ops > 0 ? static_cast<double>(stats.wal_bytes_written) /
                     static_cast<double>(ops)
               : 0;
+  state.counters["gc_bytes_per_op"] =
+      ops > 0 ? static_cast<double>(stats.gc_bytes_written) /
+                    static_cast<double>(ops)
+              : 0;
 }
 
 void BM_LsmWrite(benchmark::State& state) {
@@ -87,6 +98,12 @@ void BM_BTreeWrite(benchmark::State& state) {
   RunWriteBatchBench(state, "btree", BTreeBenchParams(/*journal=*/true));
 }
 BENCHMARK(BM_BTreeWrite)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_AlogWrite(benchmark::State& state) {
+  // The segment log is both data and WAL: one framed record per batch.
+  RunWriteBatchBench(state, "alog", AlogBenchParams());
+}
+BENCHMARK(BM_AlogWrite)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_LsmPut(benchmark::State& state) {
   EngineFixture f("lsm", LsmBenchParams());
@@ -174,6 +191,39 @@ void BM_BTreeScan100(benchmark::State& state) {
   RunScanBench(state, "btree", BTreeBenchParams(/*journal=*/false));
 }
 BENCHMARK(BM_BTreeScan100);
+
+void BM_AlogPut(benchmark::State& state) {
+  EngineFixture f("alog", AlogBenchParams());
+  const std::string value = kv::MakeValue(1, state.range(0));
+  Rng rng(6);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    PTSB_CHECK_OK(f.store->Put(kv::MakeKey(rng.Uniform(100000)), value));
+    i++;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(i) * state.range(0));
+}
+BENCHMARK(BM_AlogPut)->Arg(128)->Arg(4000);
+
+void BM_AlogGet(benchmark::State& state) {
+  EngineFixture f("alog", AlogBenchParams());
+  const std::string value = kv::MakeValue(1, 512);
+  for (uint64_t k = 0; k < 5000; k++) {
+    PTSB_CHECK_OK(f.store->Put(kv::MakeKey(k), value));
+  }
+  PTSB_CHECK_OK(f.store->Flush());
+  Rng rng(7);
+  std::string out;
+  for (auto _ : state) {
+    PTSB_CHECK_OK(f.store->Get(kv::MakeKey(rng.Uniform(5000)), &out));
+  }
+}
+BENCHMARK(BM_AlogGet);
+
+void BM_AlogScan100(benchmark::State& state) {
+  RunScanBench(state, "alog", AlogBenchParams());
+}
+BENCHMARK(BM_AlogScan100);
 
 }  // namespace
 }  // namespace ptsb

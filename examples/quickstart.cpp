@@ -1,7 +1,8 @@
 // Quickstart: build the full simulated stack (SSD -> filesystem -> engine),
-// open both engines through the registry (kv::OpenStore), write data with
-// batched group commit, stream a range with an iterator, and peek at the
-// metrics the paper is about (WA-A at the block layer, WA-D from SMART).
+// open all three engines through the registry (kv::OpenStore), write data
+// with batched group commit, stream a range with an iterator, and peek at
+// the metrics the paper is about (WA-A at the block layer, WA-D from
+// SMART).
 //
 //   ./build/quickstart
 #include <cstdio>
@@ -115,6 +116,18 @@ int main() {
     options.params["journal_enabled"] = "1";
     auto store = *kv::OpenStore(options);
     Demo("B+Tree engine (WiredTiger-like)", store.get(), &iostat, &ssd);
+    PTSB_CHECK_OK(store->Close());
+  }
+  iostat.ResetCounters();
+  {
+    kv::EngineOptions options;
+    options.engine = "alog";
+    options.fs = &fs;
+    options.clock = &clock;
+    options.params["segment_bytes"] = std::to_string(2 << 20);
+    auto store = *kv::OpenStore(options);
+    Demo("append-only log engine (Bitcask-like)", store.get(), &iostat,
+         &ssd);
     PTSB_CHECK_OK(store->Close());
   }
   std::printf("simulated time elapsed: %.2f s\n", clock.NowSeconds());

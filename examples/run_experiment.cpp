@@ -8,8 +8,10 @@
 #include <cstring>
 #include <string>
 
+#include "alog/alog_store.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "kv/registry.h"
 #include "util/human.h"
 #include "util/logging.h"
 
@@ -18,9 +20,18 @@ using namespace ptsb;
 namespace {
 
 [[noreturn]] void Usage() {
+  kv::RegisterBuiltinEngines();
+  std::string engines;
+  for (const std::string& name : kv::EngineRegistry::Global().Names()) {
+    if (!engines.empty()) engines += ", ";
+    engines += name;
+  }
   std::printf(
       "flags:\n"
-      "  --engine=NAME               any registered engine (default lsm)\n"
+      "  --engine=NAME               a registered engine (default lsm;\n"
+      "                              registered: %s)\n",
+      engines.c_str());
+  std::printf(
       "  --engine-param=KEY=VALUE    engine option override (repeatable)\n"
       "  --profile=ssd1|ssd2|ssd3    (default ssd1)\n"
       "  --state=trimmed|preconditioned\n"
@@ -93,6 +104,18 @@ int main(int argc, char** argv) {
       config.seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else {
       Usage();
+    }
+  }
+
+  // The driver scales the built-in lsm/btree option defaults itself; for
+  // alog thread the scaled structural sizes through the param map
+  // (explicit --engine-param overrides still win). Kept in sync with
+  // bench::SelectEngine in bench/bench_common.h, which does the same for
+  // the figure benches.
+  if (config.engine == "alog") {
+    for (const auto& [key, value] :
+         alog::ScaledEngineParams(config.scale)) {
+      config.engine_params.emplace(key, value);  // user overrides win
     }
   }
 

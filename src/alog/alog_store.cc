@@ -1,0 +1,565 @@
+#include "alog/alog_store.h"
+
+#include <algorithm>
+
+#include "util/human.h"
+#include "util/logging.h"
+
+namespace ptsb::alog {
+
+AlogStore::AlogStore(fs::SimpleFs* fs, const AlogOptions& options,
+                     std::string dir)
+    : fs_(fs), options_(options), dir_(std::move(dir)) {}
+
+AlogStore::~AlogStore() {
+  if (!closed_) {
+    // Best-effort shutdown; errors are not recoverable in a destructor.
+    Close().ok();
+  }
+}
+
+std::string AlogStore::SegmentFileName(const std::string& dir, uint64_t id) {
+  return StrPrintf("%s/%06llu.seg", dir.c_str(),
+                   static_cast<unsigned long long>(id));
+}
+
+StatusOr<std::unique_ptr<AlogStore>> AlogStore::Open(fs::SimpleFs* fs,
+                                                     const AlogOptions& options,
+                                                     std::string dir) {
+  if (options.segment_bytes == 0) {
+    return Status::InvalidArgument("alog segment_bytes must be positive");
+  }
+  if (!(options.gc_trigger > 0.0) || options.gc_trigger > 1.0) {
+    return Status::InvalidArgument("alog gc_trigger must be in (0, 1]");
+  }
+  auto store =
+      std::unique_ptr<AlogStore>(new AlogStore(fs, options, std::move(dir)));
+
+  // Replay every segment in id order (numeric, not lexicographic: the
+  // fixed-width file names wrap their pad once ids pass 999999, and a
+  // misordered replay would let stale records re-shadow newer ones).
+  // Pre-existing segments are sealed: after a crash the newest one may end
+  // in a torn record, and appending past a torn tail would bury it
+  // mid-file where replay cannot skip it.
+  std::vector<std::pair<uint64_t, std::string>> files;
+  for (const std::string& name : fs->List(store->dir_ + "/")) {
+    if (!name.ends_with(".seg")) continue;
+    const size_t slash = name.rfind('/');
+    const std::string base =
+        name.substr(slash + 1, name.size() - slash - 1 - 4);
+    // A foreign or mangled file name must not abort recovery (std::stoull
+    // throws); anything non-numeric is simply not one of our segments.
+    if (base.empty() || base.size() > 19 ||
+        base.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    files.emplace_back(std::stoull(base), name);
+  }
+  std::sort(files.begin(), files.end());
+  store->replaying_ = true;
+  for (const auto& [id, name] : files) {
+    PTSB_ASSIGN_OR_RETURN(fs::File * file, fs->Open(name));
+    SegmentInfo info;
+    info.file = file;
+    info.sealed = true;
+    store->segments_.emplace(id, info);
+    PTSB_RETURN_IF_ERROR(ReplaySegment(file, [&](const ReplayedEntry& e) {
+      store->segments_.at(id).payload_bytes += e.entry_bytes;
+      store->sealed_payload_bytes_ += e.entry_bytes;
+      Location loc;
+      loc.segment = id;
+      loc.value_offset = e.value_offset;
+      loc.value_bytes = static_cast<uint32_t>(e.value.size());
+      loc.entry_bytes = e.entry_bytes;
+      store->ApplyToIndex(e.kind, e.key, loc);
+    }));
+    store->next_segment_id_ = std::max(store->next_segment_id_, id + 1);
+  }
+  store->replaying_ = false;
+
+  // Segments with nothing live (everything shadowed by newer records, or
+  // only a torn tail) are reclaimed immediately: free GC at open.
+  for (auto it = store->segments_.begin(); it != store->segments_.end();) {
+    if (it->second.live_entries == 0) {
+      store->sealed_payload_bytes_ -= it->second.payload_bytes;
+      store->sealed_live_bytes_ -= it->second.live_bytes;
+      PTSB_RETURN_IF_ERROR(
+          fs->Delete(SegmentFileName(store->dir_, it->first)));
+      it = store->segments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return store;
+}
+
+void AlogStore::ChargeCpu(int64_t ns) const {
+  if (options_.clock != nullptr) options_.clock->Advance(ns);
+}
+
+Status AlogStore::RollSegment() {
+  if (active_id_ != 0) {
+    SegmentInfo& old = segments_.at(active_id_);
+    // Sealing makes the segment durable and returns its over-allocated
+    // append slack to the filesystem; it is never written again.
+    unsynced_bytes_ = 0;  // the seal sync restarts the sync cadence
+    PTSB_RETURN_IF_ERROR(old.file->Sync());
+    PTSB_RETURN_IF_ERROR(old.file->ShrinkToFit());
+    old.sealed = true;
+    sealed_payload_bytes_ += old.payload_bytes;
+    sealed_live_bytes_ += old.live_bytes;
+    // A roll is the natural point to re-examine filesystem headroom: the
+    // pressure threshold is several segments wide, so per-write checks
+    // would only rediscover the same answer.
+    pressure_check_due_ = true;
+  }
+  const uint64_t id = next_segment_id_++;
+  PTSB_ASSIGN_OR_RETURN(fs::File * file,
+                        fs_->Create(SegmentFileName(dir_, id)));
+  SegmentInfo info;
+  info.file = file;
+  segments_.emplace(id, info);
+  active_id_ = id;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> AlogStore::AppendRecord(std::string_view record,
+                                           uint64_t payload, bool gc) {
+  if (active_id_ == 0 ||
+      segments_.at(active_id_).payload_bytes >= options_.segment_bytes) {
+    PTSB_RETURN_IF_ERROR(RollSegment());
+  }
+  SegmentInfo& seg = segments_.at(active_id_);
+  const uint64_t start = seg.file->size();
+  PTSB_RETURN_IF_ERROR(seg.file->Append(record));
+  seg.payload_bytes += payload;
+  if (gc) {
+    stats_.gc_bytes_written += record.size();
+  } else {
+    stats_.wal_bytes_written += record.size();
+  }
+  if (options_.sync_every_bytes > 0) {
+    unsynced_bytes_ += record.size();
+    if (unsynced_bytes_ >= options_.sync_every_bytes) {
+      unsynced_bytes_ = 0;
+      PTSB_RETURN_IF_ERROR(seg.file->Sync());
+    }
+  }
+  return start;
+}
+
+void AlogStore::ReleaseLocation(const Location& loc) {
+  SegmentInfo& seg = segments_.at(loc.segment);
+  PTSB_DCHECK(seg.live_entries > 0);
+  seg.live_bytes -= loc.entry_bytes;
+  seg.live_entries--;
+  if (seg.sealed) sealed_live_bytes_ -= loc.entry_bytes;
+}
+
+void AlogStore::ApplyToIndex(kv::WriteBatch::EntryKind kind,
+                             std::string_view key, const Location& loc) {
+  SegmentInfo& seg = segments_.at(loc.segment);
+  auto it = index_.find(key);
+  if (kind == kv::WriteBatch::EntryKind::kPut) {
+    if (it != index_.end()) {
+      ReleaseLocation(it->second);
+      it->second = loc;
+    } else {
+      index_.emplace(std::string(key), loc);
+    }
+    seg.live_bytes += loc.entry_bytes;
+    seg.live_entries++;
+    if (seg.sealed) sealed_live_bytes_ += loc.entry_bytes;  // replay only
+    return;
+  }
+  // A tombstone stays in the index while older shadowed entries for its
+  // key may survive in other segments (replay must keep suppressing them).
+  // When the key has no index entry at all, nothing for it survives
+  // anywhere, so the tombstone is dead on arrival.
+  if (it != index_.end()) {
+    ReleaseLocation(it->second);
+    Location tomb = loc;
+    tomb.tombstone = true;
+    it->second = tomb;
+    seg.live_bytes += loc.entry_bytes;
+    seg.live_entries++;
+    if (seg.sealed) sealed_live_bytes_ += loc.entry_bytes;  // replay only
+  }
+}
+
+Status AlogStore::ApplyBatchRecord(const kv::WriteBatch& batch, bool gc) {
+  // Group commit: one record, one crc, for the whole batch.
+  std::vector<EntryLayout> layout;
+  const std::string record = EncodeRecord(batch, &layout);
+  uint64_t payload = 0;
+  for (const EntryLayout& l : layout) payload += l.entry_bytes;
+  PTSB_ASSIGN_OR_RETURN(const uint64_t start,
+                        AppendRecord(record, payload, gc));
+  // Entries index in order, so a later entry for the same key wins (and
+  // immediately deadens the earlier one), exactly as if submitted
+  // individually — crash replay walks the record in the same order.
+  size_t i = 0;
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    Location loc;
+    loc.segment = active_id_;
+    loc.value_offset = start + layout[i].value_offset;
+    loc.value_bytes = layout[i].value_bytes;
+    loc.entry_bytes = layout[i].entry_bytes;
+    ApplyToIndex(e.kind, e.key, loc);
+    i++;
+  }
+  return Status::OK();
+}
+
+Status AlogStore::Write(const kv::WriteBatch& batch) {
+  PTSB_CHECK(!closed_);
+  // An empty batch is a no-op: no record, no stats movement.
+  if (batch.empty()) return Status::OK();
+  ChargeCpu(options_.cpu_put_ns * static_cast<int64_t>(batch.Count()));
+  stats_.user_batches++;
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    if (e.kind == kv::WriteBatch::EntryKind::kPut) {
+      stats_.user_puts++;
+      stats_.user_bytes_written += e.key.size() + e.value.size();
+    } else {
+      stats_.user_deletes++;
+      stats_.user_bytes_written += e.key.size();
+    }
+  }
+
+  auto now = [this]() {
+    return options_.clock != nullptr ? options_.clock->NowNanos() : 0;
+  };
+  const int64_t t0 = now();
+  PTSB_RETURN_IF_ERROR(ApplyBatchRecord(batch, /*gc=*/false));
+  stats_.time_wal_ns += now() - t0;
+
+  const int64_t t1 = now();
+  PTSB_RETURN_IF_ERROR(MaybeGc());
+  stats_.time_compaction_ns += now() - t1;
+  return Status::OK();
+}
+
+Status AlogStore::Get(std::string_view key, std::string* value) {
+  PTSB_CHECK(!closed_);
+  ChargeCpu(options_.cpu_get_ns);
+  stats_.user_gets++;
+  const auto it = index_.find(key);
+  if (it == index_.end()) return Status::NotFound("no such key");
+  if (it->second.tombstone) return Status::NotFound("deleted");
+  const Location& loc = it->second;
+  value->resize(loc.value_bytes);
+  PTSB_ASSIGN_OR_RETURN(
+      const uint64_t got,
+      segments_.at(loc.segment)
+          .file->ReadAt(loc.value_offset, loc.value_bytes, value->data()));
+  if (got != loc.value_bytes) return Status::Corruption("short value read");
+  stats_.user_bytes_read += value->size();
+  return Status::OK();
+}
+
+Status AlogStore::MaybeGc() {
+  if (replaying_) return Status::OK();
+  // Full-segment collections, run inline with the triggering write (the
+  // log engine's analog of compaction pacing). Two triggers:
+  //  - dead-ratio: sealed dead bytes exceed gc_trigger of sealed payload
+  //    (an O(1) check against the running sealed counters);
+  //  - space pressure: the filesystem is nearly full, so collect any
+  //    reclaimable segment even below the ratio (the WA cost of GC at
+  //    high utilization is the log engine's version of SSD overprovision
+  //    pressure). A collection needs headroom to rewrite the victim's
+  //    live data before its file is deleted, hence the early threshold;
+  //    because that threshold spans several segments, the filesystem is
+  //    only consulted after a segment roll, not on every write.
+  for (;;) {
+    if (sealed_payload_bytes_ == 0) return Status::OK();
+    const uint64_t dead = sealed_payload_bytes_ - sealed_live_bytes_;
+    const bool over_trigger =
+        static_cast<double>(dead) >
+        options_.gc_trigger * static_cast<double>(sealed_payload_bytes_);
+    if (!over_trigger) {
+      if (!pressure_check_due_) return Status::OK();
+      const fs::FsStats fs_stats = fs_->GetStats();
+      const bool space_pressure =
+          fs_stats.free_bytes <
+          std::max<uint64_t>(4 * options_.segment_bytes,
+                             fs_stats.capacity_bytes / 32);
+      if (!space_pressure) {
+        pressure_check_due_ = false;
+        return Status::OK();
+      }
+    }
+    // The coldest segment: highest dead ratio, oldest on ties. A segment
+    // with nothing dead reclaims nothing — if none qualifies, further
+    // writes legitimately run the store out of space.
+    uint64_t victim = 0;
+    double worst = 0.0;
+    for (const auto& [id, seg] : segments_) {
+      if (!seg.sealed || seg.payload_bytes == 0 ||
+          seg.live_bytes == seg.payload_bytes) {
+        continue;
+      }
+      const double ratio =
+          static_cast<double>(seg.payload_bytes - seg.live_bytes) /
+          static_cast<double>(seg.payload_bytes);
+      if (ratio > worst) {
+        worst = ratio;
+        victim = id;
+      }
+    }
+    if (victim == 0) {
+      pressure_check_due_ = false;
+      return Status::OK();
+    }
+    PTSB_RETURN_IF_ERROR(CollectSegment(victim));
+  }
+}
+
+Status AlogStore::CollectSegment(uint64_t id) {
+  const auto seg_it = segments_.find(id);
+  PTSB_CHECK(seg_it != segments_.end() && seg_it->second.sealed);
+  // Dropping a tombstone is safe only when no older record for its key can
+  // survive it. The index points at the newest record per key, so every
+  // other record for the key is older; if this is the oldest segment they
+  // all live here and die with the file. Otherwise the tombstone must move
+  // forward to keep shadowing them through future replays.
+  const bool oldest = segments_.begin()->first == id;
+
+  // Finding the victim's entries costs a full index walk. Collections are
+  // rare (once per segment lifetime) and simulation-scale indexes are
+  // small; a per-segment key set would shrink this to the victim's size
+  // at a permanent memory cost per entry.
+  struct Ref {
+    std::string key;
+    Location loc;
+  };
+  std::vector<Ref> refs;
+  refs.reserve(seg_it->second.live_entries);
+  for (const auto& [key, loc] : index_) {
+    if (loc.segment == id) refs.push_back({key, loc});
+  }
+  // Read live values in file order (sequential on a real device).
+  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    return a.loc.value_offset < b.loc.value_offset;
+  });
+
+  kv::WriteBatch batch;
+  std::string value;
+  for (const Ref& r : refs) {
+    if (r.loc.tombstone) {
+      if (oldest) {
+        ReleaseLocation(r.loc);
+        index_.erase(r.key);
+      } else {
+        batch.Delete(r.key);
+      }
+      continue;
+    }
+    value.resize(r.loc.value_bytes);
+    PTSB_ASSIGN_OR_RETURN(
+        const uint64_t got,
+        seg_it->second.file->ReadAt(r.loc.value_offset, r.loc.value_bytes,
+                                    value.data()));
+    if (got != r.loc.value_bytes) {
+      return Status::Corruption("short GC value read");
+    }
+    stats_.gc_bytes_read += r.loc.value_bytes;
+    batch.Put(r.key, value);
+  }
+
+  if (!batch.empty()) {
+    PTSB_RETURN_IF_ERROR(ApplyBatchRecord(batch, /*gc=*/true));
+    // The victim's file is deleted below, so the rewritten live data must
+    // be durable first: a crash with the GC record still in the unsynced
+    // tail would drop it whole on replay (torn crc) while the durable
+    // originals are already gone with the victim's file.
+    unsynced_bytes_ = 0;
+    PTSB_RETURN_IF_ERROR(segments_.at(active_id_).file->Sync());
+  }
+
+  const SegmentInfo& collected = segments_.at(id);
+  PTSB_CHECK_EQ(collected.live_entries, 0u)
+      << "collected segment still referenced";
+  sealed_payload_bytes_ -= collected.payload_bytes;
+  sealed_live_bytes_ -= collected.live_bytes;
+  PTSB_RETURN_IF_ERROR(fs_->Delete(SegmentFileName(dir_, id)));
+  segments_.erase(id);
+  return Status::OK();
+}
+
+// Ordered cursor over the index; values are read lazily from the segment
+// files as the cursor positions. Holds a live std::map iterator, so any
+// write to the store invalidates it (appends retarget the index, GC
+// deletes segment files) — the same contract as the other engines.
+class AlogStore::OrderedIterator : public kv::KVStore::Iterator {
+ public:
+  explicit OrderedIterator(AlogStore* store)
+      : store_(store), pos_(store->index_.end()) {}
+
+  void SeekToFirst() override { Position(store_->index_.begin()); }
+  void Seek(std::string_view target) override {
+    Position(store_->index_.lower_bound(target));
+  }
+  bool Valid() const override { return valid_; }
+
+  void Next() override {
+    if (!valid_) return;
+    Position(std::next(pos_));
+  }
+
+  std::string_view key() const override { return pos_->first; }
+  std::string_view value() const override { return value_; }
+  Status status() const override { return status_; }
+
+ private:
+  using IndexIter = std::map<std::string, Location, std::less<>>::iterator;
+
+  void Position(IndexIter it) {
+    valid_ = false;
+    if (!status_.ok()) return;
+    while (it != store_->index_.end() && it->second.tombstone) ++it;
+    if (it == store_->index_.end()) return;  // clean end-of-data
+    pos_ = it;
+    const Location& loc = it->second;
+    value_.resize(loc.value_bytes);
+    auto got = store_->segments_.at(loc.segment)
+                   .file->ReadAt(loc.value_offset, loc.value_bytes,
+                                 value_.data());
+    if (!got.ok()) {
+      status_ = got.status();
+      return;
+    }
+    if (*got != loc.value_bytes) {
+      status_ = Status::Corruption("short value read");
+      return;
+    }
+    store_->stats_.user_bytes_read += pos_->first.size() + value_.size();
+    valid_ = true;
+  }
+
+  AlogStore* store_;
+  IndexIter pos_;
+  std::string value_;
+  bool valid_ = false;
+  Status status_;
+};
+
+std::unique_ptr<kv::KVStore::Iterator> AlogStore::NewIterator() {
+  PTSB_CHECK(!closed_);
+  stats_.user_scans++;
+  return std::make_unique<OrderedIterator>(this);
+}
+
+Status AlogStore::Flush() {
+  PTSB_CHECK(!closed_);
+  if (active_id_ != 0) {
+    PTSB_RETURN_IF_ERROR(segments_.at(active_id_).file->Sync());
+  }
+  return Status::OK();
+}
+
+Status AlogStore::Close() {
+  if (closed_) return Status::OK();
+  if (active_id_ != 0) {
+    SegmentInfo& seg = segments_.at(active_id_);
+    PTSB_RETURN_IF_ERROR(seg.file->Sync());
+    PTSB_RETURN_IF_ERROR(seg.file->ShrinkToFit());
+    if (seg.payload_bytes == 0) {
+      // Nothing was ever appended; don't leave an empty segment behind.
+      PTSB_RETURN_IF_ERROR(fs_->Delete(SegmentFileName(dir_, active_id_)));
+      segments_.erase(active_id_);
+    }
+    active_id_ = 0;
+  }
+  closed_ = true;
+  return Status::OK();
+}
+
+uint64_t AlogStore::DiskBytesUsed() const {
+  uint64_t total = 0;
+  for (const std::string& name : fs_->List(dir_ + "/")) {
+    auto size = fs_->FileSize(name);
+    if (size.ok()) total += *size;
+  }
+  return total;
+}
+
+uint64_t AlogStore::LiveKeys() const {
+  uint64_t n = 0;
+  for (const auto& [key, loc] : index_) {
+    if (!loc.tombstone) n++;
+  }
+  return n;
+}
+
+uint64_t AlogStore::DeadBytes() const {
+  // Recomputed from scratch (tests cross-check the running counters the
+  // GC trigger uses against this).
+  uint64_t dead = 0;
+  for (const auto& [id, seg] : segments_) {
+    if (seg.sealed) dead += seg.payload_bytes - seg.live_bytes;
+  }
+  PTSB_DCHECK(dead == sealed_payload_bytes_ - sealed_live_bytes_);
+  return dead;
+}
+
+std::string AlogStore::DebugString() const {
+  std::string out = StrPrintf("AlogStore index=%zu keys  segments=%zu\n",
+                              index_.size(), segments_.size());
+  for (const auto& [id, seg] : segments_) {
+    out += StrPrintf("  seg %06llu%s: payload=%s live=%s (%llu entries)\n",
+                     static_cast<unsigned long long>(id),
+                     seg.sealed ? "" : " (active)",
+                     HumanBytes(seg.payload_bytes).c_str(),
+                     HumanBytes(seg.live_bytes).c_str(),
+                     static_cast<unsigned long long>(seg.live_entries));
+  }
+  return out;
+}
+
+namespace {
+
+AlogOptions AlogOptionsFromEngineOptions(const kv::EngineOptions& eo) {
+  AlogOptions o;
+  o.segment_bytes = kv::ParamUint64(eo, "segment_bytes", o.segment_bytes);
+  o.gc_trigger = kv::ParamDouble(eo, "gc_trigger", o.gc_trigger);
+  o.sync_every_bytes =
+      kv::ParamUint64(eo, "sync_every_bytes", o.sync_every_bytes);
+  o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
+  o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
+  o.clock = eo.clock;
+  return o;
+}
+
+}  // namespace
+
+void RegisterAlogEngine() {
+  kv::EngineRegistry::Global().Register(
+      "alog",
+      [](const kv::EngineOptions& eo)
+          -> StatusOr<std::unique_ptr<kv::KVStore>> {
+        auto opened =
+            AlogStore::Open(eo.fs, AlogOptionsFromEngineOptions(eo),
+                            eo.root.empty() ? "alog" : eo.root);
+        if (!opened.ok()) return opened.status();
+        return std::unique_ptr<kv::KVStore>(std::move(*opened));
+      });
+}
+
+std::map<std::string, std::string> EncodeEngineParams(const AlogOptions& o) {
+  std::map<std::string, std::string> p;
+  p["segment_bytes"] = std::to_string(o.segment_bytes);
+  p["gc_trigger"] = std::to_string(o.gc_trigger);
+  p["sync_every_bytes"] = std::to_string(o.sync_every_bytes);
+  p["cpu_put_ns"] = std::to_string(o.cpu_put_ns);
+  p["cpu_get_ns"] = std::to_string(o.cpu_get_ns);
+  return p;
+}
+
+std::map<std::string, std::string> ScaledEngineParams(uint64_t scale) {
+  AlogOptions o;
+  o.segment_bytes = std::max<uint64_t>(o.segment_bytes / scale, 64 << 10);
+  return EncodeEngineParams(o);
+}
+
+}  // namespace ptsb::alog

@@ -1,0 +1,149 @@
+// AlogStore: the append-only log engine (Bitcask-like). The limiting case
+// of sequential-write friendliness among the testbed's engines: every
+// mutation is an append to the active segment file, an in-memory sorted
+// index (key -> segment/offset) serves point reads and ordered iteration,
+// and a garbage collector rewrites the coldest segments once the dead-byte
+// ratio across sealed segments exceeds a trigger. Where the LSM pays
+// compaction and the B+Tree pays page writebacks, the log pays only GC —
+// the third point of the paper's flash-friendliness trade-off space.
+#ifndef PTSB_ALOG_ALOG_STORE_H_
+#define PTSB_ALOG_ALOG_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alog/options.h"
+#include "alog/segment.h"
+#include "fs/filesystem.h"
+#include "kv/kvstore.h"
+#include "kv/registry.h"
+
+namespace ptsb::alog {
+
+class AlogStore : public kv::KVStore {
+ public:
+  // Opens (or creates) a store rooted at `dir` within `fs`. Recovery
+  // replays every segment in file order, rebuilding the index; a torn
+  // record tail stops that segment's replay (the normal crash case). All
+  // pre-existing segments are sealed; new writes go to a fresh segment.
+  static StatusOr<std::unique_ptr<AlogStore>> Open(fs::SimpleFs* fs,
+                                                   const AlogOptions& options,
+                                                   std::string dir = "alog");
+  ~AlogStore() override;
+
+  // kv::KVStore interface. Write is the group-commit path: the whole batch
+  // becomes ONE appended record, then one index update pass; GC runs once
+  // per batch when the dead-byte trigger is exceeded.
+  Status Write(const kv::WriteBatch& batch) override;
+  Status Get(std::string_view key, std::string* value) override;
+  // Ordered cursor over the in-memory index, reading values lazily from
+  // the segments. Invalidated by any write to the store (appends move the
+  // index; GC deletes segment files).
+  std::unique_ptr<kv::KVStore::Iterator> NewIterator() override;
+  Status Flush() override;  // sync the active segment
+  Status SettleBackgroundWork() override { return MaybeGc(); }
+  Status Close() override;
+  kv::KvStoreStats GetStats() const override { return stats_; }
+  std::string Name() const override { return "alog(bitcask-like)"; }
+  uint64_t DiskBytesUsed() const override;
+
+  // Introspection for tests and benches.
+  uint64_t SegmentCount() const { return segments_.size(); }
+  uint64_t LiveKeys() const;
+  // Dead payload bytes across sealed segments (what GC reclaims).
+  uint64_t DeadBytes() const;
+  std::string DebugString() const;
+
+ private:
+  class OrderedIterator;
+
+  // Where the newest record for a key lives. Tombstones stay in the index
+  // so GC can carry them forward past older shadowed puts (dropping one is
+  // only safe while collecting the oldest segment; see CollectSegment).
+  struct Location {
+    uint64_t segment = 0;
+    uint64_t value_offset = 0;
+    uint32_t value_bytes = 0;
+    uint32_t entry_bytes = 0;
+    bool tombstone = false;
+  };
+
+  struct SegmentInfo {
+    fs::File* file = nullptr;
+    uint64_t payload_bytes = 0;  // sum of encoded entry bytes appended
+    uint64_t live_bytes = 0;     // entries currently referenced by the index
+    uint64_t live_entries = 0;
+    bool sealed = false;
+  };
+
+  AlogStore(fs::SimpleFs* fs, const AlogOptions& options, std::string dir);
+
+  static std::string SegmentFileName(const std::string& dir, uint64_t id);
+
+  // Appends one framed record, rolling to a new segment first if the
+  // active one is full. Returns the record's start offset in the (possibly
+  // new) active segment. GC appends are accounted to gc_bytes_written,
+  // user appends to wal_bytes_written (the log is both data and WAL).
+  StatusOr<uint64_t> AppendRecord(std::string_view record, uint64_t payload,
+                                  bool gc);
+  // Appends the batch as ONE record (group commit) and points the index
+  // at the new locations, in entry order (last entry wins on duplicates).
+  Status ApplyBatchRecord(const kv::WriteBatch& batch, bool gc);
+  Status RollSegment();
+
+  // Points the index at `loc` for `key` (newest wins); the previously
+  // indexed entry, if any, becomes dead in its segment. A tombstone for a
+  // key with no surviving entries is dead immediately and not indexed.
+  void ApplyToIndex(kv::WriteBatch::EntryKind kind, std::string_view key,
+                    const Location& loc);
+  void ReleaseLocation(const Location& loc);
+
+  // Rewrites every live entry (and surviving tombstone) of one sealed
+  // segment to the active head, then deletes its file.
+  Status CollectSegment(uint64_t id);
+  Status MaybeGc();
+
+  void ChargeCpu(int64_t ns) const;
+
+  fs::SimpleFs* fs_;
+  AlogOptions options_;
+  std::string dir_;
+
+  std::map<std::string, Location, std::less<>> index_;
+  std::map<uint64_t, SegmentInfo> segments_;  // ordered by segment id
+  uint64_t active_id_ = 0;                    // 0 = no active segment yet
+  uint64_t next_segment_id_ = 1;
+  uint64_t unsynced_bytes_ = 0;
+  // Running sums over the sealed segments, so the GC trigger check is
+  // O(1) per write instead of a scan of segments_.
+  uint64_t sealed_payload_bytes_ = 0;
+  uint64_t sealed_live_bytes_ = 0;
+  bool pressure_check_due_ = true;  // re-check fs headroom at next GC pass
+  bool replaying_ = false;
+
+  kv::KvStoreStats stats_;
+  bool closed_ = false;
+};
+
+// Registers the "alog" engine factory with kv::EngineRegistry. Recognized
+// params mirror AlogOptions field names ("segment_bytes", "gc_trigger",
+// "sync_every_bytes", "cpu_put_ns", "cpu_get_ns"); the factory starts from
+// default AlogOptions and applies overrides.
+void RegisterAlogEngine();
+
+// Encodes every numeric AlogOptions field into an EngineOptions param map
+// (the inverse of what the factory parses); the clock is carried by
+// EngineOptions itself, not the map.
+std::map<std::string, std::string> EncodeEngineParams(const AlogOptions& o);
+
+// Param map with structural sizes divided by the simulation scale factor
+// (the analog of core::ScaledLsmOptions for drivers that shrink the
+// paper-scale setup; the floor keeps segments a few filesystem pages).
+std::map<std::string, std::string> ScaledEngineParams(uint64_t scale);
+
+}  // namespace ptsb::alog
+
+#endif  // PTSB_ALOG_ALOG_STORE_H_

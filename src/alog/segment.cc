@@ -1,0 +1,104 @@
+#include "alog/segment.h"
+
+#include "util/crc32.h"
+#include "util/encoding.h"
+
+namespace ptsb::alog {
+
+std::string EncodeRecord(const kv::WriteBatch& batch,
+                         std::vector<EntryLayout>* layout) {
+  std::string payload;
+  payload.reserve(batch.ByteSize() + batch.Count() * 11);
+  std::vector<EntryLayout> offsets;
+  offsets.reserve(batch.Count());
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    const size_t entry_start = payload.size();
+    payload.push_back(static_cast<char>(e.kind));
+    PutVarint32(&payload, static_cast<uint32_t>(e.key.size()));
+    payload.append(e.key);
+    PutVarint32(&payload, static_cast<uint32_t>(e.value.size()));
+    EntryLayout l;
+    l.value_offset = payload.size();  // fixed up for the frame below
+    l.value_bytes = static_cast<uint32_t>(e.value.size());
+    payload.append(e.value);
+    l.entry_bytes = static_cast<uint32_t>(payload.size() - entry_start);
+    offsets.push_back(l);
+  }
+
+  std::string record;
+  record.reserve(payload.size() + 9);
+  PutFixed32(&record, MaskCrc(Crc32c(payload)));
+  PutVarint32(&record, static_cast<uint32_t>(payload.size()));
+  const uint64_t header = record.size();
+  record.append(payload);
+  if (layout != nullptr) {
+    for (EntryLayout& l : offsets) l.value_offset += header;
+    *layout = std::move(offsets);
+  }
+  return record;
+}
+
+Status ReplaySegment(
+    fs::File* file, const std::function<void(const ReplayedEntry&)>& fn) {
+  const uint64_t size = file->size();
+  std::string data(size, '\0');
+  PTSB_ASSIGN_OR_RETURN(const uint64_t got,
+                        file->ReadAt(0, size, data.data()));
+  std::string_view in(data.data(), got);
+  uint64_t record_start = 0;
+  while (!in.empty()) {
+    uint32_t stored_crc, len;
+    std::string_view record = in;
+    if (!GetFixed32(&record, &stored_crc) || !GetVarint32(&record, &len) ||
+        record.size() < len) {
+      break;  // truncated tail: normal after a crash
+    }
+    const uint64_t header = static_cast<uint64_t>(in.size() - record.size());
+    const std::string_view payload = record.substr(0, len);
+    if (UnmaskCrc(stored_crc) != Crc32c(payload)) {
+      break;  // torn record: stop replay here
+    }
+    // Parse the whole record before applying anything: a batch must replay
+    // atomically, never as a prefix.
+    std::vector<ReplayedEntry> entries;
+    std::string_view p = payload;
+    bool parsed_ok = !p.empty();
+    while (!p.empty()) {
+      const size_t entry_start = payload.size() - p.size();
+      const auto kind = static_cast<kv::WriteBatch::EntryKind>(p[0]);
+      if (kind != kv::WriteBatch::EntryKind::kPut &&
+          kind != kv::WriteBatch::EntryKind::kDelete) {
+        parsed_ok = false;
+        break;
+      }
+      p.remove_prefix(1);
+      uint32_t klen, vlen;
+      if (!GetVarint32(&p, &klen) || p.size() < klen) {
+        parsed_ok = false;
+        break;
+      }
+      const std::string_view key = p.substr(0, klen);
+      p.remove_prefix(klen);
+      if (!GetVarint32(&p, &vlen) || p.size() < vlen) {
+        parsed_ok = false;
+        break;
+      }
+      ReplayedEntry e;
+      e.kind = kind;
+      e.key = key;
+      e.value = p.substr(0, vlen);
+      e.value_offset = record_start + header + (payload.size() - p.size());
+      p.remove_prefix(vlen);
+      e.entry_bytes =
+          static_cast<uint32_t>((payload.size() - p.size()) - entry_start);
+      entries.push_back(e);
+    }
+    if (!parsed_ok) break;  // crc passed but malformed: treat as torn
+    for (const ReplayedEntry& e : entries) fn(e);
+    record_start += header + len;
+    in = record.substr(len);
+  }
+  return Status::OK();
+}
+
+}  // namespace ptsb::alog

@@ -1,0 +1,61 @@
+// Segment record codec for the append-only log engine. A segment file is a
+// sequence of framed records, one record per write *batch* (group commit):
+//   fixed32 masked-crc(payload) | varint32 len | payload
+//   payload: (fixed8 op | varint32 klen | key | varint32 vlen | value)+
+// The framing (crc + length) is paid once per batch, so the log byte
+// overhead amortizes across batched entries exactly as in the LSM WAL and
+// the B+Tree journal. Replay stops cleanly at the first truncated or
+// corrupt record, which is what a post-crash tail looks like.
+//
+// Unlike a WAL, the segment IS the value store: the index keeps the file
+// offset of each live value, so the codec reports where every entry's
+// value landed inside the encoded record.
+#ifndef PTSB_ALOG_SEGMENT_H_
+#define PTSB_ALOG_SEGMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fs/file.h"
+#include "kv/write_batch.h"
+#include "util/status.h"
+
+namespace ptsb::alog {
+
+// Where one batch entry sits inside its encoded record, relative to the
+// record's first byte (the crc). entry_bytes is the entry's share of the
+// payload — the unit of the engine's live/dead accounting.
+struct EntryLayout {
+  uint64_t value_offset = 0;  // first value byte, relative to record start
+  uint32_t value_bytes = 0;
+  uint32_t entry_bytes = 0;  // encoded entry size within the payload
+};
+
+// Encodes the whole batch as ONE framed record; layout (if non-null) gets
+// one EntryLayout per batch entry, in order.
+std::string EncodeRecord(const kv::WriteBatch& batch,
+                         std::vector<EntryLayout>* layout);
+
+// One decoded entry surfaced during replay. value_offset is absolute in
+// the file (usable directly as an index location); entry_bytes matches
+// what EncodeRecord accounted for this entry.
+struct ReplayedEntry {
+  kv::WriteBatch::EntryKind kind;
+  std::string_view key;
+  std::string_view value;
+  uint64_t value_offset = 0;
+  uint32_t entry_bytes = 0;
+};
+
+// Replays a segment file; invokes fn for every entry of every intact
+// record in order. Returns OK even if the tail is truncated/corrupt (the
+// normal crash case); a record parses atomically or not at all.
+Status ReplaySegment(
+    fs::File* file, const std::function<void(const ReplayedEntry&)>& fn);
+
+}  // namespace ptsb::alog
+
+#endif  // PTSB_ALOG_SEGMENT_H_

@@ -5,6 +5,7 @@
 // this translation unit.
 #include <mutex>
 
+#include "alog/alog_store.h"
 #include "btree/btree_store.h"
 #include "kv/registry.h"
 #include "lsm/lsm_store.h"
@@ -16,6 +17,7 @@ void RegisterBuiltinEngines() {
   std::call_once(once, [] {
     lsm::RegisterLsmEngine();
     btree::RegisterBTreeEngine();
+    alog::RegisterAlogEngine();
   });
 }
 

@@ -54,13 +54,15 @@ struct KvStoreStats {
   uint64_t user_bytes_written = 0;  // sum of key+value sizes put
   uint64_t user_bytes_read = 0;
 
-  uint64_t wal_bytes_written = 0;         // LSM write-ahead log / journal
+  uint64_t wal_bytes_written = 0;         // LSM WAL / journal / alog appends
   uint64_t flush_bytes_written = 0;       // LSM memtable flushes
   uint64_t compaction_bytes_written = 0;  // LSM compaction output
   uint64_t compaction_bytes_read = 0;     // LSM compaction input
   uint64_t page_write_bytes = 0;          // B+Tree page writebacks
   uint64_t page_read_bytes = 0;           // B+Tree page reads
   uint64_t checkpoint_bytes_written = 0;  // B+Tree checkpoints
+  uint64_t gc_bytes_written = 0;          // alog segment-GC rewrites
+  uint64_t gc_bytes_read = 0;             // alog segment-GC input
 
   uint64_t stall_count = 0;  // engine-level write stalls (LSM L0 pressure)
 

@@ -1,7 +1,9 @@
 #include "kv/registry.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace ptsb::kv {
 
@@ -77,9 +79,17 @@ uint64_t ParamUint64(const EngineOptions& options, const std::string& key,
                      uint64_t def) {
   const std::string* raw = FindParam(options, key);
   if (raw == nullptr) return def;
+  // strtoull accepts a leading '-' and wraps it modulo 2^64 ("-1" parses
+  // as 18446744073709551615 with *end == '\0'), which would silently run
+  // the whole experiment with a garbage value; reject signed input here.
+  if (raw->find('-') != std::string::npos) {
+    WarnUnparsable(key, *raw, "unsigned integer");
+    return def;
+  }
   char* end = nullptr;
+  errno = 0;
   const uint64_t v = std::strtoull(raw->c_str(), &end, 10);
-  if (end == raw->c_str() || *end != '\0') {
+  if (end == raw->c_str() || *end != '\0' || errno == ERANGE) {
     WarnUnparsable(key, *raw, "unsigned integer");
     return def;
   }
@@ -91,8 +101,9 @@ int64_t ParamInt64(const EngineOptions& options, const std::string& key,
   const std::string* raw = FindParam(options, key);
   if (raw == nullptr) return def;
   char* end = nullptr;
+  errno = 0;
   const int64_t v = std::strtoll(raw->c_str(), &end, 10);
-  if (end == raw->c_str() || *end != '\0') {
+  if (end == raw->c_str() || *end != '\0' || errno == ERANGE) {
     WarnUnparsable(key, *raw, "integer");
     return def;
   }
@@ -100,7 +111,17 @@ int64_t ParamInt64(const EngineOptions& options, const std::string& key,
 }
 
 int ParamInt(const EngineOptions& options, const std::string& key, int def) {
-  return static_cast<int>(ParamInt64(options, key, def));
+  const int64_t v = ParamInt64(options, key, def);
+  // An int64 that parses fine can still truncate when narrowed (e.g.
+  // "4294967296" would silently become 0); out-of-range values fall back
+  // to the default like any other unparsable input.
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    const std::string* raw = FindParam(options, key);
+    WarnUnparsable(key, raw != nullptr ? *raw : "", "32-bit integer");
+    return def;
+  }
+  return static_cast<int>(v);
 }
 
 double ParamDouble(const EngineOptions& options, const std::string& key,

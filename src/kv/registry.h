@@ -1,5 +1,6 @@
 // EngineRegistry + OpenStore: registry-driven engine construction. Engines
-// self-register a factory under a short name ("lsm", "btree"); callers open
+// self-register a factory under a short name ("lsm", "btree", "alog");
+// callers open
 // a store with a name plus a string->string option map, so the experiment
 // driver, benches and future multi-backend work never link against a
 // concrete engine type. New engines plug in by calling
@@ -63,9 +64,9 @@ class EngineRegistry {
 // listing what is available.
 StatusOr<std::unique_ptr<KVStore>> OpenStore(const EngineOptions& options);
 
-// Idempotently registers the built-in engines ("lsm", "btree"). OpenStore
-// calls this itself; it is exposed for code that inspects the registry
-// before opening anything.
+// Idempotently registers the built-in engines ("lsm", "btree", "alog").
+// OpenStore calls this itself; it is exposed for code that inspects the
+// registry before opening anything.
 void RegisterBuiltinEngines();
 
 // Typed accessors for EngineOptions::params (missing key -> `def`;
