@@ -12,7 +12,6 @@
 #include <map>
 #include <string>
 
-#include "alog/alog_store.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "util/human.h"
@@ -74,21 +73,14 @@ inline core::ExperimentResult MustRun(const core::ExperimentConfig& config,
   return *std::move(result);
 }
 
-// Applies an engine name to a config, threading the scaled alog params
-// when needed (the driver scales "lsm"/"btree" itself; out-of-core
-// engines get their structural sizes through engine_params), so the fig
-// benches can sweep all three engines uniformly. Params the bench set
-// before calling win over the scaled defaults, matching run_experiment's
+// Applies an engine name to a config. The driver (core::RunExperiment)
+// scales every built-in engine's structural defaults itself — lsm, btree,
+// alog, and the inner engine behind "sharded" — and engine_params the
+// bench set win over those defaults, matching run_experiment's
 // --engine-param semantics.
 inline void SelectEngine(core::ExperimentConfig* config,
                          const std::string& engine) {
   config->engine = engine;
-  if (engine == "alog") {
-    for (const auto& [key, value] :
-         alog::ScaledEngineParams(config->scale)) {
-      config->engine_params.emplace(key, value);
-    }
-  }
 }
 
 // One-line application-level write breakdown, so the benches can attribute

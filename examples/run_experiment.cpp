@@ -8,7 +8,6 @@
 #include <cstring>
 #include <string>
 
-#include "alog/alog_store.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "kv/registry.h"
@@ -42,6 +41,8 @@ namespace {
       "  --delete-frac=F             deletes among write ops (0.0)\n"
       "  --scan-frac=F               scans among read ops (0.0)\n"
       "  --batch-size=N              puts per write batch (1)\n"
+      "  --threads=N                 update-phase worker threads (1; pair\n"
+      "                              with --engine=sharded)\n"
       "  --zipf=THETA                zipfian updates (default: uniform)\n"
       "  --minutes=M                 paper-equivalent duration (210)\n"
       "  --window=M                  averaging window minutes (10)\n"
@@ -91,6 +92,9 @@ int main(int argc, char** argv) {
     } else if (a.starts_with("--batch-size=")) {
       config.batch_size =
           static_cast<size_t>(ArgF(argv[i], "--batch-size="));
+    } else if (a.starts_with("--threads=")) {
+      config.num_threads = static_cast<size_t>(ArgF(argv[i], "--threads="));
+      if (config.num_threads < 1) Usage();
     } else if (a.starts_with("--zipf=")) {
       config.distribution = kv::Distribution::kZipfian;
       config.zipf_theta = ArgF(argv[i], "--zipf=");
@@ -107,27 +111,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The driver scales the built-in lsm/btree option defaults itself; for
-  // alog thread the scaled structural sizes through the param map
-  // (explicit --engine-param overrides still win). Kept in sync with
-  // bench::SelectEngine in bench/bench_common.h, which does the same for
-  // the figure benches.
-  if (config.engine == "alog") {
-    for (const auto& [key, value] :
-         alog::ScaledEngineParams(config.scale)) {
-      config.engine_params.emplace(key, value);  // user overrides win
-    }
-  }
-
+  // The driver (core::RunExperiment) scales the built-in engines' option
+  // defaults itself — including the inner engine behind "sharded" — and
+  // applies --engine-param overrides on top.
   std::printf("engine=%s profile=%s state=%s dataset=%.2f of device "
-              "(%llu keys), partition=%.2f, scale=1/%llu\n\n",
+              "(%llu keys), partition=%.2f, scale=1/%llu, threads=%zu\n\n",
               config.engine.c_str(),
               ssd::ProfileName(config.profile).c_str(),
               ssd::InitialStateName(config.initial_state),
               config.dataset_frac,
               static_cast<unsigned long long>(config.NumKeys()),
               config.partition_frac,
-              static_cast<unsigned long long>(config.scale));
+              static_cast<unsigned long long>(config.scale),
+              config.num_threads);
 
   auto result = core::RunExperiment(config, [](const std::string& line) {
     std::printf("%s\n", line.c_str());

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Docs lint: docs/ENGINES.md must stay in sync with the engine code.
+
+For every engine section in docs/ENGINES.md, the parameter keys listed in
+its param table must be exactly the keys the engine's EncodeEngineParams
+emits (parsed from the `p["key"] = ...` lines in the store .cc), and every
+key must correspond to a field of the engine's option struct (same-name
+identifier in its options.h). Run from the repo root; exits non-zero with
+a per-engine report when the docs have rotted.
+"""
+import re
+import sys
+from pathlib import Path
+
+# engine section name in ENGINES.md -> (store .cc with EncodeEngineParams,
+# options header whose struct fields the keys mirror)
+ENGINES = {
+    "lsm": ("src/lsm/lsm_store.cc", "src/lsm/options.h"),
+    "btree": ("src/btree/btree_store.cc", "src/btree/options.h"),
+    "alog": ("src/alog/alog_store.cc", "src/alog/options.h"),
+    "sharded": ("src/sharded/sharded_store.cc", "src/sharded/options.h"),
+}
+
+DOC = Path("docs/ENGINES.md")
+
+
+def docs_sections(text: str) -> dict:
+    """Maps engine name -> its section body (## `<engine>` ... until next ##)."""
+    sections = {}
+    matches = list(re.finditer(r"^## `(\w+)`", text, re.MULTILINE))
+    for i, m in enumerate(matches):
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+        sections[m.group(1)] = text[m.start():end]
+    return sections
+
+
+def table_keys(section: str) -> set:
+    """Backticked keys in the first column of markdown table rows."""
+    keys = set()
+    for line in section.splitlines():
+        m = re.match(r"^\|\s*`(\w+)`\s*\|", line)
+        if m:
+            keys.add(m.group(1))
+    return keys
+
+
+def code_keys(cc_path: Path) -> set:
+    """Keys EncodeEngineParams emits: p["key"] = ... assignments."""
+    return set(re.findall(r'p\["(\w+)"\]\s*=', cc_path.read_text()))
+
+
+def header_fields(h_path: Path) -> set:
+    """Identifiers declared as option-struct fields (name = default;)."""
+    return set(re.findall(r"^\s*[A-Za-z_][\w:<>\s\*]*?\b(\w+)\s*=",
+                          h_path.read_text(), re.MULTILINE))
+
+
+def main() -> int:
+    if not DOC.exists():
+        print(f"docs lint: {DOC} is missing", file=sys.stderr)
+        return 1
+    sections = docs_sections(DOC.read_text())
+    failures = []
+    for engine, (cc, header) in ENGINES.items():
+        if engine not in sections:
+            failures.append(f"{engine}: no `## `{engine}`` section in {DOC}")
+            continue
+        documented = table_keys(sections[engine])
+        emitted = code_keys(Path(cc))
+        fields = header_fields(Path(header))
+        if not documented:
+            failures.append(f"{engine}: no param table rows found in {DOC}")
+            continue
+        for key in sorted(documented - emitted):
+            failures.append(
+                f"{engine}: `{key}` documented in {DOC} but not emitted by "
+                f"EncodeEngineParams in {cc}")
+        for key in sorted(emitted - documented):
+            failures.append(
+                f"{engine}: `{key}` emitted by EncodeEngineParams in {cc} "
+                f"but missing from the param table in {DOC}")
+        for key in sorted(documented & emitted):
+            if key not in fields:
+                failures.append(
+                    f"{engine}: `{key}` has no matching option-struct field "
+                    f"in {header}")
+    if failures:
+        print("docs lint FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    total = sum(len(table_keys(sections[e])) for e in ENGINES if e in sections)
+    print(f"docs lint OK: {total} engine params checked against "
+          f"{len(ENGINES)} option headers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

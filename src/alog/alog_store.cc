@@ -215,6 +215,7 @@ Status AlogStore::Write(const kv::WriteBatch& batch) {
   PTSB_CHECK(!closed_);
   // An empty batch is a no-op: no record, no stats movement.
   if (batch.empty()) return Status::OK();
+  write_epoch_++;
   ChargeCpu(options_.cpu_put_ns * static_cast<int64_t>(batch.Count()));
   stats_.user_batches++;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
@@ -394,25 +395,51 @@ Status AlogStore::CollectSegment(uint64_t id) {
 class AlogStore::OrderedIterator : public kv::KVStore::Iterator {
  public:
   explicit OrderedIterator(AlogStore* store)
-      : store_(store), pos_(store->index_.end()) {}
+      : store_(store),
+        epoch_(store->write_epoch_),
+        pos_(store->index_.end()) {}
 
-  void SeekToFirst() override { Position(store_->index_.begin()); }
+  void SeekToFirst() override {
+    CheckEpoch();
+    Position(store_->index_.begin());
+  }
   void Seek(std::string_view target) override {
+    CheckEpoch();
     Position(store_->index_.lower_bound(target));
   }
-  bool Valid() const override { return valid_; }
+  bool Valid() const override {
+    CheckEpoch();
+    return valid_;
+  }
 
   void Next() override {
+    CheckEpoch();
     if (!valid_) return;
     Position(std::next(pos_));
   }
 
-  std::string_view key() const override { return pos_->first; }
-  std::string_view value() const override { return value_; }
+  std::string_view key() const override {
+    CheckEpoch();
+    return pos_->first;
+  }
+  std::string_view value() const override {
+    CheckEpoch();
+    return value_;
+  }
   Status status() const override { return status_; }
 
  private:
   using IndexIter = std::map<std::string, Location, std::less<>>::iterator;
+
+  // Debug-build fail-fast on use-after-write: appends retarget the index
+  // node this cursor holds and GC deletes the segment files it reads
+  // from, so continuing would silently read stale (or freed) state.
+  void CheckEpoch() const {
+    PTSB_DCHECK(epoch_ == store_->write_epoch_)
+        << "alog iterator used after a write to the store; iterators "
+           "observe the store as of creation and are invalidated by "
+           "writes (create, consume, discard)";
+  }
 
   void Position(IndexIter it) {
     valid_ = false;
@@ -438,6 +465,7 @@ class AlogStore::OrderedIterator : public kv::KVStore::Iterator {
   }
 
   AlogStore* store_;
+  const uint64_t epoch_;  // store_->write_epoch_ at creation
   IndexIter pos_;
   std::string value_;
   bool valid_ = false;

@@ -124,6 +124,10 @@ class AlogStore : public kv::KVStore {
   bool pressure_check_due_ = true;  // re-check fs headroom at next GC pass
   bool replaying_ = false;
 
+  // Bumped by every Write (appends retarget the index; GC deletes
+  // segments). Debug builds compare it against the value captured at
+  // iterator creation to fail fast on use-after-write.
+  uint64_t write_epoch_ = 0;
   kv::KvStoreStats stats_;
   bool closed_ = false;
 };

@@ -199,6 +199,12 @@ Status BTreeStore::EvictIfNeeded() {
     Node* parent = leaf->parent;
     const size_t idx = parent->FindChildIdxExact(leaf->route_key);
     parent->children[idx].child.reset();  // destroys `leaf`
+    // The destroyed leaf may be one an open cursor points into — and
+    // eviction can be triggered by READS (Get fills the cache), not just
+    // writes. Count it as an invalidation so the cursors' debug epoch
+    // check fails fast; a cursor's own eviction calls resynchronize (its
+    // current leaf is never in the LRU while it is positioned there).
+    write_epoch_++;
   }
   return Status::OK();
 }
@@ -429,6 +435,7 @@ Status BTreeStore::ApplyEntry(const kv::WriteBatch::Entry& entry) {
 Status BTreeStore::Write(const kv::WriteBatch& batch) {
   PTSB_CHECK(!closed_);
   if (batch.empty()) return Status::OK();
+  write_epoch_++;
   ChargeCpu(options_.cpu_put_ns * static_cast<int64_t>(batch.Count()));
   stats_.user_batches++;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
@@ -485,11 +492,13 @@ Status BTreeStore::Get(std::string_view key, std::string* value) {
 // nodes are pinned by design, so stack frames never dangle.
 class BTreeStore::Cursor : public kv::KVStore::Iterator {
  public:
-  explicit Cursor(BTreeStore* store) : store_(store) {}
+  explicit Cursor(BTreeStore* store)
+      : store_(store), epoch_(store->write_epoch_) {}
 
   void SeekToFirst() override { Seek(""); }
 
   void Seek(std::string_view target) override {
+    CheckEpoch();
     status_ = Status::OK();
     valid_ = false;
     stack_.clear();
@@ -497,8 +506,10 @@ class BTreeStore::Cursor : public kv::KVStore::Iterator {
     item_ = 0;
     // Enforce the cache cap before loading anything: short seek-bounded
     // scans never reach AdvanceToNextLeaf, and without this the cursor
-    // path would grow the leaf cache without bound.
+    // path would grow the leaf cache without bound. Our own eviction must
+    // not self-invalidate: resync the epoch (we hold no leaf here).
     status_ = store_->EvictIfNeeded();
+    epoch_ = store_->write_epoch_;
     if (!status_.ok()) return;
     Node* node = store_->root_.get();
     while (!node->is_leaf) {
@@ -523,9 +534,13 @@ class BTreeStore::Cursor : public kv::KVStore::Iterator {
     }
   }
 
-  bool Valid() const override { return valid_; }
+  bool Valid() const override {
+    CheckEpoch();
+    return valid_;
+  }
 
   void Next() override {
+    CheckEpoch();
     if (!valid_) return;
     valid_ = false;
     item_++;
@@ -536,13 +551,27 @@ class BTreeStore::Cursor : public kv::KVStore::Iterator {
     }
   }
 
-  std::string_view key() const override { return leaf_->items[item_].first; }
+  std::string_view key() const override {
+    CheckEpoch();
+    return leaf_->items[item_].first;
+  }
   std::string_view value() const override {
+    CheckEpoch();
     return leaf_->items[item_].second;
   }
   Status status() const override { return status_; }
 
  private:
+  // Debug-build fail-fast on use-after-write: splits move items between
+  // pages and evictions free the leaf this cursor points into, so
+  // continuing would silently read stale (or freed) state.
+  void CheckEpoch() const {
+    PTSB_DCHECK(epoch_ == store_->write_epoch_)
+        << "B+Tree cursor used after a write to the store; iterators "
+           "observe the store as of creation and are invalidated by "
+           "writes (create, consume, discard)";
+  }
+
   struct Frame {
     Node* node;  // internal node (never cache-evicted)
     size_t idx;  // child currently being explored
@@ -557,8 +586,10 @@ class BTreeStore::Cursor : public kv::KVStore::Iterator {
   void AdvanceToNextLeaf() {
     leaf_ = nullptr;
     item_ = 0;
-    // Off the previous leaf: the only safe point to enforce the cache cap.
+    // Off the previous leaf: the only safe point to enforce the cache
+    // cap. Resync the epoch so our own eviction doesn't self-invalidate.
     status_ = store_->EvictIfNeeded();
+    epoch_ = store_->write_epoch_;
     while (status_.ok() && !stack_.empty()) {
       Frame& top = stack_.back();
       top.idx++;
@@ -589,6 +620,9 @@ class BTreeStore::Cursor : public kv::KVStore::Iterator {
   }
 
   BTreeStore* store_;
+  // store_->write_epoch_ at creation, resynced after this cursor's own
+  // eviction calls (which run while it holds no leaf).
+  uint64_t epoch_;
   std::vector<Frame> stack_;
   Node* leaf_ = nullptr;
   size_t item_ = 0;
@@ -604,6 +638,7 @@ std::unique_ptr<kv::KVStore::Iterator> BTreeStore::NewIterator() {
 
 Status BTreeStore::Flush() {
   PTSB_CHECK(!closed_);
+  write_epoch_++;  // checkpoint writebacks/evictions move leaves around
   return Checkpoint();
 }
 

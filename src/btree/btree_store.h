@@ -108,6 +108,10 @@ class BTreeStore : public kv::KVStore {
   fs::File* journal_file_ = nullptr;
   bool replaying_ = false;
 
+  // Bumped by every mutating entry point (Write, Flush). Debug builds
+  // compare it against the value captured at cursor creation to fail
+  // fast on use-after-write instead of walking moved/evicted leaves.
+  uint64_t write_epoch_ = 0;
   kv::KvStoreStats stats_;
   bool in_checkpoint_ = false;
   bool closed_ = false;

@@ -1,7 +1,13 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
 
+#include "alog/alog_store.h"
 #include "btree/btree_store.h"
 #include "core/steady_state.h"
 #include "kv/registry.h"
@@ -88,20 +94,242 @@ Status BuildStack(const ExperimentConfig& config, Stack* stack) {
 
   // Registry-driven engine construction: scaled defaults for the built-in
   // engines, then the caller's overrides, then kv::OpenStore by name.
+  // "sharded" scales whatever inner engine its params select (the shards
+  // are full instances of that engine, so they take the same defaults).
   kv::EngineOptions engine_options;
   engine_options.engine = config.engine;
   engine_options.fs = stack->fs.get();
   engine_options.clock = &stack->clock;
-  if (config.engine == "lsm") {
+  std::string defaults_engine = config.engine;
+  if (config.engine == "sharded") {
+    const auto it = config.engine_params.find("inner_engine");
+    defaults_engine = it != config.engine_params.end() ? it->second : "lsm";
+  }
+  if (defaults_engine == "lsm") {
     engine_options.params = lsm::EncodeEngineParams(ScaledLsmOptions(config));
-  } else if (config.engine == "btree") {
+  } else if (defaults_engine == "btree") {
     engine_options.params =
         btree::EncodeEngineParams(ScaledBTreeOptions(config));
+  } else if (defaults_engine == "alog") {
+    engine_options.params = alog::ScaledEngineParams(config.scale);
   }
   for (const auto& [key, value] : config.engine_params) {
     engine_options.params[key] = value;
   }
   PTSB_ASSIGN_OR_RETURN(stack->store, kv::OpenStore(engine_options));
+  if (config.num_threads > 1 &&
+      !stack->store->SupportsConcurrentWriters()) {
+    // Fanning workers out over a single-threaded engine corrupts it;
+    // refuse up front instead of crashing mid-run.
+    return Status::InvalidArgument(
+        "num_threads=" + std::to_string(config.num_threads) +
+        " requires an engine with concurrent-writer support; \"" +
+        config.engine +
+        "\" is single-threaded (use engine \"sharded\" with inner_engine=" +
+        config.engine + ")");
+  }
+  return Status::OK();
+}
+
+// Applies one generated op to the store. `ops_done` counts logical
+// entries (a batch counts its size). NotFound on point reads is success;
+// NoSpace is returned for the caller to treat as data (paper Fig. 6).
+Status ExecuteOp(kv::KVStore* store, kv::WorkloadGenerator* gen,
+                 const kv::WorkloadSpec& spec, const kv::Op& op,
+                 kv::WriteBatch* batch, std::string* read_value,
+                 uint64_t* ops_done) {
+  *ops_done = 1;
+  switch (op.type) {
+    case kv::Op::Type::kPut:
+      return store->Put(gen->KeyFor(op.key_id),
+                        kv::MakeValue(op.value_seed, spec.value_bytes));
+    case kv::Op::Type::kBatchPut: {
+      batch->Clear();
+      batch->Put(gen->KeyFor(op.key_id),
+                 kv::MakeValue(op.value_seed, spec.value_bytes));
+      for (size_t j = 1; j < spec.batch_size; j++) {
+        batch->Put(gen->KeyFor(gen->NextKeyId()),
+                   kv::MakeValue(gen->NextValueSeed(), spec.value_bytes));
+      }
+      *ops_done = batch->Count();
+      return store->Write(*batch);
+    }
+    case kv::Op::Type::kDelete:
+      return store->Delete(gen->KeyFor(op.key_id));
+    case kv::Op::Type::kGet: {
+      const Status s = store->Get(gen->KeyFor(op.key_id), read_value);
+      return s.IsNotFound() ? Status::OK() : s;
+    }
+    case kv::Op::Type::kScan: {
+      auto it = store->NewIterator();
+      size_t seen = 0;
+      for (it->Seek(gen->KeyFor(op.key_id));
+           it->Valid() && seen < spec.scan_count; it->Next()) {
+        seen++;
+      }
+      return it->status();
+    }
+  }
+  return Status::OK();
+}
+
+
+// Baselines the window math subtracts from the current counters. The
+// "cum" members anchor cumulative metrics at the update-phase start; the
+// "window" members anchor per-window rates, and equal the cum members for
+// the multi-threaded single-aggregate-window case.
+struct WindowBaselines {
+  block::IoCounters io_cum;
+  ssd::SmartCounters smart_cum;
+  kv::KvStoreStats engine_cum;
+  block::IoCounters io_window;
+  ssd::SmartCounters smart_window;
+  uint64_t ops_window = 0;
+  uint64_t stalls_window = 0;
+};
+
+// Samples the stack's counters into one WindowSample — the ONLY place the
+// paper's window metrics (rates, WA-A/WA-D, utilization, latency
+// percentiles) are computed, shared by the per-window loop and the
+// multi-threaded aggregate window.
+WindowSample SampleWindow(const ExperimentConfig& config, Stack* stack,
+                          double t0_min, double now_min, double window_sec,
+                          double time_scale, uint64_t dataset_bytes,
+                          uint64_t update_ops, const WindowBaselines& base,
+                          const Histogram& latency) {
+  const auto io = stack->iostat->counters();
+  const auto smart = stack->ssd->smart();
+  const auto engine = stack->store->GetStats();
+  const auto fs_stats = stack->fs->GetStats();
+
+  WindowSample w;
+  w.t_minutes = (now_min - t0_min) * time_scale;
+  w.kv_kops = static_cast<double>(update_ops - base.ops_window) /
+              window_sec / 1000.0;
+  w.dev_write_mbps =
+      static_cast<double>(io.write_bytes - base.io_window.write_bytes) /
+      window_sec / 1e6;
+  w.dev_read_mbps =
+      static_cast<double>(io.read_bytes - base.io_window.read_bytes) /
+      window_sec / 1e6;
+  const uint64_t user_bytes =
+      engine.user_bytes_written - base.engine_cum.user_bytes_written;
+  const uint64_t host_bytes = io.write_bytes - base.io_cum.write_bytes;
+  const uint64_t nand_bytes =
+      smart.nand_bytes_written - base.smart_cum.nand_bytes_written;
+  const uint64_t host_cum =
+      smart.host_bytes_written - base.smart_cum.host_bytes_written;
+  w.wa_a_cum = user_bytes > 0 ? static_cast<double>(host_bytes) /
+                                    static_cast<double>(user_bytes)
+                              : 0;
+  w.wa_d_cum = host_cum > 0 ? static_cast<double>(nand_bytes) /
+                                  static_cast<double>(host_cum)
+                            : 1.0;
+  const uint64_t host_w =
+      smart.host_bytes_written - base.smart_window.host_bytes_written;
+  const uint64_t nand_w =
+      smart.nand_bytes_written - base.smart_window.nand_bytes_written;
+  w.wa_d_window = host_w > 0 ? static_cast<double>(nand_w) /
+                                   static_cast<double>(host_w)
+                             : 1.0;
+  w.disk_utilization = fs_stats.Utilization() * config.partition_frac;
+  w.space_amp = static_cast<double>(stack->store->DiskBytesUsed()) /
+                static_cast<double>(dataset_bytes);
+  w.stalls = engine.stall_count - base.stalls_window;
+  w.cache_backlog_mb =
+      static_cast<double>(stack->ssd->GetCacheState().occupancy_bytes) /
+      1e6;
+  w.op_p50_us = latency.Percentile(50) / 1000.0;
+  w.op_p99_us = latency.Percentile(99) / 1000.0;
+  w.op_max_us = static_cast<double>(latency.max()) / 1000.0;
+  return w;
+}
+
+// Records a finished window into the result series and peaks.
+void PushWindow(const WindowSample& w, ExperimentResult* result) {
+  result->series.windows.push_back(w);
+  result->peak_disk_utilization =
+      std::max(result->peak_disk_utilization, w.disk_utilization);
+  result->peak_space_amp = std::max(result->peak_space_amp, w.space_amp);
+}
+
+// Multi-threaded update phase: num_threads workers replay disjoint
+// deterministic op streams (WorkloadSpec::ForThread) against the one
+// store until the shared virtual clock passes the duration. Per-op
+// latencies go to thread-local histograms merged into `latency` after the
+// join; since every thread advances the one clock, a "latency" here is
+// the op's span of the shared serialized device timeline (an upper bound
+// on its own service time). On error the first status is returned; on
+// NoSpace the phase ends and result->ran_out_of_space is set (data, not
+// error — paper Fig. 6).
+Status RunUpdatePhaseConcurrent(const ExperimentConfig& config,
+                                const kv::WorkloadSpec& base_spec,
+                                Stack* stack, double t0_min,
+                                double duration_sim_min,
+                                ExperimentResult* result,
+                                Histogram* latency) {
+  kv::WorkloadSpec spec = base_spec;
+  if (spec.scan_fraction > 0) {
+    // Iterators have no snapshot isolation (ROADMAP: iterator snapshots):
+    // a scan concurrent with writers would walk invalidated state, which
+    // the engines' debug epoch checks rightly abort on. Run the scan
+    // share as point reads instead of silently racing.
+    std::fprintf(stderr,
+                 "ptsb: [%s] scan ops are downgraded to gets at "
+                 "num_threads=%zu (iterators have no snapshot isolation "
+                 "yet)\n",
+                 config.name.c_str(), config.num_threads);
+    spec.scan_fraction = 0;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> out_of_space{false};
+  std::atomic<uint64_t> total_ops{0};
+  std::mutex error_mu;
+  Status first_error;  // guarded by error_mu
+  std::vector<Histogram> local_latency(config.num_threads);
+
+  auto worker = [&](size_t tid) {
+    kv::WorkloadGenerator gen(spec.ForThread(tid));
+    kv::WriteBatch batch;
+    std::string read_value;
+    while (!stop.load(std::memory_order_relaxed) &&
+           stack->clock.NowMinutes() - t0_min < duration_sim_min) {
+      const int64_t op_start_ns = stack->clock.NowNanos();
+      const kv::Op op = gen.Next();
+      uint64_t ops_done = 1;
+      const Status s = ExecuteOp(stack->store.get(), &gen, spec, op,
+                                 &batch, &read_value, &ops_done);
+      if (s.IsNoSpace()) {
+        out_of_space.store(true, std::memory_order_relaxed);
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (!s.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = s;
+        }
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+      total_ops.fetch_add(ops_done, std::memory_order_relaxed);
+      local_latency[tid].Record(
+          static_cast<uint64_t>(stack->clock.NowNanos() - op_start_ns) /
+          std::max<uint64_t>(1, ops_done));
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(config.num_threads);
+  for (size_t t = 0; t < config.num_threads; t++) {
+    threads.emplace_back(worker, t);
+  }
+  for (std::thread& t : threads) t.join();
+
+  if (!first_error.ok()) return first_error;
+  if (out_of_space.load()) result->ran_out_of_space = true;
+  result->update_ops += total_ops.load();
+  for (const Histogram& h : local_latency) latency->Merge(h);
   return Status::OK();
 }
 
@@ -128,6 +356,7 @@ StatusOr<ExperimentResult> RunExperiment(
   spec.scan_fraction = config.scan_fraction;
   spec.batch_size = std::max<size_t>(1, config.batch_size);
   spec.scan_count = config.scan_count;
+  spec.num_threads = std::max<size_t>(1, config.num_threads);
   spec.distribution = config.distribution;
   spec.zipf_theta = config.zipf_theta;
   spec.seed = config.seed;
@@ -171,153 +400,97 @@ StatusOr<ExperimentResult> RunExperiment(
   const auto smart0 = stack.ssd->smart();
   const auto engine0 = stack.store->GetStats();
 
-  kv::WorkloadGenerator gen(spec);
-  double window_start = t0_min;
-  auto io_window_start = io0;
-  auto smart_window_start = smart0;
-  uint64_t ops_window_start = 0;
-  uint64_t stalls_window_start = 0;
-
-  Histogram op_latency;  // per-window, in virtual nanoseconds
-  std::string read_value;
-  kv::WriteBatch batch;
-  while (stack.clock.NowMinutes() - t0_min < duration_sim_min &&
-         !result.ran_out_of_space) {
-    const int64_t op_start_ns = stack.clock.NowNanos();
-    const kv::Op op = gen.Next();
-    uint64_t ops_done = 1;
-    switch (op.type) {
-      case kv::Op::Type::kPut: {
-        const Status s = stack.store->Put(
-            gen.KeyFor(op.key_id),
-            kv::MakeValue(op.value_seed, spec.value_bytes));
-        if (s.IsNoSpace()) {
-          result.ran_out_of_space = true;
-        } else {
-          PTSB_RETURN_IF_ERROR(s);
-        }
-        break;
-      }
-      case kv::Op::Type::kBatchPut: {
-        batch.Clear();
-        batch.Put(gen.KeyFor(op.key_id),
-                  kv::MakeValue(op.value_seed, spec.value_bytes));
-        for (size_t j = 1; j < spec.batch_size; j++) {
-          batch.Put(gen.KeyFor(gen.NextKeyId()),
-                    kv::MakeValue(gen.NextValueSeed(), spec.value_bytes));
-        }
-        const Status s = stack.store->Write(batch);
-        if (s.IsNoSpace()) {
-          result.ran_out_of_space = true;
-        } else {
-          PTSB_RETURN_IF_ERROR(s);
-        }
-        ops_done = batch.Count();
-        break;
-      }
-      case kv::Op::Type::kDelete: {
-        const Status s = stack.store->Delete(gen.KeyFor(op.key_id));
-        if (s.IsNoSpace()) {
-          result.ran_out_of_space = true;
-        } else {
-          PTSB_RETURN_IF_ERROR(s);
-        }
-        break;
-      }
-      case kv::Op::Type::kGet: {
-        const Status s = stack.store->Get(gen.KeyFor(op.key_id), &read_value);
-        if (!s.ok() && !s.IsNotFound()) return s;
-        break;
-      }
-      case kv::Op::Type::kScan: {
-        auto it = stack.store->NewIterator();
-        size_t seen = 0;
-        for (it->Seek(gen.KeyFor(op.key_id));
-             it->Valid() && seen < spec.scan_count; it->Next()) {
-          seen++;
-        }
-        PTSB_RETURN_IF_ERROR(it->status());
-        break;
-      }
-    }
-    if (result.ran_out_of_space) break;
-    result.update_ops += ops_done;
-    // Per-entry latency: a batch is one submission covering ops_done
-    // entries, so divide its elapsed time to keep the histogram in the
-    // same per-op units as kv_kops.
-    op_latency.Record(
-        static_cast<uint64_t>(stack.clock.NowNanos() - op_start_ns) /
-        std::max<uint64_t>(1, ops_done));
-
-    // Window boundary?
+  if (config.num_threads > 1) {
+    // Concurrent update phase: the whole phase becomes ONE aggregate
+    // window (sampling mid-run would race with the workers), computed
+    // from the same baselines the per-window math uses.
+    Histogram latency;
+    PTSB_RETURN_IF_ERROR(RunUpdatePhaseConcurrent(
+        config, spec, &stack, t0_min, duration_sim_min, &result, &latency));
     const double now_min = stack.clock.NowMinutes();
-    if (now_min - window_start >= window_sim_min) {
-      const double window_sec = (now_min - window_start) * 60.0;
-      const auto io = stack.iostat->counters();
-      const auto smart = stack.ssd->smart();
-      const auto engine = stack.store->GetStats();
-      const auto fs_stats = stack.fs->GetStats();
-
-      WindowSample w;
-      w.t_minutes = (now_min - t0_min) * time_scale;
-      w.kv_kops = static_cast<double>(result.update_ops - ops_window_start) /
-                  window_sec / 1000.0;
-      w.dev_write_mbps =
-          static_cast<double>(io.write_bytes - io_window_start.write_bytes) /
-          window_sec / 1e6;
-      w.dev_read_mbps =
-          static_cast<double>(io.read_bytes - io_window_start.read_bytes) /
-          window_sec / 1e6;
-      const uint64_t user_bytes =
-          engine.user_bytes_written - engine0.user_bytes_written;
-      const uint64_t host_bytes = io.write_bytes - io0.write_bytes;
-      const uint64_t nand_bytes =
-          smart.nand_bytes_written - smart0.nand_bytes_written;
-      const uint64_t host_cum_for_device =
-          smart.host_bytes_written - smart0.host_bytes_written;
-      w.wa_a_cum = user_bytes > 0 ? static_cast<double>(host_bytes) /
-                                        static_cast<double>(user_bytes)
-                                  : 0;
-      w.wa_d_cum = host_cum_for_device > 0
-                       ? static_cast<double>(nand_bytes) /
-                             static_cast<double>(host_cum_for_device)
-                       : 1.0;
-      const uint64_t host_w =
-          smart.host_bytes_written - smart_window_start.host_bytes_written;
-      const uint64_t nand_w =
-          smart.nand_bytes_written - smart_window_start.nand_bytes_written;
-      w.wa_d_window = host_w > 0 ? static_cast<double>(nand_w) /
-                                       static_cast<double>(host_w)
-                                 : 1.0;
-      w.disk_utilization = fs_stats.Utilization() * config.partition_frac;
-      w.space_amp = static_cast<double>(stack.store->DiskBytesUsed()) /
-                    static_cast<double>(dataset_bytes);
-      w.stalls = engine.stall_count - stalls_window_start;
-      w.cache_backlog_mb =
-          static_cast<double>(stack.ssd->GetCacheState().occupancy_bytes) /
-          1e6;
-      w.op_p50_us = op_latency.Percentile(50) / 1000.0;
-      w.op_p99_us = op_latency.Percentile(99) / 1000.0;
-      w.op_max_us = static_cast<double>(op_latency.max()) / 1000.0;
-      op_latency.Reset();
-      result.series.windows.push_back(w);
-      result.peak_disk_utilization =
-          std::max(result.peak_disk_utilization, w.disk_utilization);
-      result.peak_space_amp = std::max(result.peak_space_amp, w.space_amp);
-
+    const double window_sec = (now_min - t0_min) * 60.0;
+    if (window_sec > 0 && result.update_ops > 0) {
+      // One window covering the whole phase: the windowed baselines ARE
+      // the phase baselines (cumulative == windowed).
+      WindowBaselines base{io0, smart0, engine0, io0, smart0, 0,
+                           engine0.stall_count};
+      const WindowSample w =
+          SampleWindow(config, &stack, t0_min, now_min, window_sec,
+                       time_scale, dataset_bytes, result.update_ops, base,
+                       latency);
+      PushWindow(w, &result);
       if (progress != nullptr) {
         progress(StrPrintf(
-            "[%s] t=%5.0fmin  %6.2f Kops/s  devW=%6.1f MB/s  WA-A=%5.2f  "
-            "WA-D=%4.2f  util=%4.1f%%",
-            config.name.c_str(), w.t_minutes, w.kv_kops, w.dev_write_mbps,
-            w.wa_a_cum, w.wa_d_cum, w.disk_utilization * 100));
+            "[%s] %zu threads  t=%5.0fmin  %6.2f Kops/s (aggregate)  "
+            "devW=%6.1f MB/s  WA-A=%5.2f  WA-D=%4.2f  util=%4.1f%%",
+            config.name.c_str(), config.num_threads, w.t_minutes,
+            w.kv_kops, w.dev_write_mbps, w.wa_a_cum, w.wa_d_cum,
+            w.disk_utilization * 100));
       }
+    }
+  } else {
+    kv::WorkloadGenerator gen(spec);
+    double window_start = t0_min;
+    auto io_window_start = io0;
+    auto smart_window_start = smart0;
+    uint64_t ops_window_start = 0;
+    uint64_t stalls_window_start = 0;
 
-      window_start = now_min;
-      io_window_start = io;
-      smart_window_start = smart;
-      ops_window_start = result.update_ops;
-      stalls_window_start = engine.stall_count;
+    Histogram op_latency;  // per-window, in virtual nanoseconds
+    std::string read_value;
+    kv::WriteBatch batch;
+    while (stack.clock.NowMinutes() - t0_min < duration_sim_min &&
+           !result.ran_out_of_space) {
+      const int64_t op_start_ns = stack.clock.NowNanos();
+      const kv::Op op = gen.Next();
+      uint64_t ops_done = 1;
+      const Status s = ExecuteOp(stack.store.get(), &gen, spec, op, &batch,
+                                 &read_value, &ops_done);
+      if (s.IsNoSpace()) {
+        result.ran_out_of_space = true;
+        break;
+      }
+      PTSB_RETURN_IF_ERROR(s);
+      result.update_ops += ops_done;
+      // Per-entry latency: a batch is one submission covering ops_done
+      // entries, so divide its elapsed time to keep the histogram in the
+      // same per-op units as kv_kops.
+      op_latency.Record(
+          static_cast<uint64_t>(stack.clock.NowNanos() - op_start_ns) /
+          std::max<uint64_t>(1, ops_done));
+
+      // Window boundary?
+      const double now_min = stack.clock.NowMinutes();
+      if (now_min - window_start >= window_sim_min) {
+        const double window_sec = (now_min - window_start) * 60.0;
+        WindowBaselines base{io0,
+                             smart0,
+                             engine0,
+                             io_window_start,
+                             smart_window_start,
+                             ops_window_start,
+                             stalls_window_start};
+        const WindowSample w =
+            SampleWindow(config, &stack, t0_min, now_min, window_sec,
+                         time_scale, dataset_bytes, result.update_ops, base,
+                         op_latency);
+        op_latency.Reset();
+        PushWindow(w, &result);
+
+        if (progress != nullptr) {
+          progress(StrPrintf(
+              "[%s] t=%5.0fmin  %6.2f Kops/s  devW=%6.1f MB/s  WA-A=%5.2f  "
+              "WA-D=%4.2f  util=%4.1f%%",
+              config.name.c_str(), w.t_minutes, w.kv_kops, w.dev_write_mbps,
+              w.wa_a_cum, w.wa_d_cum, w.disk_utilization * 100));
+        }
+
+        window_start = now_min;
+        io_window_start = stack.iostat->counters();
+        smart_window_start = stack.ssd->smart();
+        ops_window_start = result.update_ops;
+        stalls_window_start = stack.store->GetStats().stall_count;
+      }
     }
   }
 

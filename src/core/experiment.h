@@ -60,6 +60,16 @@ struct ExperimentConfig {
   double scan_fraction = 0.0;
   size_t batch_size = 1;
   size_t scan_count = 100;
+  // Concurrent workers for the update phase. Each worker replays its own
+  // deterministic op stream (WorkloadSpec::ForThread) against the one
+  // store; pair > 1 with the "sharded" engine, which serializes per
+  // shard and commits cross-shard batches in parallel. With > 1 the
+  // per-window series degrades to a single aggregate window (sampling
+  // windows mid-run would race with the workers), and scan ops are
+  // downgraded to gets: iterators have no snapshot isolation yet
+  // (ROADMAP), so a scan concurrent with writes would read invalidated
+  // state.
+  size_t num_threads = 1;
   kv::Distribution distribution = kv::Distribution::kUniform;
   double zipf_theta = 0.99;  // used when distribution is zipfian
   double duration_minutes = 210;  // paper-equivalent minutes

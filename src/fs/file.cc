@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "fs/filesystem.h"
 #include "util/logging.h"
@@ -10,8 +11,9 @@ namespace ptsb::fs {
 
 namespace {
 // Writes a run of logically-consecutive file pages, batching device writes
-// over physically-contiguous LBA runs.
-Status WriteFilePages(SimpleFs* fs, block::BlockDevice* device,
+// over physically-contiguous LBA runs. The caller holds the filesystem's
+// io_mu_ (all device commands are serialized there).
+Status WriteFilePages(block::BlockDevice* device,
                       const std::vector<Extent>& extents, uint64_t first_page,
                       uint64_t num_pages, const uint8_t* src,
                       uint64_t page_bytes) {
@@ -19,7 +21,6 @@ Status WriteFilePages(SimpleFs* fs, block::BlockDevice* device,
   uint64_t page = first_page;
   uint64_t remaining = num_pages;
   const uint8_t* p = src;
-  (void)fs;
   for (const Extent& e : extents) {
     if (remaining == 0) break;
     if (page >= skipped + e.num_pages) {
@@ -42,7 +43,7 @@ Status WriteFilePages(SimpleFs* fs, block::BlockDevice* device,
 }  // namespace
 
 Status File::Append(std::string_view data) {
-  auto& inode = *fs_->inodes_.at(inode_id_);
+  Inode& inode = *inode_;
   const uint64_t page = fs_->page_bytes_;
   while (!data.empty()) {
     const uint64_t tail_off = inode.size_bytes % page;
@@ -54,15 +55,18 @@ Status File::Append(std::string_view data) {
           &inode,
           std::max(file_page + npages,
                    file_page + fs_->options_.append_alloc_pages)));
-      PTSB_RETURN_IF_ERROR(WriteFilePages(
-          fs_, fs_->device_, inode.extents, file_page, npages,
-          reinterpret_cast<const uint8_t*>(data.data()), page));
+      {
+        std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
+        PTSB_RETURN_IF_ERROR(WriteFilePages(
+            fs_->device_, inode.extents, file_page, npages,
+            reinterpret_cast<const uint8_t*>(data.data()), page));
+      }
       inode.size_bytes += npages * page;
       inode.synced_bytes = inode.size_bytes;
       data.remove_prefix(npages * page);
       continue;
     }
-    // Buffered path: fill the tail page.
+    // Buffered path: fill the tail page (no lock -- per-file state).
     const uint64_t take = std::min<uint64_t>(page - tail_off, data.size());
     std::memcpy(inode.tail.get() + tail_off, data.data(), take);
     inode.size_bytes += take;
@@ -72,9 +76,12 @@ Status File::Append(std::string_view data) {
       PTSB_RETURN_IF_ERROR(fs_->ExtendInode(
           &inode, std::max(file_page + 1,
                            file_page + fs_->options_.append_alloc_pages)));
-      PTSB_RETURN_IF_ERROR(WriteFilePages(fs_, fs_->device_, inode.extents,
-                                          file_page, 1, inode.tail.get(),
-                                          page));
+      {
+        std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
+        PTSB_RETURN_IF_ERROR(WriteFilePages(fs_->device_, inode.extents,
+                                            file_page, 1, inode.tail.get(),
+                                            page));
+      }
       inode.synced_bytes = inode.size_bytes;
       std::memset(inode.tail.get(), 0, page);
     }
@@ -83,7 +90,7 @@ Status File::Append(std::string_view data) {
 }
 
 StatusOr<uint64_t> File::ReadAt(uint64_t offset, uint64_t n, char* dst) const {
-  const auto& inode = *fs_->inodes_.at(inode_id_);
+  const Inode& inode = *inode_;
   const uint64_t page = fs_->page_bytes_;
   if (offset >= inode.size_bytes) return uint64_t{0};
   n = std::min(n, inode.size_bytes - offset);
@@ -99,6 +106,7 @@ StatusOr<uint64_t> File::ReadAt(uint64_t offset, uint64_t n, char* dst) const {
   const uint64_t device_end = std::min(end, tail_start);
   if (pos < device_end) {
     std::unique_ptr<uint8_t[]> scratch(new uint8_t[page]);
+    std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
     // Unaligned head.
     if (pos % page != 0) {
       const uint64_t in_page = pos % page;
@@ -138,7 +146,7 @@ StatusOr<uint64_t> File::ReadAt(uint64_t offset, uint64_t n, char* dst) const {
     }
   }
   if (pos < end) {
-    // Tail portion.
+    // Tail portion (per-file memory; no lock).
     PTSB_DCHECK(pos >= tail_start);
     const uint64_t take = end - pos;
     std::memcpy(dst + done, inode.tail.get() + (pos - tail_start), take);
@@ -148,7 +156,7 @@ StatusOr<uint64_t> File::ReadAt(uint64_t offset, uint64_t n, char* dst) const {
 }
 
 Status File::WriteAt(uint64_t offset, std::string_view data) {
-  auto& inode = *fs_->inodes_.at(inode_id_);
+  Inode& inode = *inode_;
   const uint64_t page = fs_->page_bytes_;
   if (offset % page != 0 || data.size() % page != 0) {
     return Status::InvalidArgument("WriteAt requires page alignment");
@@ -156,13 +164,14 @@ Status File::WriteAt(uint64_t offset, std::string_view data) {
   if (offset + data.size() > inode.allocated_pages * page) {
     return Status::InvalidArgument("WriteAt beyond allocation");
   }
-  return WriteFilePages(fs_, fs_->device_, inode.extents, offset / page,
+  std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
+  return WriteFilePages(fs_->device_, inode.extents, offset / page,
                         data.size() / page,
                         reinterpret_cast<const uint8_t*>(data.data()), page);
 }
 
 Status File::Extend(uint64_t bytes) {
-  auto& inode = *fs_->inodes_.at(inode_id_);
+  Inode& inode = *inode_;
   const uint64_t page = fs_->page_bytes_;
   const uint64_t pages = (bytes + page - 1) / page;
   PTSB_RETURN_IF_ERROR(fs_->ExtendInode(&inode, pages));
@@ -174,24 +183,27 @@ Status File::Extend(uint64_t bytes) {
 }
 
 Status File::Sync() {
-  auto& inode = *fs_->inodes_.at(inode_id_);
+  Inode& inode = *inode_;
   const uint64_t page = fs_->page_bytes_;
   const uint64_t tail_off = inode.size_bytes % page;
   if (inode.synced_bytes < inode.size_bytes && tail_off != 0) {
     const uint64_t file_page = inode.size_bytes / page;
     PTSB_RETURN_IF_ERROR(fs_->ExtendInode(&inode, file_page + 1));
-    PTSB_RETURN_IF_ERROR(WriteFilePages(fs_, fs_->device_, inode.extents,
+    std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
+    PTSB_RETURN_IF_ERROR(WriteFilePages(fs_->device_, inode.extents,
                                         file_page, 1, inode.tail.get(),
                                         page));
   }
   inode.synced_bytes = inode.size_bytes;
+  std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
   return fs_->device_->Flush();
 }
 
 Status File::ShrinkToFit() {
-  auto& inode = *fs_->inodes_.at(inode_id_);
+  Inode& inode = *inode_;
   const uint64_t page = fs_->page_bytes_;
   const uint64_t needed = (inode.size_bytes + page - 1) / page;
+  std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
   while (inode.allocated_pages > needed) {
     Extent& last = inode.extents.back();
     const uint64_t excess =
@@ -209,24 +221,16 @@ Status File::ShrinkToFit() {
   return Status::OK();
 }
 
-uint64_t File::size() const {
-  return fs_->inodes_.at(inode_id_)->size_bytes;
-}
+uint64_t File::size() const { return inode_->size_bytes; }
 
-uint64_t File::synced_size() const {
-  return fs_->inodes_.at(inode_id_)->synced_bytes;
-}
+uint64_t File::synced_size() const { return inode_->synced_bytes; }
 
 uint64_t File::allocated_bytes() const {
-  return fs_->inodes_.at(inode_id_)->allocated_pages * fs_->page_bytes_;
+  return inode_->allocated_pages * fs_->page_bytes_;
 }
 
-const std::string& File::name() const {
-  return fs_->inodes_.at(inode_id_)->name;
-}
+const std::string& File::name() const { return inode_->name; }
 
-uint64_t File::ExtentCount() const {
-  return fs_->inodes_.at(inode_id_)->extents.size();
-}
+uint64_t File::ExtentCount() const { return inode_->extents.size(); }
 
 }  // namespace ptsb::fs

@@ -1,5 +1,10 @@
-// File handle for SimpleFs. Not thread-safe (the simulation is logically
-// single-threaded, as is the paper's workload).
+// File handle for SimpleFs. Safe to use from one thread per file while
+// other threads operate on OTHER files: per-file state (tail buffer,
+// sizes, extents) is touched only by this file's user, and the shared
+// substrate (allocator, device) is serialized by the filesystem's I/O
+// mutex — the locking split kv::ShardedStore's per-shard engines rely on.
+// A single File shared by two unsynchronized threads is a bug: appends
+// would interleave unpredictably.
 #ifndef PTSB_FS_FILE_H_
 #define PTSB_FS_FILE_H_
 
@@ -12,6 +17,7 @@
 namespace ptsb::fs {
 
 class SimpleFs;
+struct Inode;
 
 class File {
  public:
@@ -51,10 +57,10 @@ class File {
 
  private:
   friend class SimpleFs;
-  File(SimpleFs* fs, uint64_t inode_id) : fs_(fs), inode_id_(inode_id) {}
+  File(SimpleFs* fs, Inode* inode) : fs_(fs), inode_(inode) {}
 
   SimpleFs* fs_;
-  uint64_t inode_id_;
+  Inode* inode_;
 };
 
 }  // namespace ptsb::fs

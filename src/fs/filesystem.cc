@@ -21,6 +21,7 @@ SimpleFs::~SimpleFs() = default;
 
 Status SimpleFs::TouchMetadata() {
   if (options_.metadata_pages == 0) return Status::OK();
+  std::lock_guard<std::mutex> io_lock(io_mu_);
   const uint64_t lba = metadata_cursor_;
   metadata_cursor_ = (metadata_cursor_ + 1) % options_.metadata_pages;
   return device_->Write(lba, 1, nullptr);
@@ -42,6 +43,7 @@ uint64_t SimpleFs::PageToLba(const Inode& inode, uint64_t file_page) const {
 Status SimpleFs::ExtendInode(Inode* inode, uint64_t min_pages) {
   if (min_pages <= inode->allocated_pages) return Status::OK();
   const uint64_t want = min_pages - inode->allocated_pages;
+  std::lock_guard<std::mutex> io_lock(io_mu_);
   auto extents = allocator_->Allocate(want, options_.max_extent_pages);
   if (!extents.ok()) return extents.status();
   for (Extent& e : *extents) {
@@ -57,6 +59,7 @@ Status SimpleFs::ExtendInode(Inode* inode, uint64_t min_pages) {
 }
 
 void SimpleFs::FreeInodeExtents(Inode* inode) {
+  std::lock_guard<std::mutex> io_lock(io_mu_);
   for (const Extent& e : inode->extents) {
     allocator_->Free(e);
     if (!options_.nodiscard) {
@@ -68,7 +71,7 @@ void SimpleFs::FreeInodeExtents(Inode* inode) {
   inode->allocated_pages = 0;
 }
 
-StatusOr<File*> SimpleFs::Create(const std::string& name) {
+StatusOr<File*> SimpleFs::CreateLocked(const std::string& name) {
   if (directory_.contains(name)) {
     return Status::InvalidArgument("file exists: " + name);
   }
@@ -76,7 +79,7 @@ StatusOr<File*> SimpleFs::Create(const std::string& name) {
   inode->id = next_inode_id_++;
   inode->name = name;
   inode->tail = std::make_unique<uint8_t[]>(page_bytes_);
-  inode->handle.reset(new File(this, inode->id));
+  inode->handle.reset(new File(this, inode.get()));
   File* handle = inode->handle.get();
   directory_[name] = inode->id;
   inodes_[inode->id] = std::move(inode);
@@ -84,7 +87,12 @@ StatusOr<File*> SimpleFs::Create(const std::string& name) {
   return handle;
 }
 
-StatusOr<File*> SimpleFs::Open(const std::string& name) {
+StatusOr<File*> SimpleFs::Create(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CreateLocked(name);
+}
+
+StatusOr<File*> SimpleFs::OpenLocked(const std::string& name) {
   auto it = directory_.find(name);
   if (it == directory_.end()) {
     return Status::NotFound("no such file: " + name);
@@ -92,12 +100,18 @@ StatusOr<File*> SimpleFs::Open(const std::string& name) {
   return inodes_.at(it->second)->handle.get();
 }
 
-StatusOr<File*> SimpleFs::OpenOrCreate(const std::string& name) {
-  if (Exists(name)) return Open(name);
-  return Create(name);
+StatusOr<File*> SimpleFs::Open(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return OpenLocked(name);
 }
 
-Status SimpleFs::Delete(const std::string& name) {
+StatusOr<File*> SimpleFs::OpenOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (directory_.contains(name)) return OpenLocked(name);
+  return CreateLocked(name);
+}
+
+Status SimpleFs::DeleteLocked(const std::string& name) {
   auto it = directory_.find(name);
   if (it == directory_.end()) {
     return Status::NotFound("no such file: " + name);
@@ -109,7 +123,13 @@ Status SimpleFs::Delete(const std::string& name) {
   return TouchMetadata();
 }
 
+Status SimpleFs::Delete(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DeleteLocked(name);
+}
+
 Status SimpleFs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = directory_.find(from);
   if (it == directory_.end()) {
     return Status::NotFound("no such file: " + from);
@@ -117,7 +137,7 @@ Status SimpleFs::Rename(const std::string& from, const std::string& to) {
   if (from == to) return Status::OK();
   // POSIX rename: silently replaces the target.
   if (directory_.contains(to)) {
-    PTSB_RETURN_IF_ERROR(Delete(to));
+    PTSB_RETURN_IF_ERROR(DeleteLocked(to));
     it = directory_.find(from);
   }
   const uint64_t id = it->second;
@@ -128,10 +148,12 @@ Status SimpleFs::Rename(const std::string& from, const std::string& to) {
 }
 
 bool SimpleFs::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return directory_.contains(name);
 }
 
 std::vector<std::string> SimpleFs::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, id] : directory_) {
     if (name.starts_with(prefix)) out.push_back(name);
@@ -140,6 +162,7 @@ std::vector<std::string> SimpleFs::List(const std::string& prefix) const {
 }
 
 StatusOr<uint64_t> SimpleFs::FileSize(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = directory_.find(name);
   if (it == directory_.end()) {
     return Status::NotFound("no such file: " + name);
@@ -148,6 +171,10 @@ StatusOr<uint64_t> SimpleFs::FileSize(const std::string& name) const {
 }
 
 void SimpleFs::SimulateCrash() {
+  // Whole-fs inspection: expects writers quiesced (it mutates per-file
+  // state the files' owners otherwise own).
+  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> io_lock(io_mu_);
   for (auto& [id, inode] : inodes_) {
     if (inode->size_bytes == inode->synced_bytes) continue;
     inode->size_bytes = inode->synced_bytes;
@@ -166,6 +193,8 @@ void SimpleFs::SimulateCrash() {
 }
 
 FsStats SimpleFs::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> io_lock(io_mu_);
   FsStats s;
   s.capacity_bytes = device_->capacity_bytes();
   const uint64_t data_pages = allocator_->total_pages();
@@ -180,6 +209,8 @@ FsStats SimpleFs::GetStats() const {
 }
 
 Status SimpleFs::CheckConsistency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> io_lock(io_mu_);
   PTSB_RETURN_IF_ERROR(allocator_->CheckConsistency());
   // Extents of all files must be disjoint, in range, and match counters.
   std::vector<std::pair<uint64_t, uint64_t>> ranges;  // (start, end)

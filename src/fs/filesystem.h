@@ -14,12 +14,27 @@
 //    metadata region; namespace mutations charge one metadata page write.
 //    Namespace durability follows the journaled-fs assumption: after
 //    SimulateCrash() the namespace survives, unsynced file data does not.
+//  - Thread safety, modeled on the kernel's locking split. TWO mutexes:
+//    `mu_` serializes the namespace (directory + inode table), `io_mu_`
+//    serializes the shared I/O substrate (extent allocator, metadata
+//    region, and every block-device command — the bio/FTL serialization
+//    point). Per-file state (tail buffer, sizes, extent list) takes
+//    NEITHER lock: like a kernel page cache keyed by inode, it is safe as
+//    long as each File has one user at a time, which is exactly the
+//    per-shard serialization kv::ShardedStore provides. Concurrent shards
+//    therefore overlap all their CPU work — key comparisons, checksums,
+//    index updates, tail-page memcpys — and queue only for device
+//    commands and allocations. A single File shared by two unsynchronized
+//    threads is still a bug (appends would interleave unpredictably), and
+//    whole-fs inspection (SimulateCrash, CheckConsistency, GetStats over
+//    in-flight files) expects writers quiesced.
 #ifndef PTSB_FS_FILESYSTEM_H_
 #define PTSB_FS_FILESYSTEM_H_
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -60,6 +75,22 @@ struct FsStats {
   }
 };
 
+// Per-file state. Internal to SimpleFs/File (namespace-scope only so the
+// File handle can hold a typed pointer); fields are mutated exclusively
+// by the file's single user plus the namespace operations under
+// SimpleFs::mu_.
+struct Inode {
+  uint64_t id = 0;
+  std::string name;
+  std::vector<Extent> extents;
+  uint64_t size_bytes = 0;         // logical size including buffered tail
+  uint64_t synced_bytes = 0;       // durable prefix
+  uint64_t allocated_pages = 0;
+  // Buffered tail page (size % page_bytes bytes of it are meaningful).
+  std::unique_ptr<uint8_t[]> tail;
+  std::unique_ptr<File> handle;
+};
+
 class SimpleFs {
  public:
   SimpleFs(block::BlockDevice* device, const FsOptions& options);
@@ -97,30 +128,34 @@ class SimpleFs {
  private:
   friend class File;
 
-  struct Inode {
-    uint64_t id = 0;
-    std::string name;
-    std::vector<Extent> extents;
-    uint64_t size_bytes = 0;         // logical size including buffered tail
-    uint64_t synced_bytes = 0;       // durable prefix
-    uint64_t allocated_pages = 0;
-    // Buffered tail page (size % page_bytes bytes of it are meaningful).
-    std::unique_ptr<uint8_t[]> tail;
-    std::unique_ptr<File> handle;
-  };
+  // Unlocked implementations; callers hold mu_. Public entry points wrap
+  // these so internal cross-calls (Rename deleting its target,
+  // OpenOrCreate probing then creating) never re-enter the lock.
+  StatusOr<File*> CreateLocked(const std::string& name);
+  StatusOr<File*> OpenLocked(const std::string& name);
+  Status DeleteLocked(const std::string& name);
 
-  // Charges one metadata page write for a namespace mutation.
+  // Charges one metadata page write for a namespace mutation. Takes
+  // io_mu_ internally.
   Status TouchMetadata();
 
-  // Maps a page index within the file to a device LBA.
+  // Maps a page index within the file to a device LBA. Reads only the
+  // file's own extent list: the caller must be the file's (sole) user.
   uint64_t PageToLba(const Inode& inode, uint64_t file_page) const;
 
+  // Allocator interactions; both take io_mu_ internally and otherwise
+  // touch only the inode's own fields.
   Status ExtendInode(Inode* inode, uint64_t min_pages);
   void FreeInodeExtents(Inode* inode);
 
   block::BlockDevice* device_;
   FsOptions options_;
   uint64_t page_bytes_;
+  // mu_ guards directory_/inodes_/next_inode_id_; io_mu_ guards
+  // allocator_, metadata_cursor_ and every device_ command. Lock order:
+  // mu_ before io_mu_; File operations take only io_mu_.
+  mutable std::mutex mu_;
+  mutable std::mutex io_mu_;
   std::unique_ptr<ExtentAllocator> allocator_;
   std::map<std::string, uint64_t> directory_;       // name -> inode id
   std::map<uint64_t, std::unique_ptr<Inode>> inodes_;
@@ -131,3 +166,4 @@ class SimpleFs {
 }  // namespace ptsb::fs
 
 #endif  // PTSB_FS_FILESYSTEM_H_
+

@@ -9,6 +9,7 @@
 #include "btree/btree_store.h"
 #include "kv/registry.h"
 #include "lsm/lsm_store.h"
+#include "sharded/sharded_store.h"
 
 namespace ptsb::kv {
 
@@ -18,6 +19,7 @@ void RegisterBuiltinEngines() {
     lsm::RegisterLsmEngine();
     btree::RegisterBTreeEngine();
     alog::RegisterAlogEngine();
+    sharded::RegisterShardedEngine();
   });
 }
 

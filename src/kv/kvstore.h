@@ -142,6 +142,13 @@ class KVStore {
   // Graceful shutdown; the store can be re-opened from disk state.
   virtual Status Close() = 0;
 
+  // Whether Write/Get may be called from multiple threads concurrently.
+  // The storage engines are single-threaded (false, the default); the
+  // sharded front end serializes per shard and returns true. Drivers must
+  // check this before fanning out workers — concurrent writes to a
+  // single-threaded engine corrupt it.
+  virtual bool SupportsConcurrentWriters() const { return false; }
+
   virtual KvStoreStats GetStats() const = 0;
   virtual std::string Name() const = 0;
 

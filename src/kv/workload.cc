@@ -6,6 +6,17 @@
 
 namespace ptsb::kv {
 
+WorkloadSpec WorkloadSpec::ForThread(size_t t) const {
+  WorkloadSpec out = *this;
+  // Thread 0 keeps the base seed, so num_threads=1 reproduces the
+  // single-threaded stream exactly; higher threads get decorrelated
+  // seeds (consecutive integers would correlate the Rng streams).
+  if (t > 0) {
+    out.seed = SplitMix64(seed ^ (0x9e3779b97f4a7c15ULL * t));
+  }
+  return out;
+}
+
 WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec)
     : spec_(spec),
       rng_(spec.seed),

@@ -1,6 +1,7 @@
 // Workload generation per Section 3.2 of the paper: sequential-order load
-// of N key-value pairs, then a single-threaded op mix (default write-only
-// uniform-random updates of existing keys). Variants cover the paper's
+// of N key-value pairs, then an op mix (default write-only uniform-random
+// updates of existing keys; num_threads > 1 replays disjoint streams from
+// concurrent workers). Variants cover the paper's
 // additional workloads (50:50 read/write mix, 128-byte values), a zipfian
 // extension, and the batched/delete/scan mixes the engine API supports:
 // write ops become kBatchPut groups when batch_size > 1, a delete_fraction
@@ -36,9 +37,19 @@ struct WorkloadSpec {
   size_t batch_size = 1;
   // Entries consumed per scan op.
   size_t scan_count = 100;
+  // Worker threads replaying the update phase. Each worker runs its own
+  // WorkloadGenerator seeded with ForThread(t).seed, so the T op streams
+  // are disjoint and the whole run is deterministic given (seed, T).
+  // Engines are single-threaded; only "sharded" (and future concurrent
+  // engines) benefit from > 1.
+  size_t num_threads = 1;
   Distribution distribution = Distribution::kUniform;
   double zipf_theta = 0.99;
   uint64_t seed = 7;
+
+  // The per-worker spec for thread `t` of num_threads: identical shape,
+  // thread-unique seed.
+  WorkloadSpec ForThread(size_t t) const;
 
   uint64_t DatasetBytes() const {
     return num_keys * (key_bytes + value_bytes);

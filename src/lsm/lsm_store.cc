@@ -83,6 +83,7 @@ void LsmStore::ChargeCpu(int64_t ns) const {
 Status LsmStore::Write(const kv::WriteBatch& batch) {
   PTSB_CHECK(!closed_);
   if (batch.empty()) return Status::OK();
+  write_epoch_++;
   ChargeCpu(options_.cpu_put_ns * static_cast<int64_t>(batch.Count()));
   stats_.user_batches++;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
@@ -221,6 +222,7 @@ Status LsmStore::MaybeStall() {
 }
 
 Status LsmStore::DrainCompactions() {
+  write_epoch_++;  // compaction deletes SSTs open iterators may hold
   // Finish the in-flight job and keep compacting until no level is over
   // its trigger.
   for (;;) {
@@ -324,7 +326,8 @@ Status LsmStore::Get(std::string_view key, std::string* value) {
 // compaction file deletion).
 class LsmStore::MergingIterator : public kv::KVStore::Iterator {
  public:
-  explicit MergingIterator(LsmStore* store) : store_(store) {
+  explicit MergingIterator(LsmStore* store)
+      : store_(store), epoch_(store->write_epoch_) {
     Source mem_source;
     mem_source.mem = std::make_unique<Memtable::Iterator>(
         store_->memtable_.get());
@@ -347,6 +350,7 @@ class LsmStore::MergingIterator : public kv::KVStore::Iterator {
   void SeekToFirst() override { Seek(""); }
 
   void Seek(std::string_view target) override {
+    CheckEpoch();
     if (!status_.ok()) return;
     valid_ = false;
     have_last_ = false;
@@ -360,9 +364,13 @@ class LsmStore::MergingIterator : public kv::KVStore::Iterator {
     FindNextLiveEntry();
   }
 
-  bool Valid() const override { return valid_; }
+  bool Valid() const override {
+    CheckEpoch();
+    return valid_;
+  }
 
   void Next() override {
+    CheckEpoch();
     if (!valid_) return;
     valid_ = false;
     status_ = sources_[current_].Advance();
@@ -370,11 +378,27 @@ class LsmStore::MergingIterator : public kv::KVStore::Iterator {
     FindNextLiveEntry();
   }
 
-  std::string_view key() const override { return key_; }
-  std::string_view value() const override { return value_; }
+  std::string_view key() const override {
+    CheckEpoch();
+    return key_;
+  }
+  std::string_view value() const override {
+    CheckEpoch();
+    return value_;
+  }
   Status status() const override { return status_; }
 
  private:
+  // Debug-build fail-fast on use-after-write: a write can rotate the
+  // memtable or delete the SSTs this iterator's sources point into, so
+  // continuing would silently read stale (or freed) state.
+  void CheckEpoch() const {
+    PTSB_DCHECK(epoch_ == store_->write_epoch_)
+        << "LSM iterator used after a write to the store; iterators "
+           "observe the store as of creation and are invalidated by "
+           "writes (create, consume, discard)";
+  }
+
   struct Source {
     // Exactly one of mem/sst is set.
     std::unique_ptr<Memtable::Iterator> mem;
@@ -443,6 +467,7 @@ class LsmStore::MergingIterator : public kv::KVStore::Iterator {
   }
 
   LsmStore* store_;
+  const uint64_t epoch_;  // store_->write_epoch_ at creation
   std::vector<Source> sources_;
   size_t current_ = 0;  // source providing the current entry
   std::string last_user_key_;
@@ -461,6 +486,7 @@ std::unique_ptr<kv::KVStore::Iterator> LsmStore::NewIterator() {
 
 Status LsmStore::Flush() {
   PTSB_CHECK(!closed_);
+  write_epoch_++;  // memtable rotation invalidates open iterators
   PTSB_RETURN_IF_ERROR(FlushMemtable());
   return Status::OK();
 }

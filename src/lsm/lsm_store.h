@@ -88,6 +88,11 @@ class LsmStore : public kv::KVStore {
   std::map<uint64_t, std::unique_ptr<SstReader>> readers_;
 
   SequenceNumber seq_ = 0;
+  // Bumped by every mutating entry point (Write, Flush, compaction
+  // drains). Debug builds compare it against the value captured at
+  // iterator creation to fail fast on use-after-write instead of reading
+  // freed memtables/SSTs.
+  uint64_t write_epoch_ = 0;
   kv::KvStoreStats stats_;
   bool closed_ = false;
 };

@@ -1,0 +1,42 @@
+// Configuration of the sharded front end. The sharded "engine" is a thin
+// concurrent router: it owns N instances of an inner engine (any name in
+// kv::EngineRegistry except "sharded" itself) and hash-partitions the
+// keyspace across them, so the structural options all belong to the inner
+// engine and pass through the param map untouched.
+#ifndef PTSB_SHARDED_OPTIONS_H_
+#define PTSB_SHARDED_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ptsb::sharded {
+
+struct ShardedOptions {
+  // Number of per-shard inner engine instances. Each shard lives in its
+  // own directory (<root>/shard-NNN) and is guarded by its own mutex, so
+  // writers on different shards proceed in parallel.
+  int shards = 4;
+
+  // Registry name of the engine each shard runs ("lsm", "btree", "alog",
+  // or any out-of-tree registration). Nesting "sharded" is rejected.
+  std::string inner_engine = "lsm";
+
+  // Commit the sub-batches of one Write on the per-shard worker threads
+  // (concurrent group commit). When false — or when a batch touches a
+  // single shard — sub-batches commit sequentially on the calling thread;
+  // multiple caller threads still get shard-level parallelism from the
+  // per-shard locking.
+  bool parallel_write = true;
+
+  // Dispatch a sub-batch to its shard worker only when its payload is at
+  // least this large; smaller sub-batches commit inline on the caller.
+  // Waking a worker costs a condition-variable round-trip (~10 us), so
+  // handing it less work than that makes the batch SLOWER than committing
+  // sequentially — the classic small-write dispatch trap. 0 = always
+  // dispatch.
+  uint64_t parallel_write_min_bytes = 32 << 10;
+};
+
+}  // namespace ptsb::sharded
+
+#endif  // PTSB_SHARDED_OPTIONS_H_

@@ -1,0 +1,472 @@
+#include "sharded/sharded_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fs/file.h"
+#include "fs/filesystem.h"
+#include "util/crc32.h"
+#include "util/human.h"
+#include "util/logging.h"
+
+namespace ptsb::sharded {
+
+namespace {
+
+// Field-wise sum of the engine counters; per-shard clocks don't exist
+// (shards share the experiment's SimClock), so the time breakdown sums
+// like the byte counters do.
+void AddStats(kv::KvStoreStats* into, const kv::KvStoreStats& s) {
+  into->user_puts += s.user_puts;
+  into->user_gets += s.user_gets;
+  into->user_deletes += s.user_deletes;
+  into->user_scans += s.user_scans;
+  into->user_batches += s.user_batches;
+  into->user_bytes_written += s.user_bytes_written;
+  into->user_bytes_read += s.user_bytes_read;
+  into->wal_bytes_written += s.wal_bytes_written;
+  into->flush_bytes_written += s.flush_bytes_written;
+  into->compaction_bytes_written += s.compaction_bytes_written;
+  into->compaction_bytes_read += s.compaction_bytes_read;
+  into->page_write_bytes += s.page_write_bytes;
+  into->page_read_bytes += s.page_read_bytes;
+  into->checkpoint_bytes_written += s.checkpoint_bytes_written;
+  into->gc_bytes_written += s.gc_bytes_written;
+  into->gc_bytes_read += s.gc_bytes_read;
+  into->stall_count += s.stall_count;
+  into->time_wal_ns += s.time_wal_ns;
+  into->time_flush_ns += s.time_flush_ns;
+  into->time_compaction_ns += s.time_compaction_ns;
+  into->time_read_path_ns += s.time_read_path_ns;
+  into->time_writeback_ns += s.time_writeback_ns;
+  into->time_checkpoint_ns += s.time_checkpoint_ns;
+}
+
+// NoSpace wins over generic errors: the experiment driver treats it as
+// data (the paper's Fig. 6 scenario), so a concurrent commit where one
+// shard filled the device and another hit a follow-on error must report
+// the root cause.
+Status CombineStatuses(const std::vector<Status>& statuses) {
+  const Status* first_bad = nullptr;
+  for (const Status& s : statuses) {
+    if (s.IsNoSpace()) return s;
+    if (!s.ok() && first_bad == nullptr) first_bad = &s;
+  }
+  return first_bad == nullptr ? Status::OK() : *first_bad;
+}
+
+}  // namespace
+
+// A Write call waiting for its dispatched sub-batches. Lives on the
+// caller's stack; `remaining` counts sub-batches still running on shard
+// workers.
+struct ShardedStore::WriteBarrier {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = 0;
+};
+
+struct ShardedStore::WriteTask {
+  const kv::WriteBatch* batch = nullptr;
+  Status* status = nullptr;       // caller-owned slot for the result
+  WriteBarrier* barrier = nullptr;
+};
+
+struct ShardedStore::Shard {
+  std::unique_ptr<kv::KVStore> store;
+  // Guards `store`: every inner-engine call (Write/Get/iterator creation/
+  // Flush/stats) happens under this mutex, making each shard as
+  // single-threaded as the engines assume while different shards run in
+  // parallel.
+  std::mutex mu;
+
+  // Write-dispatch queue, used only when parallel_write is on.
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<WriteTask> queue;
+  bool stop = false;
+  std::thread worker;
+};
+
+ShardedStore::ShardedStore(ShardedOptions options, std::string root)
+    : options_(std::move(options)), root_(std::move(root)) {}
+
+ShardedStore::~ShardedStore() {
+  StopWorkers();
+  if (!closed_) {
+    // Best-effort shutdown; errors are not recoverable in a destructor.
+    Close().ok();
+  }
+}
+
+StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Open(
+    const kv::EngineOptions& options) {
+  ShardedOptions so;
+  so.shards = kv::ParamInt(options, "shards", so.shards);
+  so.parallel_write =
+      kv::ParamBool(options, "parallel_write", so.parallel_write);
+  so.parallel_write_min_bytes =
+      kv::ParamUint64(options, "parallel_write_min_bytes",
+                      so.parallel_write_min_bytes);
+  if (const auto it = options.params.find("inner_engine");
+      it != options.params.end()) {
+    so.inner_engine = it->second;
+  }
+  if (so.shards < 1) {
+    return Status::InvalidArgument("sharded: shards must be >= 1");
+  }
+  if (so.inner_engine == "sharded") {
+    return Status::InvalidArgument(
+        "sharded: inner_engine cannot be \"sharded\" (no nesting)");
+  }
+  if (!kv::EngineRegistry::Global().Contains(so.inner_engine)) {
+    return Status::InvalidArgument("sharded: unknown inner_engine \"" +
+                                   so.inner_engine + "\"");
+  }
+
+  const std::string root = options.root.empty() ? "sharded" : options.root;
+
+  // The shard count is part of the on-disk layout: the hash routes
+  // key -> CRC32C(key) % shards, so reopening existing data with a
+  // different count (or a different inner format) would silently strand
+  // keys on shards the hash no longer reaches. Persist both in a META
+  // file on first open and refuse a mismatch afterwards.
+  const std::string meta_name = root + "/META";
+  if (options.fs->Exists(meta_name)) {
+    PTSB_ASSIGN_OR_RETURN(fs::File * meta, options.fs->Open(meta_name));
+    std::string contents(meta->size(), '\0');
+    PTSB_ASSIGN_OR_RETURN(
+        const uint64_t got,
+        meta->ReadAt(0, contents.size(), contents.data()));
+    contents.resize(got);
+    const std::string expected = "shards=" + std::to_string(so.shards) +
+                                 "\ninner_engine=" + so.inner_engine + "\n";
+    if (contents != expected) {
+      return Status::InvalidArgument(
+          "sharded: store at \"" + root + "\" was created with different "
+          "layout parameters (on disk: \"" + contents +
+          "\", requested: \"" + expected +
+          "\"); shard count and inner engine are part of the on-disk "
+          "layout and must match");
+    }
+  } else {
+    PTSB_ASSIGN_OR_RETURN(fs::File * meta, options.fs->Create(meta_name));
+    PTSB_RETURN_IF_ERROR(
+        meta->Append("shards=" + std::to_string(so.shards) +
+                     "\ninner_engine=" + so.inner_engine + "\n"));
+    PTSB_RETURN_IF_ERROR(meta->Sync());
+  }
+
+  auto store = std::unique_ptr<ShardedStore>(new ShardedStore(so, root));
+
+  // Everything except the router's own knobs configures the inner engine.
+  kv::EngineOptions inner = options;
+  inner.engine = so.inner_engine;
+  inner.params.erase("shards");
+  inner.params.erase("inner_engine");
+  inner.params.erase("parallel_write");
+  inner.params.erase("parallel_write_min_bytes");
+
+  for (int i = 0; i < so.shards; i++) {
+    inner.root = root + "/shard-" + std::to_string(i);
+    auto opened = kv::EngineRegistry::Global().Open(inner);
+    if (!opened.ok()) return opened.status();
+    auto shard = std::make_unique<Shard>();
+    shard->store = *std::move(opened);
+    store->shards_.push_back(std::move(shard));
+  }
+
+  if (so.parallel_write && so.shards > 1) {
+    for (auto& shard : store->shards_) {
+      Shard* s = shard.get();
+      s->worker = std::thread([store = store.get(), s] {
+        store->WorkerLoop(s);
+      });
+    }
+  }
+  return store;
+}
+
+int ShardedStore::ShardOf(std::string_view key) const {
+  return static_cast<int>(Crc32c(key) %
+                          static_cast<uint32_t>(shards_.size()));
+}
+
+Status ShardedStore::CommitToShard(Shard* shard, const kv::WriteBatch& sub) {
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return shard->store->Write(sub);
+}
+
+void ShardedStore::WorkerLoop(Shard* shard) {
+  for (;;) {
+    WriteTask task;
+    {
+      std::unique_lock<std::mutex> lock(shard->queue_mu);
+      shard->queue_cv.wait(lock, [shard] {
+        return shard->stop || !shard->queue.empty();
+      });
+      if (shard->queue.empty()) {
+        if (shard->stop) return;
+        continue;
+      }
+      task = shard->queue.front();
+      shard->queue.pop_front();
+    }
+    *task.status = CommitToShard(shard, *task.batch);
+    {
+      std::lock_guard<std::mutex> lock(task.barrier->mu);
+      if (--task.barrier->remaining == 0) task.barrier->cv.notify_all();
+    }
+  }
+}
+
+void ShardedStore::StopWorkers() {
+  for (auto& shard : shards_) {
+    if (!shard->worker.joinable()) continue;
+    {
+      std::lock_guard<std::mutex> lock(shard->queue_mu);
+      shard->stop = true;
+    }
+    shard->queue_cv.notify_all();
+    shard->worker.join();
+  }
+}
+
+Status ShardedStore::Write(const kv::WriteBatch& batch) {
+  PTSB_CHECK(!closed_);
+  if (batch.empty()) return Status::OK();
+
+  // Split by shard, preserving entry order within each shard. Duplicate
+  // keys hash identically, so last-entry-wins is per-shard order.
+  std::vector<kv::WriteBatch> subs(shards_.size());
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    kv::WriteBatch& sub = subs[static_cast<size_t>(ShardOf(e.key))];
+    if (e.kind == kv::WriteBatch::EntryKind::kPut) {
+      sub.Put(e.key, e.value);
+    } else {
+      sub.Delete(e.key);
+    }
+  }
+  std::vector<size_t> touched;
+  for (size_t i = 0; i < subs.size(); i++) {
+    if (!subs[i].empty()) touched.push_back(i);
+  }
+  // Rotate the commit order per call: if every caller walked the shards
+  // in ascending order, concurrent writers would convoy behind each other
+  // on shard 0, then shard 1, ... — moving in lockstep and serializing
+  // the whole batch despite the per-shard locks. Distinct starting
+  // offsets let k callers occupy k different shards at once.
+  if (touched.size() > 1) {
+    const size_t offset =
+        write_rotation_.fetch_add(1, std::memory_order_relaxed) %
+        touched.size();
+    std::rotate(touched.begin(), touched.begin() + offset, touched.end());
+  }
+
+  std::vector<Status> statuses(touched.size());
+  const bool workers_running =
+      options_.parallel_write && shards_.size() > 1;
+
+  // Concurrent group commit: sub-batches big enough to amortize a worker
+  // wakeup are dispatched to their shard workers; the rest (always
+  // including one, so this thread contributes) commit inline while the
+  // workers run. Small batches therefore stay on the caller entirely —
+  // with several caller threads the per-shard mutexes still overlap their
+  // commits across shards.
+  WriteBarrier barrier;
+  std::vector<size_t> inline_commits;
+  for (size_t t = 0; t < touched.size(); t++) {
+    const kv::WriteBatch& sub = subs[touched[t]];
+    if (!workers_running || t == 0 ||
+        sub.ByteSize() < options_.parallel_write_min_bytes) {
+      inline_commits.push_back(t);
+      continue;
+    }
+    Shard* shard = shards_[touched[t]].get();
+    WriteTask task;
+    task.batch = &sub;
+    task.status = &statuses[t];
+    task.barrier = &barrier;
+    {
+      std::lock_guard<std::mutex> lock(barrier.mu);
+      barrier.remaining++;
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard->queue_mu);
+      shard->queue.push_back(task);
+    }
+    shard->queue_cv.notify_one();
+  }
+  for (const size_t t : inline_commits) {
+    statuses[t] = CommitToShard(shards_[touched[t]].get(), subs[touched[t]]);
+  }
+  {
+    std::unique_lock<std::mutex> lock(barrier.mu);
+    barrier.cv.wait(lock, [&barrier] { return barrier.remaining == 0; });
+  }
+  return CombineStatuses(statuses);
+}
+
+Status ShardedStore::Get(std::string_view key, std::string* value) {
+  PTSB_CHECK(!closed_);
+  Shard* shard = shards_[static_cast<size_t>(ShardOf(key))].get();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return shard->store->Get(key, value);
+}
+
+// K-way merge over the per-shard ordered iterators. The hash partition is
+// disjoint, so the merged stream never sees a key twice and ties cannot
+// happen. Consumption is single-threaded by contract (like every iterator
+// here); only creation synchronizes with the shards.
+class ShardedStore::MergingIterator : public kv::KVStore::Iterator {
+ public:
+  explicit MergingIterator(
+      std::vector<std::unique_ptr<kv::KVStore::Iterator>> inners)
+      : inners_(std::move(inners)) {}
+
+  void SeekToFirst() override { Seek(""); }
+
+  void Seek(std::string_view target) override {
+    for (auto& it : inners_) it->Seek(target);
+    PickCurrent();
+  }
+
+  bool Valid() const override { return current_ >= 0; }
+
+  void Next() override {
+    if (current_ < 0) return;
+    inners_[static_cast<size_t>(current_)]->Next();
+    PickCurrent();
+  }
+
+  std::string_view key() const override {
+    return inners_[static_cast<size_t>(current_)]->key();
+  }
+  std::string_view value() const override {
+    return inners_[static_cast<size_t>(current_)]->value();
+  }
+
+  Status status() const override {
+    for (const auto& it : inners_) {
+      if (!it->status().ok()) return it->status();
+    }
+    return Status::OK();
+  }
+
+ private:
+  void PickCurrent() {
+    current_ = -1;
+    for (size_t i = 0; i < inners_.size(); i++) {
+      if (!inners_[i]->status().ok()) {
+        // An I/O error in any shard invalidates the merged cursor.
+        current_ = -1;
+        return;
+      }
+      if (!inners_[i]->Valid()) continue;
+      if (current_ < 0 ||
+          inners_[i]->key() < inners_[static_cast<size_t>(current_)]->key()) {
+        current_ = static_cast<int>(i);
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<kv::KVStore::Iterator>> inners_;
+  int current_ = -1;
+};
+
+std::unique_ptr<kv::KVStore::Iterator> ShardedStore::NewIterator() {
+  PTSB_CHECK(!closed_);
+  std::vector<std::unique_ptr<kv::KVStore::Iterator>> inners;
+  inners.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    inners.push_back(shard->store->NewIterator());
+  }
+  return std::make_unique<MergingIterator>(std::move(inners));
+}
+
+Status ShardedStore::Flush() {
+  PTSB_CHECK(!closed_);
+  std::vector<Status> statuses;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    statuses.push_back(shard->store->Flush());
+  }
+  return CombineStatuses(statuses);
+}
+
+Status ShardedStore::SettleBackgroundWork() {
+  PTSB_CHECK(!closed_);
+  std::vector<Status> statuses;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    statuses.push_back(shard->store->SettleBackgroundWork());
+  }
+  return CombineStatuses(statuses);
+}
+
+Status ShardedStore::Close() {
+  if (closed_) return Status::OK();
+  StopWorkers();
+  std::vector<Status> statuses;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    statuses.push_back(shard->store->Close());
+  }
+  closed_ = true;
+  return CombineStatuses(statuses);
+}
+
+kv::KvStoreStats ShardedStore::GetStats() const {
+  kv::KvStoreStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    AddStats(&total, shard->store->GetStats());
+  }
+  return total;
+}
+
+kv::KvStoreStats ShardedStore::ShardStats(int shard) const {
+  PTSB_CHECK_GE(shard, 0);
+  PTSB_CHECK_LT(static_cast<size_t>(shard), shards_.size());
+  const auto& s = shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->store->GetStats();
+}
+
+std::string ShardedStore::Name() const {
+  return StrPrintf("sharded(%zux %s)", shards_.size(),
+                   options_.inner_engine.c_str());
+}
+
+uint64_t ShardedStore::DiskBytesUsed() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->store->DiskBytesUsed();
+  }
+  return total;
+}
+
+void RegisterShardedEngine() {
+  kv::EngineRegistry::Global().Register(
+      "sharded",
+      [](const kv::EngineOptions& eo)
+          -> StatusOr<std::unique_ptr<kv::KVStore>> {
+        auto opened = ShardedStore::Open(eo);
+        if (!opened.ok()) return opened.status();
+        return std::unique_ptr<kv::KVStore>(std::move(*opened));
+      });
+}
+
+std::map<std::string, std::string> EncodeEngineParams(
+    const ShardedOptions& o) {
+  std::map<std::string, std::string> p;
+  p["shards"] = std::to_string(o.shards);
+  p["inner_engine"] = o.inner_engine;
+  p["parallel_write"] = o.parallel_write ? "1" : "0";
+  p["parallel_write_min_bytes"] = std::to_string(o.parallel_write_min_bytes);
+  return p;
+}
+
+}  // namespace ptsb::sharded

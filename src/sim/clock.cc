@@ -8,11 +8,16 @@ namespace ptsb::sim {
 
 void SimClock::Advance(int64_t delta_ns) {
   PTSB_DCHECK(delta_ns >= 0);
-  now_ns_ += delta_ns;
+  now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
 }
 
 void SimClock::AdvanceTo(int64_t t_ns) {
-  if (t_ns > now_ns_) now_ns_ = t_ns;
+  // Monotonic max: lost CAS races mean another thread already advanced
+  // past t_ns, which satisfies the contract.
+  int64_t now = now_ns_.load(std::memory_order_relaxed);
+  while (t_ns > now && !now_ns_.compare_exchange_weak(
+                           now, t_ns, std::memory_order_relaxed)) {
+  }
 }
 
 int64_t BytesToNanos(uint64_t bytes, double bytes_per_second) {

@@ -1,9 +1,16 @@
 // Virtual time. Every latency in the system (flash programs, GC, cache
 // stalls, CPU cost per KV op) advances this clock, so experiments report
 // "minutes" of device time while running in milliseconds of wall-clock.
+//
+// The counter is atomic so concurrent shards/workers (kv::ShardedStore,
+// the multi-threaded experiment driver) can charge time without a data
+// race. Semantics under concurrency: advances from all threads sum, i.e.
+// the clock models one serialized device timeline shared by all shards
+// (wall-clock parallelism does not compress virtual device time).
 #ifndef PTSB_SIM_CLOCK_H_
 #define PTSB_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace ptsb::sim {
@@ -17,9 +24,11 @@ class SimClock {
  public:
   SimClock() = default;
 
-  int64_t NowNanos() const { return now_ns_; }
+  int64_t NowNanos() const {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
   double NowSeconds() const {
-    return static_cast<double>(now_ns_) / 1e9;
+    return static_cast<double>(NowNanos()) / 1e9;
   }
   double NowMinutes() const { return NowSeconds() / 60.0; }
 
@@ -29,10 +38,10 @@ class SimClock {
   // Advances time to t if t is in the future; no-op otherwise.
   void AdvanceTo(int64_t t_ns);
 
-  void Reset() { now_ns_ = 0; }
+  void Reset() { now_ns_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t now_ns_ = 0;
+  std::atomic<int64_t> now_ns_{0};
 };
 
 // Converts a byte count and a bandwidth (bytes/s) into nanoseconds.

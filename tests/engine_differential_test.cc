@@ -61,21 +61,58 @@ std::map<std::string, std::string> TinyParams(const std::string& engine) {
   return {};
 }
 
+// One entry of the pairwise battery: a registry engine name plus the
+// params to open it with. The battery runs every registered engine AND
+// the sharded front end over each inner engine, so the router's
+// batch-splitting, merge iterator and per-shard recovery are held to the
+// same visible-state contract as the engines themselves.
+struct EngineConfig {
+  std::string label;   // unique name for failure messages
+  std::string engine;  // registry name
+  std::map<std::string, std::string> params;
+};
+
+std::vector<EngineConfig> AllEngineConfigs() {
+  kv::RegisterBuiltinEngines();
+  std::vector<EngineConfig> configs;
+  for (const std::string& name : kv::EngineRegistry::Global().Names()) {
+    if (name == "sharded") continue;  // covered per inner engine below
+    configs.push_back({name, name, TinyParams(name)});
+  }
+  for (const std::string inner : {"lsm", "btree", "alog"}) {
+    std::map<std::string, std::string> params = TinyParams(inner);
+    params["shards"] = "3";
+    params["inner_engine"] = inner;
+    configs.push_back({"sharded/" + inner, "sharded", std::move(params)});
+  }
+  return configs;
+}
+
+// The engine that actually persists data for a config (the inner engine
+// for sharded configs) — durability and journal knobs belong to it and
+// pass through the router untouched.
+std::string BaseEngine(const EngineConfig& config) {
+  return config.engine == "sharded" ? config.params.at("inner_engine")
+                                    : config.engine;
+}
+
 // Overrides that make every write durable the moment Write returns, so a
 // SimulateCrash + reopen must recover it (journal on + sync per record).
-std::map<std::string, std::string> DurableParams(const std::string& engine) {
-  if (engine == "lsm") return {{"wal_sync_every_bytes", "1"}};
-  if (engine == "btree") {
+std::map<std::string, std::string> DurableParams(const EngineConfig& config) {
+  const std::string base = BaseEngine(config);
+  if (base == "lsm") return {{"wal_sync_every_bytes", "1"}};
+  if (base == "btree") {
     return {{"journal_enabled", "1"}, {"journal_sync_every_bytes", "1"}};
   }
-  if (engine == "alog") return {{"sync_every_bytes", "1"}};
+  if (base == "alog") return {{"sync_every_bytes", "1"}};
   return {};
 }
 
-// All registered engine names; the traces below run across every one.
-std::vector<std::string> AllEngines() {
-  kv::RegisterBuiltinEngines();
-  return kv::EngineRegistry::Global().Names();
+// The B+Tree journal is the analog of the WAL/segment log: turn it on so
+// reopen recovers un-checkpointed batches like the other engines do.
+std::map<std::string, std::string> JournalParams(const EngineConfig& config) {
+  if (BaseEngine(config) == "btree") return {{"journal_enabled", "1"}};
+  return {};
 }
 
 struct EngineHarness {
@@ -85,30 +122,32 @@ struct EngineHarness {
 };
 
 std::unique_ptr<EngineHarness> MakeEngine(
-    const std::string& engine,
+    const EngineConfig& config,
     std::map<std::string, std::string> extra_params = {}) {
   auto h = std::make_unique<EngineHarness>();
   kv::EngineOptions options;
-  options.engine = engine;
+  options.engine = config.engine;
   options.fs = &h->fs;
-  options.params = TinyParams(engine);
+  options.params = config.params;
   for (auto& [k, v] : extra_params) options.params[k] = v;
   auto opened = kv::OpenStore(options);
-  EXPECT_TRUE(opened.ok()) << engine << ": " << opened.status().ToString();
+  EXPECT_TRUE(opened.ok()) << config.label << ": "
+                           << opened.status().ToString();
   h->store = *std::move(opened);
   return h;
 }
 
 // Re-opens an engine on an existing harness (reopen/recovery tests).
-void Reopen(EngineHarness* h, const std::string& engine,
+void Reopen(EngineHarness* h, const EngineConfig& config,
             std::map<std::string, std::string> extra_params = {}) {
   kv::EngineOptions options;
-  options.engine = engine;
+  options.engine = config.engine;
   options.fs = &h->fs;
-  options.params = TinyParams(engine);
+  options.params = config.params;
   for (auto& [k, v] : extra_params) options.params[k] = v;
   auto opened = kv::OpenStore(options);
-  ASSERT_TRUE(opened.ok()) << engine << ": " << opened.status().ToString();
+  ASSERT_TRUE(opened.ok()) << config.label << ": "
+                           << opened.status().ToString();
   h->store = *std::move(opened);
 }
 
@@ -117,6 +156,7 @@ TEST(RegistryTest, BuiltinEnginesRegisteredAndUnknownRejected) {
   EXPECT_TRUE(kv::EngineRegistry::Global().Contains("lsm"));
   EXPECT_TRUE(kv::EngineRegistry::Global().Contains("btree"));
   EXPECT_TRUE(kv::EngineRegistry::Global().Contains("alog"));
+  EXPECT_TRUE(kv::EngineRegistry::Global().Contains("sharded"));
 
   block::MemoryBlockDevice dev(4096, 1 << 14);
   fs::SimpleFs fs(&dev, {});
@@ -138,7 +178,7 @@ TEST(RegistryTest, BuiltinEnginesRegisteredAndUnknownRejected) {
 TEST(RegistryTest, ParamsConfigureTheEngine) {
   // A param the factory parses must change engine behavior: with the WAL
   // disabled, no wal bytes are ever accounted.
-  auto h = MakeEngine("lsm", {{"wal_enabled", "0"}});
+  auto h = MakeEngine({"lsm", "lsm", TinyLsmParams()}, {{"wal_enabled", "0"}});
   ASSERT_TRUE(h->store->Put("k", "v").ok());
   EXPECT_EQ(h->store->GetStats().wal_bytes_written, 0u);
   ASSERT_TRUE(h->store->Close().ok());
@@ -178,10 +218,10 @@ TEST(RegistryTest, ParamAccessorsRejectMalformedValues) {
 class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DifferentialTest, EnginesAgreeOnEverything) {
-  const std::vector<std::string> names = AllEngines();
-  ASSERT_GE(names.size(), 3u);
+  const std::vector<EngineConfig> configs = AllEngineConfigs();
+  ASSERT_GE(configs.size(), 6u);
   std::vector<std::unique_ptr<EngineHarness>> engines;
-  for (const std::string& name : names) engines.push_back(MakeEngine(name));
+  for (const EngineConfig& c : configs) engines.push_back(MakeEngine(c));
 
   Rng rng(GetParam());
   for (int i = 0; i < 3000; i++) {
@@ -204,10 +244,10 @@ TEST_P(DifferentialTest, EnginesAgreeOnEverything) {
         std::string b;
         const Status sb = engines[e]->store->Get(key, &b);
         ASSERT_EQ(sa.ok(), sb.ok())
-            << names[0] << " vs " << names[e] << ": " << key << " at op "
-            << i;
+            << configs[0].label << " vs " << configs[e].label << ": " << key
+            << " at op " << i;
         if (sa.ok()) {
-          ASSERT_EQ(a, b) << names[0] << " vs " << names[e];
+          ASSERT_EQ(a, b) << configs[0].label << " vs " << configs[e].label;
         }
       }
     }
@@ -219,10 +259,10 @@ TEST_P(DifferentialTest, EnginesAgreeOnEverything) {
     std::vector<std::pair<std::string, std::string>> other;
     ASSERT_TRUE(engines[e]->store->Scan("", 100000, &other).ok());
     ASSERT_EQ(first.size(), other.size())
-        << names[0] << " vs " << names[e];
+        << configs[0].label << " vs " << configs[e].label;
     for (size_t i = 0; i < first.size(); i++) {
-      EXPECT_EQ(first[i].first, other[i].first) << names[e];
-      EXPECT_EQ(first[i].second, other[i].second) << names[e];
+      EXPECT_EQ(first[i].first, other[i].first) << configs[e].label;
+      EXPECT_EQ(first[i].second, other[i].second) << configs[e].label;
     }
   }
   for (auto& h : engines) {
@@ -240,16 +280,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
 class BatchedDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(BatchedDifferentialTest, BatchedTraceProducesIdenticalState) {
-  const std::vector<std::string> names = AllEngines();
+  const std::vector<EngineConfig> configs = AllEngineConfigs();
   std::vector<std::unique_ptr<EngineHarness>> engines;
-  for (const std::string& name : names) {
-    // The B+Tree journal is the analog of the WAL/segment log: turn it on
-    // so reopen recovers un-checkpointed batches like the other engines.
-    engines.push_back(MakeEngine(
-        name, name == "btree"
-                  ? std::map<std::string, std::string>{{"journal_enabled",
-                                                        "1"}}
-                  : std::map<std::string, std::string>{}));
+  for (const EngineConfig& c : configs) {
+    engines.push_back(MakeEngine(c, JournalParams(c)));
   }
   testing::ReferenceModel model;
   Rng rng(GetParam() ^ 0xbadc0ffe);
@@ -283,9 +317,9 @@ TEST_P(BatchedDifferentialTest, BatchedTraceProducesIdenticalState) {
         std::string got;
         const Status s = engines[e]->store->Get(key, &got);
         ASSERT_EQ(s.ok(), expected.has_value())
-            << names[e] << ": " << key << " at round " << round;
+            << configs[e].label << ": " << key << " at round " << round;
         if (expected.has_value()) {
-          ASSERT_EQ(got, *expected) << names[e];
+          ASSERT_EQ(got, *expected) << configs[e].label;
         }
       }
     } else {
@@ -302,19 +336,19 @@ TEST_P(BatchedDifferentialTest, BatchedTraceProducesIdenticalState) {
         const bool model_valid = im != model.map().end();
         for (size_t e = 0; e < engines.size(); e++) {
           ASSERT_EQ(iters[e]->Valid(), model_valid)
-              << names[e] << " round " << round << " step " << step;
+              << configs[e].label << " round " << round << " step " << step;
         }
         if (!model_valid) break;
         for (size_t e = 0; e < engines.size(); e++) {
-          EXPECT_EQ(iters[e]->key(), im->first) << names[e];
-          EXPECT_EQ(iters[e]->value(), im->second) << names[e];
+          EXPECT_EQ(iters[e]->key(), im->first) << configs[e].label;
+          EXPECT_EQ(iters[e]->value(), im->second) << configs[e].label;
           iters[e]->Next();
         }
         ++im;
       }
       for (size_t e = 0; e < engines.size(); e++) {
         ASSERT_TRUE(iters[e]->status().ok())
-            << names[e] << ": " << iters[e]->status().ToString();
+            << configs[e].label << ": " << iters[e]->status().ToString();
       }
     }
   }
@@ -329,14 +363,14 @@ TEST_P(BatchedDifferentialTest, BatchedTraceProducesIdenticalState) {
     size_t n = 0;
     for (auto im = model.map().begin(); im != model.map().end(); ++im, n++) {
       for (size_t e = 0; e < engines.size(); e++) {
-        ASSERT_TRUE(iters[e]->Valid()) << names[e] << " ended early at " << n;
-        EXPECT_EQ(iters[e]->key(), im->first) << names[e];
-        EXPECT_EQ(iters[e]->value(), im->second) << names[e];
+        ASSERT_TRUE(iters[e]->Valid()) << configs[e].label << " ended early at " << n;
+        EXPECT_EQ(iters[e]->key(), im->first) << configs[e].label;
+        EXPECT_EQ(iters[e]->value(), im->second) << configs[e].label;
         iters[e]->Next();
       }
     }
     for (size_t e = 0; e < engines.size(); e++) {
-      EXPECT_FALSE(iters[e]->Valid()) << names[e] << " has phantom keys";
+      EXPECT_FALSE(iters[e]->Valid()) << configs[e].label << " has phantom keys";
       ASSERT_TRUE(iters[e]->status().ok());
     }
     EXPECT_EQ(n, model.size());
@@ -346,18 +380,18 @@ TEST_P(BatchedDifferentialTest, BatchedTraceProducesIdenticalState) {
   // batches were counted as submitted (Write calls), not per entry.
   for (size_t e = 0; e < engines.size(); e++) {
     const auto stats = engines[e]->store->GetStats();
-    EXPECT_GT(stats.user_batches, 0u) << names[e];
+    EXPECT_GT(stats.user_batches, 0u) << configs[e].label;
     EXPECT_GE(stats.user_puts + stats.user_deletes, stats.user_batches)
-        << names[e];
+        << configs[e].label;
   }
 
   // Every engine reopens to the same state (journal/WAL/segment replay of
   // batched records plus checkpointed state).
   for (size_t e = 0; e < engines.size(); e++) {
-    ASSERT_TRUE(engines[e]->store->Close().ok()) << names[e];
-    Reopen(engines[e].get(), names[e]);
+    ASSERT_TRUE(engines[e]->store->Close().ok()) << configs[e].label;
+    Reopen(engines[e].get(), configs[e]);
     testing::VerifyAll(engines[e]->store.get(), model);
-    ASSERT_TRUE(engines[e]->store->Close().ok()) << names[e];
+    ASSERT_TRUE(engines[e]->store->Close().ok()) << configs[e].label;
   }
 }
 
@@ -368,9 +402,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BatchedDifferentialTest,
 // the filesystem and no stats move (a zero-entry WAL/journal record would
 // also poison the wal_bytes/user_bytes accounting benches divide by).
 TEST(WriteSemanticsTest, EmptyBatchIsANoOpInEveryEngine) {
-  for (const std::string& engine : AllEngines()) {
+  for (const EngineConfig& config : AllEngineConfigs()) {
+    const std::string& engine = config.label;
     // Journal on for btree so an empty journal record would be visible.
-    auto h = MakeEngine(engine, DurableParams(engine));
+    auto h = MakeEngine(config, DurableParams(config));
     ASSERT_TRUE(h->store->Put("seed-key", "seed-value").ok());
     const auto before = h->store->GetStats();
     const uint64_t disk_before = h->store->DiskBytesUsed();
@@ -390,8 +425,9 @@ TEST(WriteSemanticsTest, EmptyBatchIsANoOpInEveryEngine) {
 // Duplicate keys inside one WriteBatch are last-entry-wins in every
 // engine, exactly as if the operations had been submitted individually.
 TEST(WriteSemanticsTest, DuplicateKeysInOneBatchAreLastEntryWins) {
-  for (const std::string& engine : AllEngines()) {
-    auto h = MakeEngine(engine);
+  for (const EngineConfig& config : AllEngineConfigs()) {
+    const std::string& engine = config.label;
+    auto h = MakeEngine(config);
     kv::WriteBatch batch;
     batch.Put("a", "first");
     batch.Put("a", "second");
@@ -424,8 +460,9 @@ TEST(WriteSemanticsTest, DuplicateKeysInOneBatchAreLastEntryWins) {
 // ... and last-entry-wins survives crash replay of the batch's log record:
 // the batch is re-applied from the WAL/journal/segment in entry order.
 TEST(WriteSemanticsTest, DuplicateKeysInBatchSurviveCrashReplay) {
-  for (const std::string& engine : AllEngines()) {
-    auto h = MakeEngine(engine, DurableParams(engine));
+  for (const EngineConfig& config : AllEngineConfigs()) {
+    const std::string& engine = config.label;
+    auto h = MakeEngine(config, DurableParams(config));
     kv::WriteBatch batch;
     batch.Put("a", "first");
     batch.Put("a", "second");
@@ -435,7 +472,7 @@ TEST(WriteSemanticsTest, DuplicateKeysInBatchSurviveCrashReplay) {
     // Crash without Close: recovery must replay the record, in order.
     h->fs.SimulateCrash();
     h->store.release();  // NOLINT: intentional leak of a "crashed" instance
-    Reopen(h.get(), engine, DurableParams(engine));
+    Reopen(h.get(), config, DurableParams(config));
     std::string v;
     ASSERT_TRUE(h->store->Get("a", &v).ok())
         << engine << " lost the batch on crash";
@@ -451,15 +488,12 @@ TEST(WriteSemanticsTest, DuplicateKeysInBatchSurviveCrashReplay) {
 // one-at-a-time submission. Holds for every engine with a log: LSM WAL,
 // B+Tree journal, alog segment records.
 TEST(GroupCommitTest, WalBytesGrowSubLinearlyWithBatchSize) {
-  for (const std::string& engine : AllEngines()) {
+  for (const EngineConfig& config : AllEngineConfigs()) {
+    const std::string& engine = config.label;
     uint64_t prev_wal_bytes = 0;
     bool first = true;
     for (const size_t batch_size : {1u, 8u, 64u}) {
-      auto h = MakeEngine(engine,
-                          engine == "btree"
-                              ? std::map<std::string, std::string>{
-                                    {"journal_enabled", "1"}}
-                              : std::map<std::string, std::string>{});
+      auto h = MakeEngine(config, JournalParams(config));
       kv::WriteBatch batch;
       for (uint64_t i = 0; i < 1024; i++) {
         batch.Put(kv::MakeKey(i), kv::MakeValue(i, 64));
@@ -488,9 +522,9 @@ TEST(GroupCommitTest, WalBytesGrowSubLinearlyWithBatchSize) {
 }
 
 TEST(DifferentialTest, EnginesAgreeAfterReopen) {
-  const std::vector<std::string> names = AllEngines();
+  const std::vector<EngineConfig> configs = AllEngineConfigs();
   std::vector<std::unique_ptr<EngineHarness>> engines;
-  for (const std::string& name : names) engines.push_back(MakeEngine(name));
+  for (const EngineConfig& c : configs) engines.push_back(MakeEngine(c));
   testing::ReferenceModel model;
   Rng rng(42);
   for (int i = 0; i < 1500; i++) {
@@ -503,10 +537,10 @@ TEST(DifferentialTest, EnginesAgreeAfterReopen) {
     model.Put(key, value);
   }
   for (size_t e = 0; e < engines.size(); e++) {
-    ASSERT_TRUE(engines[e]->store->Close().ok()) << names[e];
-    Reopen(engines[e].get(), names[e]);
+    ASSERT_TRUE(engines[e]->store->Close().ok()) << configs[e].label;
+    Reopen(engines[e].get(), configs[e]);
     testing::VerifyAll(engines[e]->store.get(), model);
-    ASSERT_TRUE(engines[e]->store->Close().ok()) << names[e];
+    ASSERT_TRUE(engines[e]->store->Close().ok()) << configs[e].label;
   }
 }
 
@@ -559,7 +593,7 @@ TEST(FaultInjectionTest, LsmSurfacesDeviceWriteErrors) {
 }
 
 TEST(FaultInjectionTest, BTreeSurfacesCheckpointErrors) {
-  auto h = MakeEngine("btree");
+  auto h = MakeEngine({"btree", "btree", TinyBTreeParams()});
   ASSERT_TRUE(h->store->Put("a", std::string(500, 'v')).ok());
   h->dev.FailNextWrites(1);
   Status s = h->store->Flush();  // checkpoint must write pages
@@ -567,7 +601,7 @@ TEST(FaultInjectionTest, BTreeSurfacesCheckpointErrors) {
 }
 
 TEST(FaultInjectionTest, AlogSurfacesDeviceWriteErrors) {
-  auto h = MakeEngine("alog");
+  auto h = MakeEngine({"alog", "alog", TinyAlogParams()});
   std::string value(8000, 'v');  // spans pages: reaches the device now
   ASSERT_TRUE(h->store->Put("a", value).ok());
   h->dev.FailNextWrites(1);
@@ -577,22 +611,29 @@ TEST(FaultInjectionTest, AlogSurfacesDeviceWriteErrors) {
 
 TEST(FaultInjectionTest, EnginesFailCleanlyWhenDeviceFull) {
   // A device far too small for the workload: every engine must surface
-  // NoSpace without aborting.
-  for (const std::string& engine : AllEngines()) {
-    block::MemoryBlockDevice dev(4096, 256);  // 1 MiB
-    fs::SimpleFs fs(&dev, {});
+  // NoSpace without aborting. 4 MiB with small append chunks, so even
+  // the sharded configs (3 shards x several files each) can open and
+  // then run out mid-workload rather than at Open.
+  for (const EngineConfig& config : AllEngineConfigs()) {
+    block::MemoryBlockDevice dev(4096, 1024);  // 4 MiB
+    fs::FsOptions fs_options;
+    fs_options.append_alloc_pages = 8;
+    fs::SimpleFs fs(&dev, fs_options);
     kv::EngineOptions options;
-    options.engine = engine;
+    options.engine = config.engine;
     options.fs = &fs;
-    options.params = TinyParams(engine);
-    auto store = *kv::OpenStore(options);
+    options.params = config.params;
+    auto opened = kv::OpenStore(options);
+    ASSERT_TRUE(opened.ok()) << config.label << ": "
+                             << opened.status().ToString();
+    auto store = *std::move(opened);
     Status s = Status::OK();
     std::string value(900, 'v');
-    for (int i = 0; i < 4000 && s.ok(); i++) {
+    for (int i = 0; i < 8000 && s.ok(); i++) {
       s = store->Put("k" + std::to_string(i), value);
     }
     EXPECT_TRUE(s.IsNoSpace())
-        << "engine=" << engine << " got: " << s.ToString();
+        << "engine=" << config.label << " got: " << s.ToString();
   }
 }
 
