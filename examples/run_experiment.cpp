@@ -43,6 +43,10 @@ namespace {
       "  --batch-size=N              puts per write batch (1)\n"
       "  --threads=N                 update-phase worker threads (1; pair\n"
       "                              with --engine=sharded)\n"
+      "  --channels=N                SSD flash channels (1; >1 lets async\n"
+      "                              submissions overlap in virtual time)\n"
+      "  --queue-depth=N             async sub-batch commits in flight for\n"
+      "                              --engine=sharded (1 = synchronous)\n"
       "  --zipf=THETA                zipfian updates (default: uniform)\n"
       "  --minutes=M                 paper-equivalent duration (210)\n"
       "  --window=M                  averaging window minutes (10)\n"
@@ -95,6 +99,17 @@ int main(int argc, char** argv) {
     } else if (a.starts_with("--threads=")) {
       config.num_threads = static_cast<size_t>(ArgF(argv[i], "--threads="));
       if (config.num_threads < 1) Usage();
+    } else if (a.starts_with("--channels=")) {
+      config.channels = static_cast<int>(ArgF(argv[i], "--channels="));
+      if (config.channels < 1) Usage();
+    } else if (a.starts_with("--queue-depth=")) {
+      config.queue_depth =
+          static_cast<int>(ArgF(argv[i], "--queue-depth="));
+      if (config.queue_depth < 1) Usage();
+    } else if (a.starts_with("--queue_depth=")) {  // accepted alias
+      config.queue_depth =
+          static_cast<int>(ArgF(argv[i], "--queue_depth="));
+      if (config.queue_depth < 1) Usage();
     } else if (a.starts_with("--zipf=")) {
       config.distribution = kv::Distribution::kZipfian;
       config.zipf_theta = ArgF(argv[i], "--zipf=");
@@ -115,7 +130,8 @@ int main(int argc, char** argv) {
   // defaults itself — including the inner engine behind "sharded" — and
   // applies --engine-param overrides on top.
   std::printf("engine=%s profile=%s state=%s dataset=%.2f of device "
-              "(%llu keys), partition=%.2f, scale=1/%llu, threads=%zu\n\n",
+              "(%llu keys), partition=%.2f, scale=1/%llu, threads=%zu, "
+              "channels=%d, queue-depth=%d\n\n",
               config.engine.c_str(),
               ssd::ProfileName(config.profile).c_str(),
               ssd::InitialStateName(config.initial_state),
@@ -123,7 +139,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.NumKeys()),
               config.partition_frac,
               static_cast<unsigned long long>(config.scale),
-              config.num_threads);
+              config.num_threads, config.channels, config.queue_depth);
 
   auto result = core::RunExperiment(config, [](const std::string& line) {
     std::printf("%s\n", line.c_str());
@@ -148,6 +164,14 @@ int main(int argc, char** argv) {
       result->peak_disk_utilization * 100, result->throughput_cv,
       result->reached_steady_state ? "yes" : "NO (pitfall 1: run longer!)",
       result->lba_fraction_untouched * 100, result->load_minutes);
+  if (!result->channel_utilization.empty()) {
+    std::printf("channel utilization:");
+    for (size_t c = 0; c < result->channel_utilization.size(); c++) {
+      std::printf(" ch%zu=%.1f%%", c,
+                  result->channel_utilization[c] * 100);
+    }
+    std::printf("\n");
+  }
   const std::string csv_path =
       core::WriteResultsFile("run_experiment.csv", result->series.ToCsv());
   if (!csv_path.empty()) std::printf("series written to %s\n", csv_path.c_str());

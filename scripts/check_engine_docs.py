@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Docs lint: docs/ENGINES.md must stay in sync with the engine code.
+"""Docs lint: the reference docs must stay in sync with the code.
 
-For every engine section in docs/ENGINES.md, the parameter keys listed in
-its param table must be exactly the keys the engine's EncodeEngineParams
-emits (parsed from the `p["key"] = ...` lines in the store .cc), and every
-key must correspond to a field of the engine's option struct (same-name
-identifier in its options.h). Run from the repo root; exits non-zero with
-a per-engine report when the docs have rotted.
+Three checks, run from the repo root (exits non-zero with a report when
+any doc has rotted):
+
+1. docs/ENGINES.md: for every engine section, the parameter keys listed
+   in its param table must be exactly the keys the engine's
+   EncodeEngineParams emits (parsed from the `p["key"] = ...` lines in
+   the store .cc), and every key must correspond to a field of the
+   engine's option struct (same-name identifier in its options.h).
+2. docs/EXPERIMENTS.md: the bench table's first-column binary names must
+   be exactly the bench/*.cc source list (a bench without a row, or a
+   row without a bench, fails).
+3. docs/SIMULATION.md: the parameter tables in its "SSD timing model"
+   section must list exactly the numeric/bool fields of the structs in
+   src/ssd/config.h (FlashGeometry, SsdTiming, SsdConfig).
 """
 import re
 import sys
@@ -22,6 +30,10 @@ ENGINES = {
 }
 
 DOC = Path("docs/ENGINES.md")
+EXPERIMENTS_DOC = Path("docs/EXPERIMENTS.md")
+SIMULATION_DOC = Path("docs/SIMULATION.md")
+SSD_CONFIG = Path("src/ssd/config.h")
+BENCH_DIR = Path("bench")
 
 
 def docs_sections(text: str) -> dict:
@@ -55,6 +67,61 @@ def header_fields(h_path: Path) -> set:
                           h_path.read_text(), re.MULTILINE))
 
 
+def lint_experiments(failures: list) -> int:
+    """EXPERIMENTS.md rows <-> bench/*.cc binaries. Returns rows checked."""
+    if not EXPERIMENTS_DOC.exists():
+        failures.append(f"{EXPERIMENTS_DOC} is missing")
+        return 0
+    documented = table_keys(EXPERIMENTS_DOC.read_text())
+    binaries = {p.stem for p in BENCH_DIR.glob("*.cc")}
+    for name in sorted(documented - binaries):
+        failures.append(
+            f"experiments: `{name}` documented in {EXPERIMENTS_DOC} but "
+            f"bench/{name}.cc does not exist")
+    for name in sorted(binaries - documented):
+        failures.append(
+            f"experiments: bench/{name}.cc has no row in {EXPERIMENTS_DOC}")
+    return len(documented)
+
+
+def ssd_config_fields() -> set:
+    """Numeric/bool fields of the structs in src/ssd/config.h (the timing
+    and geometry knobs; pointers, strings and nested structs are not
+    tunables the doc tables need to list)."""
+    return set(re.findall(
+        r"^\s*(?:uint64_t|int64_t|double|int|bool)\s+(\w+)\s*=",
+        SSD_CONFIG.read_text(), re.MULTILINE))
+
+
+def lint_simulation(failures: list) -> int:
+    """SIMULATION.md parameter tables <-> src/ssd/config.h fields.
+    Returns params checked."""
+    if not SIMULATION_DOC.exists():
+        failures.append(f"{SIMULATION_DOC} is missing")
+        return 0
+    text = SIMULATION_DOC.read_text()
+    # Only the parameter tables of the "SSD timing model" section name
+    # config fields; later tables (API composition) use other names.
+    m = re.search(r"^## The SSD timing model.*?(?=^## (?!#))", text,
+                  re.MULTILINE | re.DOTALL)
+    if m is None:
+        failures.append(
+            f"simulation: no '## The SSD timing model' section in "
+            f"{SIMULATION_DOC}")
+        return 0
+    documented = table_keys(m.group(0))
+    fields = ssd_config_fields()
+    for name in sorted(documented - fields):
+        failures.append(
+            f"simulation: `{name}` documented in {SIMULATION_DOC} but not "
+            f"a field of {SSD_CONFIG}")
+    for name in sorted(fields - documented):
+        failures.append(
+            f"simulation: {SSD_CONFIG} field `{name}` missing from the "
+            f"parameter tables in {SIMULATION_DOC}")
+    return len(documented)
+
+
 def main() -> int:
     if not DOC.exists():
         print(f"docs lint: {DOC} is missing", file=sys.stderr)
@@ -84,6 +151,8 @@ def main() -> int:
                 failures.append(
                     f"{engine}: `{key}` has no matching option-struct field "
                     f"in {header}")
+    n_benches = lint_experiments(failures)
+    n_sim = lint_simulation(failures)
     if failures:
         print("docs lint FAILED:", file=sys.stderr)
         for f in failures:
@@ -91,7 +160,8 @@ def main() -> int:
         return 1
     total = sum(len(table_keys(sections[e])) for e in ENGINES if e in sections)
     print(f"docs lint OK: {total} engine params checked against "
-          f"{len(ENGINES)} option headers")
+          f"{len(ENGINES)} option headers, {n_benches} bench rows against "
+          f"bench/, {n_sim} SSD timing params against {SSD_CONFIG}")
     return 0
 
 

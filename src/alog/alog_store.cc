@@ -211,6 +211,11 @@ Status AlogStore::ApplyBatchRecord(const kv::WriteBatch& batch, bool gc) {
   return Status::OK();
 }
 
+kv::WriteHandle AlogStore::WriteAsync(const kv::WriteBatch& batch) {
+  return kv::AsyncCommit(options_.clock, options_.io_queue,
+                         [&] { return Write(batch); });
+}
+
 Status AlogStore::Write(const kv::WriteBatch& batch) {
   PTSB_CHECK(!closed_);
   // An empty batch is a no-op: no record, no stats movement.
@@ -556,6 +561,7 @@ AlogOptions AlogOptionsFromEngineOptions(const kv::EngineOptions& eo) {
   o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
   o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
   o.clock = eo.clock;
+  o.io_queue = eo.io_queue;
   return o;
 }
 

@@ -38,6 +38,10 @@ class AlogStore : public kv::KVStore {
   // becomes ONE appended record, then one index update pass; GC runs once
   // per batch when the dead-byte trigger is exceeded.
   Status Write(const kv::WriteBatch& batch) override;
+  // Runs the commit in a submission lane on options().io_queue, so
+  // back-to-back WriteAsync calls on distinct queues overlap in virtual
+  // time (see kv::KVStore::WriteAsync).
+  kv::WriteHandle WriteAsync(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
   // Ordered cursor over the in-memory index, reading values lazily from
   // the segments. Invalidated by any write to the store (appends move the

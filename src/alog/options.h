@@ -37,6 +37,8 @@ struct AlogOptions {
   // Optional virtual clock for CPU accounting (device time is charged by
   // the device itself).
   sim::SimClock* clock = nullptr;
+  // Submission queue for WriteAsync commits (see kv::EngineOptions).
+  uint32_t io_queue = 0;
 };
 
 }  // namespace ptsb::alog

@@ -1,0 +1,29 @@
+#include "block/block_device.h"
+
+#include "sim/clock.h"
+
+namespace ptsb::block {
+
+IoTicket BlockDevice::SubmitWrite(uint64_t lba, uint64_t count,
+                                  const uint8_t* src, uint32_t queue) {
+  const sim::LaneResult r = sim::RunInLane(
+      clock(), queue, [&] { return Write(lba, count, src); });
+  return IoTicket{r.status, r.complete_ns};
+}
+
+IoTicket BlockDevice::SubmitRead(uint64_t lba, uint64_t count, uint8_t* dst,
+                                 uint32_t queue) {
+  const sim::LaneResult r = sim::RunInLane(
+      clock(), queue, [&] { return Read(lba, count, dst); });
+  return IoTicket{r.status, r.complete_ns};
+}
+
+Status BlockDevice::Wait(const IoTicket& ticket) {
+  sim::SimClock* c = clock();
+  if (c != nullptr && ticket.complete_ns > 0) {
+    c->AdvanceTo(ticket.complete_ns);
+  }
+  return ticket.status;
+}
+
+}  // namespace ptsb::block

@@ -17,6 +17,7 @@ class PartitionView : public BlockDevice {
 
   uint64_t lba_bytes() const override { return base_->lba_bytes(); }
   uint64_t num_lbas() const override { return num_lbas_; }
+  sim::SimClock* clock() const override { return base_->clock(); }
   Status Read(uint64_t lba, uint64_t count, uint8_t* dst) override;
   Status Write(uint64_t lba, uint64_t count, const uint8_t* src) override;
   Status Trim(uint64_t lba, uint64_t count) override;

@@ -432,6 +432,11 @@ Status BTreeStore::ApplyEntry(const kv::WriteBatch::Entry& entry) {
   return SplitIfNeeded(leaf);
 }
 
+kv::WriteHandle BTreeStore::WriteAsync(const kv::WriteBatch& batch) {
+  return kv::AsyncCommit(options_.clock, options_.io_queue,
+                         [&] { return Write(batch); });
+}
+
 Status BTreeStore::Write(const kv::WriteBatch& batch) {
   PTSB_CHECK(!closed_);
   if (batch.empty()) return Status::OK();
@@ -733,6 +738,7 @@ BTreeOptions BTreeOptionsFromEngineOptions(const kv::EngineOptions& eo) {
   o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
   o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
   o.clock = eo.clock;
+  o.io_queue = eo.io_queue;
   return o;
 }
 

@@ -35,6 +35,10 @@ class BTreeStore : public kv::KVStore {
   // writebacks deferred (dirty pages sit in the cache; checkpoint/evict
   // pacing runs once per batch).
   Status Write(const kv::WriteBatch& batch) override;
+  // Runs the commit in a submission lane on options().io_queue, so
+  // back-to-back WriteAsync calls on distinct queues overlap in virtual
+  // time (see kv::KVStore::WriteAsync).
+  kv::WriteHandle WriteAsync(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
   // Leaf-walking cursor in key order. Invalidated by any write to the
   // store (splits and evictions move items between pages).

@@ -42,6 +42,8 @@ struct BTreeOptions {
   int64_t cpu_get_ns = 150'000;
 
   sim::SimClock* clock = nullptr;
+  // Submission queue for WriteAsync commits (see kv::EngineOptions).
+  uint32_t io_queue = 0;
 };
 
 }  // namespace ptsb::btree

@@ -68,6 +68,7 @@ struct Stack {
 Status BuildStack(const ExperimentConfig& config, Stack* stack) {
   auto ssd_config = ssd::MakeProfile(config.profile, config.device_bytes,
                                      config.scale);
+  ssd_config.channels = std::max(1, config.channels);
   stack->ssd = std::make_unique<ssd::SsdDevice>(ssd_config, &stack->clock);
   stack->iostat = std::make_unique<block::IoStatCollector>(stack->ssd.get());
   block::BlockDevice* top = stack->iostat.get();
@@ -112,6 +113,12 @@ Status BuildStack(const ExperimentConfig& config, Stack* stack) {
         btree::EncodeEngineParams(ScaledBTreeOptions(config));
   } else if (defaults_engine == "alog") {
     engine_options.params = alog::ScaledEngineParams(config.scale);
+  }
+  if (config.engine == "sharded") {
+    // The driver-level queue_depth knob is the sharded engine's param of
+    // the same name; an explicit engine_params entry wins below.
+    engine_options.params["queue_depth"] =
+        std::to_string(std::max(1, config.queue_depth));
   }
   for (const auto& [key, value] : config.engine_params) {
     engine_options.params[key] = value;
@@ -256,10 +263,12 @@ void PushWindow(const WindowSample& w, ExperimentResult* result) {
 // Multi-threaded update phase: num_threads workers replay disjoint
 // deterministic op streams (WorkloadSpec::ForThread) against the one
 // store until the shared virtual clock passes the duration. Per-op
-// latencies go to thread-local histograms merged into `latency` after the
-// join; since every thread advances the one clock, a "latency" here is
-// the op's span of the shared serialized device timeline (an upper bound
-// on its own service time). On error the first status is returned; on
+// latencies go to thread-local histograms merged into `latency` after
+// the join; a "latency" here is the op's span of the shared virtual
+// timeline, into which each command's submission lane joins by max —
+// concurrent workers' I/O overlaps in virtual time (up to per-channel
+// serialization), like independent NVMe queues. On error the first
+// status is returned; on
 // NoSpace the phase ends and result->ran_out_of_space is set (data, not
 // error — paper Fig. 6).
 Status RunUpdatePhaseConcurrent(const ExperimentConfig& config,
@@ -501,6 +510,13 @@ StatusOr<ExperimentResult> RunExperiment(
       static_cast<double>(dataset_bytes);
   result.engine_stats = stack.store->GetStats();
   result.smart = stack.ssd->smart();
+  const int64_t total_ns = stack.clock.NowNanos();
+  for (const auto& ch : stack.ssd->channel_stats()) {
+    result.channel_utilization.push_back(
+        total_ns > 0 ? static_cast<double>(ch.busy_ns) /
+                           static_cast<double>(total_ns)
+                     : 0.0);
+  }
   if (stack.trace != nullptr) {
     result.lba_fraction_untouched = stack.trace->FractionUntouched();
     result.lba_cdf = stack.trace->WriteCdf(101);

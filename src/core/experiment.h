@@ -70,6 +70,17 @@ struct ExperimentConfig {
   // (ROADMAP), so a scan concurrent with writes would read invalidated
   // state.
   size_t num_threads = 1;
+  // Device-internal parallelism (Roh et al., PAPERS.md): number of
+  // independent flash channels in the simulated SSD. A submission queue
+  // q serializes on channel q % channels only; synchronous callers use
+  // channel 0, so 1 reproduces the single-server device exactly.
+  int channels = 1;
+  // Async submission depth for the "sharded" engine (its queue_depth
+  // param, unless engine_params overrides it): > 1 commits cross-shard
+  // sub-batches through KVStore::WriteAsync with this many in flight, so
+  // their device time overlaps across channels in VIRTUAL time. Ignored
+  // by engines without async dispatch.
+  int queue_depth = 1;
   kv::Distribution distribution = kv::Distribution::kUniform;
   double zipf_theta = 0.99;  // used when distribution is zipfian
   double duration_minutes = 210;  // paper-equivalent minutes
@@ -124,6 +135,12 @@ struct ExperimentResult {
   kv::KvStoreStats engine_stats;
   ssd::SmartCounters smart;
   uint64_t update_ops = 0;
+
+  // Per-channel utilization over the whole run: fraction of the final
+  // virtual time each flash channel spent busy with backend work
+  // (programs, GC, erases). One entry per configured channel; a
+  // single-channel run reports one number.
+  std::vector<double> channel_utilization;
 
   // End-to-end write amplification = WA-A x WA-D (paper Section 4.2).
   double EndToEndWa() const { return steady.wa_a_cum * steady.wa_d_cum; }

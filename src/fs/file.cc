@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "fs/filesystem.h"
+#include "sim/clock.h"
 #include "util/logging.h"
 
 namespace ptsb::fs {
@@ -40,9 +41,36 @@ Status WriteFilePages(block::BlockDevice* device,
   if (remaining != 0) return Status::IoError("write beyond allocation");
   return Status::OK();
 }
+
 }  // namespace
 
+block::IoTicket File::SubmitAppend(std::string_view data, uint32_t queue) {
+  const sim::LaneResult r = sim::RunInLane(
+      fs_->device_->clock(), queue, [&] { return AppendImpl(data); });
+  return block::IoTicket{r.status, r.complete_ns};
+}
+
+block::IoTicket File::SubmitWriteAt(uint64_t offset, std::string_view data,
+                                    uint32_t queue) {
+  const sim::LaneResult r =
+      sim::RunInLane(fs_->device_->clock(), queue,
+                     [&] { return WriteAtImpl(offset, data); });
+  return block::IoTicket{r.status, r.complete_ns};
+}
+
+Status File::Wait(const block::IoTicket& ticket) {
+  return fs_->device_->Wait(ticket);
+}
+
 Status File::Append(std::string_view data) {
+  return Wait(SubmitAppend(data));
+}
+
+Status File::WriteAt(uint64_t offset, std::string_view data) {
+  return Wait(SubmitWriteAt(offset, data));
+}
+
+Status File::AppendImpl(std::string_view data) {
   Inode& inode = *inode_;
   const uint64_t page = fs_->page_bytes_;
   while (!data.empty()) {
@@ -155,7 +183,7 @@ StatusOr<uint64_t> File::ReadAt(uint64_t offset, uint64_t n, char* dst) const {
   return done;
 }
 
-Status File::WriteAt(uint64_t offset, std::string_view data) {
+Status File::WriteAtImpl(uint64_t offset, std::string_view data) {
   Inode& inode = *inode_;
   const uint64_t page = fs_->page_bytes_;
   if (offset % page != 0 || data.size() % page != 0) {

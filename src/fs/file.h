@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "block/block_device.h"
 #include "util/status.h"
 
 namespace ptsb::fs {
@@ -23,7 +24,24 @@ class File {
  public:
   // Appends bytes at the end of the file (buffered; full pages are written
   // through to the device, the partial tail stays in memory until Sync).
+  // Equivalent to Wait(SubmitAppend(data)).
   Status Append(std::string_view data);
+
+  // ---- Async submission. SubmitAppend/SubmitWriteAt apply the write
+  // immediately (data is visible to subsequent reads) but run its device
+  // commands in a virtual-time submission lane tagged with `queue`: the
+  // latency lands in the returned ticket instead of the shared clock,
+  // and the simulated SSD serializes the commands on channel
+  // `queue % channels` only. Wait(ticket) joins the completion time into
+  // the clock (monotonic max), so submissions on distinct queues issued
+  // from the same instant overlap in virtual time. On an untimed device
+  // the calls degrade to their synchronous equivalents. The per-file
+  // single-user contract is unchanged: submissions on ONE file must come
+  // from its one user.
+  block::IoTicket SubmitAppend(std::string_view data, uint32_t queue = 0);
+  block::IoTicket SubmitWriteAt(uint64_t offset, std::string_view data,
+                                uint32_t queue = 0);
+  Status Wait(const block::IoTicket& ticket);
 
   // Reads [offset, offset+n) into dst. Reads through the device but serves
   // the buffered tail from memory, like the page cache would. Returns the
@@ -32,7 +50,8 @@ class File {
 
   // Overwrites existing bytes. The range must be page-aligned on both ends
   // (direct-I/O style), and must lie within the allocated space (use
-  // Extend first). Used by the B+Tree block manager.
+  // Extend first). Used by the B+Tree block manager. Equivalent to
+  // Wait(SubmitWriteAt(offset, data)).
   Status WriteAt(uint64_t offset, std::string_view data);
 
   // Ensures at least `bytes` of allocated capacity; sets size to at least
@@ -58,6 +77,11 @@ class File {
  private:
   friend class SimpleFs;
   File(SimpleFs* fs, Inode* inode) : fs_(fs), inode_(inode) {}
+
+  // Synchronous bodies; the public entry points wrap them in submission
+  // lanes (submit-then-wait).
+  Status AppendImpl(std::string_view data);
+  Status WriteAtImpl(uint64_t offset, std::string_view data);
 
   SimpleFs* fs_;
   Inode* inode_;

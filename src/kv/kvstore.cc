@@ -1,6 +1,21 @@
 #include "kv/kvstore.h"
 
+#include "sim/clock.h"
+
 namespace ptsb::kv {
+
+Status WriteHandle::Wait() {
+  if (clock_ != nullptr && complete_ns_ > 0) {
+    clock_->AdvanceTo(complete_ns_);
+  }
+  return status_;
+}
+
+WriteHandle AsyncCommit(sim::SimClock* clock, uint32_t queue,
+                        const std::function<Status()>& commit) {
+  sim::LaneResult r = sim::RunInLane(clock, queue, commit);
+  return WriteHandle(std::move(r.status), r.complete_ns, clock);
+}
 
 Status KVStore::Scan(std::string_view start_key, size_t count,
                      std::vector<std::pair<std::string, std::string>>* out) {

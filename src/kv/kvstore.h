@@ -29,6 +29,7 @@
 #define PTSB_KV_KVSTORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -37,6 +38,10 @@
 
 #include "kv/write_batch.h"
 #include "util/status.h"
+
+namespace ptsb::sim {
+class SimClock;
+}  // namespace ptsb::sim
 
 namespace ptsb::kv {
 
@@ -76,6 +81,45 @@ struct KvStoreStats {
   int64_t time_checkpoint_ns = 0;  // B+Tree checkpoints
 };
 
+// Handle for one in-flight asynchronous commit (KVStore::WriteAsync).
+// The commit's side effects (memtable/index/log state, stats) are applied
+// at submission; `complete_ns` is the virtual time at which it finishes.
+// Wait() joins that time into the shared clock (a monotonic max) and
+// returns the commit's status — so handles obtained from the same global
+// instant overlap in virtual time, and every handle MUST be waited or the
+// clock never observes the commit's latency. For engines without a clock
+// (or without async support) the handle is already complete and Wait()
+// just returns the status.
+class WriteHandle {
+ public:
+  WriteHandle() = default;
+  // Already-complete (synchronous) commit.
+  explicit WriteHandle(Status status) : status_(std::move(status)) {}
+  WriteHandle(Status status, int64_t complete_ns, sim::SimClock* clock)
+      : status_(std::move(status)), complete_ns_(complete_ns),
+        clock_(clock) {}
+
+  // Joins the completion time into the clock and returns the commit
+  // status. Idempotent.
+  Status Wait();
+
+  int64_t complete_ns() const { return complete_ns_; }
+
+ private:
+  Status status_;
+  int64_t complete_ns_ = 0;
+  sim::SimClock* clock_ = nullptr;
+};
+
+// Runs `commit` inside a virtual-time submission lane on `clock` (queue
+// id `queue`, which the simulated SSD maps to a flash channel) and wraps
+// the result in a WriteHandle. The shared engine-side implementation of
+// KVStore::WriteAsync: with no clock — or when the calling thread is
+// already inside a lane — the commit runs synchronously on the current
+// timeline.
+WriteHandle AsyncCommit(sim::SimClock* clock, uint32_t queue,
+                        const std::function<Status()>& commit);
+
 class KVStore {
  public:
   // Streaming cursor over the store in ascending key order. Deleted keys
@@ -105,6 +149,19 @@ class KVStore {
   // Primary mutation path: applies all entries atomically with respect to
   // logging (one WAL/journal record for the whole batch).
   virtual Status Write(const WriteBatch& batch) = 0;
+
+  // Asynchronous variant: submits the commit and returns a handle whose
+  // Wait() yields the commit status. Engines with a virtual clock run the
+  // commit in a submission lane (kv::AsyncCommit) so several WriteAsync
+  // calls issued back-to-back overlap in virtual device time — the
+  // mechanism kv::ShardedStore uses to overlap cross-shard sub-batch
+  // commits on distinct flash channels. The default implementation is
+  // simply synchronous (correct for any engine; no overlap). Like Write,
+  // one store must not see concurrent unsynchronized callers unless
+  // SupportsConcurrentWriters() is true.
+  virtual WriteHandle WriteAsync(const WriteBatch& batch) {
+    return WriteHandle(Write(batch));
+  }
 
   // One-entry conveniences over Write.
   Status Put(std::string_view key, std::string_view value) {

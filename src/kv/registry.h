@@ -35,6 +35,12 @@ struct EngineOptions {
   std::string engine = "lsm";
   fs::SimpleFs* fs = nullptr;       // required
   sim::SimClock* clock = nullptr;   // optional virtual clock
+  // Submission queue id this store tags its async commits with; the
+  // simulated SSD maps it to a flash channel (queue % channels), so
+  // stores on distinct queues overlap in virtual time. The sharded front
+  // end assigns queue i to shard i. Not a param-map key: like `clock`,
+  // it is wiring, not a tunable of the engine's on-disk behavior.
+  uint32_t io_queue = 0;
   std::string root;                 // engine root dir/file ("" = default)
   std::map<std::string, std::string> params;
 };

@@ -80,6 +80,11 @@ void LsmStore::ChargeCpu(int64_t ns) const {
   if (options_.clock != nullptr) options_.clock->Advance(ns);
 }
 
+kv::WriteHandle LsmStore::WriteAsync(const kv::WriteBatch& batch) {
+  return kv::AsyncCommit(options_.clock, options_.io_queue,
+                         [&] { return Write(batch); });
+}
+
 Status LsmStore::Write(const kv::WriteBatch& batch) {
   PTSB_CHECK(!closed_);
   if (batch.empty()) return Status::OK();
@@ -540,6 +545,7 @@ LsmOptions LsmOptionsFromEngineOptions(const kv::EngineOptions& eo) {
   o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
   o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
   o.clock = eo.clock;
+  o.io_queue = eo.io_queue;
   return o;
 }
 

@@ -34,6 +34,10 @@ class LsmStore : public kv::KVStore {
   // batch becomes ONE WAL record, then one memtable insertion pass;
   // flush/compaction pacing runs once per batch.
   Status Write(const kv::WriteBatch& batch) override;
+  // Runs the commit in a submission lane on options().io_queue, so
+  // back-to-back WriteAsync calls on distinct queues overlap in virtual
+  // time (see kv::KVStore::WriteAsync).
+  kv::WriteHandle WriteAsync(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
   // Merging iterator over the memtable and every live SST. Invalidated by
   // any write to the store (no snapshot pinning).

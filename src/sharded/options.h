@@ -35,6 +35,18 @@ struct ShardedOptions {
   // sequentially — the classic small-write dispatch trap. 0 = always
   // dispatch.
   uint64_t parallel_write_min_bytes = 32 << 10;
+
+  // Maximum in-flight async sub-batch commits per Write call. At > 1
+  // (and with a virtual clock attached), a cross-shard batch dispatches
+  // its sub-batches through KVStore::WriteAsync — shard i submits on
+  // queue i, the simulated SSD serializes queue i on channel
+  // i % channels only — so up to queue_depth commits overlap in VIRTUAL
+  // device time, like an NVMe multi-queue submitter. This is orthogonal
+  // to parallel_write (wall-clock overlap on worker threads): when the
+  // async path is active it dispatches from the calling thread and the
+  // workers stay idle, keeping the virtual timeline deterministic. 1 =
+  // synchronous serialized commits (the pre-async behavior).
+  int queue_depth = 1;
 };
 
 }  // namespace ptsb::sharded

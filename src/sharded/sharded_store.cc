@@ -108,6 +108,10 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Open(
   so.parallel_write_min_bytes =
       kv::ParamUint64(options, "parallel_write_min_bytes",
                       so.parallel_write_min_bytes);
+  so.queue_depth = kv::ParamInt(options, "queue_depth", so.queue_depth);
+  if (so.queue_depth < 1) {
+    return Status::InvalidArgument("sharded: queue_depth must be >= 1");
+  }
   if (const auto it = options.params.find("inner_engine");
       it != options.params.end()) {
     so.inner_engine = it->second;
@@ -158,6 +162,7 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Open(
   }
 
   auto store = std::unique_ptr<ShardedStore>(new ShardedStore(so, root));
+  store->clock_ = options.clock;
 
   // Everything except the router's own knobs configures the inner engine.
   kv::EngineOptions inner = options;
@@ -166,9 +171,13 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Open(
   inner.params.erase("inner_engine");
   inner.params.erase("parallel_write");
   inner.params.erase("parallel_write_min_bytes");
+  inner.params.erase("queue_depth");
 
   for (int i = 0; i < so.shards; i++) {
     inner.root = root + "/shard-" + std::to_string(i);
+    // Shard i submits async commits on queue i, so the SSD can overlap
+    // distinct shards' I/O on distinct channels (queue % channels).
+    inner.io_queue = static_cast<uint32_t>(i);
     auto opened = kv::EngineRegistry::Global().Open(inner);
     if (!opened.ok()) return opened.status();
     auto shard = std::make_unique<Shard>();
@@ -263,6 +272,16 @@ Status ShardedStore::Write(const kv::WriteBatch& batch) {
     std::rotate(touched.begin(), touched.begin() + offset, touched.end());
   }
 
+  // Async multi-queue dispatch: with a queue depth > 1 and a virtual
+  // clock, sub-batches commit through WriteAsync from this thread — each
+  // shard's commit runs in its own virtual-time submission lane, so up
+  // to queue_depth commits overlap in simulated device time (on distinct
+  // flash channels when the device has them). Deterministic: one thread,
+  // no worker handoff.
+  if (options_.queue_depth > 1 && clock_ != nullptr) {
+    return WriteAsyncDispatch(subs, touched);
+  }
+
   std::vector<Status> statuses(touched.size());
   const bool workers_running =
       options_.parallel_write && shards_.size() > 1;
@@ -303,6 +322,37 @@ Status ShardedStore::Write(const kv::WriteBatch& batch) {
   {
     std::unique_lock<std::mutex> lock(barrier.mu);
     barrier.cv.wait(lock, [&barrier] { return barrier.remaining == 0; });
+  }
+  return CombineStatuses(statuses);
+}
+
+Status ShardedStore::WriteAsyncDispatch(
+    const std::vector<kv::WriteBatch>& subs,
+    const std::vector<size_t>& touched) {
+  std::vector<kv::WriteHandle> handles;
+  handles.reserve(touched.size());
+  std::vector<Status> statuses(touched.size());
+  size_t waited = 0;
+  for (const size_t shard_idx : touched) {
+    Shard* shard = shards_[shard_idx].get();
+    {
+      // The lane runs the whole inner commit under the shard mutex (the
+      // engines are single-threaded code); only the Wait below happens
+      // outside it.
+      std::lock_guard<std::mutex> lock(shard->mu);
+      handles.push_back(shard->store->WriteAsync(subs[shard_idx]));
+    }
+    // Keep at most queue_depth commits in flight: waiting the oldest
+    // joins its completion into the clock, so later submissions start
+    // no earlier than its finish — exactly a bounded submission queue.
+    if (handles.size() - waited >=
+        static_cast<size_t>(options_.queue_depth)) {
+      statuses[waited] = handles[waited].Wait();
+      waited++;
+    }
+  }
+  for (; waited < handles.size(); waited++) {
+    statuses[waited] = handles[waited].Wait();
   }
   return CombineStatuses(statuses);
 }
@@ -466,6 +516,7 @@ std::map<std::string, std::string> EncodeEngineParams(
   p["inner_engine"] = o.inner_engine;
   p["parallel_write"] = o.parallel_write ? "1" : "0";
   p["parallel_write_min_bytes"] = std::to_string(o.parallel_write_min_bytes);
+  p["queue_depth"] = std::to_string(o.queue_depth);
   return p;
 }
 

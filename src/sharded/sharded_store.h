@@ -90,11 +90,17 @@ class ShardedStore : public kv::KVStore {
 
   // Commits one sub-batch on the calling thread.
   Status CommitToShard(Shard* shard, const kv::WriteBatch& sub);
+  // Async-dispatch path (queue_depth > 1 + clock): commits the touched
+  // sub-batches via WriteAsync with at most queue_depth in flight, so
+  // their device time overlaps across channels.
+  Status WriteAsyncDispatch(const std::vector<kv::WriteBatch>& subs,
+                            const std::vector<size_t>& touched);
   void WorkerLoop(Shard* shard);
   void StopWorkers();
 
   ShardedOptions options_;
   std::string root_;
+  sim::SimClock* clock_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   // De-synchronizes concurrent Writes' shard-commit order (see Write).
   std::atomic<uint32_t> write_rotation_{0};

@@ -6,18 +6,43 @@
 
 namespace ptsb::sim {
 
+thread_local SimClock::Lane SimClock::lane_;
+
 void SimClock::Advance(int64_t delta_ns) {
   PTSB_DCHECK(delta_ns >= 0);
+  if (lane_.owner == this) {
+    lane_.now_ns += delta_ns;
+    return;
+  }
   now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
 }
 
 void SimClock::AdvanceTo(int64_t t_ns) {
+  if (lane_.owner == this) {
+    if (t_ns > lane_.now_ns) lane_.now_ns = t_ns;
+    return;
+  }
   // Monotonic max: lost CAS races mean another thread already advanced
   // past t_ns, which satisfies the contract.
   int64_t now = now_ns_.load(std::memory_order_relaxed);
   while (t_ns > now && !now_ns_.compare_exchange_weak(
                            now, t_ns, std::memory_order_relaxed)) {
   }
+}
+
+bool SimClock::BeginAsync(uint32_t queue) {
+  if (lane_.owner != nullptr) return false;  // nested: run in the outer lane
+  lane_.owner = this;
+  lane_.now_ns = now_ns_.load(std::memory_order_relaxed);
+  lane_.queue = queue;
+  return true;
+}
+
+int64_t SimClock::EndAsync() {
+  PTSB_DCHECK(lane_.owner == this);
+  const int64_t t = lane_.now_ns;
+  lane_ = Lane{};
+  return t;
 }
 
 int64_t BytesToNanos(uint64_t bytes, double bytes_per_second) {

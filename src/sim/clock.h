@@ -4,14 +4,23 @@
 //
 // The counter is atomic so concurrent shards/workers (kv::ShardedStore,
 // the multi-threaded experiment driver) can charge time without a data
-// race. Semantics under concurrency: advances from all threads sum, i.e.
-// the clock models one serialized device timeline shared by all shards
-// (wall-clock parallelism does not compress virtual device time).
+// race.
+//
+// Semantics under concurrency: the clock is a shared timeline that only
+// moves forward. Plain Advance() calls from all threads sum (one
+// serialized timeline), but work wrapped in an async submission *lane*
+// (BeginAsync/EndAsync below, used by the block layer's SubmitWrite/
+// SubmitRead and by KVStore::WriteAsync) joins back via AdvanceTo — a
+// monotonic max — so N submissions issued from the same instant overlap
+// in virtual time instead of serializing. This is how the simulated SSD
+// models multi-queue/multi-channel parallelism (see docs/SIMULATION.md).
 #ifndef PTSB_SIM_CLOCK_H_
 #define PTSB_SIM_CLOCK_H_
 
 #include <atomic>
 #include <cstdint>
+
+#include "util/status.h"
 
 namespace ptsb::sim {
 
@@ -25,6 +34,7 @@ class SimClock {
   SimClock() = default;
 
   int64_t NowNanos() const {
+    if (lane_.owner == this) return lane_.now_ns;
     return now_ns_.load(std::memory_order_relaxed);
   }
   double NowSeconds() const {
@@ -40,9 +50,76 @@ class SimClock {
 
   void Reset() { now_ns_.store(0, std::memory_order_relaxed); }
 
+  // ---- Async submission lanes -----------------------------------------
+  //
+  // A lane is a thread-local fork of the timeline modeling one in-flight
+  // async submission. While a lane is active on the calling thread,
+  // NowNanos/Advance/AdvanceTo on THIS clock read and move the
+  // lane-local time (seeded with the global time at BeginAsync) instead
+  // of the shared counter; other threads are unaffected. EndAsync
+  // returns the lane's completion timestamp WITHOUT touching the global
+  // clock — the submission's Wait() joins it back with AdvanceTo. Lanes
+  // submitted from the same global instant therefore overlap: waiting on
+  // all of them costs max(lane times), not the sum.
+  //
+  // `queue` identifies the logical submission queue; ssd::SsdDevice maps
+  // it to a flash channel (queue % channels) so distinct queues can
+  // proceed on distinct per-channel busy-until timelines.
+
+  // Starts a lane. Returns false if the thread is already inside a lane
+  // (of any clock): the nested submission then simply runs within the
+  // enclosing lane, and the caller must NOT call EndAsync.
+  bool BeginAsync(uint32_t queue);
+
+  // Ends the active lane and returns its local completion time.
+  int64_t EndAsync();
+
+  // True if the calling thread is inside a lane of this clock.
+  bool InAsync() const { return lane_.owner == this; }
+
+  // Queue id of the calling thread's active lane (0 when none): the
+  // device's channel selector.
+  uint32_t AsyncQueue() const {
+    return lane_.owner == this ? lane_.queue : 0;
+  }
+
  private:
+  struct Lane {
+    const SimClock* owner = nullptr;  // null = no lane active
+    int64_t now_ns = 0;
+    uint32_t queue = 0;
+  };
+  static thread_local Lane lane_;
+
   std::atomic<int64_t> now_ns_{0};
 };
+
+// Outcome of one async submission: the op's status plus the virtual
+// time its lane completed at (0 when no clock was involved).
+struct LaneResult {
+  Status status;
+  int64_t complete_ns = 0;
+};
+
+// THE lane protocol, shared by every submission wrapper in the stack
+// (block::BlockDevice::SubmitWrite/SubmitRead, fs::File::SubmitAppend/
+// SubmitWriteAt, kv::AsyncCommit): run `op` inside a lane on `clock`
+// tagged with `queue` and capture its completion time. With no clock the
+// op just runs; inside an enclosing lane the op charges that lane and
+// "completes" at its current time (nesting collapses). Centralized so a
+// change to lane semantics cannot leave one layer's timing model behind.
+template <typename Op>
+LaneResult RunInLane(SimClock* clock, uint32_t queue, const Op& op) {
+  LaneResult r;
+  if (clock == nullptr || !clock->BeginAsync(queue)) {
+    r.status = op();
+    r.complete_ns = clock != nullptr ? clock->NowNanos() : 0;
+    return r;
+  }
+  r.status = op();
+  r.complete_ns = clock->EndAsync();
+  return r;
+}
 
 // Converts a byte count and a bandwidth (bytes/s) into nanoseconds.
 int64_t BytesToNanos(uint64_t bytes, double bytes_per_second);

@@ -80,6 +80,16 @@ struct SsdConfig {
   // makes log-structured writers still incur device GC (paper Section
   // 4.2's counterintuitive WA-D ~2 for RocksDB).
   int host_open_blocks = 8;
+
+  // Number of independent flash channels, each with its own busy-until
+  // timeline (host ack/transfer + program/GC backend). A command issued
+  // on submission queue q serializes only on channel q % channels, so
+  // async submissions to distinct channels overlap in virtual time — the
+  // device-internal parallelism of Roh et al. (see PAPERS.md and
+  // docs/SIMULATION.md). Synchronous callers (no submission lane) always
+  // use channel 0, so channels = 1 reproduces the single-server model
+  // exactly.
+  int channels = 1;
 };
 
 }  // namespace ptsb::ssd

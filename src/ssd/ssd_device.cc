@@ -16,6 +16,7 @@ SsdDevice::SsdDevice(const SsdConfig& config, sim::SimClock* clock)
   const uint64_t chunks =
       (config_.geometry.LogicalPages() + kPagesPerChunk - 1) / kPagesPerChunk;
   chunks_.resize(chunks);
+  channels_.resize(static_cast<size_t>(std::max(1, config_.channels)));
 }
 
 SsdDevice::~SsdDevice() = default;
@@ -48,40 +49,48 @@ void SsdDevice::CopyOut(uint64_t lpn, uint8_t* dst) const {
   }
 }
 
+SsdDevice::Channel& SsdDevice::ActiveChannel() {
+  const uint32_t queue = clock_->AsyncQueue();
+  return channels_[queue % channels_.size()];
+}
+
 void SsdDevice::DrainCache(int64_t now_ns) {
-  while (!cache_fifo_.empty() && cache_fifo_.front().first <= now_ns) {
-    cache_occupancy_ -= cache_fifo_.front().second;
-    cache_fifo_.pop_front();
+  while (!cache_.empty() && cache_.top().first <= now_ns) {
+    cache_occupancy_ -= cache_.top().second;
+    cache_.pop();
   }
 }
 
-void SsdDevice::WaitForCacheSpace(uint64_t bytes) {
+void SsdDevice::WaitForCacheSpace(uint64_t bytes, Channel* channel) {
   const uint64_t cache_cap = config_.timing.cache_bytes;
   if (cache_cap == 0) {
-    // No cache: the host write is synchronous with the backend.
-    clock_->AdvanceTo(backend_busy_until_);
+    // No cache: the host write is synchronous with the channel's backend.
+    clock_->AdvanceTo(channel->busy_until_ns);
     return;
   }
   DrainCache(clock_->NowNanos());
   // An oversized request is admitted once the cache is empty.
   while (cache_occupancy_ > 0 && cache_occupancy_ + bytes > cache_cap) {
     // Stall until the oldest cached entry reaches flash.
-    clock_->AdvanceTo(cache_fifo_.front().first);
+    clock_->AdvanceTo(cache_.top().first);
     DrainCache(clock_->NowNanos());
   }
 }
 
-void SsdDevice::EnqueueBackend(int64_t cost_ns, uint64_t cached_bytes) {
-  const int64_t start = std::max(clock_->NowNanos(), backend_busy_until_);
-  backend_busy_until_ = start + cost_ns;
+void SsdDevice::EnqueueBackend(Channel* channel, int64_t cost_ns,
+                               uint64_t cached_bytes) {
+  const int64_t start = std::max(clock_->NowNanos(), channel->busy_until_ns);
+  channel->busy_until_ns = start + cost_ns;
+  channel->busy_ns += cost_ns;
+  channel->commands++;
   if (cached_bytes > 0) {
-    cache_fifo_.emplace_back(backend_busy_until_, cached_bytes);
+    cache_.emplace(channel->busy_until_ns, cached_bytes);
     cache_occupancy_ += cached_bytes;
   }
 }
 
-int64_t SsdDevice::BackendBacklogNanos() const {
-  return std::max<int64_t>(0, backend_busy_until_ - clock_->NowNanos());
+int64_t SsdDevice::BackendBacklogNanos(const Channel& channel) const {
+  return std::max<int64_t>(0, channel.busy_until_ns - clock_->NowNanos());
 }
 
 Status SsdDevice::Read(uint64_t lba, uint64_t count, uint8_t* dst) {
@@ -95,14 +104,15 @@ Status SsdDevice::Read(uint64_t lba, uint64_t count, uint8_t* dst) {
     CopyOut(lba + i, dst + i * page);
   }
   // Timing: command latency + transfer + a slice of backend interference.
+  Channel& channel = ActiveChannel();
   int64_t cost = config_.timing.read_latency_ns +
                  sim::BytesToNanos(bytes, config_.timing.read_bw);
-  // Reads queue behind a slice of the program backlog; bounded, since real
-  // firmware prioritizes reads over background programs.
-  const auto interference =
-      std::min(static_cast<int64_t>(config_.timing.read_interference *
-                                    static_cast<double>(BackendBacklogNanos())),
-               5 * config_.timing.read_latency_ns);
+  // Reads queue behind a slice of the channel's program backlog; bounded,
+  // since real firmware prioritizes reads over background programs.
+  const auto interference = std::min(
+      static_cast<int64_t>(config_.timing.read_interference *
+                           static_cast<double>(BackendBacklogNanos(channel))),
+      5 * config_.timing.read_latency_ns);
   cost += interference;
   times_.read_ns += cost;
   times_.read_interference_ns += interference;
@@ -118,6 +128,7 @@ Status SsdDevice::Write(uint64_t lba, uint64_t count, const uint8_t* src) {
     return Status::InvalidArgument("write beyond device");
   }
   const uint64_t page = config_.geometry.page_bytes;
+  Channel& channel = ActiveChannel();
   // Process in bounded batches so cache admission interleaves with large
   // writes the way real transfers do. Batches must fit well inside the
   // cache, or admission degrades to stop-and-wait.
@@ -134,7 +145,7 @@ Status SsdDevice::Write(uint64_t lba, uint64_t count, const uint8_t* src) {
 
     // Admission into the device cache (may stall).
     const int64_t stall_t0 = clock_->NowNanos();
-    WaitForCacheSpace(bytes);
+    WaitForCacheSpace(bytes, &channel);
     times_.write_stall_ns += clock_->NowNanos() - stall_t0;
 
     // FTL work for these pages.
@@ -151,8 +162,8 @@ Status SsdDevice::Write(uint64_t lba, uint64_t count, const uint8_t* src) {
         sim::BytesToNanos(work.gc_read_pages * page, t.gc_read_bw) +
         sim::BytesToNanos(work.gc_write_pages * page, t.program_bw) +
         static_cast<int64_t>(work.blocks_erased) * t.erase_latency_ns;
-    if (gc_cost > 0) EnqueueBackend(gc_cost, 0);
-    EnqueueBackend(sim::BytesToNanos(bytes, t.program_bw), bytes);
+    if (gc_cost > 0) EnqueueBackend(&channel, gc_cost, 0);
+    EnqueueBackend(&channel, sim::BytesToNanos(bytes, t.program_bw), bytes);
 
     // Host-side cost: ack latency (once per command) + bus transfer.
     int64_t host_cost = sim::BytesToNanos(bytes, t.host_write_bw);
@@ -204,8 +215,22 @@ Status SsdDevice::Flush() {
 SsdDevice::CacheState SsdDevice::GetCacheState() const {
   CacheState s;
   s.occupancy_bytes = cache_occupancy_;
-  s.backend_lag_ns = BackendBacklogNanos();
+  for (const Channel& c : channels_) {
+    s.backend_lag_ns = std::max(s.backend_lag_ns, BackendBacklogNanos(c));
+  }
   return s;
+}
+
+std::vector<SsdDevice::ChannelStats> SsdDevice::channel_stats() const {
+  std::vector<ChannelStats> out;
+  out.reserve(channels_.size());
+  for (const Channel& c : channels_) {
+    // Exclude the unserved backlog (work scheduled past the current
+    // clock): a short run with a full write cache would otherwise
+    // report utilization above 100%.
+    out.push_back({c.busy_ns - BackendBacklogNanos(c), c.commands});
+  }
+  return out;
 }
 
 uint64_t SsdDevice::ContentMemoryBytes() const {

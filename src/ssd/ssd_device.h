@@ -5,18 +5,25 @@
 //  - a sparse content store keyed by *logical* page (GC moves no data),
 //  - a timing model: host-interface transfer, per-command ack latency,
 //    a write-back cache that drains into flash at the program bandwidth,
-//    and a single "backend" timeline shared by programs, GC reads and
-//    erases. When the cache is full, host writes stall until the backend
-//    catches up — reproducing the sustained-write cliff and the bursty
-//    stalls of consumer drives (paper Sections 4.1 and 4.7),
+//    and N per-channel "backend" timelines shared by programs, GC reads
+//    and erases (config.channels; one channel = the single serialized
+//    server of the original model). A command issued on submission queue
+//    q (sim::SimClock::AsyncQueue, set by the block layer's Submit API)
+//    serializes on channel q % channels only, so async submissions to
+//    distinct channels overlap in virtual time. When the cache is full,
+//    host writes stall until the backend catches up — reproducing the
+//    sustained-write cliff and the bursty stalls of consumer drives
+//    (paper Sections 4.1 and 4.7),
 //  - SMART-style counters (host vs NAND bytes written) used to measure
 //    device write amplification exactly as the paper does.
 #ifndef PTSB_SSD_SSD_DEVICE_H_
 #define PTSB_SSD_SSD_DEVICE_H_
 
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "block/block_device.h"
@@ -55,6 +62,7 @@ class SsdDevice : public block::BlockDevice {
   uint64_t num_lbas() const override {
     return config_.geometry.LogicalPages();
   }
+  sim::SimClock* clock() const override { return clock_; }
   Status Read(uint64_t lba, uint64_t count, uint8_t* dst) override;
   Status Write(uint64_t lba, uint64_t count, const uint8_t* src) override;
   Status Trim(uint64_t lba, uint64_t count) override;
@@ -63,12 +71,11 @@ class SsdDevice : public block::BlockDevice {
   SmartCounters smart() const { return smart_; }
   const FlashTranslationLayer& ftl() const { return *ftl_; }
   const SsdConfig& config() const { return config_; }
-  sim::SimClock* clock() const { return clock_; }
 
   // Dynamic state for diagnostics.
   struct CacheState {
     uint64_t occupancy_bytes = 0;
-    int64_t backend_lag_ns = 0;  // how far the flash backend is behind
+    int64_t backend_lag_ns = 0;  // how far the busiest channel is behind
   };
 
   // Cumulative virtual time charged by category (diagnostics).
@@ -83,22 +90,49 @@ class SsdDevice : public block::BlockDevice {
   const TimeBreakdown& time_breakdown() const { return times_; }
   CacheState GetCacheState() const;
 
+  // Per-channel accounting, for the per-channel utilization report:
+  // busy_ns is the backend time the channel has actually spent busy as
+  // of now (programs, GC relocations, erases; scheduled work that has
+  // not elapsed yet — backlog past the current clock — is excluded, so
+  // busy_ns / elapsed virtual time is a true utilization <= 1).
+  // commands counts backend work items enqueued.
+  struct ChannelStats {
+    int64_t busy_ns = 0;
+    uint64_t commands = 0;
+  };
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+  std::vector<ChannelStats> channel_stats() const;
+
   // Memory actually allocated for page contents (diagnostics).
   uint64_t ContentMemoryBytes() const;
 
  private:
+  // One flash channel: an independent backend busy-until timeline plus
+  // its cumulative accounting.
+  struct Channel {
+    int64_t busy_until_ns = 0;
+    int64_t busy_ns = 0;
+    uint64_t commands = 0;
+  };
+
   void CopyIn(uint64_t lpn, const uint8_t* src);
   void CopyOut(uint64_t lpn, uint8_t* dst) const;
   uint8_t* ChunkFor(uint64_t lpn, bool create);
 
+  // The channel the current command serializes on: the active submission
+  // lane's queue id mod channels (queue 0 — and thus channel 0 — for
+  // synchronous callers outside any lane).
+  Channel& ActiveChannel();
+
   // Timing helpers.
   void DrainCache(int64_t now_ns);
-  // Blocks (advances the clock) until `bytes` fit in the cache.
-  void WaitForCacheSpace(uint64_t bytes);
-  // Appends backend work; `cached_bytes` > 0 ties a cache entry to its
-  // completion.
-  void EnqueueBackend(int64_t cost_ns, uint64_t cached_bytes);
-  int64_t BackendBacklogNanos() const;
+  // Blocks (advances the current timeline) until `bytes` fit in the cache.
+  void WaitForCacheSpace(uint64_t bytes, Channel* channel);
+  // Appends backend work to `channel`; `cached_bytes` > 0 ties a cache
+  // entry to its completion.
+  void EnqueueBackend(Channel* channel, int64_t cost_ns,
+                      uint64_t cached_bytes);
+  int64_t BackendBacklogNanos(const Channel& channel) const;
 
   SsdConfig config_;
   sim::SimClock* clock_;
@@ -109,10 +143,15 @@ class SsdDevice : public block::BlockDevice {
   static constexpr uint64_t kPagesPerChunk = 256;
   std::vector<std::unique_ptr<uint8_t[]>> chunks_;
 
-  // Write-back cache: FIFO of (backend completion time, bytes).
-  std::deque<std::pair<int64_t, uint64_t>> cache_fifo_;
+  // Write-back cache: (backend completion time, bytes), ordered by
+  // completion time (a min-heap — with multiple channels, completions
+  // are not FIFO across channels).
+  using CacheEntry = std::pair<int64_t, uint64_t>;
+  std::priority_queue<CacheEntry, std::vector<CacheEntry>,
+                      std::greater<CacheEntry>>
+      cache_;
   uint64_t cache_occupancy_ = 0;
-  int64_t backend_busy_until_ = 0;
+  std::vector<Channel> channels_;
 
   SmartCounters smart_;
   TimeBreakdown times_;
