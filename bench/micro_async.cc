@@ -127,6 +127,13 @@ int main(int argc, char** argv) {
       flags.shards = static_cast<int>(std::strtol(arg + 9, nullptr, 10));
     } else if (std::strncmp(arg, "--key-space=", 12) == 0) {
       flags.key_space = std::strtoull(arg + 12, nullptr, 10);
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      // CI-sized run: same sweep shape and self-checks, ~10x less work.
+      flags.batches = 96;
+      flags.batch = 16;
+      flags.value_bytes = 1024;
+      flags.key_space = 512;
+      flags.shards = 8;
     } else {
       std::printf(
           "flags: --batches=N (default 512)\n"
@@ -134,7 +141,8 @@ int main(int argc, char** argv) {
           "       --value-bytes=N (default 4000)\n"
           "       --shards=N sharded store width (default 8)\n"
           "       --key-space=N distinct keys cycled through (default "
-          "4096)\n");
+          "4096)\n"
+          "       --smoke    CI-sized run, same self-checks\n");
       return 2;
     }
   }

@@ -47,6 +47,11 @@ namespace {
       "                              submissions overlap in virtual time)\n"
       "  --queue-depth=N             async sub-batch commits in flight for\n"
       "                              --engine=sharded (1 = synchronous)\n"
+      "  --read-queue-depth=N        in-flight MultiGet point lookups per\n"
+      "                              engine (1 = sequential gets)\n"
+      "  --read-batch-size=N         gets grouped into one MultiGet (1)\n"
+      "  --background-io=0|1         run compaction/checkpoint/GC on a\n"
+      "                              background queue off the commit path\n"
       "  --zipf=THETA                zipfian updates (default: uniform)\n"
       "  --minutes=M                 paper-equivalent duration (210)\n"
       "  --window=M                  averaging window minutes (10)\n"
@@ -110,6 +115,16 @@ int main(int argc, char** argv) {
       config.queue_depth =
           static_cast<int>(ArgF(argv[i], "--queue_depth="));
       if (config.queue_depth < 1) Usage();
+    } else if (a.starts_with("--read-queue-depth=")) {
+      config.read_queue_depth =
+          static_cast<int>(ArgF(argv[i], "--read-queue-depth="));
+      if (config.read_queue_depth < 1) Usage();
+    } else if (a.starts_with("--read-batch-size=")) {
+      config.read_batch_size =
+          static_cast<size_t>(ArgF(argv[i], "--read-batch-size="));
+      if (config.read_batch_size < 1) Usage();
+    } else if (a.starts_with("--background-io=")) {
+      config.background_io = ArgF(argv[i], "--background-io=") != 0;
     } else if (a.starts_with("--zipf=")) {
       config.distribution = kv::Distribution::kZipfian;
       config.zipf_theta = ArgF(argv[i], "--zipf=");
@@ -158,12 +173,14 @@ int main(int argc, char** argv) {
   std::printf(
       "steady state: %.2f Kops/s  WA-A=%.2f  WA-D=%.2f  e2e-WA=%.2f\n"
       "space amp=%.2f  peak util=%.1f%%  tput CV=%.3f  steady=%s\n"
-      "lba untouched=%.1f%%  load took %.1f paper-min\n",
+      "lba untouched=%.1f%%  load took %.1f paper-min\n"
+      "op latency (virtual): p50=%.1f us  p99=%.1f us  max=%.1f us\n",
       result->steady.kv_kops, result->steady.wa_a_cum,
       result->steady.wa_d_cum, result->EndToEndWa(), result->final_space_amp,
       result->peak_disk_utilization * 100, result->throughput_cv,
       result->reached_steady_state ? "yes" : "NO (pitfall 1: run longer!)",
-      result->lba_fraction_untouched * 100, result->load_minutes);
+      result->lba_fraction_untouched * 100, result->load_minutes,
+      result->op_p50_us, result->op_p99_us, result->op_max_us);
   if (!result->channel_utilization.empty()) {
     std::printf("channel utilization:");
     for (size_t c = 0; c < result->channel_utilization.size(); c++) {
@@ -171,6 +188,28 @@ int main(int argc, char** argv) {
                   result->channel_utilization[c] * 100);
     }
     std::printf("\n");
+  }
+  if (!result->channel_class_utilization.empty()) {
+    std::printf("per-class channel busy (");
+    for (int k = 0; k < sim::kNumIoClasses; k++) {
+      std::printf("%s%s", k > 0 ? "/" : "",
+                  sim::IoClassName(static_cast<sim::IoClass>(k)));
+    }
+    std::printf("):");
+    for (size_t c = 0; c < result->channel_class_utilization.size(); c++) {
+      const auto& u = result->channel_class_utilization[c];
+      std::printf(" ch%zu=", c);
+      for (size_t k = 0; k < u.size(); k++) {
+        std::printf("%s%.1f", k > 0 ? "/" : "", u[k] * 100);
+      }
+      std::printf("%%");
+    }
+    const int64_t fg = result->device_foreground_busy_ns;
+    const int64_t bg = result->device_background_busy_ns;
+    std::printf("\ndevice busy split: foreground=%.3fs background=%.3fs "
+                "(simulated)\n",
+                static_cast<double>(fg) / 1e9,
+                static_cast<double>(bg) / 1e9);
   }
   const std::string csv_path =
       core::WriteResultsFile("run_experiment.csv", result->series.ToCsv());

@@ -15,6 +15,9 @@ any doc has rotted):
 3. docs/SIMULATION.md: the parameter tables in its "SSD timing model"
    section must list exactly the numeric/bool fields of the structs in
    src/ssd/config.h (FlashGeometry, SsdTiming, SsdConfig).
+4. README.md: the `run_experiment` flag table must list exactly the
+   flags examples/run_experiment.cpp parses (underscore spellings are
+   treated as aliases and skipped).
 """
 import re
 import sys
@@ -34,6 +37,8 @@ EXPERIMENTS_DOC = Path("docs/EXPERIMENTS.md")
 SIMULATION_DOC = Path("docs/SIMULATION.md")
 SSD_CONFIG = Path("src/ssd/config.h")
 BENCH_DIR = Path("bench")
+README = Path("README.md")
+RUN_EXPERIMENT = Path("examples/run_experiment.cpp")
 
 
 def docs_sections(text: str) -> dict:
@@ -122,6 +127,37 @@ def lint_simulation(failures: list) -> int:
     return len(documented)
 
 
+def lint_readme_flags(failures: list) -> int:
+    """README `run_experiment` flag table <-> flags run_experiment.cpp
+    parses. Underscore spellings in the code are compatibility aliases
+    (e.g. --queue_depth) and are not required in the table. Returns
+    flags checked."""
+    if not README.exists():
+        failures.append(f"{README} is missing")
+        return 0
+    text = README.read_text()
+    m = re.search(r"^### `run_experiment` flags.*?(?=^## )", text,
+                  re.MULTILINE | re.DOTALL)
+    if m is None:
+        failures.append(
+            f"readme: no '### `run_experiment` flags' section in {README}")
+        return 0
+    documented = set(re.findall(r"^\|\s*`--([\w-]+?)[=`]", m.group(0),
+                                re.MULTILINE))
+    code = set(re.findall(r'starts_with\("--([\w-]+?)[="]',
+                          RUN_EXPERIMENT.read_text()))
+    code = {f for f in code if "_" not in f}  # aliases need no row
+    for name in sorted(documented - code):
+        failures.append(
+            f"readme: `--{name}` documented in {README} but not parsed by "
+            f"{RUN_EXPERIMENT}")
+    for name in sorted(code - documented):
+        failures.append(
+            f"readme: {RUN_EXPERIMENT} parses `--{name}` but the README "
+            f"flag table has no row for it")
+    return len(documented)
+
+
 def main() -> int:
     if not DOC.exists():
         print(f"docs lint: {DOC} is missing", file=sys.stderr)
@@ -153,6 +189,7 @@ def main() -> int:
                     f"in {header}")
     n_benches = lint_experiments(failures)
     n_sim = lint_simulation(failures)
+    n_flags = lint_readme_flags(failures)
     if failures:
         print("docs lint FAILED:", file=sys.stderr)
         for f in failures:
@@ -161,7 +198,8 @@ def main() -> int:
     total = sum(len(table_keys(sections[e])) for e in ENGINES if e in sections)
     print(f"docs lint OK: {total} engine params checked against "
           f"{len(ENGINES)} option headers, {n_benches} bench rows against "
-          f"bench/, {n_sim} SSD timing params against {SSD_CONFIG}")
+          f"bench/, {n_sim} SSD timing params against {SSD_CONFIG}, "
+          f"{n_flags} README flags against {RUN_EXPERIMENT}")
     return 0
 
 

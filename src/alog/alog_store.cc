@@ -241,9 +241,33 @@ Status AlogStore::Write(const kv::WriteBatch& batch) {
   stats_.time_wal_ns += now() - t0;
 
   const int64_t t1 = now();
-  PTSB_RETURN_IF_ERROR(MaybeGc());
+  PTSB_RETURN_IF_ERROR(RunGc());
   stats_.time_compaction_ns += now() - t1;
   return Status::OK();
+}
+
+Status AlogStore::RunGc() {
+  if (!options_.background_io || options_.clock == nullptr) {
+    return MaybeGc();
+  }
+  kv::BackgroundResult r = kv::RunBackgroundWork(
+      options_.clock, options_.background_queue, &background_horizon_ns_,
+      [&] { return MaybeGc(); });
+  stats_.time_background_ns += r.busy_ns;
+  return r.status;
+}
+
+void AlogStore::JoinBackgroundWork() {
+  if (options_.clock != nullptr) {
+    options_.clock->AdvanceTo(background_horizon_ns_);
+  }
+}
+
+Status AlogStore::SettleBackgroundWork() {
+  PTSB_CHECK(!closed_);
+  const Status s = RunGc();
+  JoinBackgroundWork();  // settling means waiting the work out
+  return s;
 }
 
 Status AlogStore::Get(std::string_view key, std::string* value) {
@@ -262,6 +286,70 @@ Status AlogStore::Get(std::string_view key, std::string* value) {
   if (got != loc.value_bytes) return Status::Corruption("short value read");
   stats_.user_bytes_read += value->size();
   return Status::OK();
+}
+
+std::vector<Status> AlogStore::MultiGet(std::span<const std::string_view> keys,
+                                        std::vector<std::string>* values) {
+  PTSB_CHECK(!closed_);
+  const int depth = options_.read_queue_depth;
+  if (options_.clock == nullptr || depth <= 1) {
+    return KVStore::MultiGet(keys, values);  // sequential Gets
+  }
+  values->assign(keys.size(), std::string());
+  std::vector<Status> statuses(keys.size());
+  // Fan-out: the index lookups are pure CPU; each hit's value read is
+  // submitted to its segment file across read lanes, at most `depth` in
+  // flight (waiting the oldest bounds the queue, exactly like the
+  // sharded store's write dispatch). Misses and tombstones never touch
+  // the device.
+  struct Pending {
+    size_t idx = 0;
+    fs::File* file = nullptr;
+    block::IoTicket ticket;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(keys.size());
+  size_t waited = 0;
+  uint32_t next_slot = 0;
+  auto wait_oldest = [&] {
+    Pending& p = pending[waited];
+    statuses[p.idx] = p.file->Wait(p.ticket);
+    if (statuses[p.idx].ok()) {
+      stats_.user_bytes_read += (*values)[p.idx].size();
+    }
+    waited++;
+  };
+  for (size_t i = 0; i < keys.size(); i++) {
+    ChargeCpu(options_.cpu_get_ns);
+    stats_.user_gets++;
+    const auto it = index_.find(keys[i]);
+    if (it == index_.end() || it->second.tombstone) {
+      statuses[i] = Status::NotFound("no such key");
+      continue;
+    }
+    const Location& loc = it->second;
+    (*values)[i].resize(loc.value_bytes);
+    Pending p;
+    p.idx = i;
+    p.file = segments_.at(loc.segment).file;
+    const uint32_t queue =
+        options_.io_queue + (next_slot++ % static_cast<uint32_t>(depth));
+    p.ticket = p.file->SubmitReadAt(loc.value_offset, loc.value_bytes,
+                                    (*values)[i].data(), queue,
+                                    sim::IoClass::kForegroundRead);
+    pending.push_back(p);
+    if (pending.size() - waited >= static_cast<size_t>(depth)) {
+      wait_oldest();
+    }
+  }
+  while (waited < pending.size()) wait_oldest();
+  return statuses;
+}
+
+kv::ReadHandle AlogStore::ReadAsync(std::string_view key,
+                                    std::string* value) {
+  return kv::AsyncRead(options_.clock, options_.io_queue,
+                       [&] { return Get(key, value); });
 }
 
 Status AlogStore::MaybeGc() {
@@ -485,6 +573,7 @@ std::unique_ptr<kv::KVStore::Iterator> AlogStore::NewIterator() {
 
 Status AlogStore::Flush() {
   PTSB_CHECK(!closed_);
+  JoinBackgroundWork();  // durability waits out in-flight GC rewrites
   if (active_id_ != 0) {
     PTSB_RETURN_IF_ERROR(segments_.at(active_id_).file->Sync());
   }
@@ -493,6 +582,7 @@ Status AlogStore::Flush() {
 
 Status AlogStore::Close() {
   if (closed_) return Status::OK();
+  JoinBackgroundWork();
   if (active_id_ != 0) {
     SegmentInfo& seg = segments_.at(active_id_);
     PTSB_RETURN_IF_ERROR(seg.file->Sync());
@@ -560,8 +650,12 @@ AlogOptions AlogOptionsFromEngineOptions(const kv::EngineOptions& eo) {
       kv::ParamUint64(eo, "sync_every_bytes", o.sync_every_bytes);
   o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
   o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
+  o.read_queue_depth =
+      kv::ParamInt(eo, "read_queue_depth", o.read_queue_depth);
+  o.background_io = kv::ParamBool(eo, "background_io", o.background_io);
   o.clock = eo.clock;
   o.io_queue = eo.io_queue;
+  o.background_queue = eo.background_queue;
   return o;
 }
 
@@ -587,6 +681,8 @@ std::map<std::string, std::string> EncodeEngineParams(const AlogOptions& o) {
   p["sync_every_bytes"] = std::to_string(o.sync_every_bytes);
   p["cpu_put_ns"] = std::to_string(o.cpu_put_ns);
   p["cpu_get_ns"] = std::to_string(o.cpu_get_ns);
+  p["read_queue_depth"] = std::to_string(o.read_queue_depth);
+  p["background_io"] = o.background_io ? "1" : "0";
   return p;
 }
 

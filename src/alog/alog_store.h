@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,12 +44,21 @@ class AlogStore : public kv::KVStore {
   // time (see kv::KVStore::WriteAsync).
   kv::WriteHandle WriteAsync(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
+  // The index lookups run on the CPU; each hit's segment read is
+  // submitted via fs::File::SubmitReadAt across read lanes at
+  // options().read_queue_depth, so independent segment reads overlap in
+  // virtual device time (see kv::KVStore::MultiGet).
+  std::vector<Status> MultiGet(std::span<const std::string_view> keys,
+                               std::vector<std::string>* values) override;
+  // Runs the lookup in a foreground-read lane on options().io_queue (see
+  // kv::KVStore::ReadAsync).
+  kv::ReadHandle ReadAsync(std::string_view key, std::string* value) override;
   // Ordered cursor over the in-memory index, reading values lazily from
   // the segments. Invalidated by any write to the store (appends move the
   // index; GC deletes segment files).
   std::unique_ptr<kv::KVStore::Iterator> NewIterator() override;
   Status Flush() override;  // sync the active segment
-  Status SettleBackgroundWork() override { return MaybeGc(); }
+  Status SettleBackgroundWork() override;
   Status Close() override;
   kv::KvStoreStats GetStats() const override { return stats_; }
   std::string Name() const override { return "alog(bitcask-like)"; }
@@ -109,6 +119,12 @@ class AlogStore : public kv::KVStore {
   // segment to the active head, then deletes its file.
   Status CollectSegment(uint64_t id);
   Status MaybeGc();
+  // MaybeGc on the background lane when background_io is on (and not
+  // inside an enclosing lane); the foreground clock does not advance.
+  Status RunGc();
+  // AdvanceTo the background lane's completion horizon: the foreground
+  // explicitly waiting out in-flight GC (Flush/Close/Settle).
+  void JoinBackgroundWork();
 
   void ChargeCpu(int64_t ns) const;
 
@@ -127,6 +143,9 @@ class AlogStore : public kv::KVStore {
   uint64_t sealed_live_bytes_ = 0;
   bool pressure_check_due_ = true;  // re-check fs headroom at next GC pass
   bool replaying_ = false;
+  // Completion time of the last background-lane GC span (background_io);
+  // foreground waits join it via JoinBackgroundWork().
+  int64_t background_horizon_ns_ = 0;
 
   // Bumped by every Write (appends retarget the index; GC deletes
   // segments). Debug builds compare it against the value captured at

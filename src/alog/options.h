@@ -34,11 +34,27 @@ struct AlogOptions {
   int64_t cpu_put_ns = 5'000;
   int64_t cpu_get_ns = 6'000;
 
+  // Max in-flight MultiGet point lookups: each key's segment read is
+  // submitted via fs::File::SubmitReadAt in its own foreground-read
+  // lane, so up to this many independent segment reads overlap in
+  // virtual device time across SSD channels. 1 (or no clock) =
+  // sequential Gets.
+  int read_queue_depth = 1;
+
+  // Run segment GC on the engine's background submission lane (queue
+  // `background_queue`, I/O class kBackground) instead of the user's
+  // timeline: commits no longer absorb GC device time; Flush, Close and
+  // SettleBackgroundWork wait it out explicitly. Off by default (the
+  // paper's baseline).
+  bool background_io = false;
+
   // Optional virtual clock for CPU accounting (device time is charged by
   // the device itself).
   sim::SimClock* clock = nullptr;
   // Submission queue for WriteAsync commits (see kv::EngineOptions).
   uint32_t io_queue = 0;
+  // Submission queue for the background lane (see kv::EngineOptions).
+  uint32_t background_queue = 1;
 };
 
 }  // namespace ptsb::alog

@@ -5,16 +5,17 @@
 namespace ptsb::block {
 
 IoTicket BlockDevice::SubmitWrite(uint64_t lba, uint64_t count,
-                                  const uint8_t* src, uint32_t queue) {
+                                  const uint8_t* src, uint32_t queue,
+                                  sim::IoClass io_class) {
   const sim::LaneResult r = sim::RunInLane(
-      clock(), queue, [&] { return Write(lba, count, src); });
+      clock(), queue, io_class, [&] { return Write(lba, count, src); });
   return IoTicket{r.status, r.complete_ns};
 }
 
 IoTicket BlockDevice::SubmitRead(uint64_t lba, uint64_t count, uint8_t* dst,
-                                 uint32_t queue) {
+                                 uint32_t queue, sim::IoClass io_class) {
   const sim::LaneResult r = sim::RunInLane(
-      clock(), queue, [&] { return Read(lba, count, dst); });
+      clock(), queue, io_class, [&] { return Read(lba, count, dst); });
   return IoTicket{r.status, r.complete_ns};
 }
 

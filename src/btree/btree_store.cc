@@ -467,9 +467,26 @@ Status BTreeStore::Write(const kv::WriteBatch& batch) {
   bytes_since_checkpoint_ += batch.ByteSize();
   if (!replaying_ &&
       bytes_since_checkpoint_ >= options_.checkpoint_every_bytes) {
-    PTSB_RETURN_IF_ERROR(Checkpoint());
+    // Paced (not user-requested) checkpoints move to the background lane
+    // when background_io is on: the commit returns without absorbing the
+    // checkpoint's device time.
+    if (options_.background_io && options_.clock != nullptr) {
+      kv::BackgroundResult r = kv::RunBackgroundWork(
+          options_.clock, options_.background_queue, &background_horizon_ns_,
+          [&] { return Checkpoint(); });
+      stats_.time_background_ns += r.busy_ns;
+      PTSB_RETURN_IF_ERROR(r.status);
+    } else {
+      PTSB_RETURN_IF_ERROR(Checkpoint());
+    }
   }
   return EvictIfNeeded();
+}
+
+void BTreeStore::JoinBackgroundWork() {
+  if (options_.clock != nullptr) {
+    options_.clock->AdvanceTo(background_horizon_ns_);
+  }
 }
 
 Status BTreeStore::Get(std::string_view key, std::string* value) {
@@ -488,6 +505,20 @@ Status BTreeStore::Get(std::string_view key, std::string* value) {
   }
   PTSB_RETURN_IF_ERROR(EvictIfNeeded());
   return result;
+}
+
+std::vector<Status> BTreeStore::MultiGet(
+    std::span<const std::string_view> keys,
+    std::vector<std::string>* values) {
+  PTSB_CHECK(!closed_);
+  return kv::FanOutMultiGet(this, options_.clock, options_.io_queue,
+                            options_.read_queue_depth, keys, values);
+}
+
+kv::ReadHandle BTreeStore::ReadAsync(std::string_view key,
+                                     std::string* value) {
+  return kv::AsyncRead(options_.clock, options_.io_queue,
+                       [&] { return Get(key, value); });
 }
 
 // Leaf-walking cursor: descends to the target leaf, then streams items in
@@ -644,11 +675,21 @@ std::unique_ptr<kv::KVStore::Iterator> BTreeStore::NewIterator() {
 Status BTreeStore::Flush() {
   PTSB_CHECK(!closed_);
   write_epoch_++;  // checkpoint writebacks/evictions move leaves around
+  // The user asked for durability: wait out any in-flight background
+  // checkpoint, then run this one on the foreground.
+  JoinBackgroundWork();
   return Checkpoint();
+}
+
+Status BTreeStore::SettleBackgroundWork() {
+  PTSB_CHECK(!closed_);
+  JoinBackgroundWork();
+  return Status::OK();
 }
 
 Status BTreeStore::Close() {
   if (closed_) return Status::OK();
+  JoinBackgroundWork();
   PTSB_RETURN_IF_ERROR(Checkpoint());
   closed_ = true;
   return Status::OK();
@@ -737,8 +778,12 @@ BTreeOptions BTreeOptionsFromEngineOptions(const kv::EngineOptions& eo) {
       kv::ParamUint64(eo, "file_grow_bytes", o.file_grow_bytes);
   o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
   o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
+  o.read_queue_depth =
+      kv::ParamInt(eo, "read_queue_depth", o.read_queue_depth);
+  o.background_io = kv::ParamBool(eo, "background_io", o.background_io);
   o.clock = eo.clock;
   o.io_queue = eo.io_queue;
+  o.background_queue = eo.background_queue;
   return o;
 }
 
@@ -770,6 +815,8 @@ std::map<std::string, std::string> EncodeEngineParams(const BTreeOptions& o) {
   p["file_grow_bytes"] = std::to_string(o.file_grow_bytes);
   p["cpu_put_ns"] = std::to_string(o.cpu_put_ns);
   p["cpu_get_ns"] = std::to_string(o.cpu_get_ns);
+  p["read_queue_depth"] = std::to_string(o.read_queue_depth);
+  p["background_io"] = o.background_io ? "1" : "0";
   return p;
 }
 

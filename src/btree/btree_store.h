@@ -8,6 +8,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,10 +41,21 @@ class BTreeStore : public kv::KVStore {
   // time (see kv::KVStore::WriteAsync).
   kv::WriteHandle WriteAsync(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
+  // Fans the lookups out across foreground-read submission lanes at
+  // options().read_queue_depth, so independent leaf reads overlap in
+  // virtual device time (see kv::KVStore::MultiGet).
+  std::vector<Status> MultiGet(std::span<const std::string_view> keys,
+                               std::vector<std::string>* values) override;
+  // Runs the lookup in a foreground-read lane on options().io_queue (see
+  // kv::KVStore::ReadAsync).
+  kv::ReadHandle ReadAsync(std::string_view key, std::string* value) override;
   // Leaf-walking cursor in key order. Invalidated by any write to the
   // store (splits and evictions move items between pages).
   std::unique_ptr<kv::KVStore::Iterator> NewIterator() override;
   Status Flush() override;  // checkpoint
+  // Waits out a background-lane checkpoint in flight (background_io);
+  // checkpoints have no deferred debt beyond that, so nothing else to do.
+  Status SettleBackgroundWork() override;
   Status Close() override;
   kv::KvStoreStats GetStats() const override { return stats_; }
   std::string Name() const override { return "btree(wiredtiger-like)"; }
@@ -77,6 +89,9 @@ class BTreeStore : public kv::KVStore {
   // Post-order: writes every dirty node in the loaded subtree.
   Status WriteDirtySubtree(Node* node);
   Status Checkpoint();
+  // AdvanceTo the background lane's completion horizon (background_io):
+  // the foreground explicitly waiting out an in-flight checkpoint.
+  void JoinBackgroundWork();
   Status WriteHeader();
 
   // Leaf cache management.
@@ -104,6 +119,9 @@ class BTreeStore : public kv::KVStore {
   uint64_t checkpoint_gen_ = 0;
   uint64_t checkpoint_count_ = 0;
   uint64_t bytes_since_checkpoint_ = 0;
+  // Completion time of the last background-lane checkpoint
+  // (background_io); foreground waits join it via JoinBackgroundWork().
+  int64_t background_horizon_ns_ = 0;
 
   std::list<Node*> lru_;  // front = least recently used
   uint64_t cache_leaf_bytes_ = 0;

@@ -41,9 +41,25 @@ struct BTreeOptions {
   int64_t cpu_put_ns = 400'000;
   int64_t cpu_get_ns = 150'000;
 
+  // Max in-flight MultiGet point lookups: each runs in its own
+  // foreground-read submission lane, so up to this many independent leaf
+  // reads overlap in virtual device time across SSD channels. 1 (or no
+  // clock) = sequential Gets.
+  int read_queue_depth = 1;
+
+  // Run paced checkpoints on the engine's background submission lane
+  // (queue `background_queue`, I/O class kBackground) instead of the
+  // user's timeline: commits no longer absorb checkpoint device time.
+  // The explicit Flush/Close checkpoints still run (and are waited out)
+  // on the foreground — the user asked for durability there. Off by
+  // default (the paper's baseline).
+  bool background_io = false;
+
   sim::SimClock* clock = nullptr;
   // Submission queue for WriteAsync commits (see kv::EngineOptions).
   uint32_t io_queue = 0;
+  // Submission queue for the background lane (see kv::EngineOptions).
+  uint32_t background_queue = 1;
 };
 
 }  // namespace ptsb::btree

@@ -120,6 +120,12 @@ Status BuildStack(const ExperimentConfig& config, Stack* stack) {
     engine_options.params["queue_depth"] =
         std::to_string(std::max(1, config.queue_depth));
   }
+  // Every engine understands the read fan-out depth and the background
+  // I/O toggle (sharded passes background_io through to its inner
+  // engines); explicit engine_params entries win below.
+  engine_options.params["read_queue_depth"] =
+      std::to_string(std::max(1, config.read_queue_depth));
+  engine_options.params["background_io"] = config.background_io ? "1" : "0";
   for (const auto& [key, value] : config.engine_params) {
     engine_options.params[key] = value;
   }
@@ -138,13 +144,21 @@ Status BuildStack(const ExperimentConfig& config, Stack* stack) {
   return Status::OK();
 }
 
+// Reusable scratch for the MultiGet read path (read_batch_size > 1),
+// hoisted out of the per-op loop like the WriteBatch is.
+struct ReadBatchScratch {
+  std::vector<std::string> keys;
+  std::vector<std::string_view> views;
+  std::vector<std::string> values;
+};
+
 // Applies one generated op to the store. `ops_done` counts logical
 // entries (a batch counts its size). NotFound on point reads is success;
 // NoSpace is returned for the caller to treat as data (paper Fig. 6).
 Status ExecuteOp(kv::KVStore* store, kv::WorkloadGenerator* gen,
                  const kv::WorkloadSpec& spec, const kv::Op& op,
                  kv::WriteBatch* batch, std::string* read_value,
-                 uint64_t* ops_done) {
+                 ReadBatchScratch* reads, uint64_t* ops_done) {
   *ops_done = 1;
   switch (op.type) {
     case kv::Op::Type::kPut:
@@ -164,6 +178,24 @@ Status ExecuteOp(kv::KVStore* store, kv::WorkloadGenerator* gen,
     case kv::Op::Type::kDelete:
       return store->Delete(gen->KeyFor(op.key_id));
     case kv::Op::Type::kGet: {
+      if (spec.read_batch_size > 1) {
+        // Read-side batching: one MultiGet submission covering
+        // read_batch_size lookups; the engine fans them out at its
+        // read_queue_depth. NotFound per key is data, like for Get.
+        reads->keys.clear();
+        reads->keys.push_back(gen->KeyFor(op.key_id));
+        for (size_t j = 1; j < spec.read_batch_size; j++) {
+          reads->keys.push_back(gen->KeyFor(gen->NextKeyId()));
+        }
+        reads->views.assign(reads->keys.begin(), reads->keys.end());
+        const std::vector<Status> statuses =
+            store->MultiGet(reads->views, &reads->values);
+        *ops_done = statuses.size();
+        for (const Status& s : statuses) {
+          if (!s.ok() && !s.IsNotFound()) return s;
+        }
+        return Status::OK();
+      }
       const Status s = store->Get(gen->KeyFor(op.key_id), read_value);
       return s.IsNotFound() ? Status::OK() : s;
     }
@@ -302,13 +334,14 @@ Status RunUpdatePhaseConcurrent(const ExperimentConfig& config,
     kv::WorkloadGenerator gen(spec.ForThread(tid));
     kv::WriteBatch batch;
     std::string read_value;
+    ReadBatchScratch reads;
     while (!stop.load(std::memory_order_relaxed) &&
            stack->clock.NowMinutes() - t0_min < duration_sim_min) {
       const int64_t op_start_ns = stack->clock.NowNanos();
       const kv::Op op = gen.Next();
       uint64_t ops_done = 1;
       const Status s = ExecuteOp(stack->store.get(), &gen, spec, op,
-                                 &batch, &read_value, &ops_done);
+                                 &batch, &read_value, &reads, &ops_done);
       if (s.IsNoSpace()) {
         out_of_space.store(true, std::memory_order_relaxed);
         stop.store(true, std::memory_order_relaxed);
@@ -364,6 +397,7 @@ StatusOr<ExperimentResult> RunExperiment(
   spec.delete_fraction = config.delete_fraction;
   spec.scan_fraction = config.scan_fraction;
   spec.batch_size = std::max<size_t>(1, config.batch_size);
+  spec.read_batch_size = std::max<size_t>(1, config.read_batch_size);
   spec.scan_count = config.scan_count;
   spec.num_threads = std::max<size_t>(1, config.num_threads);
   spec.distribution = config.distribution;
@@ -409,6 +443,11 @@ StatusOr<ExperimentResult> RunExperiment(
   const auto smart0 = stack.ssd->smart();
   const auto engine0 = stack.store->GetStats();
 
+  // Whole-phase latency distribution (virtual nanoseconds per logical
+  // entry) for the run-level p50/p99 report; the per-window histograms
+  // reset each window, this one never does.
+  Histogram run_latency;
+
   if (config.num_threads > 1) {
     // Concurrent update phase: the whole phase becomes ONE aggregate
     // window (sampling mid-run would race with the workers), computed
@@ -416,6 +455,7 @@ StatusOr<ExperimentResult> RunExperiment(
     Histogram latency;
     PTSB_RETURN_IF_ERROR(RunUpdatePhaseConcurrent(
         config, spec, &stack, t0_min, duration_sim_min, &result, &latency));
+    run_latency.Merge(latency);
     const double now_min = stack.clock.NowMinutes();
     const double window_sec = (now_min - t0_min) * 60.0;
     if (window_sec > 0 && result.update_ops > 0) {
@@ -448,13 +488,14 @@ StatusOr<ExperimentResult> RunExperiment(
     Histogram op_latency;  // per-window, in virtual nanoseconds
     std::string read_value;
     kv::WriteBatch batch;
+    ReadBatchScratch reads;
     while (stack.clock.NowMinutes() - t0_min < duration_sim_min &&
            !result.ran_out_of_space) {
       const int64_t op_start_ns = stack.clock.NowNanos();
       const kv::Op op = gen.Next();
       uint64_t ops_done = 1;
       const Status s = ExecuteOp(stack.store.get(), &gen, spec, op, &batch,
-                                 &read_value, &ops_done);
+                                 &read_value, &reads, &ops_done);
       if (s.IsNoSpace()) {
         result.ran_out_of_space = true;
         break;
@@ -464,9 +505,11 @@ StatusOr<ExperimentResult> RunExperiment(
       // Per-entry latency: a batch is one submission covering ops_done
       // entries, so divide its elapsed time to keep the histogram in the
       // same per-op units as kv_kops.
-      op_latency.Record(
+      const uint64_t per_entry_ns =
           static_cast<uint64_t>(stack.clock.NowNanos() - op_start_ns) /
-          std::max<uint64_t>(1, ops_done));
+          std::max<uint64_t>(1, ops_done);
+      op_latency.Record(per_entry_ns);
+      run_latency.Record(per_entry_ns);
 
       // Window boundary?
       const double now_min = stack.clock.NowMinutes();
@@ -516,7 +559,23 @@ StatusOr<ExperimentResult> RunExperiment(
         total_ns > 0 ? static_cast<double>(ch.busy_ns) /
                            static_cast<double>(total_ns)
                      : 0.0);
+    std::array<double, sim::kNumIoClasses> by_class{};
+    for (int c = 0; c < sim::kNumIoClasses; c++) {
+      by_class[static_cast<size_t>(c)] =
+          total_ns > 0 ? static_cast<double>(ch.class_busy_ns[c]) /
+                             static_cast<double>(total_ns)
+                       : 0.0;
+    }
+    result.channel_class_utilization.push_back(by_class);
+    result.device_foreground_busy_ns +=
+        ch.class_busy_ns[static_cast<int>(sim::IoClass::kForegroundRead)] +
+        ch.class_busy_ns[static_cast<int>(sim::IoClass::kForegroundWrite)];
+    result.device_background_busy_ns +=
+        ch.class_busy_ns[static_cast<int>(sim::IoClass::kBackground)];
   }
+  result.op_p50_us = run_latency.Percentile(50) / 1000.0;
+  result.op_p99_us = run_latency.Percentile(99) / 1000.0;
+  result.op_max_us = static_cast<double>(run_latency.max()) / 1000.0;
   if (stack.trace != nullptr) {
     result.lba_fraction_untouched = stack.trace->FractionUntouched();
     result.lba_cdf = stack.trace->WriteCdf(101);

@@ -10,6 +10,7 @@
 #ifndef PTSB_CORE_EXPERIMENT_H_
 #define PTSB_CORE_EXPERIMENT_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -27,6 +28,7 @@
 #include "kv/workload.h"
 #include "lsm/options.h"
 #include "sim/clock.h"
+#include "sim/io_class.h"
 #include "ssd/precondition.h"
 #include "ssd/profiles.h"
 #include "ssd/ssd_device.h"
@@ -81,6 +83,20 @@ struct ExperimentConfig {
   // their device time overlaps across channels in VIRTUAL time. Ignored
   // by engines without async dispatch.
   int queue_depth = 1;
+  // Read-side submission depth (every engine's read_queue_depth param,
+  // unless engine_params overrides it): > 1 lets MultiGet fan point
+  // lookups out across read submission lanes, so independent reads
+  // overlap across channels. Pair with read_batch_size > 1, which groups
+  // that many gets into one MultiGet op.
+  int read_queue_depth = 1;
+  size_t read_batch_size = 1;
+  // Run engine maintenance (LSM compaction, B+Tree checkpoints, alog GC)
+  // on a dedicated background submission lane/queue (the engines'
+  // background_io param): user commits no longer absorb background
+  // device time, which surfaces as background-channel utilization and as
+  // tail latency at the points where the user genuinely waits (write
+  // stalls, Flush, SettleBackgroundWork).
+  bool background_io = false;
   kv::Distribution distribution = kv::Distribution::kUniform;
   double zipf_theta = 0.99;  // used when distribution is zipfian
   double duration_minutes = 210;  // paper-equivalent minutes
@@ -141,6 +157,24 @@ struct ExperimentResult {
   // (programs, GC, erases). One entry per configured channel; a
   // single-channel run reports one number.
   std::vector<double> channel_utilization;
+
+  // Per-channel, per-I/O-class busy fraction over the whole run, indexed
+  // [channel][sim::IoClass]: how much of each channel went to foreground
+  // reads, foreground writes, and background maintenance (includes read
+  // occupancy, so it is finer-grained than channel_utilization).
+  std::vector<std::array<double, sim::kNumIoClasses>>
+      channel_class_utilization;
+  // The same, summed across channels into the foreground-vs-background
+  // device-time breakdown (nanoseconds of channel busy time).
+  int64_t device_foreground_busy_ns = 0;
+  int64_t device_background_busy_ns = 0;
+
+  // Operation-latency percentiles over the whole update phase
+  // (microseconds of virtual time, per logical entry): background
+  // interference shows up here as p99 long before it dents throughput.
+  double op_p50_us = 0;
+  double op_p99_us = 0;
+  double op_max_us = 0;
 
   // End-to-end write amplification = WA-A x WA-D (paper Section 4.2).
   double EndToEndWa() const { return steady.wa_a_cum * steady.wa_d_cum; }

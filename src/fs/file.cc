@@ -44,17 +44,31 @@ Status WriteFilePages(block::BlockDevice* device,
 
 }  // namespace
 
-block::IoTicket File::SubmitAppend(std::string_view data, uint32_t queue) {
-  const sim::LaneResult r = sim::RunInLane(
-      fs_->device_->clock(), queue, [&] { return AppendImpl(data); });
+block::IoTicket File::SubmitAppend(std::string_view data, uint32_t queue,
+                                   sim::IoClass io_class) {
+  const sim::LaneResult r =
+      sim::RunInLane(fs_->device_->clock(), queue, io_class,
+                     [&] { return AppendImpl(data); });
   return block::IoTicket{r.status, r.complete_ns};
 }
 
 block::IoTicket File::SubmitWriteAt(uint64_t offset, std::string_view data,
-                                    uint32_t queue) {
+                                    uint32_t queue, sim::IoClass io_class) {
   const sim::LaneResult r =
-      sim::RunInLane(fs_->device_->clock(), queue,
+      sim::RunInLane(fs_->device_->clock(), queue, io_class,
                      [&] { return WriteAtImpl(offset, data); });
+  return block::IoTicket{r.status, r.complete_ns};
+}
+
+block::IoTicket File::SubmitReadAt(uint64_t offset, uint64_t n, char* dst,
+                                   uint32_t queue, sim::IoClass io_class) {
+  const sim::LaneResult r =
+      sim::RunInLane(fs_->device_->clock(), queue, io_class, [&] {
+        auto got = ReadAt(offset, n, dst);
+        if (!got.ok()) return got.status();
+        if (*got != n) return Status::IoError("short read in SubmitReadAt");
+        return Status::OK();
+      });
   return block::IoTicket{r.status, r.complete_ns};
 }
 

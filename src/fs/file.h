@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "block/block_device.h"
+#include "sim/io_class.h"
 #include "util/status.h"
 
 namespace ptsb::fs {
@@ -29,18 +30,30 @@ class File {
 
   // ---- Async submission. SubmitAppend/SubmitWriteAt apply the write
   // immediately (data is visible to subsequent reads) but run its device
-  // commands in a virtual-time submission lane tagged with `queue`: the
-  // latency lands in the returned ticket instead of the shared clock,
-  // and the simulated SSD serializes the commands on channel
-  // `queue % channels` only. Wait(ticket) joins the completion time into
-  // the clock (monotonic max), so submissions on distinct queues issued
-  // from the same instant overlap in virtual time. On an untimed device
-  // the calls degrade to their synchronous equivalents. The per-file
-  // single-user contract is unchanged: submissions on ONE file must come
-  // from its one user.
-  block::IoTicket SubmitAppend(std::string_view data, uint32_t queue = 0);
-  block::IoTicket SubmitWriteAt(uint64_t offset, std::string_view data,
-                                uint32_t queue = 0);
+  // commands in a virtual-time submission lane tagged with `queue` and
+  // `io_class`: the latency lands in the returned ticket instead of the
+  // shared clock, and the simulated SSD serializes the commands on
+  // channel `queue % channels` only, accounting busy time under the
+  // class. Wait(ticket) joins the completion time into the clock
+  // (monotonic max), so submissions on distinct queues issued from the
+  // same instant overlap in virtual time. On an untimed device the calls
+  // degrade to their synchronous equivalents. The per-file single-user
+  // contract is unchanged: submissions on ONE file must come from its
+  // one user.
+  block::IoTicket SubmitAppend(
+      std::string_view data, uint32_t queue = 0,
+      sim::IoClass io_class = sim::IoClass::kForegroundWrite);
+  block::IoTicket SubmitWriteAt(
+      uint64_t offset, std::string_view data, uint32_t queue = 0,
+      sim::IoClass io_class = sim::IoClass::kForegroundWrite);
+  // Reads EXACTLY [offset, offset+n) into dst inside a submission lane
+  // (the read-side counterpart of SubmitAppend; see kv MultiGet fan-out).
+  // Unlike ReadAt, a short read — the range extending past EOF — is an
+  // error in the ticket, since the caller cannot learn a byte count from
+  // an IoTicket.
+  block::IoTicket SubmitReadAt(
+      uint64_t offset, uint64_t n, char* dst, uint32_t queue = 0,
+      sim::IoClass io_class = sim::IoClass::kForegroundRead);
   Status Wait(const block::IoTicket& ticket);
 
   // Reads [offset, offset+n) into dst. Reads through the device but serves

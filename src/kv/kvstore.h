@@ -17,8 +17,11 @@
 //     An iterator observes the store as of its creation and is
 //     invalidated by writes (no snapshot pinning, like a RocksDB
 //     iterator without a snapshot); create, consume, discard.
-//     Scan(start, count, out) remains as a deprecated shim over
-//     NewIterator() for callers mid-migration.
+//     Point reads come in three shapes: Get (one key), MultiGet (a batch
+//     of keys, fanned out across read submission lanes so independent
+//     lookups overlap in virtual device time), and ReadAsync (one key,
+//     caller-managed overlap via ReadHandle — the read-side mirror of
+//     WriteAsync/WriteHandle).
 //
 //  3. Registry construction. Engines self-register by name ("lsm",
 //     "btree") in kv::EngineRegistry; callers build stores through
@@ -31,6 +34,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -52,9 +56,9 @@ namespace ptsb::kv {
 // record framing is paid once per batch, not once per entry.
 struct KvStoreStats {
   uint64_t user_puts = 0;
-  uint64_t user_gets = 0;
+  uint64_t user_gets = 0;    // point lookups (MultiGet counts per key)
   uint64_t user_deletes = 0;
-  uint64_t user_scans = 0;   // iterators created (incl. via the Scan shim)
+  uint64_t user_scans = 0;   // iterators created
   uint64_t user_batches = 0; // Write calls (Put/Delete count as size-1)
   uint64_t user_bytes_written = 0;  // sum of key+value sizes put
   uint64_t user_bytes_read = 0;
@@ -72,13 +76,20 @@ struct KvStoreStats {
   uint64_t stall_count = 0;  // engine-level write stalls (LSM L0 pressure)
 
   // Virtual-time breakdown (nanoseconds of simulated time spent inside
-  // each engine mechanism); only filled when a clock is attached.
+  // each engine mechanism); only filled when a clock is attached. The
+  // time_* fields measure FOREGROUND time: what the user-visible
+  // timeline absorbed. With background_io on, maintenance runs on a
+  // background lane instead, its span lands in time_background_ns, and
+  // the corresponding foreground field stays near zero — the
+  // foreground-vs-background breakdown the paper's interference argument
+  // needs.
   int64_t time_wal_ns = 0;
   int64_t time_flush_ns = 0;
   int64_t time_compaction_ns = 0;
   int64_t time_read_path_ns = 0;
   int64_t time_writeback_ns = 0;   // B+Tree leaf writebacks + page reads
   int64_t time_checkpoint_ns = 0;  // B+Tree checkpoints
+  int64_t time_background_ns = 0;  // background-lane spans (background_io)
 };
 
 // Handle for one in-flight asynchronous commit (KVStore::WriteAsync).
@@ -119,6 +130,61 @@ class WriteHandle {
 // timeline.
 WriteHandle AsyncCommit(sim::SimClock* clock, uint32_t queue,
                         const std::function<Status()>& commit);
+
+// Handle for one in-flight asynchronous point read (KVStore::ReadAsync),
+// mirroring WriteHandle: the value is filled at submission, `complete_ns`
+// is the virtual time the lookup's lane finished at, and Wait() joins
+// that time into the shared clock (monotonic max) and returns the read's
+// status. Handles obtained from the same global instant overlap in
+// virtual time; every handle MUST be waited or the clock never observes
+// the read's latency.
+class ReadHandle {
+ public:
+  ReadHandle() = default;
+  // Already-complete (synchronous) read.
+  explicit ReadHandle(Status status) : status_(std::move(status)) {}
+  ReadHandle(Status status, int64_t complete_ns, sim::SimClock* clock)
+      : status_(std::move(status)), complete_ns_(complete_ns),
+        clock_(clock) {}
+
+  // Joins the completion time into the clock and returns the read
+  // status. Idempotent.
+  Status Wait();
+
+  int64_t complete_ns() const { return complete_ns_; }
+
+ private:
+  Status status_;
+  int64_t complete_ns_ = 0;
+  sim::SimClock* clock_ = nullptr;
+};
+
+// Runs `read` inside a virtual-time submission lane on `clock` tagged
+// sim::IoClass::kForegroundRead and wraps the result in a ReadHandle.
+// The shared engine-side implementation of KVStore::ReadAsync.
+ReadHandle AsyncRead(sim::SimClock* clock, uint32_t queue,
+                     const std::function<Status()>& read);
+
+// Outcome of one span of background maintenance work (RunBackgroundWork).
+struct BackgroundResult {
+  Status status;
+  int64_t busy_ns = 0;  // virtual time the background lane spent on it
+};
+
+// Runs `work` on the engine's background submission lane: a lane on
+// `queue` tagged sim::IoClass::kBackground, serialized behind the
+// engine's previous background work via `*horizon_ns` (one background
+// worker per engine, like a compaction thread) — the foreground clock
+// does not advance, so user commit latency no longer absorbs the
+// maintenance I/O. `*horizon_ns` is updated to the work's completion
+// time; the engine must join it back into the clock (AdvanceTo) at the
+// points where the user genuinely waits: write stalls, Flush/Close, and
+// SettleBackgroundWork. With no clock — or inside an enclosing lane,
+// where a nested fork is impossible — the work simply runs on the
+// current timeline (busy_ns stays 0: nothing moved off the foreground).
+BackgroundResult RunBackgroundWork(sim::SimClock* clock, uint32_t queue,
+                                   int64_t* horizon_ns,
+                                   const std::function<Status()>& work);
 
 class KVStore {
  public:
@@ -177,15 +243,31 @@ class KVStore {
 
   virtual Status Get(std::string_view key, std::string* value) = 0;
 
+  // Batched point reads: one status per key (NotFound for missing keys,
+  // which is data, not failure), `values` resized to match. The default
+  // implementation is sequential Gets; engines with a virtual clock fan
+  // the lookups out across read submission lanes at their
+  // `read_queue_depth` (LSM SST probes, B+Tree leaf reads, alog segment
+  // reads, per-shard sub-lookups in the sharded store), so independent
+  // reads overlap in virtual device time across SSD channels — the
+  // read-side counterpart of the WriteBatch group commit.
+  virtual std::vector<Status> MultiGet(
+      std::span<const std::string_view> keys,
+      std::vector<std::string>* values);
+
+  // Asynchronous point read, mirroring WriteAsync: submits the lookup
+  // and returns a handle whose Wait() yields its status. The value is
+  // filled at submission; engines with a clock run the lookup in a
+  // foreground-read submission lane so several ReadAsync calls issued
+  // back-to-back overlap in virtual device time. The default
+  // implementation is simply synchronous.
+  virtual ReadHandle ReadAsync(std::string_view key, std::string* value) {
+    return ReadHandle(Get(key, value));
+  }
+
   // The streaming read path. Never returns null; a failed setup yields an
   // iterator whose status() carries the error.
   virtual std::unique_ptr<Iterator> NewIterator() = 0;
-
-  // DEPRECATED migration shim: collects up to `count` pairs with
-  // key >= start_key via NewIterator(). New code should hold the iterator
-  // directly and stream.
-  Status Scan(std::string_view start_key, size_t count,
-              std::vector<std::pair<std::string, std::string>>* out);
 
   // Forces all buffered state to stable storage (memtable flush or
   // checkpoint), e.g. before measuring space, or before Close.
@@ -212,6 +294,19 @@ class KVStore {
   // Bytes of live engine data on the filesystem (for space amplification).
   virtual uint64_t DiskBytesUsed() const = 0;
 };
+
+// The shared MultiGet fan-out: submits each key's Get in its own
+// foreground-read lane on queues `base_queue + (i mod depth)` with at
+// most `depth` lookups in flight (waiting the oldest before submitting
+// past the depth, exactly a bounded submission queue), then waits the
+// stragglers. With no clock or depth <= 1 this degrades to sequential
+// Gets. Engines whose Get already expresses the whole lookup (LSM,
+// B+Tree) implement MultiGet with this directly; alog overrides it with
+// a File::SubmitReadAt fan-out instead.
+std::vector<Status> FanOutMultiGet(KVStore* store, sim::SimClock* clock,
+                                   uint32_t base_queue, int depth,
+                                   std::span<const std::string_view> keys,
+                                   std::vector<std::string>* values);
 
 }  // namespace ptsb::kv
 

@@ -35,6 +35,10 @@ struct WorkloadSpec {
   // Puts are emitted as kBatchPut when batch_size > 1; the driver groups
   // this many entries into one KVStore::Write (group commit).
   size_t batch_size = 1;
+  // Point reads are executed as KVStore::MultiGet over this many keys
+  // when > 1 (the read-side analog of batch_size: one submission, the
+  // engine fans the lookups out at its read_queue_depth). 1 = plain Get.
+  size_t read_batch_size = 1;
   // Entries consumed per scan op.
   size_t scan_count = 100;
   // Worker threads replaying the update phase. Each worker runs its own

@@ -182,6 +182,23 @@ Status LsmStore::FlushMemtable() {
 }
 
 Status LsmStore::CompactionWork(uint64_t budget) {
+  if (!options_.background_io || options_.clock == nullptr) {
+    return CompactionWorkImpl(budget);
+  }
+  kv::BackgroundResult r = kv::RunBackgroundWork(
+      options_.clock, options_.background_queue, &background_horizon_ns_,
+      [&] { return CompactionWorkImpl(budget); });
+  stats_.time_background_ns += r.busy_ns;
+  return r.status;
+}
+
+void LsmStore::JoinBackgroundWork() {
+  if (options_.clock != nullptr) {
+    options_.clock->AdvanceTo(background_horizon_ns_);
+  }
+}
+
+Status LsmStore::CompactionWorkImpl(uint64_t budget) {
   if (job_ == nullptr) {
     CompactionPick pick =
         PickCompaction(*versions_, options_, &compaction_cursors_);
@@ -215,6 +232,11 @@ Status LsmStore::MaybeStall() {
          options_.l0_stall_trigger) {
     stats_.stall_count++;
     PTSB_RETURN_IF_ERROR(CompactionWork(8 << 20));
+    // A stall IS the user waiting for compaction: with background_io the
+    // wait shows up as an explicit join of the background horizon (and
+    // therefore as commit tail latency), not as per-write compaction
+    // time.
+    JoinBackgroundWork();
     if (job_ == nullptr &&
         static_cast<int>(versions_->LevelFiles(0).size()) >=
             options_.l0_stall_trigger) {
@@ -229,13 +251,17 @@ Status LsmStore::MaybeStall() {
 Status LsmStore::DrainCompactions() {
   write_epoch_++;  // compaction deletes SSTs open iterators may hold
   // Finish the in-flight job and keep compacting until no level is over
-  // its trigger.
+  // its trigger. Draining means waiting the work out: join the
+  // background horizon before reporting settled.
   for (;;) {
     PTSB_RETURN_IF_ERROR(CompactionWork(64 << 20));
     if (job_ != nullptr) continue;
     CompactionPick pick =
         PickCompaction(*versions_, options_, &compaction_cursors_);
-    if (!pick.valid) return Status::OK();
+    if (!pick.valid) {
+      JoinBackgroundWork();
+      return Status::OK();
+    }
   }
 }
 
@@ -322,6 +348,18 @@ Status LsmStore::Get(std::string_view key, std::string* value) {
     }
   }
   return Status::NotFound("no such key");
+}
+
+std::vector<Status> LsmStore::MultiGet(std::span<const std::string_view> keys,
+                                       std::vector<std::string>* values) {
+  PTSB_CHECK(!closed_);
+  return kv::FanOutMultiGet(this, options_.clock, options_.io_queue,
+                            options_.read_queue_depth, keys, values);
+}
+
+kv::ReadHandle LsmStore::ReadAsync(std::string_view key, std::string* value) {
+  return kv::AsyncRead(options_.clock, options_.io_queue,
+                       [&] { return Get(key, value); });
 }
 
 // Streaming merge over the memtable and every live SST: picks the
@@ -492,12 +530,16 @@ std::unique_ptr<kv::KVStore::Iterator> LsmStore::NewIterator() {
 Status LsmStore::Flush() {
   PTSB_CHECK(!closed_);
   write_epoch_++;  // memtable rotation invalidates open iterators
+  // The user asked for durability: wait out in-flight background
+  // compaction before flushing, like the other engines' Flush does.
+  JoinBackgroundWork();
   PTSB_RETURN_IF_ERROR(FlushMemtable());
   return Status::OK();
 }
 
 Status LsmStore::Close() {
   if (closed_) return Status::OK();
+  JoinBackgroundWork();  // shutdown waits out in-flight compaction
   PTSB_RETURN_IF_ERROR(FlushMemtable());
   if (wal_ != nullptr) PTSB_RETURN_IF_ERROR(wal_->Sync());
   closed_ = true;
@@ -544,8 +586,12 @@ LsmOptions LsmOptionsFromEngineOptions(const kv::EngineOptions& eo) {
                       o.compaction_work_per_user_write);
   o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
   o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
+  o.read_queue_depth =
+      kv::ParamInt(eo, "read_queue_depth", o.read_queue_depth);
+  o.background_io = kv::ParamBool(eo, "background_io", o.background_io);
   o.clock = eo.clock;
   o.io_queue = eo.io_queue;
+  o.background_queue = eo.background_queue;
   return o;
 }
 
@@ -584,6 +630,8 @@ std::map<std::string, std::string> EncodeEngineParams(const LsmOptions& o) {
       std::to_string(o.compaction_work_per_user_write);
   p["cpu_put_ns"] = std::to_string(o.cpu_put_ns);
   p["cpu_get_ns"] = std::to_string(o.cpu_get_ns);
+  p["read_queue_depth"] = std::to_string(o.read_queue_depth);
+  p["background_io"] = o.background_io ? "1" : "0";
   return p;
 }
 

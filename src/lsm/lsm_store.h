@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,14 @@ class LsmStore : public kv::KVStore {
   // time (see kv::KVStore::WriteAsync).
   kv::WriteHandle WriteAsync(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
+  // Fans the lookups out across foreground-read submission lanes at
+  // options().read_queue_depth, so independent SST probes overlap in
+  // virtual device time (see kv::KVStore::MultiGet).
+  std::vector<Status> MultiGet(std::span<const std::string_view> keys,
+                               std::vector<std::string>* values) override;
+  // Runs the lookup in a foreground-read lane on options().io_queue (see
+  // kv::KVStore::ReadAsync).
+  kv::ReadHandle ReadAsync(std::string_view key, std::string* value) override;
   // Merging iterator over the memtable and every live SST. Invalidated by
   // any write to the store (no snapshot pinning).
   std::unique_ptr<kv::KVStore::Iterator> NewIterator() override;
@@ -68,7 +77,15 @@ class LsmStore : public kv::KVStore {
 
   Status FlushMemtable();
   // Runs up to `budget` bytes of compaction work, starting a job if due.
+  // With background_io on (and a clock), the work runs on the engine's
+  // background lane: the foreground clock does not advance, and the
+  // completion horizon is joined back only where the user genuinely
+  // waits (MaybeStall, DrainCompactions, Close).
   Status CompactionWork(uint64_t budget);
+  Status CompactionWorkImpl(uint64_t budget);
+  // AdvanceTo the background lane's completion horizon: the foreground
+  // explicitly waiting out pending compaction.
+  void JoinBackgroundWork();
   Status MaybeStall();
   StatusOr<SstReader*> GetReader(uint64_t number);
   void EvictReaders(const std::vector<uint64_t>& numbers);
@@ -86,6 +103,10 @@ class LsmStore : public kv::KVStore {
 
   std::unique_ptr<CompactionJob> job_;
   std::vector<uint64_t> compaction_cursors_;
+  // Completion time of the last background-lane compaction span
+  // (background_io): the engine's one background worker serializes on
+  // it, and foreground waits join it via JoinBackgroundWork().
+  int64_t background_horizon_ns_ = 0;
 
   // Table cache: open readers with pinned index+bloom (never evicted while
   // the file is live, as RocksDB effectively does for filter/index blocks).

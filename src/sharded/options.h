@@ -47,6 +47,13 @@ struct ShardedOptions {
   // workers stay idle, keeping the virtual timeline deterministic. 1 =
   // synchronous serialized commits (the pre-async behavior).
   int queue_depth = 1;
+
+  // Maximum in-flight async sub-lookups per MultiGet call: the read-side
+  // twin of queue_depth. At > 1 (with a virtual clock), MultiGet routes
+  // each key's lookup through the owning shard's ReadAsync — shard i
+  // submits on queue i, so lookups hitting distinct shards overlap in
+  // VIRTUAL device time across SSD channels. 1 = sequential Gets.
+  int read_queue_depth = 1;
 };
 
 }  // namespace ptsb::sharded

@@ -40,6 +40,7 @@ void AddStats(kv::KvStoreStats* into, const kv::KvStoreStats& s) {
   into->time_read_path_ns += s.time_read_path_ns;
   into->time_writeback_ns += s.time_writeback_ns;
   into->time_checkpoint_ns += s.time_checkpoint_ns;
+  into->time_background_ns += s.time_background_ns;
 }
 
 // NoSpace wins over generic errors: the experiment driver treats it as
@@ -112,6 +113,11 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Open(
   if (so.queue_depth < 1) {
     return Status::InvalidArgument("sharded: queue_depth must be >= 1");
   }
+  so.read_queue_depth =
+      kv::ParamInt(options, "read_queue_depth", so.read_queue_depth);
+  if (so.read_queue_depth < 1) {
+    return Status::InvalidArgument("sharded: read_queue_depth must be >= 1");
+  }
   if (const auto it = options.params.find("inner_engine");
       it != options.params.end()) {
     so.inner_engine = it->second;
@@ -172,12 +178,17 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Open(
   inner.params.erase("parallel_write");
   inner.params.erase("parallel_write_min_bytes");
   inner.params.erase("queue_depth");
+  inner.params.erase("read_queue_depth");
 
   for (int i = 0; i < so.shards; i++) {
     inner.root = root + "/shard-" + std::to_string(i);
     // Shard i submits async commits on queue i, so the SSD can overlap
-    // distinct shards' I/O on distinct channels (queue % channels).
+    // distinct shards' I/O on distinct channels (queue % channels);
+    // shard i's background lane (compaction/checkpoint/GC with
+    // background_io on) gets queue shards + i, keeping maintenance off
+    // the foreground channels whenever the device has channels to spare.
     inner.io_queue = static_cast<uint32_t>(i);
+    inner.background_queue = static_cast<uint32_t>(so.shards + i);
     auto opened = kv::EngineRegistry::Global().Open(inner);
     if (!opened.ok()) return opened.status();
     auto shard = std::make_unique<Shard>();
@@ -364,6 +375,52 @@ Status ShardedStore::Get(std::string_view key, std::string* value) {
   return shard->store->Get(key, value);
 }
 
+std::vector<Status> ShardedStore::MultiGet(
+    std::span<const std::string_view> keys,
+    std::vector<std::string>* values) {
+  PTSB_CHECK(!closed_);
+  const int depth = options_.read_queue_depth;
+  if (clock_ == nullptr || depth <= 1) {
+    return KVStore::MultiGet(keys, values);  // sequential Gets per shard
+  }
+  values->assign(keys.size(), std::string());
+  std::vector<Status> statuses(keys.size());
+  // Async sub-lookup dispatch, mirroring WriteAsyncDispatch: each key's
+  // lookup runs in the owning shard's read lane (queue = shard index),
+  // at most `depth` in flight. Waiting the oldest joins its completion
+  // into the clock, bounding the submission queue. Lookups hitting the
+  // same shard serialize on its channel's read pipeline; distinct shards
+  // overlap.
+  std::vector<kv::ReadHandle> handles;
+  handles.reserve(keys.size());
+  size_t waited = 0;
+  for (size_t i = 0; i < keys.size(); i++) {
+    Shard* shard = shards_[static_cast<size_t>(ShardOf(keys[i]))].get();
+    {
+      // The lane runs the whole inner lookup under the shard mutex (the
+      // engines are single-threaded code); only the Wait happens outside.
+      std::lock_guard<std::mutex> lock(shard->mu);
+      handles.push_back(shard->store->ReadAsync(keys[i], &(*values)[i]));
+    }
+    if (handles.size() - waited >= static_cast<size_t>(depth)) {
+      statuses[waited] = handles[waited].Wait();
+      waited++;
+    }
+  }
+  for (; waited < handles.size(); waited++) {
+    statuses[waited] = handles[waited].Wait();
+  }
+  return statuses;
+}
+
+kv::ReadHandle ShardedStore::ReadAsync(std::string_view key,
+                                       std::string* value) {
+  PTSB_CHECK(!closed_);
+  Shard* shard = shards_[static_cast<size_t>(ShardOf(key))].get();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return shard->store->ReadAsync(key, value);
+}
+
 // K-way merge over the per-shard ordered iterators. The hash partition is
 // disjoint, so the merged stream never sees a key twice and ties cannot
 // happen. Consumption is single-threaded by contract (like every iterator
@@ -517,6 +574,7 @@ std::map<std::string, std::string> EncodeEngineParams(
   p["parallel_write"] = o.parallel_write ? "1" : "0";
   p["parallel_write_min_bytes"] = std::to_string(o.parallel_write_min_bytes);
   p["queue_depth"] = std::to_string(o.queue_depth);
+  p["read_queue_depth"] = std::to_string(o.read_queue_depth);
   return p;
 }
 

@@ -37,6 +37,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -63,6 +64,15 @@ class ShardedStore : public kv::KVStore {
 
   Status Write(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
+  // Fans each key's lookup out to its owning shard via the inner
+  // engine's ReadAsync (shard i on queue i), with at most
+  // read_queue_depth sub-lookups in flight — reads hitting distinct
+  // shards overlap in virtual device time across SSD channels (see
+  // kv::KVStore::MultiGet).
+  std::vector<Status> MultiGet(std::span<const std::string_view> keys,
+                               std::vector<std::string>* values) override;
+  // Routes to the owning shard's ReadAsync.
+  kv::ReadHandle ReadAsync(std::string_view key, std::string* value) override;
   std::unique_ptr<kv::KVStore::Iterator> NewIterator() override;
   Status Flush() override;
   Status SettleBackgroundWork() override;

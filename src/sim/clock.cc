@@ -30,11 +30,12 @@ void SimClock::AdvanceTo(int64_t t_ns) {
   }
 }
 
-bool SimClock::BeginAsync(uint32_t queue) {
+bool SimClock::BeginAsync(uint32_t queue, IoClass io_class) {
   if (lane_.owner != nullptr) return false;  // nested: run in the outer lane
   lane_.owner = this;
   lane_.now_ns = now_ns_.load(std::memory_order_relaxed);
   lane_.queue = queue;
+  lane_.io_class = io_class;
   return true;
 }
 

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "sim/io_class.h"
 #include "util/status.h"
 
 namespace ptsb::sim {
@@ -64,12 +65,16 @@ class SimClock {
   //
   // `queue` identifies the logical submission queue; ssd::SsdDevice maps
   // it to a flash channel (queue % channels) so distinct queues can
-  // proceed on distinct per-channel busy-until timelines.
+  // proceed on distinct per-channel busy-until timelines. `io_class`
+  // tags the lane with who the work is for (foreground read/write or
+  // engine-internal background maintenance); the device accounts busy
+  // time and bytes per class per channel.
 
   // Starts a lane. Returns false if the thread is already inside a lane
   // (of any clock): the nested submission then simply runs within the
   // enclosing lane, and the caller must NOT call EndAsync.
-  bool BeginAsync(uint32_t queue);
+  bool BeginAsync(uint32_t queue,
+                  IoClass io_class = IoClass::kForegroundWrite);
 
   // Ends the active lane and returns its local completion time.
   int64_t EndAsync();
@@ -83,11 +88,19 @@ class SimClock {
     return lane_.owner == this ? lane_.queue : 0;
   }
 
+  // I/O class of the calling thread's active lane; `fallback` outside a
+  // lane (the device passes the command's natural class: reads default
+  // to kForegroundRead, writes to kForegroundWrite).
+  IoClass ActiveIoClass(IoClass fallback) const {
+    return lane_.owner == this ? lane_.io_class : fallback;
+  }
+
  private:
   struct Lane {
     const SimClock* owner = nullptr;  // null = no lane active
     int64_t now_ns = 0;
     uint32_t queue = 0;
+    IoClass io_class = IoClass::kForegroundWrite;
   };
   static thread_local Lane lane_;
 
@@ -103,15 +116,17 @@ struct LaneResult {
 
 // THE lane protocol, shared by every submission wrapper in the stack
 // (block::BlockDevice::SubmitWrite/SubmitRead, fs::File::SubmitAppend/
-// SubmitWriteAt, kv::AsyncCommit): run `op` inside a lane on `clock`
-// tagged with `queue` and capture its completion time. With no clock the
-// op just runs; inside an enclosing lane the op charges that lane and
-// "completes" at its current time (nesting collapses). Centralized so a
-// change to lane semantics cannot leave one layer's timing model behind.
+// SubmitWriteAt/SubmitReadAt, kv::AsyncCommit, kv::AsyncRead): run `op`
+// inside a lane on `clock` tagged with `queue` and `io_class` and
+// capture its completion time. With no clock the op just runs; inside an
+// enclosing lane the op charges that lane and "completes" at its current
+// time (nesting collapses). Centralized so a change to lane semantics
+// cannot leave one layer's timing model behind.
 template <typename Op>
-LaneResult RunInLane(SimClock* clock, uint32_t queue, const Op& op) {
+LaneResult RunInLane(SimClock* clock, uint32_t queue, IoClass io_class,
+                     const Op& op) {
   LaneResult r;
-  if (clock == nullptr || !clock->BeginAsync(queue)) {
+  if (clock == nullptr || !clock->BeginAsync(queue, io_class)) {
     r.status = op();
     r.complete_ns = clock != nullptr ? clock->NowNanos() : 0;
     return r;

@@ -78,11 +78,16 @@ void SsdDevice::WaitForCacheSpace(uint64_t bytes, Channel* channel) {
 }
 
 void SsdDevice::EnqueueBackend(Channel* channel, int64_t cost_ns,
-                               uint64_t cached_bytes) {
+                               uint64_t cached_bytes, sim::IoClass cls,
+                               uint64_t bytes) {
   const int64_t start = std::max(clock_->NowNanos(), channel->busy_until_ns);
   channel->busy_until_ns = start + cost_ns;
   channel->busy_ns += cost_ns;
   channel->commands++;
+  const auto c = static_cast<size_t>(cls);
+  channel->class_backend_ns[c] += cost_ns;
+  channel->class_bytes[c] += bytes;
+  channel->class_commands[c]++;
   if (cached_bytes > 0) {
     cache_.emplace(channel->busy_until_ns, cached_bytes);
     cache_occupancy_ += cached_bytes;
@@ -117,7 +122,21 @@ Status SsdDevice::Read(uint64_t lba, uint64_t count, uint8_t* dst) {
   times_.read_ns += cost;
   times_.read_interference_ns += interference;
   times_.read_commands++;
-  clock_->Advance(cost);
+  // The command occupies the channel's read pipeline: concurrent reads
+  // (submission lanes) to the SAME channel serialize behind each other,
+  // reads on distinct channels overlap. A synchronous caller always
+  // waits each read out, so for it start == now and this is exactly the
+  // old Advance(cost).
+  const auto cls =
+      clock_->ActiveIoClass(sim::IoClass::kForegroundRead);
+  const int64_t start =
+      std::max(clock_->NowNanos(), channel.read_busy_until_ns);
+  channel.read_busy_until_ns = start + cost;
+  const auto c = static_cast<size_t>(cls);
+  channel.class_read_ns[c] += cost;
+  channel.class_bytes[c] += bytes;
+  channel.class_commands[c]++;
+  clock_->AdvanceTo(start + cost);
   DrainCache(clock_->NowNanos());
   smart_.host_bytes_read += bytes;
   return Status::OK();
@@ -157,13 +176,21 @@ Status SsdDevice::Write(uint64_t lba, uint64_t count, const uint8_t* src) {
     }
 
     // Backend cost: GC first (it makes room), then the host program.
+    // Device-internal GC is charged to the class of the write that
+    // triggered it.
     const auto& t = config_.timing;
+    const auto cls =
+        clock_->ActiveIoClass(sim::IoClass::kForegroundWrite);
     int64_t gc_cost =
         sim::BytesToNanos(work.gc_read_pages * page, t.gc_read_bw) +
         sim::BytesToNanos(work.gc_write_pages * page, t.program_bw) +
         static_cast<int64_t>(work.blocks_erased) * t.erase_latency_ns;
-    if (gc_cost > 0) EnqueueBackend(&channel, gc_cost, 0);
-    EnqueueBackend(&channel, sim::BytesToNanos(bytes, t.program_bw), bytes);
+    if (gc_cost > 0) {
+      EnqueueBackend(&channel, gc_cost, 0, cls,
+                     (work.gc_read_pages + work.gc_write_pages) * page);
+    }
+    EnqueueBackend(&channel, sim::BytesToNanos(bytes, t.program_bw), bytes,
+                   cls, bytes);
 
     // Host-side cost: ack latency (once per command) + bus transfer.
     int64_t host_cost = sim::BytesToNanos(bytes, t.host_write_bw);
@@ -225,10 +252,32 @@ std::vector<SsdDevice::ChannelStats> SsdDevice::channel_stats() const {
   std::vector<ChannelStats> out;
   out.reserve(channels_.size());
   for (const Channel& c : channels_) {
+    ChannelStats s;
     // Exclude the unserved backlog (work scheduled past the current
     // clock): a short run with a full write cache would otherwise
     // report utilization above 100%.
-    out.push_back({c.busy_ns - BackendBacklogNanos(c), c.commands});
+    const int64_t backlog = BackendBacklogNanos(c);
+    s.busy_ns = c.busy_ns - backlog;
+    s.commands = c.commands;
+    s.scheduled_ns = c.busy_ns;
+    for (int k = 0; k < sim::kNumIoClasses; k++) {
+      // The backlog is deducted from the backend classes pro rata (the
+      // per-item completion times are not tracked per class); read
+      // occupancy carries no backlog — every read is waited out. The
+      // share is computed in double: the int64 product backlog *
+      // class_backend_ns overflows on long runs.
+      int64_t backend = c.class_backend_ns[k];
+      if (backlog > 0 && c.busy_ns > 0) {
+        backend -= static_cast<int64_t>(
+            static_cast<double>(backlog) *
+            static_cast<double>(c.class_backend_ns[k]) /
+            static_cast<double>(c.busy_ns));
+      }
+      s.class_busy_ns[k] = backend + c.class_read_ns[k];
+    }
+    s.class_bytes = c.class_bytes;
+    s.class_commands = c.class_commands;
+    out.push_back(s);
   }
   return out;
 }

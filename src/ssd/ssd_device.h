@@ -19,6 +19,7 @@
 #ifndef PTSB_SSD_SSD_DEVICE_H_
 #define PTSB_SSD_SSD_DEVICE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -28,6 +29,7 @@
 
 #include "block/block_device.h"
 #include "sim/clock.h"
+#include "sim/io_class.h"
 #include "ssd/config.h"
 #include "ssd/ftl.h"
 
@@ -96,9 +98,31 @@ class SsdDevice : public block::BlockDevice {
   // not elapsed yet — backlog past the current clock — is excluded, so
   // busy_ns / elapsed virtual time is a true utilization <= 1).
   // commands counts backend work items enqueued.
+  //
+  // scheduled_ns is the CUMULATIVE backend work ever scheduled on the
+  // channel, backlog included. Unlike busy_ns it is a pure function of
+  // the command byte stream — independent of submission timing, queues
+  // and lanes — so two runs of the same logical workload must agree on
+  // it exactly even when their foreground/background scheduling differs
+  // (the conservation check in bench/micro_read.cc).
+  //
+  // The per-class arrays (indexed by sim::IoClass) attribute the
+  // channel's occupancy to who submitted it: backend work (programs, GC,
+  // erases) plus read occupancy, bytes moved, and commands, per class.
+  // Device-internal GC triggered by a host write is charged to that
+  // write's class (it inflates that command's channel time).
+  // class_busy_ns is backlog-adjusted like busy_ns (the unserved backend
+  // tail is deducted from the backend classes pro rata; read occupancy
+  // is always fully elapsed, since every read is waited out), so the
+  // per-class values are true utilizations and sum to at most the
+  // elapsed backend + read busy time.
   struct ChannelStats {
     int64_t busy_ns = 0;
     uint64_t commands = 0;
+    int64_t scheduled_ns = 0;
+    std::array<int64_t, sim::kNumIoClasses> class_busy_ns{};
+    std::array<uint64_t, sim::kNumIoClasses> class_bytes{};
+    std::array<uint64_t, sim::kNumIoClasses> class_commands{};
   };
   int num_channels() const { return static_cast<int>(channels_.size()); }
   std::vector<ChannelStats> channel_stats() const;
@@ -107,12 +131,26 @@ class SsdDevice : public block::BlockDevice {
   uint64_t ContentMemoryBytes() const;
 
  private:
-  // One flash channel: an independent backend busy-until timeline plus
-  // its cumulative accounting.
+  // One flash channel: an independent backend busy-until timeline (for
+  // programs/GC/erases), an independent READ busy-until timeline (the
+  // channel's read pipeline: reads submitted concurrently to the same
+  // channel serialize on it, reads on distinct channels overlap — for
+  // synchronous callers, who always wait each read out, it never moves
+  // past the clock, so the pre-async timing is reproduced exactly), and
+  // cumulative accounting, total and per I/O class.
   struct Channel {
     int64_t busy_until_ns = 0;
-    int64_t busy_ns = 0;
+    int64_t busy_ns = 0;  // cumulative scheduled backend work
     uint64_t commands = 0;
+    int64_t read_busy_until_ns = 0;
+    // Backend (programs/GC/erases, scheduled) and read-pipeline
+    // occupancy, separately per class: reads carry no backlog, so the
+    // backlog adjustment in channel_stats() applies to the backend
+    // share only.
+    std::array<int64_t, sim::kNumIoClasses> class_backend_ns{};
+    std::array<int64_t, sim::kNumIoClasses> class_read_ns{};
+    std::array<uint64_t, sim::kNumIoClasses> class_bytes{};
+    std::array<uint64_t, sim::kNumIoClasses> class_commands{};
   };
 
   void CopyIn(uint64_t lpn, const uint8_t* src);
@@ -129,9 +167,10 @@ class SsdDevice : public block::BlockDevice {
   // Blocks (advances the current timeline) until `bytes` fit in the cache.
   void WaitForCacheSpace(uint64_t bytes, Channel* channel);
   // Appends backend work to `channel`; `cached_bytes` > 0 ties a cache
-  // entry to its completion.
+  // entry to its completion. `cls`/`bytes` feed the per-class accounting.
   void EnqueueBackend(Channel* channel, int64_t cost_ns,
-                      uint64_t cached_bytes);
+                      uint64_t cached_bytes, sim::IoClass cls,
+                      uint64_t bytes);
   int64_t BackendBacklogNanos(const Channel& channel) const;
 
   SsdConfig config_;

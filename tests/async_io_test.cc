@@ -12,8 +12,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -133,6 +135,63 @@ TEST(SsdChannelTest, DistinctQueuesOverlapOnDistinctChannels) {
   EXPECT_EQ(async_4ch, run(4, /*async=*/true));
 }
 
+// Reads submitted on distinct queues overlap on distinct channels; on a
+// single channel they serialize on the read pipeline to exactly the
+// sequential total. Contents and class accounting are independent of the
+// timing model.
+TEST(SsdChannelTest, ReadsOverlapAcrossChannelsAndSerializeWithinOne) {
+  constexpr uint64_t kPages = 256;  // 1 MiB per command
+  const std::string payload(kPages * 4096, 'r');
+
+  auto run = [&](int channels, bool async) -> int64_t {
+    sim::SimClock clock;
+    ssd::SsdDevice dev(SmallSsd(channels), &clock);
+    for (uint32_t q = 0; q < 4; q++) {
+      EXPECT_TRUE(dev.Write(q * kPages, kPages,
+                            reinterpret_cast<const uint8_t*>(payload.data()))
+                      .ok());
+    }
+    // Let the programs drain so read interference is identical across
+    // timing modes.
+    clock.Advance(sim::kNanosPerSecond);
+    const int64_t t0 = clock.NowNanos();
+    std::vector<std::vector<uint8_t>> bufs(4,
+                                           std::vector<uint8_t>(kPages * 4096));
+    if (async) {
+      std::vector<block::IoTicket> tickets;
+      for (uint32_t q = 0; q < 4; q++) {
+        tickets.push_back(dev.SubmitRead(q * kPages, kPages,
+                                         bufs[q].data(), q));
+      }
+      for (const auto& t : tickets) EXPECT_TRUE(dev.Wait(t).ok());
+    } else {
+      for (uint32_t q = 0; q < 4; q++) {
+        EXPECT_TRUE(dev.Read(q * kPages, kPages, bufs[q].data()).ok());
+      }
+    }
+    for (const auto& buf : bufs) EXPECT_EQ(buf[0], 'r');
+    // Read occupancy is accounted under the foreground-read class.
+    const auto stats = dev.channel_stats();
+    int64_t read_busy = 0;
+    for (const auto& ch : stats) {
+      read_busy +=
+          ch.class_busy_ns[static_cast<int>(sim::IoClass::kForegroundRead)];
+    }
+    EXPECT_GT(read_busy, 0);
+    return clock.NowNanos() - t0;
+  };
+
+  const int64_t sync_1ch = run(1, /*async=*/false);
+  const int64_t async_1ch = run(1, /*async=*/true);
+  const int64_t async_4ch = run(4, /*async=*/true);
+  // One channel: concurrent reads serialize on the read pipeline to the
+  // nanosecond of the sequential run.
+  EXPECT_EQ(async_1ch, sync_1ch);
+  // Four channels: the four reads overlap (well under half the total).
+  EXPECT_LT(async_4ch, sync_1ch / 2);
+  EXPECT_EQ(async_4ch, run(4, /*async=*/true));  // deterministic
+}
+
 // A synchronous call is exactly submit-then-wait on queue 0.
 TEST(SsdChannelTest, SyncWriteEqualsSubmitThenWait) {
   const std::string payload(64 * 4096, 'y');
@@ -196,6 +255,246 @@ TEST(FileAsyncTest, SubmitAppendOverlapsAcrossFiles) {
   EXPECT_EQ(buf, "hello async");
   EXPECT_TRUE(f->Wait(t).ok());
 }
+
+// File-level async reads: SubmitReadAt reads exactly the requested range
+// inside a lane, overlaps across queues, and errors (rather than
+// truncating) past EOF.
+TEST(FileAsyncTest, SubmitReadAtOverlapsAndRejectsShortReads) {
+  const std::string chunk(1 << 20, 'q');
+  sim::SimClock clock;
+  ssd::SsdDevice dev(SmallSsd(4), &clock);
+  fs::SimpleFs fs(&dev, {});
+  std::vector<fs::File*> files;
+  for (int i = 0; i < 4; i++) {
+    files.push_back(*fs.Create("r" + std::to_string(i)));
+    ASSERT_TRUE(files.back()->Append(chunk).ok());
+  }
+  clock.Advance(sim::kNanosPerSecond);  // drain programs
+
+  // Sequential baseline.
+  std::vector<std::string> bufs(4, std::string(chunk.size(), '\0'));
+  const int64_t t0 = clock.NowNanos();
+  for (int i = 0; i < 4; i++) {
+    auto got = files[static_cast<size_t>(i)]->ReadAt(
+        0, chunk.size(), bufs[static_cast<size_t>(i)].data());
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, chunk.size());
+  }
+  const int64_t seq_ns = clock.NowNanos() - t0;
+
+  // Fan the same four reads out on four queues.
+  const int64_t t1 = clock.NowNanos();
+  std::vector<block::IoTicket> tickets;
+  for (uint32_t q = 0; q < 4; q++) {
+    bufs[q].assign(chunk.size(), '\0');
+    tickets.push_back(files[q]->SubmitReadAt(0, chunk.size(),
+                                             bufs[q].data(), q));
+  }
+  for (size_t q = 0; q < 4; q++) {
+    EXPECT_TRUE(files[q]->Wait(tickets[q]).ok());
+    EXPECT_EQ(bufs[q], chunk);
+  }
+  const int64_t fan_ns = clock.NowNanos() - t1;
+  EXPECT_LT(fan_ns, seq_ns / 2);
+
+  // A range past EOF is an error in the ticket, not a silent short read.
+  std::string small(16, '\0');
+  const block::IoTicket bad =
+      files[0]->SubmitReadAt(chunk.size() - 8, 16, small.data(), 1);
+  EXPECT_TRUE(files[0]->Wait(bad).IsIoError());
+}
+
+// ---- The engine read path ---------------------------------------------
+
+// ReadAsync immediately awaited replays the synchronous Get timeline to
+// the nanosecond (the read-side twin of submit-then-wait == sync).
+TEST(ReadAsyncTest, SubmitThenWaitMatchesSyncGet) {
+  auto make = [](sim::SimClock* clock, ssd::SsdDevice* ssd,
+                 std::unique_ptr<fs::SimpleFs>* fs)
+      -> std::unique_ptr<kv::KVStore> {
+    *fs = std::make_unique<fs::SimpleFs>(ssd, fs::FsOptions{});
+    kv::EngineOptions options;
+    options.engine = "alog";
+    options.fs = fs->get();
+    options.clock = clock;
+    options.params = {{"segment_bytes", std::to_string(1 << 20)}};
+    auto opened = kv::OpenStore(options);
+    EXPECT_TRUE(opened.ok());
+    return *std::move(opened);
+  };
+  sim::SimClock c1, c2;
+  ssd::SsdDevice d1(SmallSsd(4), &c1), d2(SmallSsd(4), &c2);
+  std::unique_ptr<fs::SimpleFs> f1, f2;
+  auto s1 = make(&c1, &d1, &f1);
+  auto s2 = make(&c2, &d2, &f2);
+  for (uint64_t id = 0; id < 64; id++) {
+    ASSERT_TRUE(s1->Put(kv::MakeKey(id), kv::MakeValue(id, 1024)).ok());
+    ASSERT_TRUE(s2->Put(kv::MakeKey(id), kv::MakeValue(id, 1024)).ok());
+  }
+  for (uint64_t id = 0; id < 64; id += 3) {
+    std::string v1, v2;
+    ASSERT_TRUE(s1->Get(kv::MakeKey(id), &v1).ok());
+    kv::ReadHandle h = s2->ReadAsync(kv::MakeKey(id), &v2);
+    ASSERT_TRUE(h.Wait().ok());
+    EXPECT_EQ(v1, v2);
+  }
+  EXPECT_EQ(c1.NowNanos(), c2.NowNanos())
+      << "ReadAsync+Wait must replay the sync Get timeline";
+  ASSERT_TRUE(s1->Close().ok());
+  ASSERT_TRUE(s2->Close().ok());
+}
+
+// MultiGet's acceptance property: with channels and read_queue_depth, a
+// uniform batch of lookups finishes in strictly less simulated device
+// time than sequential Gets, with identical returned values —
+// deterministically.
+TEST(MultiGetTest, FanOutCompressesVirtualTime) {
+  auto run = [](int channels, int read_qd, int64_t* read_phase_ns,
+                uint32_t* checksum) {
+    sim::SimClock clock;
+    ssd::SsdDevice ssd(SmallSsd(channels), &clock);
+    fs::SimpleFs fs(&ssd, {});
+    kv::EngineOptions options;
+    options.engine = "alog";
+    options.fs = &fs;
+    options.clock = &clock;
+    options.params = {{"segment_bytes", std::to_string(4 << 20)},
+                      {"read_queue_depth", std::to_string(read_qd)}};
+    auto opened = kv::OpenStore(options);
+    ASSERT_TRUE(opened.ok());
+    auto store = *std::move(opened);
+    for (uint64_t id = 0; id < 128; id++) {
+      ASSERT_TRUE(store->Put(kv::MakeKey(id), kv::MakeValue(id, 2048)).ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());
+
+    std::vector<std::string> keys;
+    for (uint64_t id = 0; id < 128; id += 1) {
+      keys.push_back(kv::MakeKey((id * 37) % 128));
+    }
+    keys.push_back("no-such-key");  // misses cost no device time
+    std::vector<std::string_view> views(keys.begin(), keys.end());
+    std::vector<std::string> values;
+    const int64_t t0 = clock.NowNanos();
+    const std::vector<Status> statuses = store->MultiGet(views, &values);
+    *read_phase_ns = clock.NowNanos() - t0;
+    *checksum = 0;
+    for (size_t i = 0; i + 1 < statuses.size(); i++) {
+      ASSERT_TRUE(statuses[i].ok()) << i;
+      *checksum = Crc32c(*checksum, values[i].data(), values[i].size());
+    }
+    EXPECT_TRUE(statuses.back().IsNotFound());
+    ASSERT_TRUE(store->Close().ok());
+  };
+
+  int64_t seq_ns = 0, fan_ns = 0, repeat_ns = 0;
+  uint32_t seq_sum = 0, fan_sum = 0, repeat_sum = 0;
+  run(4, 1, &seq_ns, &seq_sum);   // read_queue_depth=1 IS sequential Gets
+  run(4, 8, &fan_ns, &fan_sum);
+  EXPECT_LT(fan_ns, seq_ns)
+      << "4-channel read_queue_depth=8 must beat sequential gets";
+  EXPECT_EQ(fan_sum, seq_sum) << "values must not depend on timing";
+  run(4, 8, &repeat_ns, &repeat_sum);  // virtual-time determinism
+  EXPECT_EQ(repeat_ns, fan_ns);
+  EXPECT_EQ(repeat_sum, fan_sum);
+}
+
+// ---- Background I/O separation ----------------------------------------
+
+struct BgOutcome {
+  int64_t foreground_ns = 0;       // clock at end of the write loop
+  int64_t scheduled_busy_ns = 0;   // byte-driven backend work, all channels
+  int64_t background_busy_ns = 0;  // busy time accounted to kBackground
+  uint32_t checksum = 0;           // final contents
+};
+
+// Runs a maintenance-heavy write workload on `engine` with background_io
+// on or off. The logical work (and therefore the device command stream)
+// is identical in both modes; only the timeline attribution differs.
+BgOutcome RunBackgroundWorkload(const std::string& engine,
+                                std::map<std::string, std::string> params,
+                                bool background_io) {
+  BgOutcome out;
+  sim::SimClock clock;
+  ssd::SsdDevice ssd(SmallSsd(2), &clock);
+  fs::SimpleFs fs(&ssd, {});
+  kv::EngineOptions options;
+  options.engine = engine;
+  options.fs = &fs;
+  options.clock = &clock;
+  options.params = std::move(params);
+  options.params["background_io"] = background_io ? "1" : "0";
+  auto opened = kv::OpenStore(options);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  auto store = *std::move(opened);
+
+  kv::WriteBatch batch;
+  for (uint64_t i = 0; i < 3000; i++) {
+    batch.Clear();
+    batch.Put(kv::MakeKey(i % 400), kv::MakeValue(i, 512));
+    EXPECT_TRUE(store->Write(batch).ok());
+  }
+  out.foreground_ns = clock.NowNanos();
+
+  EXPECT_TRUE(store->SettleBackgroundWork().ok());
+  EXPECT_TRUE(store->Flush().ok());
+  auto it = store->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    out.checksum = Crc32c(out.checksum, it->key().data(), it->key().size());
+    out.checksum =
+        Crc32c(out.checksum, it->value().data(), it->value().size());
+  }
+  EXPECT_TRUE(it->status().ok());
+  EXPECT_TRUE(store->Close().ok());
+  for (const auto& ch : ssd.channel_stats()) {
+    out.scheduled_busy_ns += ch.scheduled_ns;
+    out.background_busy_ns +=
+        ch.class_busy_ns[static_cast<int>(sim::IoClass::kBackground)];
+  }
+  return out;
+}
+
+// Maintenance-heavy params per engine: every run must actually trigger
+// compaction / checkpoints / GC, or the separation would have nothing to
+// separate and the strict inequalities below would be vacuous.
+class BackgroundIoTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BackgroundIoTest, SeparationLowersForegroundTimeConservingWork) {
+  const std::string engine = GetParam();
+  std::map<std::string, std::string> params;
+  if (engine == "lsm") {
+    params = {{"memtable_bytes", std::to_string(32 << 10)},
+              {"l1_target_bytes", std::to_string(128 << 10)},
+              {"sst_target_bytes", std::to_string(64 << 10)}};
+  } else if (engine == "btree") {
+    params = {{"cache_bytes", std::to_string(64 << 10)},
+              {"checkpoint_every_bytes", std::to_string(64 << 10)}};
+  } else {
+    params = {{"segment_bytes", std::to_string(64 << 10)},
+              {"gc_trigger", "0.3"}};
+  }
+  const BgOutcome base = RunBackgroundWorkload(engine, params, false);
+  const BgOutcome sep = RunBackgroundWorkload(engine, params, true);
+
+  // The baseline attributes nothing to the background class; separation
+  // must actually have moved work there.
+  EXPECT_EQ(base.background_busy_ns, 0) << engine;
+  EXPECT_GT(sep.background_busy_ns, 0) << engine;
+  // Foreground commits stop absorbing maintenance device time...
+  EXPECT_LT(sep.foreground_ns, base.foreground_ns) << engine;
+  // ...but the device did exactly the same byte-driven work,
+  EXPECT_EQ(sep.scheduled_busy_ns, base.scheduled_busy_ns) << engine;
+  // ...and contents cannot depend on timeline attribution.
+  EXPECT_EQ(sep.checksum, base.checksum) << engine;
+
+  // Determinism: the separated run replays to the nanosecond.
+  const BgOutcome again = RunBackgroundWorkload(engine, params, true);
+  EXPECT_EQ(again.foreground_ns, sep.foreground_ns) << engine;
+  EXPECT_EQ(again.checksum, sep.checksum) << engine;
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, BackgroundIoTest,
+                         ::testing::Values("lsm", "btree", "alog"));
 
 // ---- The sharded async commit path ------------------------------------
 

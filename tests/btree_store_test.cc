@@ -227,7 +227,7 @@ TEST_F(BTreeStoreTest, ScanReturnsSortedRange) {
   Rng rng(31);
   testing::RunRandomOps(store.get(), &model, &rng, 2500, 700, 150, 0.75);
   std::vector<std::pair<std::string, std::string>> got;
-  ASSERT_TRUE(store->Scan("", 100000, &got).ok());
+  ASSERT_TRUE(testing::CollectRange(store.get(), "", 100000, &got).ok());
   ASSERT_EQ(got.size(), model.size());
   auto expect = model.map().begin();
   for (const auto& [k, v] : got) {
@@ -237,7 +237,7 @@ TEST_F(BTreeStoreTest, ScanReturnsSortedRange) {
   }
   // Bounded scan from the middle.
   got.clear();
-  ASSERT_TRUE(store->Scan("k5", 7, &got).ok());
+  ASSERT_TRUE(testing::CollectRange(store.get(), "k5", 7, &got).ok());
   EXPECT_LE(got.size(), 7u);
   for (const auto& [k, v] : got) EXPECT_GE(k, "k5");
   ASSERT_TRUE(store->Close().ok());

@@ -12,9 +12,11 @@
 // injected device faults.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "block/iostat.h"
@@ -95,6 +97,7 @@ std::vector<EngineConfig> AllEngineConfigs() {
     params["shards"] = "3";
     params["inner_engine"] = "alog";
     params["queue_depth"] = "4";
+    params["read_queue_depth"] = "4";
     configs.push_back({"sharded-async/alog", "sharded", std::move(params)});
   }
   return configs;
@@ -266,10 +269,14 @@ TEST_P(DifferentialTest, EnginesAgreeOnEverything) {
   }
   // Full-range scans must agree exactly, pairwise.
   std::vector<std::pair<std::string, std::string>> first;
-  ASSERT_TRUE(engines[0]->store->Scan("", 100000, &first).ok());
+  ASSERT_TRUE(
+      testing::CollectRange(engines[0]->store.get(), "", 100000, &first)
+          .ok());
   for (size_t e = 1; e < engines.size(); e++) {
     std::vector<std::pair<std::string, std::string>> other;
-    ASSERT_TRUE(engines[e]->store->Scan("", 100000, &other).ok());
+    ASSERT_TRUE(
+        testing::CollectRange(engines[e]->store.get(), "", 100000, &other)
+            .ok());
     ASSERT_EQ(first.size(), other.size())
         << configs[0].label << " vs " << configs[e].label;
     for (size_t i = 0; i < first.size(); i++) {
@@ -409,6 +416,128 @@ TEST_P(BatchedDifferentialTest, BatchedTraceProducesIdenticalState) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchedDifferentialTest,
                          ::testing::Values(11u, 12u, 13u));
+
+// MultiGet is Get, batched: for every registered engine config, the
+// statuses and values must match per-key Gets exactly — present keys,
+// missing keys and deleted keys alike — and the result order must follow
+// the input order (including duplicates). The untimed harness exercises
+// the sequential fallback; the timed fan-out path is covered by
+// MultiGetFanOutMatchesGetsWhenTimed below and async_io_test.
+TEST(MultiGetTest, MatchesPerKeyGetsInEveryEngine) {
+  for (const EngineConfig& config : AllEngineConfigs()) {
+    const std::string& engine = config.label;
+    auto h = MakeEngine(config);
+    Rng rng(0x5eed ^ std::hash<std::string>{}(engine));
+    for (int i = 0; i < 600; i++) {
+      const std::string key = "k" + std::to_string(rng.Uniform(150));
+      if (rng.Bernoulli(0.8)) {
+        ASSERT_TRUE(h->store->Put(key, "v" + std::to_string(i)).ok());
+      } else {
+        ASSERT_TRUE(h->store->Delete(key).ok());
+      }
+    }
+    std::vector<std::string> keys;
+    for (int i = 0; i < 80; i++) {
+      keys.push_back("k" + std::to_string(rng.Uniform(200)));  // some miss
+    }
+    keys.push_back(keys.front());  // duplicate key in one batch
+    std::vector<std::string_view> views(keys.begin(), keys.end());
+    std::vector<std::string> values;
+    const std::vector<Status> statuses = h->store->MultiGet(views, &values);
+    ASSERT_EQ(statuses.size(), keys.size()) << engine;
+    ASSERT_EQ(values.size(), keys.size()) << engine;
+    const uint64_t gets_before = h->store->GetStats().user_gets;
+    for (size_t i = 0; i < keys.size(); i++) {
+      std::string expect;
+      const Status s = h->store->Get(keys[i], &expect);
+      ASSERT_EQ(statuses[i].ok(), s.ok()) << engine << ": " << keys[i];
+      ASSERT_EQ(statuses[i].IsNotFound(), s.IsNotFound()) << engine;
+      if (s.ok()) {
+        EXPECT_EQ(values[i], expect) << engine << ": " << keys[i];
+      }
+    }
+    // MultiGet counted one user_get per key, like the per-key loop did.
+    EXPECT_EQ(gets_before, h->store->GetStats().user_gets - keys.size())
+        << engine;
+    ASSERT_TRUE(h->store->Close().ok());
+  }
+}
+
+// SettleBackgroundWork battery: for every registered engine config,
+// settling must (a) leave the visible contents identical to an unsettled
+// store's iterator view of the same logical history, and (b) be
+// idempotent — a second settle moves no bytes and changes nothing.
+TEST(SettleBackgroundWorkTest, SettlingIsIdempotentAndContentPreserving) {
+  for (const EngineConfig& config : AllEngineConfigs()) {
+    const std::string& engine = config.label;
+    auto settled = MakeEngine(config);
+    auto unsettled = MakeEngine(config);
+    Rng rng(0x5e771e);
+    kv::WriteBatch batch;
+    for (int round = 0; round < 150; round++) {
+      batch.Clear();
+      const size_t n = 1 + rng.Uniform(16);
+      for (size_t j = 0; j < n; j++) {
+        const std::string key = "k" + std::to_string(rng.Uniform(250));
+        if (rng.Bernoulli(0.85)) {
+          batch.Put(key, "v" + std::to_string(round * 100 + j));
+        } else {
+          batch.Delete(key);
+        }
+      }
+      ASSERT_TRUE(settled->store->Write(batch).ok()) << engine;
+      ASSERT_TRUE(unsettled->store->Write(batch).ok()) << engine;
+    }
+    ASSERT_TRUE(settled->store->SettleBackgroundWork().ok()) << engine;
+
+    // (a) Same iterator view as the unsettled twin.
+    auto is = settled->store->NewIterator();
+    auto iu = unsettled->store->NewIterator();
+    is->SeekToFirst();
+    iu->SeekToFirst();
+    while (iu->Valid()) {
+      ASSERT_TRUE(is->Valid()) << engine << " lost keys on settle";
+      EXPECT_EQ(is->key(), iu->key()) << engine;
+      EXPECT_EQ(is->value(), iu->value()) << engine;
+      is->Next();
+      iu->Next();
+    }
+    EXPECT_FALSE(is->Valid()) << engine << " grew keys on settle";
+    ASSERT_TRUE(is->status().ok()) << engine;
+    ASSERT_TRUE(iu->status().ok()) << engine;
+
+    // (b) Idempotence: a second settle moves no bytes anywhere.
+    const auto stats1 = settled->store->GetStats();
+    const uint64_t disk1 = settled->store->DiskBytesUsed();
+    ASSERT_TRUE(settled->store->SettleBackgroundWork().ok()) << engine;
+    const auto stats2 = settled->store->GetStats();
+    EXPECT_EQ(stats2.compaction_bytes_written, stats1.compaction_bytes_written)
+        << engine;
+    EXPECT_EQ(stats2.gc_bytes_written, stats1.gc_bytes_written) << engine;
+    EXPECT_EQ(stats2.checkpoint_bytes_written,
+              stats1.checkpoint_bytes_written)
+        << engine;
+    EXPECT_EQ(stats2.flush_bytes_written, stats1.flush_bytes_written)
+        << engine;
+    EXPECT_EQ(settled->store->DiskBytesUsed(), disk1) << engine;
+
+    // The twice-settled store still matches the untouched one.
+    auto is2 = settled->store->NewIterator();
+    auto iu2 = unsettled->store->NewIterator();
+    is2->SeekToFirst();
+    iu2->SeekToFirst();
+    while (iu2->Valid()) {
+      ASSERT_TRUE(is2->Valid()) << engine;
+      EXPECT_EQ(is2->key(), iu2->key()) << engine;
+      EXPECT_EQ(is2->value(), iu2->value()) << engine;
+      is2->Next();
+      iu2->Next();
+    }
+    EXPECT_FALSE(is2->Valid()) << engine;
+    ASSERT_TRUE(settled->store->Close().ok()) << engine;
+    ASSERT_TRUE(unsettled->store->Close().ok()) << engine;
+  }
+}
 
 // An empty WriteBatch is a no-op in every engine: no log record reaches
 // the filesystem and no stats move (a zero-entry WAL/journal record would
@@ -598,7 +727,44 @@ void ExpectStatsEqual(const std::string& label, const kv::KvStoreStats& a,
   PTSB_EXPECT_STAT_EQ(time_read_path_ns);
   PTSB_EXPECT_STAT_EQ(time_writeback_ns);
   PTSB_EXPECT_STAT_EQ(time_checkpoint_ns);
+  PTSB_EXPECT_STAT_EQ(time_background_ns);
 #undef PTSB_EXPECT_STAT_EQ
+}
+
+// The timed fan-out path returns byte-identical results to sequential
+// Gets for every engine config (read_queue_depth forced > 1, clock
+// attached, multi-channel device).
+TEST(MultiGetTest, FanOutMatchesGetsWhenTimed) {
+  for (EngineConfig config : AllEngineConfigs()) {
+    const std::string engine = config.label;
+    // Force the fan-out path regardless of the config's own params.
+    config.params["read_queue_depth"] = "4";
+    auto h = MakeTimedEngine(config);
+    Rng rng(0xfa11ed);
+    for (int i = 0; i < 500; i++) {
+      ASSERT_TRUE(h->store
+                      ->Put("k" + std::to_string(rng.Uniform(120)),
+                            std::string(300, static_cast<char>('a' + i % 26)))
+                      .ok());
+    }
+    ASSERT_TRUE(h->store->Flush().ok());
+    std::vector<std::string> keys;
+    for (int i = 0; i < 60; i++) {
+      keys.push_back("k" + std::to_string(rng.Uniform(140)));  // some miss
+    }
+    std::vector<std::string_view> views(keys.begin(), keys.end());
+    std::vector<std::string> values;
+    const std::vector<Status> statuses = h->store->MultiGet(views, &values);
+    for (size_t i = 0; i < keys.size(); i++) {
+      std::string expect;
+      const Status s = h->store->Get(keys[i], &expect);
+      ASSERT_EQ(statuses[i].ok(), s.ok()) << engine << ": " << keys[i];
+      if (s.ok()) {
+        EXPECT_EQ(values[i], expect) << engine;
+      }
+    }
+    ASSERT_TRUE(h->store->Close().ok()) << engine;
+  }
 }
 
 TEST(AsyncWriteEquivalenceTest, WriteAsyncPlusWaitMatchesSyncWrite) {

@@ -111,7 +111,7 @@ TEST_F(LsmStoreTest, ScanReturnsSortedLiveKeys) {
   Rng rng(9);
   testing::RunRandomOps(store.get(), &model, &rng, 3000, 800, 200, 0.7);
   std::vector<std::pair<std::string, std::string>> got;
-  ASSERT_TRUE(store->Scan("", 100000, &got).ok());
+  ASSERT_TRUE(testing::CollectRange(store.get(), "", 100000, &got).ok());
   ASSERT_EQ(got.size(), model.size());
   auto expect = model.map().begin();
   for (const auto& [k, v] : got) {
@@ -130,7 +130,7 @@ TEST_F(LsmStoreTest, ScanRangeAndLimit) {
     ASSERT_TRUE(store->Put(key, "v").ok());
   }
   std::vector<std::pair<std::string, std::string>> got;
-  ASSERT_TRUE(store->Scan("k050", 10, &got).ok());
+  ASSERT_TRUE(testing::CollectRange(store.get(), "k050", 10, &got).ok());
   ASSERT_EQ(got.size(), 10u);
   EXPECT_EQ(got.front().first, "k050");
   EXPECT_EQ(got.back().first, "k059");
@@ -302,7 +302,7 @@ TEST_F(LsmStoreTest, TombstonesDroppedAtBottomLevel) {
   // dropped at the bottom).
   EXPECT_EQ(store->versions().TotalEntries(), 0u);
   std::vector<std::pair<std::string, std::string>> got;
-  ASSERT_TRUE(store->Scan("", 1000, &got).ok());
+  ASSERT_TRUE(testing::CollectRange(store.get(), "", 1000, &got).ok());
   EXPECT_TRUE(got.empty());
   ASSERT_TRUE(store->Close().ok());
 }

@@ -6,14 +6,31 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "kv/kvstore.h"
 #include "util/random.h"
 #include "util/status.h"
 
 namespace ptsb::testing {
+
+// Collects up to `count` pairs with key >= start via NewIterator() (what
+// the deprecated KVStore::Scan shim used to do; tests that want a
+// materialized range use this, production code streams the iterator).
+inline Status CollectRange(
+    kv::KVStore* store, std::string_view start, size_t count,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  std::unique_ptr<kv::KVStore::Iterator> it = store->NewIterator();
+  for (it->Seek(start); it->Valid() && out->size() < count; it->Next()) {
+    out->emplace_back(std::string(it->key()), std::string(it->value()));
+  }
+  return it->status();
+}
 
 // Oracle for property tests: mirrors every mutation applied to an engine.
 class ReferenceModel {
