@@ -52,6 +52,11 @@ namespace {
       "  --read-batch-size=N         gets grouped into one MultiGet (1)\n"
       "  --background-io=0|1         run compaction/checkpoint/GC on a\n"
       "                              background queue off the commit path\n"
+      "  --cache-bytes=N             read-cache capacity for\n"
+      "                              --engine=cached (0 = engine default)\n"
+      "  --cache-policy=lru|2q       read-cache policy for --engine=cached\n"
+      "  --write-buffer-bytes=N      write-buffer capacity for\n"
+      "                              --engine=cached (0 = engine default)\n"
       "  --zipf=THETA                zipfian updates (default: uniform)\n"
       "  --minutes=M                 paper-equivalent duration (210)\n"
       "  --window=M                  averaging window minutes (10)\n"
@@ -125,6 +130,15 @@ int main(int argc, char** argv) {
       if (config.read_batch_size < 1) Usage();
     } else if (a.starts_with("--background-io=")) {
       config.background_io = ArgF(argv[i], "--background-io=") != 0;
+    } else if (a.starts_with("--cache-bytes=")) {
+      config.cache_bytes =
+          static_cast<uint64_t>(ArgF(argv[i], "--cache-bytes="));
+    } else if (a.starts_with("--cache-policy=")) {
+      config.cache_policy = a.substr(15);
+      if (config.cache_policy.empty()) Usage();
+    } else if (a.starts_with("--write-buffer-bytes=")) {
+      config.write_buffer_bytes =
+          static_cast<uint64_t>(ArgF(argv[i], "--write-buffer-bytes="));
     } else if (a.starts_with("--zipf=")) {
       config.distribution = kv::Distribution::kZipfian;
       config.zipf_theta = ArgF(argv[i], "--zipf=");
@@ -181,6 +195,19 @@ int main(int argc, char** argv) {
       result->reached_steady_state ? "yes" : "NO (pitfall 1: run longer!)",
       result->lba_fraction_untouched * 100, result->load_minutes,
       result->op_p50_us, result->op_p99_us, result->op_max_us);
+  const kv::KvStoreStats& es = result->engine_stats;
+  if (es.cache_hits + es.cache_misses + es.buffer_coalesced_bytes > 0) {
+    const uint64_t probes = es.cache_hits + es.cache_misses;
+    std::printf("cache layer: hits=%llu misses=%llu (%.1f%% hit)  "
+                "coalesced=%s  flush batches=%llu\n",
+                static_cast<unsigned long long>(es.cache_hits),
+                static_cast<unsigned long long>(es.cache_misses),
+                probes > 0 ? 100.0 * static_cast<double>(es.cache_hits) /
+                                 static_cast<double>(probes)
+                           : 0.0,
+                HumanBytes(es.buffer_coalesced_bytes).c_str(),
+                static_cast<unsigned long long>(es.flush_batches));
+  }
   if (!result->channel_utilization.empty()) {
     std::printf("channel utilization:");
     for (size_t c = 0; c < result->channel_utilization.size(); c++) {

@@ -30,6 +30,7 @@ ENGINES = {
     "btree": ("src/btree/btree_store.cc", "src/btree/options.h"),
     "alog": ("src/alog/alog_store.cc", "src/alog/options.h"),
     "sharded": ("src/sharded/sharded_store.cc", "src/sharded/options.h"),
+    "cached": ("src/cached/cached_store.cc", "src/cached/options.h"),
 }
 
 DOC = Path("docs/ENGINES.md")

@@ -1,0 +1,688 @@
+#include "cached/cached_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "alog/segment.h"
+#include "fs/file.h"
+#include "kv/registry.h"
+#include "util/human.h"
+#include "util/logging.h"
+
+namespace ptsb::cached {
+
+CachedStore::CachedStore(const CachedOptions& options, fs::SimpleFs* fs,
+                         std::string root,
+                         std::unique_ptr<kv::KVStore> inner,
+                         std::unique_ptr<ReadCache> cache)
+    : options_(options), fs_(fs), root_(std::move(root)),
+      inner_(std::move(inner)), cache_(std::move(cache)) {}
+
+CachedStore::~CachedStore() {
+  if (!closed_) {
+    // Best-effort shutdown; errors are not recoverable in a destructor.
+    Close().ok();
+  }
+}
+
+CachedOptions CachedOptionsFromEngineOptions(const kv::EngineOptions& eo) {
+  CachedOptions o;
+  if (const auto it = eo.params.find("inner_engine");
+      it != eo.params.end()) {
+    o.inner_engine = it->second;
+  }
+  o.write_buffer_bytes =
+      kv::ParamUint64(eo, "write_buffer_bytes", o.write_buffer_bytes);
+  o.read_cache_bytes =
+      kv::ParamUint64(eo, "read_cache_bytes", o.read_cache_bytes);
+  if (const auto it = eo.params.find("read_cache_policy");
+      it != eo.params.end()) {
+    o.read_cache_policy = it->second;
+  }
+  o.flush_watermark =
+      kv::ParamDouble(eo, "flush_watermark", o.flush_watermark);
+  o.log_sync_every_bytes =
+      kv::ParamUint64(eo, "log_sync_every_bytes", o.log_sync_every_bytes);
+  o.background_io = kv::ParamBool(eo, "background_io", o.background_io);
+  o.clock = eo.clock;
+  o.io_queue = eo.io_queue;
+  o.background_queue = eo.background_queue;
+  return o;
+}
+
+StatusOr<std::unique_ptr<CachedStore>> CachedStore::Open(
+    const kv::EngineOptions& eo) {
+  CachedOptions o = CachedOptionsFromEngineOptions(eo);
+  if (o.write_buffer_bytes == 0) {
+    return Status::InvalidArgument("cached: write_buffer_bytes must be > 0");
+  }
+  if (!(o.flush_watermark > 0.0) || o.flush_watermark > 1.0) {
+    return Status::InvalidArgument(
+        "cached: flush_watermark must be in (0, 1]");
+  }
+  if (o.inner_engine == "cached") {
+    return Status::InvalidArgument(
+        "cached: inner_engine cannot be \"cached\" (no nesting)");
+  }
+  if (!kv::EngineRegistry::Global().Contains(o.inner_engine)) {
+    return Status::InvalidArgument("cached: unknown inner_engine \"" +
+                                   o.inner_engine + "\"");
+  }
+  // Validate the policy name even when the cache is disabled, so a typo
+  // fails loudly instead of silently benchmarking nothing.
+  PTSB_ASSIGN_OR_RETURN(
+      std::unique_ptr<ReadCache> cache,
+      ReadCache::Create(o.read_cache_policy,
+                        std::max<uint64_t>(o.read_cache_bytes, 1)));
+  if (o.read_cache_bytes == 0) cache.reset();
+
+  const std::string root = eo.root.empty() ? "cached" : eo.root;
+
+  // The inner engine choice is part of the on-disk layout: the wrapper's
+  // data lives inside a store of that format under <root>/inner, so
+  // reopening with a different inner engine would read another engine's
+  // files. Persist it in a META file on first open and refuse a mismatch.
+  const std::string meta_name = root + "/META";
+  const std::string expected = "inner_engine=" + o.inner_engine + "\n";
+  if (eo.fs->Exists(meta_name)) {
+    PTSB_ASSIGN_OR_RETURN(fs::File * meta, eo.fs->Open(meta_name));
+    std::string contents(meta->size(), '\0');
+    PTSB_ASSIGN_OR_RETURN(const uint64_t got,
+                          meta->ReadAt(0, contents.size(), contents.data()));
+    contents.resize(got);
+    if (contents != expected) {
+      return Status::InvalidArgument(
+          "cached: store at \"" + root + "\" was created with different "
+          "layout parameters (on disk: \"" + contents + "\", requested: \"" +
+          expected + "\"); the inner engine is part of the on-disk layout "
+          "and must match");
+    }
+  } else {
+    PTSB_ASSIGN_OR_RETURN(fs::File * meta, eo.fs->Create(meta_name));
+    PTSB_RETURN_IF_ERROR(meta->Append(expected));
+    PTSB_RETURN_IF_ERROR(meta->Sync());
+  }
+
+  // Everything except the wrapper's own knobs configures the inner
+  // engine; background_io intentionally reaches both layers.
+  kv::EngineOptions inner = eo;
+  inner.engine = o.inner_engine;
+  inner.root = root + "/inner";
+  inner.params.erase("inner_engine");
+  inner.params.erase("write_buffer_bytes");
+  inner.params.erase("read_cache_bytes");
+  inner.params.erase("read_cache_policy");
+  inner.params.erase("flush_watermark");
+  inner.params.erase("log_sync_every_bytes");
+  auto opened = kv::EngineRegistry::Global().Open(inner);
+  if (!opened.ok()) return opened.status();
+
+  auto store = std::unique_ptr<CachedStore>(new CachedStore(
+      o, eo.fs, root, *std::move(opened), std::move(cache)));
+  PTSB_RETURN_IF_ERROR(store->ReplayAndCompactLog());
+  return store;
+}
+
+std::string CachedStore::LogName(uint64_t id) const {
+  return StrPrintf("%s/%06llu.wlog", root_.c_str(),
+                   static_cast<unsigned long long>(id));
+}
+
+std::vector<std::pair<uint64_t, std::string>>
+CachedStore::ListLogSegments() const {
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& name : fs_->List(root_ + "/")) {
+    if (!name.ends_with(".wlog")) continue;
+    std::string_view base(name);
+    base.remove_prefix(root_.size() + 1);
+    base.remove_suffix(5);
+    if (base.empty() || base.size() > 19) continue;  // not a sane id
+    uint64_t id = 0;
+    bool numeric = true;
+    for (const char c : base) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      id = id * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (!numeric) continue;  // inner-engine files etc.
+    segments.emplace_back(id, name);
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+Status CachedStore::ReplayAndCompactLog() {
+  const auto segments = ListLogSegments();
+  if (segments.empty()) return Status::OK();
+  replaying_ = true;
+  for (const auto& [id, name] : segments) {
+    PTSB_ASSIGN_OR_RETURN(fs::File * file, fs_->Open(name));
+    PTSB_RETURN_IF_ERROR(alog::ReplaySegment(
+        file, [this](const alog::ReplayedEntry& e) {
+          ApplyEntry(e.kind == kv::WriteBatch::EntryKind::kDelete, e.key,
+                     e.value);
+        }));
+  }
+  replaying_ = false;
+  next_log_id_ = segments.back().first + 1;
+  // Rewrite the surviving buffer as one synced snapshot segment, then
+  // drop the replayed ones: recovery cost stays proportional to the
+  // buffer, not to history.
+  if (!buffer_.empty()) {
+    PTSB_RETURN_IF_ERROR(WriteSnapshotSegment());
+  }
+  for (const auto& [id, name] : segments) {
+    PTSB_RETURN_IF_ERROR(fs_->Delete(name));
+  }
+  return Status::OK();
+}
+
+void CachedStore::ApplyEntry(bool is_delete, std::string_view key,
+                             std::string_view value) {
+  // The buffer now owns the freshest version of the key; a stale cached
+  // value must never outlive it (it would resurface after the flush).
+  if (cache_ != nullptr) cache_->Erase(key);
+  const auto it = buffer_.find(key);
+  if (it == buffer_.end()) {
+    BufferEntry entry;
+    entry.tombstone = is_delete;
+    if (!is_delete) entry.value.assign(value.data(), value.size());
+    buffer_bytes_ += key.size() + entry.value.size();
+    buffer_.emplace(std::string(key), std::move(entry));
+    return;
+  }
+  const uint64_t old_charge = EntryCharge(it->first, it->second);
+  buffer_bytes_ -= old_charge;
+  it->second.absorbed_bytes += old_charge;
+  if (!replaying_) stats_.buffer_coalesced_bytes += old_charge;
+  it->second.tombstone = is_delete;
+  if (is_delete) {
+    it->second.value.clear();
+  } else {
+    it->second.value.assign(value.data(), value.size());
+  }
+  buffer_bytes_ += EntryCharge(it->first, it->second);
+}
+
+void CachedStore::ApplyToBuffer(const kv::WriteBatch& batch) {
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    ApplyEntry(e.kind == kv::WriteBatch::EntryKind::kDelete, e.key, e.value);
+  }
+}
+
+Status CachedStore::AppendLogRecord(const std::string& record) {
+  if (log_ == nullptr) {
+    log_id_ = next_log_id_++;
+    PTSB_ASSIGN_OR_RETURN(fs::File * file, fs_->Create(LogName(log_id_)));
+    log_ = file;
+    unsynced_log_bytes_ = 0;
+  }
+  PTSB_RETURN_IF_ERROR(log_->Append(record));
+  stats_.wal_bytes_written += record.size();
+  if (options_.log_sync_every_bytes > 0) {
+    unsynced_log_bytes_ += record.size();
+    if (unsynced_log_bytes_ >= options_.log_sync_every_bytes) {
+      unsynced_log_bytes_ = 0;
+      PTSB_RETURN_IF_ERROR(log_->Sync());
+    }
+  }
+  return Status::OK();
+}
+
+Status CachedStore::WriteSnapshotSegment() {
+  log_id_ = next_log_id_++;
+  PTSB_ASSIGN_OR_RETURN(fs::File * file, fs_->Create(LogName(log_id_)));
+  log_ = file;
+  unsynced_log_bytes_ = 0;
+  if (buffer_.empty()) return Status::OK();
+  kv::WriteBatch snapshot;
+  for (const auto& [key, entry] : buffer_) {
+    if (entry.tombstone) {
+      snapshot.Delete(key);
+    } else {
+      snapshot.Put(key, entry.value);
+    }
+  }
+  const std::string record = alog::EncodeRecord(snapshot, nullptr);
+  PTSB_RETURN_IF_ERROR(log_->Append(record));
+  stats_.checkpoint_bytes_written += record.size();
+  return log_->Sync();
+}
+
+Status CachedStore::Write(const kv::WriteBatch& batch) {
+  PTSB_CHECK(!closed_);
+  if (batch.empty()) return Status::OK();
+  write_epoch_++;
+  stats_.user_batches++;
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    if (e.kind == kv::WriteBatch::EntryKind::kPut) {
+      stats_.user_puts++;
+      stats_.user_bytes_written += e.key.size() + e.value.size();
+    } else {
+      stats_.user_deletes++;
+      stats_.user_bytes_written += e.key.size();
+    }
+  }
+  const int64_t t0 = NowNs();
+  const std::string record = alog::EncodeRecord(batch, nullptr);
+  const Status logged = AppendLogRecord(record);
+  stats_.time_wal_ns += NowNs() - t0;
+  PTSB_RETURN_IF_ERROR(logged);
+  ApplyToBuffer(batch);
+  PTSB_RETURN_IF_ERROR(MaybeFlush());
+  return MaybeCheckpointLog();
+}
+
+kv::WriteHandle CachedStore::WriteAsync(const kv::WriteBatch& batch) {
+  PTSB_CHECK(!closed_);
+  return kv::AsyncCommit(options_.clock, options_.io_queue,
+                         [this, &batch] { return Write(batch); });
+}
+
+Status CachedStore::MaybeFlush() {
+  if (buffer_bytes_ < options_.write_buffer_bytes) return Status::OK();
+  const auto target = static_cast<uint64_t>(
+      options_.flush_watermark *
+      static_cast<double>(options_.write_buffer_bytes));
+  if (options_.background_io && options_.clock != nullptr) {
+    const kv::BackgroundResult r = kv::RunBackgroundWork(
+        options_.clock, options_.background_queue, &background_horizon_ns_,
+        [this, target] { return FlushBuffer(target); });
+    stats_.time_background_ns += r.busy_ns;
+    return r.status;
+  }
+  // Inline flush: the commit that crossed the capacity line absorbs the
+  // whole drain — the wrapper-level write stall.
+  stats_.stall_count++;
+  const int64_t t0 = NowNs();
+  const Status s = FlushBuffer(target);
+  stats_.time_flush_ns += NowNs() - t0;
+  return s;
+}
+
+Status CachedStore::FlushBuffer(uint64_t target_bytes) {
+  if (buffer_bytes_ <= target_bytes || buffer_.empty()) return Status::OK();
+
+  // Pick victims largest-coalesced-first: the entries that already
+  // absorbed the most rewrite traffic have the highest payoff per inner
+  // write, and what stays behind is the set still most likely to keep
+  // coalescing.
+  struct Victim {
+    uint64_t priority;
+    uint64_t charge;
+    std::string_view key;  // into buffer_ (stable until erased below)
+  };
+  std::vector<Victim> order;
+  order.reserve(buffer_.size());
+  for (const auto& [key, entry] : buffer_) {
+    const uint64_t charge = EntryCharge(key, entry);
+    order.push_back(Victim{entry.absorbed_bytes + charge, charge, key});
+  }
+  std::sort(order.begin(), order.end(), [](const Victim& a, const Victim& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.key < b.key;
+  });
+  uint64_t projected = buffer_bytes_;
+  std::vector<std::string_view> victims;
+  for (const Victim& v : order) {
+    if (projected <= target_bytes) break;
+    victims.push_back(v.key);
+    projected -= v.charge;
+  }
+
+  // One inner group commit in key order (flash-friendly: the inner
+  // engine sees a single large sorted batch instead of the user's
+  // arrival order).
+  std::sort(victims.begin(), victims.end());
+  kv::WriteBatch batch;
+  for (const std::string_view key : victims) {
+    const BufferEntry& entry = buffer_.find(key)->second;
+    if (entry.tombstone) {
+      batch.Delete(key);
+    } else {
+      batch.Put(key, entry.value);
+    }
+  }
+  // On failure the buffer (and the durability log) still holds
+  // everything; nothing is lost, the error just surfaces.
+  PTSB_RETURN_IF_ERROR(inner_->Write(batch));
+  stats_.flush_batches++;
+  for (const std::string_view key : victims) {
+    const auto it = buffer_.find(key);
+    buffer_bytes_ -= EntryCharge(it->first, it->second);
+    buffer_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status CachedStore::MaybeCheckpointLog() {
+  if (log_ == nullptr) return Status::OK();
+  const uint64_t limit = std::max<uint64_t>(8 * options_.write_buffer_bytes,
+                                            uint64_t{128} << 10);
+  if (log_->size() <= limit) return Status::OK();
+  const int64_t t0 = NowNs();
+  // Records about to be dropped from the log cover entries already
+  // flushed to the inner engine; make those durable below before the log
+  // stops replaying them.
+  Status s = inner_->Flush();
+  if (s.ok()) s = WriteSnapshotSegment();
+  if (s.ok()) s = DeleteLogSegments(log_id_);
+  stats_.time_checkpoint_ns += NowNs() - t0;
+  return s;
+}
+
+Status CachedStore::DeleteLogSegments(uint64_t keep_from_id) {
+  for (const auto& [id, name] : ListLogSegments()) {
+    if (id >= keep_from_id) continue;
+    PTSB_RETURN_IF_ERROR(fs_->Delete(name));
+  }
+  return Status::OK();
+}
+
+void CachedStore::JoinBackgroundWork() {
+  if (options_.clock != nullptr) {
+    options_.clock->AdvanceTo(background_horizon_ns_);
+  }
+}
+
+Status CachedStore::Get(std::string_view key, std::string* value) {
+  PTSB_CHECK(!closed_);
+  stats_.user_gets++;
+  if (const auto it = buffer_.find(key); it != buffer_.end()) {
+    stats_.cache_hits++;
+    if (it->second.tombstone) {
+      return Status::NotFound("key deleted in write buffer");
+    }
+    *value = it->second.value;
+    stats_.user_bytes_read += value->size();
+    return Status::OK();
+  }
+  if (cache_ != nullptr && cache_->Get(key, value)) {
+    stats_.cache_hits++;
+    stats_.user_bytes_read += value->size();
+    return Status::OK();
+  }
+  stats_.cache_misses++;
+  const Status s = inner_->Get(key, value);
+  if (s.ok()) {
+    if (cache_ != nullptr) cache_->Insert(key, *value);
+    stats_.user_bytes_read += value->size();
+  }
+  return s;
+}
+
+std::vector<Status> CachedStore::MultiGet(
+    std::span<const std::string_view> keys,
+    std::vector<std::string>* values) {
+  PTSB_CHECK(!closed_);
+  if (options_.clock == nullptr) {
+    return KVStore::MultiGet(keys, values);  // sequential Gets
+  }
+  // Serve buffer/cache hits inline, then forward the misses as ONE inner
+  // MultiGet so they inherit the inner engine's read fan-out.
+  values->assign(keys.size(), std::string());
+  std::vector<Status> statuses(keys.size(), Status::OK());
+  std::vector<size_t> miss_pos;
+  std::vector<std::string_view> miss_keys;
+  for (size_t i = 0; i < keys.size(); i++) {
+    stats_.user_gets++;
+    if (const auto it = buffer_.find(keys[i]); it != buffer_.end()) {
+      stats_.cache_hits++;
+      if (it->second.tombstone) {
+        statuses[i] = Status::NotFound("key deleted in write buffer");
+      } else {
+        (*values)[i] = it->second.value;
+        stats_.user_bytes_read += it->second.value.size();
+      }
+      continue;
+    }
+    if (cache_ != nullptr && cache_->Get(keys[i], &(*values)[i])) {
+      stats_.cache_hits++;
+      stats_.user_bytes_read += (*values)[i].size();
+      continue;
+    }
+    stats_.cache_misses++;
+    miss_pos.push_back(i);
+    miss_keys.push_back(keys[i]);
+  }
+  if (!miss_keys.empty()) {
+    std::vector<std::string> miss_values;
+    std::vector<Status> miss_statuses =
+        inner_->MultiGet(miss_keys, &miss_values);
+    for (size_t j = 0; j < miss_pos.size(); j++) {
+      statuses[miss_pos[j]] = miss_statuses[j];
+      if (!miss_statuses[j].ok()) continue;
+      (*values)[miss_pos[j]] = std::move(miss_values[j]);
+      stats_.user_bytes_read += (*values)[miss_pos[j]].size();
+      if (cache_ != nullptr) {
+        cache_->Insert(keys[miss_pos[j]], (*values)[miss_pos[j]]);
+      }
+    }
+  }
+  return statuses;
+}
+
+kv::ReadHandle CachedStore::ReadAsync(std::string_view key,
+                                      std::string* value) {
+  PTSB_CHECK(!closed_);
+  return kv::AsyncRead(options_.clock, options_.io_queue,
+                       [this, key, value] { return Get(key, value); });
+}
+
+// Two-way merge of the write buffer over the inner engine's cursor. The
+// buffer wins ties (it holds the newer version) and its tombstones hide
+// inner keys. Yielded pairs feed the read cache — deliberately including
+// scan traffic, which is exactly what the 2Q policy must shrug off.
+class CachedStore::MergeIterator : public kv::KVStore::Iterator {
+ public:
+  MergeIterator(CachedStore* store,
+                std::unique_ptr<kv::KVStore::Iterator> inner)
+      : store_(store), inner_(std::move(inner)),
+        epoch_(store->write_epoch_) {}
+
+  void SeekToFirst() override { Seek(""); }
+
+  void Seek(std::string_view target) override {
+    CheckEpoch();
+    buf_it_ = store_->buffer_.lower_bound(target);
+    inner_->Seek(target);
+    FindNext();
+  }
+
+  bool Valid() const override {
+    return source_ != Source::kNone && status_.ok();
+  }
+
+  void Next() override {
+    CheckEpoch();
+    if (source_ == Source::kNone) return;
+    if (source_ == Source::kBuffer) {
+      ++buf_it_;
+    } else {
+      inner_->Next();
+    }
+    FindNext();
+  }
+
+  std::string_view key() const override {
+    return source_ == Source::kBuffer ? std::string_view(buf_it_->first)
+                                      : inner_->key();
+  }
+  std::string_view value() const override {
+    return source_ == Source::kBuffer
+               ? std::string_view(buf_it_->second.value)
+               : inner_->value();
+  }
+
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    return inner_->status();
+  }
+
+ private:
+  enum class Source { kNone, kBuffer, kInner };
+
+  void CheckEpoch() const {
+    PTSB_DCHECK(epoch_ == store_->write_epoch_)
+        << "cached iterator used after a write to the store";
+  }
+
+  void FindNext() {
+    source_ = Source::kNone;
+    for (;;) {
+      if (!inner_->status().ok()) {
+        status_ = inner_->status();
+        return;
+      }
+      const bool have_buf = buf_it_ != store_->buffer_.end();
+      const bool have_inner = inner_->Valid();
+      if (!have_buf && !have_inner) return;  // clean end
+      if (have_buf && (!have_inner || buf_it_->first <= inner_->key())) {
+        // The buffer shadows an equal inner key: step past both versions
+        // together.
+        if (have_inner && inner_->key() == buf_it_->first) inner_->Next();
+        if (buf_it_->second.tombstone) {
+          ++buf_it_;
+          continue;
+        }
+        source_ = Source::kBuffer;
+        Observe(buf_it_->first, buf_it_->second.value);
+        return;
+      }
+      source_ = Source::kInner;
+      Observe(inner_->key(), inner_->value());
+      return;
+    }
+  }
+
+  void Observe(std::string_view key, std::string_view value) {
+    store_->stats_.user_bytes_read += key.size() + value.size();
+    if (store_->cache_ != nullptr) store_->cache_->Insert(key, value);
+  }
+
+  CachedStore* const store_;
+  std::unique_ptr<kv::KVStore::Iterator> inner_;
+  const uint64_t epoch_;
+  std::map<std::string, BufferEntry, std::less<>>::const_iterator buf_it_;
+  Source source_ = Source::kNone;
+  Status status_;
+};
+
+std::unique_ptr<kv::KVStore::Iterator> CachedStore::NewIterator() {
+  PTSB_CHECK(!closed_);
+  stats_.user_scans++;
+  return std::make_unique<MergeIterator>(this, inner_->NewIterator());
+}
+
+Status CachedStore::Flush() {
+  PTSB_CHECK(!closed_);
+  JoinBackgroundWork();
+  const int64_t t0 = NowNs();
+  const Status drained = FlushBuffer(0);
+  stats_.time_flush_ns += NowNs() - t0;
+  PTSB_RETURN_IF_ERROR(drained);
+  PTSB_RETURN_IF_ERROR(inner_->Flush());
+  // Everything the log guarded is durable in the inner engine now; the
+  // log is logically empty and its segments can go. The next Write
+  // starts a fresh one.
+  log_ = nullptr;
+  unsynced_log_bytes_ = 0;
+  return DeleteLogSegments(next_log_id_);
+}
+
+Status CachedStore::SettleBackgroundWork() {
+  PTSB_CHECK(!closed_);
+  // Joins pending background flush time; the buffer itself stays resident
+  // (it is steady-state, not debt — draining it here would make settling
+  // non-idempotent).
+  JoinBackgroundWork();
+  return inner_->SettleBackgroundWork();
+}
+
+Status CachedStore::Close() {
+  if (closed_) return Status::OK();
+  JoinBackgroundWork();
+  Status persist = FlushBuffer(0);
+  if (persist.ok()) persist = inner_->Flush();
+  if (persist.ok()) {
+    // Clean shutdown: buffer durable below, log segments redundant.
+    log_ = nullptr;
+    unsynced_log_bytes_ = 0;
+    persist = DeleteLogSegments(next_log_id_);
+  }
+  const Status closed = inner_->Close();
+  closed_ = true;
+  if (persist.IsNoSpace()) return persist;
+  if (closed.IsNoSpace()) return closed;
+  if (!persist.ok()) return persist;
+  return closed;
+}
+
+kv::KvStoreStats CachedStore::GetStats() const {
+  kv::KvStoreStats s = stats_;
+  const kv::KvStoreStats in = inner_->GetStats();
+  // The inner engine's "user" traffic is this wrapper's flush traffic:
+  // fold its whole write path into the maintenance columns and keep only
+  // the wrapper's own user_* counters, so user_bytes_written still means
+  // what the application wrote and the write-amplification ratios stay
+  // honest.
+  s.flush_bytes_written += in.wal_bytes_written + in.flush_bytes_written;
+  s.compaction_bytes_written += in.compaction_bytes_written;
+  s.compaction_bytes_read += in.compaction_bytes_read;
+  s.page_write_bytes += in.page_write_bytes;
+  s.page_read_bytes += in.page_read_bytes;
+  s.checkpoint_bytes_written += in.checkpoint_bytes_written;
+  s.gc_bytes_written += in.gc_bytes_written;
+  s.gc_bytes_read += in.gc_bytes_read;
+  s.stall_count += in.stall_count;
+  s.time_flush_ns += in.time_wal_ns + in.time_flush_ns;
+  s.time_compaction_ns += in.time_compaction_ns;
+  s.time_read_path_ns += in.time_read_path_ns;
+  s.time_writeback_ns += in.time_writeback_ns;
+  s.time_checkpoint_ns += in.time_checkpoint_ns;
+  s.time_background_ns += in.time_background_ns;
+  return s;
+}
+
+std::string CachedStore::Name() const {
+  return StrPrintf("cached(%s over %s)",
+                   cache_ != nullptr ? cache_->PolicyName().c_str() : "nocache",
+                   options_.inner_engine.c_str());
+}
+
+uint64_t CachedStore::DiskBytesUsed() const {
+  uint64_t total = inner_->DiskBytesUsed();
+  for (const auto& [id, name] : ListLogSegments()) {
+    const auto size = fs_->FileSize(name);
+    if (size.ok()) total += *size;
+  }
+  return total;
+}
+
+void RegisterCachedEngine() {
+  kv::EngineRegistry::Global().Register(
+      "cached",
+      [](const kv::EngineOptions& eo)
+          -> StatusOr<std::unique_ptr<kv::KVStore>> {
+        auto opened = CachedStore::Open(eo);
+        if (!opened.ok()) return opened.status();
+        return std::unique_ptr<kv::KVStore>(std::move(*opened));
+      });
+}
+
+std::map<std::string, std::string> EncodeEngineParams(
+    const CachedOptions& o) {
+  std::map<std::string, std::string> p;
+  p["inner_engine"] = o.inner_engine;
+  p["write_buffer_bytes"] = std::to_string(o.write_buffer_bytes);
+  p["read_cache_bytes"] = std::to_string(o.read_cache_bytes);
+  p["read_cache_policy"] = o.read_cache_policy;
+  p["flush_watermark"] = StrPrintf("%g", o.flush_watermark);
+  p["log_sync_every_bytes"] = std::to_string(o.log_sync_every_bytes);
+  p["background_io"] = o.background_io ? "1" : "0";
+  return p;
+}
+
+}  // namespace ptsb::cached

@@ -1,0 +1,155 @@
+// The "cached" engine: a flash-aware write buffer + read cache wrapped
+// around any inner registry engine (eFIND-style host buffering; ROADMAP
+// open item 1). User batches land in an in-memory buffer (last-write-wins
+// per key, tombstones retained) backed by the wrapper's own append-only
+// durability log; the buffer is drained to the inner engine as large
+// group-commit batches picked largest-coalesced-first, so the inner
+// structure sees fewer, bigger, flash-friendlier writes. Point reads that
+// miss the buffer probe a pluggable scan-resistant read cache ("lru" or
+// "2q") before paying the inner read path.
+#ifndef PTSB_CACHED_CACHED_STORE_H_
+#define PTSB_CACHED_CACHED_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cached/options.h"
+#include "cached/read_cache.h"
+#include "fs/filesystem.h"
+#include "kv/kvstore.h"
+#include "kv/registry.h"
+#include "util/status.h"
+
+namespace ptsb::cached {
+
+class CachedStore : public kv::KVStore {
+ public:
+  // Opens (or reopens) the wrapper at eo.root: validates params, checks
+  // the META file (layout-critical inner_engine must match the on-disk
+  // choice), opens the inner engine under <root>/inner, and replays any
+  // durability-log segments into the write buffer.
+  static StatusOr<std::unique_ptr<CachedStore>> Open(
+      const kv::EngineOptions& eo);
+
+  ~CachedStore() override;
+
+  Status Write(const kv::WriteBatch& batch) override;
+  kv::WriteHandle WriteAsync(const kv::WriteBatch& batch) override;
+  Status Get(std::string_view key, std::string* value) override;
+  std::vector<Status> MultiGet(std::span<const std::string_view> keys,
+                               std::vector<std::string>* values) override;
+  kv::ReadHandle ReadAsync(std::string_view key, std::string* value) override;
+  std::unique_ptr<Iterator> NewIterator() override;
+  Status Flush() override;
+  Status SettleBackgroundWork() override;
+  Status Close() override;
+  kv::KvStoreStats GetStats() const override;
+  std::string Name() const override;
+  uint64_t DiskBytesUsed() const override;
+
+  // Introspection for benches/tests: the inner engine's own stats (what
+  // actually reached the wrapped structure), and the live buffer shape.
+  kv::KvStoreStats InnerStats() const { return inner_->GetStats(); }
+  uint64_t BufferBytes() const { return buffer_bytes_; }
+  size_t BufferEntries() const { return buffer_.size(); }
+
+ private:
+  class MergeIterator;
+
+  // One buffered mutation. absorbed_bytes accumulates the charges of the
+  // earlier versions this entry overwrote since it entered the buffer —
+  // the flush manager drains largest-absorbed-first, keeping the entries
+  // that coalesce the most in memory the longest.
+  struct BufferEntry {
+    std::string value;
+    bool tombstone = false;
+    uint64_t absorbed_bytes = 0;
+  };
+
+  CachedStore(const CachedOptions& options, fs::SimpleFs* fs,
+              std::string root, std::unique_ptr<kv::KVStore> inner,
+              std::unique_ptr<ReadCache> cache);
+
+  int64_t NowNs() const {
+    return options_.clock != nullptr ? options_.clock->NowNanos() : 0;
+  }
+  static uint64_t EntryCharge(std::string_view key, const BufferEntry& e) {
+    return key.size() + e.value.size();
+  }
+  std::string LogName(uint64_t id) const;
+  // Every ".wlog" segment under the root with a numeric basename, sorted
+  // by id.
+  std::vector<std::pair<uint64_t, std::string>> ListLogSegments() const;
+
+  // Applies one mutation to the in-memory buffer and invalidates the read
+  // cache for the key. Coalescing stats are skipped during log replay.
+  void ApplyEntry(bool is_delete, std::string_view key,
+                  std::string_view value);
+  void ApplyToBuffer(const kv::WriteBatch& batch);
+  // Appends one encoded batch record to the active log segment (creating
+  // it lazily) and honors the sync cadence.
+  Status AppendLogRecord(const std::string& record);
+  // Starts a fresh log segment holding the whole buffer as one synced
+  // snapshot record (no record at all if the buffer is empty).
+  Status WriteSnapshotSegment();
+  // Replays every on-disk log segment into the buffer, then rewrites the
+  // log as a single snapshot segment.
+  Status ReplayAndCompactLog();
+  // Drains the buffer down to target_bytes with one inner group-commit
+  // batch (victims picked largest-absorbed-first). No-op if already at
+  // or under target.
+  Status FlushBuffer(uint64_t target_bytes);
+  // Kicks a flush when the buffer crosses capacity — inline on the user
+  // timeline, or on the background lane under background_io.
+  Status MaybeFlush();
+  // Rotates an overgrown log: everything still buffered is rewritten as
+  // one snapshot record in a fresh segment and older segments are
+  // deleted. Requires the inner engine be flushed first so records
+  // dropped from the log are durable below.
+  Status MaybeCheckpointLog();
+  // Deletes every log segment with id < keep_from_id.
+  Status DeleteLogSegments(uint64_t keep_from_id);
+  void JoinBackgroundWork();
+
+  const CachedOptions options_;
+  fs::SimpleFs* const fs_;
+  const std::string root_;
+  std::unique_ptr<kv::KVStore> inner_;
+  std::unique_ptr<ReadCache> cache_;  // null when read_cache_bytes == 0
+
+  std::map<std::string, BufferEntry, std::less<>> buffer_;
+  uint64_t buffer_bytes_ = 0;
+
+  fs::File* log_ = nullptr;  // owned by fs_; null until first append
+  uint64_t log_id_ = 0;      // id of the active segment
+  uint64_t next_log_id_ = 0;
+  uint64_t unsynced_log_bytes_ = 0;
+
+  bool replaying_ = false;
+  bool closed_ = false;
+  uint64_t write_epoch_ = 0;  // bumped by every Write; guards iterators
+  int64_t background_horizon_ns_ = 0;
+
+  mutable kv::KvStoreStats stats_;
+};
+
+// Parses CachedOptions out of generic engine options (unknown params are
+// the inner engine's business and pass through).
+CachedOptions CachedOptionsFromEngineOptions(const kv::EngineOptions& eo);
+
+// Registers the "cached" engine constructor with the global registry.
+void RegisterCachedEngine();
+
+// Emits every CachedOptions field as "key=value" params (the wrapper's
+// own keys only; docs lint keeps docs/ENGINES.md in sync with this list).
+std::map<std::string, std::string> EncodeEngineParams(
+    const CachedOptions& options);
+
+}  // namespace ptsb::cached
+
+#endif  // PTSB_CACHED_CACHED_STORE_H_

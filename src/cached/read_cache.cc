@@ -1,0 +1,222 @@
+#include "cached/read_cache.h"
+
+#include <list>
+#include <map>
+#include <utility>
+
+namespace ptsb::cached {
+namespace {
+
+uint64_t Charge(std::string_view key, std::string_view value) {
+  return key.size() + value.size();
+}
+
+// Classic LRU: one recency list (front = MRU), evict from the tail.
+class LruCache : public ReadCache {
+ public:
+  explicit LruCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  bool Get(std::string_view key, std::string* value) override {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    *value = it->second->second;
+    return true;
+  }
+
+  void Insert(std::string_view key, std::string_view value) override {
+    if (Charge(key, value) > capacity_) {
+      Erase(key);
+      return;
+    }
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      bytes_ += value.size() - it->second->second.size();
+      it->second->second.assign(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+    } else {
+      entries_.emplace_front(std::string(key), std::string(value));
+      index_.emplace(entries_.front().first, entries_.begin());
+      bytes_ += Charge(key, value);
+    }
+    while (bytes_ > capacity_ && !entries_.empty()) {
+      const auto& victim = entries_.back();
+      bytes_ -= Charge(victim.first, victim.second);
+      index_.erase(victim.first);
+      entries_.pop_back();
+    }
+  }
+
+  void Erase(std::string_view key) override {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    bytes_ -= Charge(it->second->first, it->second->second);
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+
+  uint64_t SizeBytes() const override { return bytes_; }
+  uint64_t EntryCount() const override { return entries_.size(); }
+  std::string PolicyName() const override { return "lru"; }
+
+ private:
+  using Entry = std::pair<std::string, std::string>;
+  const uint64_t capacity_;
+  uint64_t bytes_ = 0;
+  std::list<Entry> entries_;  // front = MRU
+  std::map<std::string, std::list<Entry>::iterator, std::less<>> index_;
+};
+
+// Simplified 2Q (Johnson & Shasha, VLDB '94): first-touch entries land in
+// a probationary FIFO (a1in). Evicted probationers leave a key-only ghost
+// (a1out); a key reinserted while ghosted has proven reuse and enters the
+// long-lived LRU (am). A sequential scan touches every key exactly once,
+// so it churns only the FIFO and never displaces the am working set.
+class TwoQCache : public ReadCache {
+ public:
+  explicit TwoQCache(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes),
+        a1in_budget_(std::max<uint64_t>(capacity_bytes / 4, 1)),
+        ghost_budget_(std::max<uint64_t>(capacity_bytes / 2, 1)) {}
+
+  bool Get(std::string_view key, std::string* value) override {
+    auto am = am_index_.find(key);
+    if (am != am_index_.end()) {
+      am_.splice(am_.begin(), am_, am->second);
+      *value = am->second->second;
+      return true;
+    }
+    auto in = a1in_index_.find(key);
+    if (in != a1in_index_.end()) {
+      // Probationary hit: serve it but do not promote — only a ghost
+      // re-reference (a miss, then reinsert) proves reuse beyond the
+      // FIFO's lifetime.
+      *value = in->second->second;
+      return true;
+    }
+    return false;  // ghosts hold no value
+  }
+
+  void Insert(std::string_view key, std::string_view value) override {
+    if (Charge(key, value) > capacity_) {
+      Erase(key);
+      return;
+    }
+    auto am = am_index_.find(key);
+    if (am != am_index_.end()) {
+      resident_bytes_ += value.size() - am->second->second.size();
+      am->second->second.assign(value);
+      am_.splice(am_.begin(), am_, am->second);
+    } else if (auto in = a1in_index_.find(key); in != a1in_index_.end()) {
+      resident_bytes_ += value.size() - in->second->second.size();
+      in->second->second.assign(value);
+    } else if (auto ghost = ghost_index_.find(key);
+               ghost != ghost_index_.end()) {
+      ghost_bytes_ -= ghost->second->size();
+      ghosts_.erase(ghost->second);
+      ghost_index_.erase(ghost);
+      am_.emplace_front(std::string(key), std::string(value));
+      am_index_.emplace(am_.front().first, am_.begin());
+      resident_bytes_ += Charge(key, value);
+    } else {
+      a1in_.emplace_front(std::string(key), std::string(value));
+      a1in_index_.emplace(a1in_.front().first, a1in_.begin());
+      a1in_bytes_ += Charge(key, value);
+      resident_bytes_ += Charge(key, value);
+    }
+    EvictToFit();
+  }
+
+  void Erase(std::string_view key) override {
+    if (auto am = am_index_.find(key); am != am_index_.end()) {
+      resident_bytes_ -= Charge(am->second->first, am->second->second);
+      am_.erase(am->second);
+      am_index_.erase(am);
+    } else if (auto in = a1in_index_.find(key); in != a1in_index_.end()) {
+      const uint64_t charge = Charge(in->second->first, in->second->second);
+      resident_bytes_ -= charge;
+      a1in_bytes_ -= charge;
+      a1in_.erase(in->second);
+      a1in_index_.erase(in);
+    } else if (auto ghost = ghost_index_.find(key);
+               ghost != ghost_index_.end()) {
+      ghost_bytes_ -= ghost->second->size();
+      ghosts_.erase(ghost->second);
+      ghost_index_.erase(ghost);
+    }
+  }
+
+  uint64_t SizeBytes() const override { return resident_bytes_ + ghost_bytes_; }
+  uint64_t EntryCount() const override { return am_.size() + a1in_.size(); }
+  std::string PolicyName() const override { return "2q"; }
+
+ private:
+  void EvictToFit() {
+    // The probationary FIFO holds its budget unconditionally — not just
+    // under memory pressure. 2Q's scan resistance comes precisely from
+    // first-touch entries aging out of a1in quickly; letting it balloon
+    // while the cache is underfull would turn it back into one big LRU.
+    while (a1in_bytes_ > a1in_budget_ && !a1in_.empty()) EvictA1InTail();
+    while (resident_bytes_ > capacity_) {
+      if (!a1in_.empty()) {
+        EvictA1InTail();  // drain probation before touching the hot queue
+      } else if (!am_.empty()) {
+        const auto& victim = am_.back();
+        resident_bytes_ -= Charge(victim.first, victim.second);
+        am_index_.erase(victim.first);
+        am_.pop_back();
+      } else {
+        break;
+      }
+    }
+    while (ghost_bytes_ > ghost_budget_ && !ghosts_.empty()) {
+      ghost_bytes_ -= ghosts_.back().size();
+      ghost_index_.erase(ghosts_.back());
+      ghosts_.pop_back();
+    }
+  }
+
+  void EvictA1InTail() {
+    auto& victim = a1in_.back();
+    const uint64_t charge = Charge(victim.first, victim.second);
+    resident_bytes_ -= charge;
+    a1in_bytes_ -= charge;
+    a1in_index_.erase(victim.first);
+    ghosts_.emplace_front(std::move(victim.first));
+    ghost_index_.emplace(ghosts_.front(), ghosts_.begin());
+    ghost_bytes_ += ghosts_.front().size();
+    a1in_.pop_back();
+  }
+
+  using Entry = std::pair<std::string, std::string>;
+  const uint64_t capacity_;
+  const uint64_t a1in_budget_;
+  const uint64_t ghost_budget_;
+  uint64_t resident_bytes_ = 0;  // am + a1in key+value bytes
+  uint64_t a1in_bytes_ = 0;
+  uint64_t ghost_bytes_ = 0;
+  std::list<Entry> am_;    // front = MRU
+  std::list<Entry> a1in_;  // front = newest, evict at back
+  std::list<std::string> ghosts_;
+  std::map<std::string, std::list<Entry>::iterator, std::less<>> am_index_;
+  std::map<std::string, std::list<Entry>::iterator, std::less<>> a1in_index_;
+  std::map<std::string_view, std::list<std::string>::iterator, std::less<>>
+      ghost_index_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ReadCache>> ReadCache::Create(
+    std::string_view policy, uint64_t capacity_bytes) {
+  if (policy == "lru") {
+    return std::unique_ptr<ReadCache>(new LruCache(capacity_bytes));
+  }
+  if (policy == "2q") {
+    return std::unique_ptr<ReadCache>(new TwoQCache(capacity_bytes));
+  }
+  return Status::InvalidArgument("unknown read_cache_policy \"" +
+                                 std::string(policy) +
+                                 "\" (expected \"lru\" or \"2q\")");
+}
+
+}  // namespace ptsb::cached

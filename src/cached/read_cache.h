@@ -1,0 +1,53 @@
+// Scan-resistant read cache for the cached engine: a byte-budgeted map of
+// recently read key/value pairs sitting UNDER the write buffer (buffered
+// mutations always win; every buffered write erases its key here so a
+// flush can never resurrect a stale cached value). The eviction policy is
+// pluggable — "lru" is the classic recency list, "2q" is a simplified
+// two-queue design (Johnson & Shasha) whose probationary FIFO absorbs
+// one-shot scan traffic so a full iterator pass cannot evict the hot
+// working set.
+#ifndef PTSB_CACHED_READ_CACHE_H_
+#define PTSB_CACHED_READ_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ptsb::cached {
+
+class ReadCache {
+ public:
+  virtual ~ReadCache() = default;
+
+  // On hit copies the value into *value, lets the policy observe the
+  // reference (LRU: move to MRU; 2Q: promote on re-reference) and returns
+  // true. Misses (including 2Q ghost entries, which remember only the
+  // key) return false and leave *value alone.
+  virtual bool Get(std::string_view key, std::string* value) = 0;
+
+  // Inserts or refreshes key -> value, evicting per policy until the
+  // byte budget holds. Entries larger than the whole budget are dropped.
+  virtual void Insert(std::string_view key, std::string_view value) = 0;
+
+  // Drops the key if cached (called for every buffered write: the write
+  // buffer now owns the freshest version).
+  virtual void Erase(std::string_view key) = 0;
+
+  // Resident key+value bytes (ghost keys included for 2Q).
+  virtual uint64_t SizeBytes() const = 0;
+  virtual uint64_t EntryCount() const = 0;
+  virtual std::string PolicyName() const = 0;
+
+  // Builds the policy named by `policy` ("lru" or "2q") with the given
+  // byte budget; InvalidArgument on anything else. capacity_bytes must
+  // be > 0 (a disabled cache is a null ReadCache*, not a zero-budget one).
+  static StatusOr<std::unique_ptr<ReadCache>> Create(
+      std::string_view policy, uint64_t capacity_bytes);
+};
+
+}  // namespace ptsb::cached
+
+#endif  // PTSB_CACHED_READ_CACHE_H_

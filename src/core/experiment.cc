@@ -102,7 +102,7 @@ Status BuildStack(const ExperimentConfig& config, Stack* stack) {
   engine_options.fs = stack->fs.get();
   engine_options.clock = &stack->clock;
   std::string defaults_engine = config.engine;
-  if (config.engine == "sharded") {
+  if (config.engine == "sharded" || config.engine == "cached") {
     const auto it = config.engine_params.find("inner_engine");
     defaults_engine = it != config.engine_params.end() ? it->second : "lsm";
   }
@@ -119,6 +119,22 @@ Status BuildStack(const ExperimentConfig& config, Stack* stack) {
     // the same name; an explicit engine_params entry wins below.
     engine_options.params["queue_depth"] =
         std::to_string(std::max(1, config.queue_depth));
+  }
+  if (config.engine == "cached") {
+    // Driver-level host-buffering knobs map onto the cached engine's
+    // params of the same meaning; 0 / empty keeps the engine defaults
+    // and explicit engine_params entries win below.
+    if (config.write_buffer_bytes > 0) {
+      engine_options.params["write_buffer_bytes"] =
+          std::to_string(config.write_buffer_bytes);
+    }
+    if (config.cache_bytes > 0) {
+      engine_options.params["read_cache_bytes"] =
+          std::to_string(config.cache_bytes);
+    }
+    if (!config.cache_policy.empty()) {
+      engine_options.params["read_cache_policy"] = config.cache_policy;
+    }
   }
   // Every engine understands the read fan-out depth and the background
   // I/O toggle (sharded passes background_io through to its inner

@@ -97,6 +97,14 @@ struct ExperimentConfig {
   // tail latency at the points where the user genuinely waits (write
   // stalls, Flush, SettleBackgroundWork).
   bool background_io = false;
+  // Host-buffering knobs for the "cached" wrapper engine (its
+  // read_cache_bytes / read_cache_policy / write_buffer_bytes params,
+  // unless engine_params overrides them). 0 / empty leaves the engine's
+  // own defaults in place; disabling the read cache outright is spelled
+  // engine_params["read_cache_bytes"] = "0". Ignored by other engines.
+  uint64_t cache_bytes = 0;
+  std::string cache_policy;
+  uint64_t write_buffer_bytes = 0;
   kv::Distribution distribution = kv::Distribution::kUniform;
   double zipf_theta = 0.99;  // used when distribution is zipfian
   double duration_minutes = 210;  // paper-equivalent minutes

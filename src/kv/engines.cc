@@ -7,6 +7,7 @@
 
 #include "alog/alog_store.h"
 #include "btree/btree_store.h"
+#include "cached/cached_store.h"
 #include "kv/registry.h"
 #include "lsm/lsm_store.h"
 #include "sharded/sharded_store.h"
@@ -20,6 +21,7 @@ void RegisterBuiltinEngines() {
     btree::RegisterBTreeEngine();
     alog::RegisterAlogEngine();
     sharded::RegisterShardedEngine();
+    cached::RegisterCachedEngine();
   });
 }
 

@@ -73,6 +73,21 @@ struct KvStoreStats {
   uint64_t gc_bytes_written = 0;          // alog segment-GC rewrites
   uint64_t gc_bytes_read = 0;             // alog segment-GC input
 
+  // Wrapper cache layer (the "cached" engine; zero in the bare engines).
+  // A hit is a point lookup served entirely above the inner engine (write
+  // buffer or read cache); a miss is one forwarded to it. NotFound from
+  // the inner engine still counts as a miss — the lookup paid the inner
+  // read path either way.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  // Bytes of earlier buffered entries absorbed by newer writes to the
+  // same key before any flush: rewrite traffic the write buffer kept off
+  // the inner engine entirely.
+  uint64_t buffer_coalesced_bytes = 0;
+  // Write-buffer flush batches committed to the inner engine (each is one
+  // inner group commit).
+  uint64_t flush_batches = 0;
+
   uint64_t stall_count = 0;  // engine-level write stalls (LSM L0 pressure)
 
   // Virtual-time breakdown (nanoseconds of simulated time spent inside

@@ -33,6 +33,10 @@ void AddStats(kv::KvStoreStats* into, const kv::KvStoreStats& s) {
   into->checkpoint_bytes_written += s.checkpoint_bytes_written;
   into->gc_bytes_written += s.gc_bytes_written;
   into->gc_bytes_read += s.gc_bytes_read;
+  into->cache_hits += s.cache_hits;
+  into->cache_misses += s.cache_misses;
+  into->buffer_coalesced_bytes += s.buffer_coalesced_bytes;
+  into->flush_batches += s.flush_batches;
   into->stall_count += s.stall_count;
   into->time_wal_ns += s.time_wal_ns;
   into->time_flush_ns += s.time_flush_ns;

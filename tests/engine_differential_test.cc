@@ -78,7 +78,9 @@ std::vector<EngineConfig> AllEngineConfigs() {
   kv::RegisterBuiltinEngines();
   std::vector<EngineConfig> configs;
   for (const std::string& name : kv::EngineRegistry::Global().Names()) {
-    if (name == "sharded") continue;  // covered per inner engine below
+    if (name == "sharded" || name == "cached") {
+      continue;  // wrappers are covered per inner engine below
+    }
     configs.push_back({name, name, TinyParams(name)});
   }
   for (const std::string inner : {"lsm", "btree", "alog"}) {
@@ -100,6 +102,18 @@ std::vector<EngineConfig> AllEngineConfigs() {
     params["read_queue_depth"] = "4";
     configs.push_back({"sharded-async/alog", "sharded", std::move(params)});
   }
+  // The cached wrapper over every bare engine: write buffer + read cache
+  // in front, so the buffer merge iterator, tombstone shadowing and
+  // flush-then-read paths are pairwise-checked against the engines they
+  // wrap. Both cache policies get coverage across the inner engines.
+  for (const std::string inner : {"lsm", "btree", "alog"}) {
+    std::map<std::string, std::string> params = TinyParams(inner);
+    params["inner_engine"] = inner;
+    params["write_buffer_bytes"] = std::to_string(16 << 10);
+    params["read_cache_bytes"] = std::to_string(32 << 10);
+    params["read_cache_policy"] = inner == "lsm" ? "lru" : "2q";
+    configs.push_back({"cached/" + inner, "cached", std::move(params)});
+  }
   return configs;
 }
 
@@ -107,13 +121,20 @@ std::vector<EngineConfig> AllEngineConfigs() {
 // for sharded configs) — durability and journal knobs belong to it and
 // pass through the router untouched.
 std::string BaseEngine(const EngineConfig& config) {
-  return config.engine == "sharded" ? config.params.at("inner_engine")
-                                    : config.engine;
+  if (config.engine == "sharded" || config.engine == "cached") {
+    return config.params.at("inner_engine");
+  }
+  return config.engine;
 }
 
 // Overrides that make every write durable the moment Write returns, so a
 // SimulateCrash + reopen must recover it (journal on + sync per record).
 std::map<std::string, std::string> DurableParams(const EngineConfig& config) {
+  // The cached wrapper's own durability log is what guards buffered (and
+  // even already-flushed-but-inner-unsynced) writes; syncing it per
+  // record makes every Write durable regardless of the inner engine's
+  // own cadence.
+  if (config.engine == "cached") return {{"log_sync_every_bytes", "1"}};
   const std::string base = BaseEngine(config);
   if (base == "lsm") return {{"wal_sync_every_bytes", "1"}};
   if (base == "btree") {
@@ -720,6 +741,10 @@ void ExpectStatsEqual(const std::string& label, const kv::KvStoreStats& a,
   PTSB_EXPECT_STAT_EQ(checkpoint_bytes_written);
   PTSB_EXPECT_STAT_EQ(gc_bytes_written);
   PTSB_EXPECT_STAT_EQ(gc_bytes_read);
+  PTSB_EXPECT_STAT_EQ(cache_hits);
+  PTSB_EXPECT_STAT_EQ(cache_misses);
+  PTSB_EXPECT_STAT_EQ(buffer_coalesced_bytes);
+  PTSB_EXPECT_STAT_EQ(flush_batches);
   PTSB_EXPECT_STAT_EQ(stall_count);
   PTSB_EXPECT_STAT_EQ(time_wal_ns);
   PTSB_EXPECT_STAT_EQ(time_flush_ns);
