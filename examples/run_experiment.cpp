@@ -47,6 +47,10 @@ namespace {
       "                              submissions overlap in virtual time)\n"
       "  --queue-depth=N             async sub-batch commits in flight for\n"
       "                              --engine=sharded (1 = synchronous)\n"
+      "  --pipeline-writes=0|1       issue update-phase writes through\n"
+      "                              WriteAsync completion callbacks (0)\n"
+      "  --pipeline-depth=N          in-flight pipelined commits per\n"
+      "                              worker (4; needs --pipeline-writes)\n"
       "  --read-queue-depth=N        in-flight MultiGet point lookups per\n"
       "                              engine (1 = sequential gets)\n"
       "  --read-batch-size=N         gets grouped into one MultiGet (1)\n"
@@ -120,6 +124,18 @@ int main(int argc, char** argv) {
       config.queue_depth =
           static_cast<int>(ArgF(argv[i], "--queue_depth="));
       if (config.queue_depth < 1) Usage();
+    } else if (a.starts_with("--pipeline-writes=")) {
+      config.pipeline_writes = ArgF(argv[i], "--pipeline-writes=") != 0;
+    } else if (a.starts_with("--pipeline_writes=")) {  // accepted alias
+      config.pipeline_writes = ArgF(argv[i], "--pipeline_writes=") != 0;
+    } else if (a.starts_with("--pipeline-depth=")) {
+      config.pipeline_depth =
+          static_cast<int>(ArgF(argv[i], "--pipeline-depth="));
+      if (config.pipeline_depth < 1) Usage();
+    } else if (a.starts_with("--pipeline_depth=")) {  // accepted alias
+      config.pipeline_depth =
+          static_cast<int>(ArgF(argv[i], "--pipeline_depth="));
+      if (config.pipeline_depth < 1) Usage();
     } else if (a.starts_with("--read-queue-depth=")) {
       config.read_queue_depth =
           static_cast<int>(ArgF(argv[i], "--read-queue-depth="));

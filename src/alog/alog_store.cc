@@ -9,7 +9,8 @@ namespace ptsb::alog {
 
 AlogStore::AlogStore(fs::SimpleFs* fs, const AlogOptions& options,
                      std::string dir)
-    : fs_(fs), options_(options), dir_(std::move(dir)) {}
+    : fs_(fs), options_(options), dir_(std::move(dir)),
+      write_group_(options.max_write_group_bytes) {}
 
 AlogStore::~AlogStore() {
   if (!closed_) {
@@ -137,6 +138,9 @@ StatusOr<uint64_t> AlogStore::AppendRecord(std::string_view record,
     stats_.gc_bytes_written += record.size();
   } else {
     stats_.wal_bytes_written += record.size();
+    // GC rewrites are internal traffic: only user commits count as log
+    // records for the group-commit accounting.
+    stats_.wal_records++;
   }
   if (options_.sync_every_bytes > 0) {
     unsynced_bytes_ += record.size();
@@ -220,9 +224,22 @@ Status AlogStore::Write(const kv::WriteBatch& batch) {
   PTSB_CHECK(!closed_);
   // An empty batch is a no-op: no record, no stats movement.
   if (batch.empty()) return Status::OK();
+  // Cross-thread group commit: a single caller passes straight through
+  // (group of one, no copy); concurrent callers elect a leader that
+  // merges their batches into one appended record.
+  return write_group_.Commit(
+      batch, [this](const kv::WriteBatch& merged, size_t n_user_batches) {
+        return WriteInternal(merged, n_user_batches);
+      });
+}
+
+Status AlogStore::WriteInternal(const kv::WriteBatch& batch,
+                                size_t n_user_batches) {
   write_epoch_++;
   ChargeCpu(options_.cpu_put_ns * static_cast<int64_t>(batch.Count()));
-  stats_.user_batches++;
+  stats_.user_batches += n_user_batches;
+  stats_.write_groups++;
+  stats_.write_group_batches += n_user_batches;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
     if (e.kind == kv::WriteBatch::EntryKind::kPut) {
       stats_.user_puts++;
@@ -272,6 +289,12 @@ Status AlogStore::SettleBackgroundWork() {
 
 Status AlogStore::Get(std::string_view key, std::string* value) {
   PTSB_CHECK(!closed_);
+  // Exclude in-flight group commits: a leader may be retargeting the
+  // index or GC-deleting segment files on another thread.
+  return write_group_.RunExclusive([&] { return GetInternal(key, value); });
+}
+
+Status AlogStore::GetInternal(std::string_view key, std::string* value) {
   ChargeCpu(options_.cpu_get_ns);
   stats_.user_gets++;
   const auto it = index_.find(key);
@@ -295,6 +318,16 @@ std::vector<Status> AlogStore::MultiGet(std::span<const std::string_view> keys,
   if (options_.clock == nullptr || depth <= 1) {
     return KVStore::MultiGet(keys, values);  // sequential Gets
   }
+  // The whole fan-out runs under commit exclusion: it walks the index and
+  // reads segment files an in-flight group commit could be retargeting.
+  return write_group_.RunExclusive(
+      [&] { return MultiGetFanOut(keys, values); });
+}
+
+std::vector<Status> AlogStore::MultiGetFanOut(
+    std::span<const std::string_view> keys,
+    std::vector<std::string>* values) {
+  const int depth = options_.read_queue_depth;
   values->assign(keys.size(), std::string());
   std::vector<Status> statuses(keys.size());
   // Fan-out: the index lookups are pure CPU; each hit's value read is
@@ -567,8 +600,13 @@ class AlogStore::OrderedIterator : public kv::KVStore::Iterator {
 
 std::unique_ptr<kv::KVStore::Iterator> AlogStore::NewIterator() {
   PTSB_CHECK(!closed_);
-  stats_.user_scans++;
-  return std::make_unique<OrderedIterator>(this);
+  // Construction excludes in-flight commits; iteration itself still
+  // requires a quiesced writer (epoch-checked).
+  return write_group_.RunExclusive(
+      [&]() -> std::unique_ptr<kv::KVStore::Iterator> {
+        stats_.user_scans++;
+        return std::make_unique<OrderedIterator>(this);
+      });
 }
 
 Status AlogStore::Flush() {
@@ -650,6 +688,8 @@ AlogOptions AlogOptionsFromEngineOptions(const kv::EngineOptions& eo) {
       kv::ParamUint64(eo, "sync_every_bytes", o.sync_every_bytes);
   o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
   o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
+  o.max_write_group_bytes = kv::ParamUint64(eo, "max_write_group_bytes",
+                                            o.max_write_group_bytes);
   o.read_queue_depth =
       kv::ParamInt(eo, "read_queue_depth", o.read_queue_depth);
   o.background_io = kv::ParamBool(eo, "background_io", o.background_io);
@@ -681,6 +721,7 @@ std::map<std::string, std::string> EncodeEngineParams(const AlogOptions& o) {
   p["sync_every_bytes"] = std::to_string(o.sync_every_bytes);
   p["cpu_put_ns"] = std::to_string(o.cpu_put_ns);
   p["cpu_get_ns"] = std::to_string(o.cpu_get_ns);
+  p["max_write_group_bytes"] = std::to_string(o.max_write_group_bytes);
   p["read_queue_depth"] = std::to_string(o.read_queue_depth);
   p["background_io"] = o.background_io ? "1" : "0";
   return p;

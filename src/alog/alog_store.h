@@ -21,6 +21,7 @@
 #include "fs/filesystem.h"
 #include "kv/kvstore.h"
 #include "kv/registry.h"
+#include "kv/write_group.h"
 
 namespace ptsb::alog {
 
@@ -60,7 +61,13 @@ class AlogStore : public kv::KVStore {
   Status Flush() override;  // sync the active segment
   Status SettleBackgroundWork() override;
   Status Close() override;
-  kv::KvStoreStats GetStats() const override { return stats_; }
+  // Concurrent Write callers group-commit; point reads run under the
+  // group's commit-exclusion lock. Iterators and lifecycle calls still
+  // expect a quiesced store.
+  bool SupportsConcurrentWriters() const override { return true; }
+  kv::KvStoreStats GetStats() const override {
+    return write_group_.RunExclusive([&] { return stats_; });
+  }
   std::string Name() const override { return "alog(bitcask-like)"; }
   uint64_t DiskBytesUsed() const override;
 
@@ -94,6 +101,15 @@ class AlogStore : public kv::KVStore {
   };
 
   AlogStore(fs::SimpleFs* fs, const AlogOptions& options, std::string dir);
+
+  // The commit function the write group's leader runs: the old Write
+  // body, applied to the merged batch of `n_user_batches` user Writes.
+  Status WriteInternal(const kv::WriteBatch& batch, size_t n_user_batches);
+  // Get's body, run under the group's commit-exclusion lock.
+  Status GetInternal(std::string_view key, std::string* value);
+  // MultiGet's read fan-out, run under the group's commit-exclusion lock.
+  std::vector<Status> MultiGetFanOut(std::span<const std::string_view> keys,
+                                     std::vector<std::string>* values);
 
   static std::string SegmentFileName(const std::string& dir, uint64_t id);
 
@@ -152,6 +168,9 @@ class AlogStore : public kv::KVStore {
   // iterator creation to fail fast on use-after-write.
   uint64_t write_epoch_ = 0;
   kv::KvStoreStats stats_;
+  // Cross-thread group commit queue; also provides the commit-exclusion
+  // lock the read paths (and const stats snapshots) run under.
+  mutable kv::WriteGroup write_group_;
   bool closed_ = false;
 };
 

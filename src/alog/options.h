@@ -34,6 +34,12 @@ struct AlogOptions {
   int64_t cpu_put_ns = 5'000;
   int64_t cpu_get_ns = 6'000;
 
+  // Cap on the merged byte size of one cross-thread commit group: a
+  // leader folds waiting writers' batches into a single appended record
+  // up to this many payload bytes (its own batch always commits
+  // regardless). See kv::WriteGroup.
+  uint64_t max_write_group_bytes = 1ull << 20;
+
   // Max in-flight MultiGet point lookups: each key's segment read is
   // submitted via fs::File::SubmitReadAt in its own foreground-read
   // lane, so up to this many independent segment reads overlap in

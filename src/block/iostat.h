@@ -6,6 +6,7 @@
 #define PTSB_BLOCK_IOSTAT_H_
 
 #include <cstdint>
+#include <mutex>
 
 #include "block/block_device.h"
 
@@ -44,6 +45,7 @@ class IoStatCollector : public BlockDevice {
   Status Read(uint64_t lba, uint64_t count, uint8_t* dst) override {
     Status s = base_->Read(lba, count, dst);
     if (s.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
       counters_.read_ops++;
       counters_.read_bytes += count * lba_bytes();
     }
@@ -53,6 +55,7 @@ class IoStatCollector : public BlockDevice {
   Status Write(uint64_t lba, uint64_t count, const uint8_t* src) override {
     Status s = base_->Write(lba, count, src);
     if (s.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
       counters_.write_ops++;
       counters_.write_bytes += count * lba_bytes();
     }
@@ -62,6 +65,7 @@ class IoStatCollector : public BlockDevice {
   Status Trim(uint64_t lba, uint64_t count) override {
     Status s = base_->Trim(lba, count);
     if (s.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
       counters_.trim_ops++;
       counters_.trim_bytes += count * lba_bytes();
     }
@@ -70,15 +74,29 @@ class IoStatCollector : public BlockDevice {
 
   Status Flush() override {
     Status s = base_->Flush();
-    if (s.ok()) counters_.flushes++;
+    if (s.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      counters_.flushes++;
+    }
     return s;
   }
 
-  const IoCounters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = IoCounters(); }
+  IoCounters counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
+  void ResetCounters() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_ = IoCounters();
+  }
 
  private:
   BlockDevice* base_;
+  // Counter updates happen concurrently once the filesystem stops
+  // serializing data I/O (concurrent write groups / shards reach the
+  // block layer in parallel); the base device's own lock does not cover
+  // this decorator's counters.
+  mutable std::mutex mu_;
   IoCounters counters_;
 };
 

@@ -1,6 +1,7 @@
 #include "block/memory_device.h"
 
 #include <cstring>
+#include <mutex>
 
 namespace ptsb::block {
 
@@ -13,6 +14,7 @@ Status MemoryBlockDevice::Read(uint64_t lba, uint64_t count, uint8_t* dst) {
   if (lba + count > num_lbas_) {
     return Status::InvalidArgument("read beyond device");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   std::memcpy(dst, data_.data() + lba * lba_bytes_, count * lba_bytes_);
   reads_ += count;
   return Status::OK();
@@ -23,6 +25,7 @@ Status MemoryBlockDevice::Write(uint64_t lba, uint64_t count,
   if (lba + count > num_lbas_) {
     return Status::InvalidArgument("write beyond device");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (fail_writes_ > 0) {
     fail_writes_--;
     return Status::IoError("injected write failure");
@@ -40,12 +43,14 @@ Status MemoryBlockDevice::Trim(uint64_t lba, uint64_t count) {
   if (lba + count > num_lbas_) {
     return Status::InvalidArgument("trim beyond device");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   std::memset(data_.data() + lba * lba_bytes_, 0, count * lba_bytes_);
   trims_ += count;
   return Status::OK();
 }
 
 Status MemoryBlockDevice::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   flushes_++;
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 #define PTSB_BLOCK_MEMORY_DEVICE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "block/block_device.h"
@@ -23,16 +24,35 @@ class MemoryBlockDevice : public BlockDevice {
   Status Flush() override;
 
   // Fault injection: the next `n` writes fail with IoError.
-  void FailNextWrites(int n) { fail_writes_ = n; }
+  void FailNextWrites(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_writes_ = n;
+  }
 
-  uint64_t writes() const { return writes_; }
-  uint64_t reads() const { return reads_; }
-  uint64_t trims() const { return trims_; }
-  uint64_t flushes() const { return flushes_; }
+  uint64_t writes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writes_;
+  }
+  uint64_t reads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reads_;
+  }
+  uint64_t trims() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trims_;
+  }
+  uint64_t flushes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flushes_;
+  }
 
  private:
   uint64_t lba_bytes_;
   uint64_t num_lbas_;
+  // The device's command-processing lock (see SsdDevice::mu_): data and
+  // counters are shared by concurrent File operations now that the
+  // filesystem takes no fs-wide lock for data I/O.
+  mutable std::mutex mu_;
   std::vector<uint8_t> data_;
   uint64_t writes_ = 0;
   uint64_t reads_ = 0;

@@ -1,6 +1,7 @@
 #include "block/trace.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace ptsb::block {
 
@@ -15,6 +16,7 @@ Status LbaTraceCollector::Write(uint64_t lba, uint64_t count,
                                 const uint8_t* src) {
   Status s = base_->Write(lba, count, src);
   if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
     for (uint64_t i = 0; i < count; i++) write_counts_[lba + i]++;
     total_writes_ += count;
   }
@@ -26,11 +28,13 @@ Status LbaTraceCollector::Trim(uint64_t lba, uint64_t count) {
 }
 
 void LbaTraceCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::fill(write_counts_.begin(), write_counts_.end(), 0);
   total_writes_ = 0;
 }
 
 double LbaTraceCollector::FractionUntouched() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (write_counts_.empty()) return 0;
   uint64_t untouched = 0;
   for (const uint32_t c : write_counts_) {
@@ -42,6 +46,7 @@ double LbaTraceCollector::FractionUntouched() const {
 
 std::vector<LbaTraceCollector::CdfPoint> LbaTraceCollector::WriteCdf(
     int points) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<uint32_t> sorted = write_counts_;
   std::sort(sorted.begin(), sorted.end(), std::greater<>());
   std::vector<CdfPoint> cdf;

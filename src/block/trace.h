@@ -5,6 +5,7 @@
 #define PTSB_BLOCK_TRACE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "block/block_device.h"
@@ -42,6 +43,9 @@ class LbaTraceCollector : public BlockDevice {
 
  private:
   BlockDevice* base_;
+  // Concurrent writers reach the block layer in parallel (see
+  // IoStatCollector::mu_); the histogram updates need their own lock.
+  mutable std::mutex mu_;
   std::vector<uint32_t> write_counts_;
   uint64_t total_writes_ = 0;
 };

@@ -57,7 +57,10 @@ bool DecodeHeader(std::string_view in, Header* h) {
 
 BTreeStore::BTreeStore(fs::SimpleFs* fs, const BTreeOptions& options,
                        std::string file_name)
-    : fs_(fs), options_(options), file_name_(std::move(file_name)) {}
+    : fs_(fs),
+      options_(options),
+      file_name_(std::move(file_name)),
+      write_group_(options.max_write_group_bytes) {}
 
 BTreeStore::~BTreeStore() {
   if (!closed_) Close().ok();
@@ -440,9 +443,19 @@ kv::WriteHandle BTreeStore::WriteAsync(const kv::WriteBatch& batch) {
 Status BTreeStore::Write(const kv::WriteBatch& batch) {
   PTSB_CHECK(!closed_);
   if (batch.empty()) return Status::OK();
+  return write_group_.Commit(
+      batch, [this](const kv::WriteBatch& merged, size_t n_user_batches) {
+        return WriteInternal(merged, n_user_batches);
+      });
+}
+
+Status BTreeStore::WriteInternal(const kv::WriteBatch& batch,
+                                 size_t n_user_batches) {
   write_epoch_++;
   ChargeCpu(options_.cpu_put_ns * static_cast<int64_t>(batch.Count()));
-  stats_.user_batches++;
+  stats_.user_batches += n_user_batches;
+  stats_.write_groups++;
+  stats_.write_group_batches += n_user_batches;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
     if (e.kind == kv::WriteBatch::EntryKind::kPut) {
       stats_.user_puts++;
@@ -457,6 +470,7 @@ Status BTreeStore::Write(const kv::WriteBatch& batch) {
     const uint64_t journal_before = journal_->bytes_written();
     PTSB_RETURN_IF_ERROR(journal_->AppendBatch(batch));
     stats_.wal_bytes_written += journal_->bytes_written() - journal_before;
+    stats_.wal_records++;
   }
   // Apply all entries before any checkpoint/eviction pacing: page
   // writebacks for the whole batch are deferred to one decision point.
@@ -491,6 +505,10 @@ void BTreeStore::JoinBackgroundWork() {
 
 Status BTreeStore::Get(std::string_view key, std::string* value) {
   PTSB_CHECK(!closed_);
+  return write_group_.RunExclusive([&] { return GetInternal(key, value); });
+}
+
+Status BTreeStore::GetInternal(std::string_view key, std::string* value) {
   ChargeCpu(options_.cpu_get_ns);
   stats_.user_gets++;
   PTSB_ASSIGN_OR_RETURN(Node* leaf, DescendToLeaf(key));
@@ -668,8 +686,11 @@ class BTreeStore::Cursor : public kv::KVStore::Iterator {
 
 std::unique_ptr<kv::KVStore::Iterator> BTreeStore::NewIterator() {
   PTSB_CHECK(!closed_);
-  stats_.user_scans++;
-  return std::make_unique<Cursor>(this);
+  return write_group_.RunExclusive(
+      [&]() -> std::unique_ptr<kv::KVStore::Iterator> {
+        stats_.user_scans++;
+        return std::make_unique<Cursor>(this);
+      });
 }
 
 Status BTreeStore::Flush() {
@@ -778,6 +799,8 @@ BTreeOptions BTreeOptionsFromEngineOptions(const kv::EngineOptions& eo) {
       kv::ParamUint64(eo, "file_grow_bytes", o.file_grow_bytes);
   o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
   o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
+  o.max_write_group_bytes = kv::ParamUint64(eo, "max_write_group_bytes",
+                                            o.max_write_group_bytes);
   o.read_queue_depth =
       kv::ParamInt(eo, "read_queue_depth", o.read_queue_depth);
   o.background_io = kv::ParamBool(eo, "background_io", o.background_io);
@@ -815,6 +838,7 @@ std::map<std::string, std::string> EncodeEngineParams(const BTreeOptions& o) {
   p["file_grow_bytes"] = std::to_string(o.file_grow_bytes);
   p["cpu_put_ns"] = std::to_string(o.cpu_put_ns);
   p["cpu_get_ns"] = std::to_string(o.cpu_get_ns);
+  p["max_write_group_bytes"] = std::to_string(o.max_write_group_bytes);
   p["read_queue_depth"] = std::to_string(o.read_queue_depth);
   p["background_io"] = o.background_io ? "1" : "0";
   return p;

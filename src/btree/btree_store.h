@@ -19,6 +19,7 @@
 #include "fs/filesystem.h"
 #include "kv/kvstore.h"
 #include "kv/registry.h"
+#include "kv/write_group.h"
 
 namespace ptsb::btree {
 
@@ -57,7 +58,13 @@ class BTreeStore : public kv::KVStore {
   // checkpoints have no deferred debt beyond that, so nothing else to do.
   Status SettleBackgroundWork() override;
   Status Close() override;
-  kv::KvStoreStats GetStats() const override { return stats_; }
+  // Concurrent Write callers group-commit; point reads run under the
+  // group's commit-exclusion lock (they touch the shared leaf cache).
+  // Iterators and lifecycle calls still expect a quiesced store.
+  bool SupportsConcurrentWriters() const override { return true; }
+  kv::KvStoreStats GetStats() const override {
+    return write_group_.RunExclusive([&] { return stats_; });
+  }
   std::string Name() const override { return "btree(wiredtiger-like)"; }
   uint64_t DiskBytesUsed() const override;
 
@@ -73,6 +80,13 @@ class BTreeStore : public kv::KVStore {
 
   BTreeStore(fs::SimpleFs* fs, const BTreeOptions& options,
              std::string file_name);
+
+  // The commit function the write group's leader runs: the old Write
+  // body, applied to the merged batch of `n_user_batches` user Writes.
+  Status WriteInternal(const kv::WriteBatch& batch, size_t n_user_batches);
+  // Get's body, run under the group's commit-exclusion lock (descends
+  // the tree, faulting and LRU-touching leaves in the shared cache).
+  Status GetInternal(std::string_view key, std::string* value);
 
   // Applies one batch entry to its leaf (insert/overwrite/erase + split).
   Status ApplyEntry(const kv::WriteBatch::Entry& entry);
@@ -135,6 +149,9 @@ class BTreeStore : public kv::KVStore {
   // fast on use-after-write instead of walking moved/evicted leaves.
   uint64_t write_epoch_ = 0;
   kv::KvStoreStats stats_;
+  // Cross-thread group commit queue; also provides the commit-exclusion
+  // lock the read paths (and const stats snapshots) run under.
+  mutable kv::WriteGroup write_group_;
   bool in_checkpoint_ = false;
   bool closed_ = false;
 };

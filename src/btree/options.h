@@ -41,6 +41,12 @@ struct BTreeOptions {
   int64_t cpu_put_ns = 400'000;
   int64_t cpu_get_ns = 150'000;
 
+  // Cap on the merged byte size of one cross-thread commit group: a
+  // leader folds waiting writers' batches into a single journal record
+  // up to this many payload bytes (its own batch always commits
+  // regardless). See kv::WriteGroup.
+  uint64_t max_write_group_bytes = 1ull << 20;
+
   // Max in-flight MultiGet point lookups: each runs in its own
   // foreground-read submission lane, so up to this many independent leaf
   // reads overlap in virtual device time across SSD channels. 1 (or no

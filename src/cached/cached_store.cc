@@ -16,7 +16,8 @@ CachedStore::CachedStore(const CachedOptions& options, fs::SimpleFs* fs,
                          std::unique_ptr<kv::KVStore> inner,
                          std::unique_ptr<ReadCache> cache)
     : options_(options), fs_(fs), root_(std::move(root)),
-      inner_(std::move(inner)), cache_(std::move(cache)) {}
+      inner_(std::move(inner)), cache_(std::move(cache)),
+      write_group_(options.max_write_group_bytes) {}
 
 CachedStore::~CachedStore() {
   if (!closed_) {
@@ -41,6 +42,8 @@ CachedOptions CachedOptionsFromEngineOptions(const kv::EngineOptions& eo) {
   }
   o.flush_watermark =
       kv::ParamDouble(eo, "flush_watermark", o.flush_watermark);
+  o.max_write_group_bytes = kv::ParamUint64(eo, "max_write_group_bytes",
+                                            o.max_write_group_bytes);
   o.log_sync_every_bytes =
       kv::ParamUint64(eo, "log_sync_every_bytes", o.log_sync_every_bytes);
   o.background_io = kv::ParamBool(eo, "background_io", o.background_io);
@@ -254,8 +257,18 @@ Status CachedStore::WriteSnapshotSegment() {
 Status CachedStore::Write(const kv::WriteBatch& batch) {
   PTSB_CHECK(!closed_);
   if (batch.empty()) return Status::OK();
+  return write_group_.Commit(
+      batch, [this](const kv::WriteBatch& merged, size_t n_user_batches) {
+        return WriteInternal(merged, n_user_batches);
+      });
+}
+
+Status CachedStore::WriteInternal(const kv::WriteBatch& batch,
+                                  size_t n_user_batches) {
   write_epoch_++;
-  stats_.user_batches++;
+  stats_.user_batches += n_user_batches;
+  stats_.write_groups++;
+  stats_.write_group_batches += n_user_batches;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
     if (e.kind == kv::WriteBatch::EntryKind::kPut) {
       stats_.user_puts++;
@@ -270,6 +283,7 @@ Status CachedStore::Write(const kv::WriteBatch& batch) {
   const Status logged = AppendLogRecord(record);
   stats_.time_wal_ns += NowNs() - t0;
   PTSB_RETURN_IF_ERROR(logged);
+  stats_.wal_records++;
   ApplyToBuffer(batch);
   PTSB_RETURN_IF_ERROR(MaybeFlush());
   return MaybeCheckpointLog();
@@ -389,6 +403,10 @@ void CachedStore::JoinBackgroundWork() {
 
 Status CachedStore::Get(std::string_view key, std::string* value) {
   PTSB_CHECK(!closed_);
+  return write_group_.RunExclusive([&] { return GetInternal(key, value); });
+}
+
+Status CachedStore::GetInternal(std::string_view key, std::string* value) {
   stats_.user_gets++;
   if (const auto it = buffer_.find(key); it != buffer_.end()) {
     stats_.cache_hits++;
@@ -420,6 +438,13 @@ std::vector<Status> CachedStore::MultiGet(
   if (options_.clock == nullptr) {
     return KVStore::MultiGet(keys, values);  // sequential Gets
   }
+  return write_group_.RunExclusive(
+      [&] { return MultiGetInternal(keys, values); });
+}
+
+std::vector<Status> CachedStore::MultiGetInternal(
+    std::span<const std::string_view> keys,
+    std::vector<std::string>* values) {
   // Serve buffer/cache hits inline, then forward the misses as ONE inner
   // MultiGet so they inherit the inner engine's read fan-out.
   values->assign(keys.size(), std::string());
@@ -572,8 +597,11 @@ class CachedStore::MergeIterator : public kv::KVStore::Iterator {
 
 std::unique_ptr<kv::KVStore::Iterator> CachedStore::NewIterator() {
   PTSB_CHECK(!closed_);
-  stats_.user_scans++;
-  return std::make_unique<MergeIterator>(this, inner_->NewIterator());
+  return write_group_.RunExclusive(
+      [&]() -> std::unique_ptr<kv::KVStore::Iterator> {
+        stats_.user_scans++;
+        return std::make_unique<MergeIterator>(this, inner_->NewIterator());
+      });
 }
 
 Status CachedStore::Flush() {
@@ -621,7 +649,7 @@ Status CachedStore::Close() {
 }
 
 kv::KvStoreStats CachedStore::GetStats() const {
-  kv::KvStoreStats s = stats_;
+  kv::KvStoreStats s = write_group_.RunExclusive([&] { return stats_; });
   const kv::KvStoreStats in = inner_->GetStats();
   // The inner engine's "user" traffic is this wrapper's flush traffic:
   // fold its whole write path into the maintenance columns and keep only
@@ -680,6 +708,7 @@ std::map<std::string, std::string> EncodeEngineParams(
   p["read_cache_bytes"] = std::to_string(o.read_cache_bytes);
   p["read_cache_policy"] = o.read_cache_policy;
   p["flush_watermark"] = StrPrintf("%g", o.flush_watermark);
+  p["max_write_group_bytes"] = std::to_string(o.max_write_group_bytes);
   p["log_sync_every_bytes"] = std::to_string(o.log_sync_every_bytes);
   p["background_io"] = o.background_io ? "1" : "0";
   return p;

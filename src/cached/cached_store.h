@@ -23,6 +23,7 @@
 #include "fs/filesystem.h"
 #include "kv/kvstore.h"
 #include "kv/registry.h"
+#include "kv/write_group.h"
 #include "util/status.h"
 
 namespace ptsb::cached {
@@ -48,6 +49,11 @@ class CachedStore : public kv::KVStore {
   Status Flush() override;
   Status SettleBackgroundWork() override;
   Status Close() override;
+  // Concurrent Write callers group-commit into the wrapper's durability
+  // log; reads (which touch the shared buffer and read cache) run under
+  // the group's commit-exclusion lock. Iterators and lifecycle calls
+  // still expect a quiesced store.
+  bool SupportsConcurrentWriters() const override { return true; }
   kv::KvStoreStats GetStats() const override;
   std::string Name() const override;
   uint64_t DiskBytesUsed() const override;
@@ -85,6 +91,15 @@ class CachedStore : public kv::KVStore {
   // Every ".wlog" segment under the root with a numeric basename, sorted
   // by id.
   std::vector<std::pair<uint64_t, std::string>> ListLogSegments() const;
+
+  // The commit function the write group's leader runs: the old Write
+  // body, applied to the merged batch of `n_user_batches` user Writes.
+  Status WriteInternal(const kv::WriteBatch& batch, size_t n_user_batches);
+  // Get's body, run under the group's commit-exclusion lock.
+  Status GetInternal(std::string_view key, std::string* value);
+  // MultiGet's body, run under the group's commit-exclusion lock.
+  std::vector<Status> MultiGetInternal(std::span<const std::string_view> keys,
+                                       std::vector<std::string>* values);
 
   // Applies one mutation to the in-memory buffer and invalidates the read
   // cache for the key. Coalescing stats are skipped during log replay.
@@ -136,6 +151,9 @@ class CachedStore : public kv::KVStore {
   int64_t background_horizon_ns_ = 0;
 
   mutable kv::KvStoreStats stats_;
+  // Cross-thread group commit queue; also provides the commit-exclusion
+  // lock the read paths (and const stats snapshots) run under.
+  mutable kv::WriteGroup write_group_;
 };
 
 // Parses CachedOptions out of generic engine options (unknown params are

@@ -46,6 +46,12 @@ struct CachedOptions {
   // already (largest payoff per inner write). Must be in (0, 1].
   double flush_watermark = 0.5;
 
+  // Cap on the merged byte size of one cross-thread commit group: a
+  // leader folds waiting writers' batches into a single durability-log
+  // record up to this many payload bytes (its own batch always commits
+  // regardless). See kv::WriteGroup.
+  uint64_t max_write_group_bytes = 1ull << 20;
+
   // Explicit sync cadence of the wrapper's durability log. 0 = never sync
   // explicitly (full filesystem pages still reach the device as they
   // fill; the buffered log tail is lost on crash, like an unsynced WAL);

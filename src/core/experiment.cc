@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -149,7 +150,10 @@ Status BuildStack(const ExperimentConfig& config, Stack* stack) {
   if (config.num_threads > 1 &&
       !stack->store->SupportsConcurrentWriters()) {
     // Fanning workers out over a single-threaded engine corrupts it;
-    // refuse up front instead of crashing mid-run.
+    // refuse up front instead of crashing mid-run. The built-in engines
+    // all pass (their Write goes through a cross-thread kv::WriteGroup);
+    // this guards out-of-tree registry engines that keep the base-class
+    // default.
     return Status::InvalidArgument(
         "num_threads=" + std::to_string(config.num_threads) +
         " requires an engine with concurrent-writer support; \"" +
@@ -228,6 +232,125 @@ Status ExecuteOp(kv::KVStore* store, kv::WorkloadGenerator* gen,
   return Status::OK();
 }
 
+
+// True for ops the pipelined writer mode (pipeline_writes) can issue
+// through WriteAsync; reads and scans stay synchronous.
+bool IsWriteOp(const kv::Op& op) {
+  return op.type == kv::Op::Type::kPut ||
+         op.type == kv::Op::Type::kBatchPut ||
+         op.type == kv::Op::Type::kDelete;
+}
+
+// Fills `batch` with the entries ExecuteOp would apply for the write op
+// `op` (same key and value streams) and sets *ops_done to the logical
+// entry count.
+void FillWriteBatch(kv::WorkloadGenerator* gen, const kv::WorkloadSpec& spec,
+                    const kv::Op& op, kv::WriteBatch* batch,
+                    uint64_t* ops_done) {
+  *ops_done = 1;
+  switch (op.type) {
+    case kv::Op::Type::kPut:
+      batch->SetSingle(kv::WriteBatch::EntryKind::kPut,
+                       gen->KeyFor(op.key_id),
+                       kv::MakeValue(op.value_seed, spec.value_bytes));
+      break;
+    case kv::Op::Type::kBatchPut:
+      batch->Clear();
+      batch->Put(gen->KeyFor(op.key_id),
+                 kv::MakeValue(op.value_seed, spec.value_bytes));
+      for (size_t j = 1; j < spec.batch_size; j++) {
+        batch->Put(gen->KeyFor(gen->NextKeyId()),
+                   kv::MakeValue(gen->NextValueSeed(), spec.value_bytes));
+      }
+      *ops_done = batch->Count();
+      break;
+    case kv::Op::Type::kDelete:
+      batch->SetSingle(kv::WriteBatch::EntryKind::kDelete,
+                       gen->KeyFor(op.key_id), "");
+      break;
+    default:
+      break;
+  }
+}
+
+// Bounded window of in-flight asynchronous commits for the pipelined
+// writer mode (ExperimentConfig::pipeline_writes). Submit() issues the
+// batch through WriteAsync and registers an OnComplete callback that
+// performs the op/latency/error accounting; once `depth` commits are in
+// flight the oldest handle is retired — its Wait() joins the commit's
+// virtual completion time into the shared clock, which fires the
+// callback. kv::AsyncCommit applies the commit inside its lane at
+// submission, so the batch is reusable (and the completion time known)
+// the moment Submit returns; only the clock join is deferred, which is
+// what lets consecutive commits' device time overlap in virtual time.
+class WritePipeline {
+ public:
+  // Either histogram may be null; per-entry latencies are recorded into
+  // both (the per-window one resets each window, the run one never does).
+  WritePipeline(kv::KVStore* store, size_t depth, Histogram* latency,
+                Histogram* run_latency)
+      : store_(store), depth_(std::max<size_t>(1, depth)),
+        latency_(latency), run_latency_(run_latency) {}
+  ~WritePipeline() { Drain(); }
+
+  // Issues one commit covering `ops` logical entries. `submit_ns` is the
+  // virtual time the op was generated at: per-entry latency spans submit
+  // to the commit's own completion, not its retirement from the window.
+  void Submit(const kv::WriteBatch& batch, uint64_t ops, int64_t submit_ns) {
+    kv::WriteHandle h = store_->WriteAsync(batch);
+    const int64_t complete_ns =
+        h.complete_ns() > 0 ? h.complete_ns() : submit_ns;
+    const uint64_t per_entry_ns =
+        static_cast<uint64_t>(std::max<int64_t>(0, complete_ns - submit_ns)) /
+        std::max<uint64_t>(1, ops);
+    h.OnComplete([this, ops, per_entry_ns](const Status& s) {
+      if (s.IsNoSpace()) {
+        out_of_space_ = true;
+        return;
+      }
+      if (!s.ok()) {
+        if (error_.ok()) error_ = s;
+        return;
+      }
+      ops_done_ += ops;
+      if (latency_ != nullptr) latency_->Record(per_entry_ns);
+      if (run_latency_ != nullptr) run_latency_->Record(per_entry_ns);
+    });
+    in_flight_.push_back(std::move(h));
+    while (in_flight_.size() > depth_) Retire();
+  }
+
+  // Retires every in-flight commit (window boundaries and loop end), so
+  // the ops/latency/error accounting is settled before it is read.
+  void Drain() {
+    while (!in_flight_.empty()) Retire();
+  }
+
+  // Logical entries completed since the last call; Drain() first.
+  uint64_t TakeOpsDone() {
+    const uint64_t n = ops_done_;
+    ops_done_ = 0;
+    return n;
+  }
+
+  bool out_of_space() const { return out_of_space_; }
+  const Status& error() const { return error_; }
+
+ private:
+  void Retire() {
+    in_flight_.front().Wait();  // joins the clock + fires the callback
+    in_flight_.pop_front();
+  }
+
+  kv::KVStore* store_;
+  size_t depth_;
+  Histogram* latency_;
+  Histogram* run_latency_;
+  std::deque<kv::WriteHandle> in_flight_;
+  uint64_t ops_done_ = 0;  // completed but not yet taken
+  bool out_of_space_ = false;
+  Status error_;  // first non-NoSpace commit failure
+};
 
 // Baselines the window math subtracts from the current counters. The
 // "cum" members anchor cumulative metrics at the update-phase start; the
@@ -351,11 +474,25 @@ Status RunUpdatePhaseConcurrent(const ExperimentConfig& config,
     kv::WriteBatch batch;
     std::string read_value;
     ReadBatchScratch reads;
+    // Pipelined writer mode: each worker keeps its own bounded window of
+    // in-flight WriteAsync commits (completion accounting runs in the
+    // OnComplete callbacks, so the ops land in total_ops at drain time —
+    // before the aggregate window is computed after the join).
+    WritePipeline pipeline(
+        stack->store.get(),
+        static_cast<size_t>(std::max(1, config.pipeline_depth)),
+        &local_latency[tid], nullptr);
     while (!stop.load(std::memory_order_relaxed) &&
            stack->clock.NowMinutes() - t0_min < duration_sim_min) {
       const int64_t op_start_ns = stack->clock.NowNanos();
       const kv::Op op = gen.Next();
       uint64_t ops_done = 1;
+      if (config.pipeline_writes && IsWriteOp(op)) {
+        FillWriteBatch(&gen, spec, op, &batch, &ops_done);
+        pipeline.Submit(batch, ops_done, op_start_ns);
+        if (pipeline.out_of_space() || !pipeline.error().ok()) break;
+        continue;  // accounting happens when the commit retires
+      }
       const Status s = ExecuteOp(stack->store.get(), &gen, spec, op,
                                  &batch, &read_value, &reads, &ops_done);
       if (s.IsNoSpace()) {
@@ -375,6 +512,19 @@ Status RunUpdatePhaseConcurrent(const ExperimentConfig& config,
       local_latency[tid].Record(
           static_cast<uint64_t>(stack->clock.NowNanos() - op_start_ns) /
           std::max<uint64_t>(1, ops_done));
+    }
+    pipeline.Drain();
+    total_ops.fetch_add(pipeline.TakeOpsDone(), std::memory_order_relaxed);
+    if (pipeline.out_of_space()) {
+      out_of_space.store(true, std::memory_order_relaxed);
+      stop.store(true, std::memory_order_relaxed);
+    }
+    if (!pipeline.error().ok()) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = pipeline.error();
+      }
+      stop.store(true, std::memory_order_relaxed);
     }
   };
   std::vector<std::thread> threads;
@@ -505,31 +655,58 @@ StatusOr<ExperimentResult> RunExperiment(
     std::string read_value;
     kv::WriteBatch batch;
     ReadBatchScratch reads;
+    // Pipelined writer mode: write ops go through a bounded window of
+    // WriteAsync commits instead of blocking one at a time. Mutations
+    // are applied at submit, so the reads and scans interleaved below
+    // still see every prior write without draining first; the window is
+    // drained at each sampling boundary so update_ops and the latency
+    // histograms are settled before SampleWindow reads them.
+    WritePipeline pipeline(
+        stack.store.get(),
+        static_cast<size_t>(std::max(1, config.pipeline_depth)),
+        &op_latency, &run_latency);
     while (stack.clock.NowMinutes() - t0_min < duration_sim_min &&
            !result.ran_out_of_space) {
       const int64_t op_start_ns = stack.clock.NowNanos();
       const kv::Op op = gen.Next();
       uint64_t ops_done = 1;
-      const Status s = ExecuteOp(stack.store.get(), &gen, spec, op, &batch,
-                                 &read_value, &reads, &ops_done);
-      if (s.IsNoSpace()) {
-        result.ran_out_of_space = true;
-        break;
+      if (config.pipeline_writes && IsWriteOp(op)) {
+        FillWriteBatch(&gen, spec, op, &batch, &ops_done);
+        pipeline.Submit(batch, ops_done, op_start_ns);
+        if (pipeline.out_of_space()) {
+          result.ran_out_of_space = true;
+          break;
+        }
+        PTSB_RETURN_IF_ERROR(pipeline.error());
+      } else {
+        const Status s = ExecuteOp(stack.store.get(), &gen, spec, op,
+                                   &batch, &read_value, &reads, &ops_done);
+        if (s.IsNoSpace()) {
+          result.ran_out_of_space = true;
+          break;
+        }
+        PTSB_RETURN_IF_ERROR(s);
+        result.update_ops += ops_done;
+        // Per-entry latency: a batch is one submission covering ops_done
+        // entries, so divide its elapsed time to keep the histogram in
+        // the same per-op units as kv_kops.
+        const uint64_t per_entry_ns =
+            static_cast<uint64_t>(stack.clock.NowNanos() - op_start_ns) /
+            std::max<uint64_t>(1, ops_done);
+        op_latency.Record(per_entry_ns);
+        run_latency.Record(per_entry_ns);
       }
-      PTSB_RETURN_IF_ERROR(s);
-      result.update_ops += ops_done;
-      // Per-entry latency: a batch is one submission covering ops_done
-      // entries, so divide its elapsed time to keep the histogram in the
-      // same per-op units as kv_kops.
-      const uint64_t per_entry_ns =
-          static_cast<uint64_t>(stack.clock.NowNanos() - op_start_ns) /
-          std::max<uint64_t>(1, ops_done);
-      op_latency.Record(per_entry_ns);
-      run_latency.Record(per_entry_ns);
 
       // Window boundary?
       const double now_min = stack.clock.NowMinutes();
       if (now_min - window_start >= window_sim_min) {
+        pipeline.Drain();
+        result.update_ops += pipeline.TakeOpsDone();
+        if (pipeline.out_of_space()) {
+          result.ran_out_of_space = true;
+          break;
+        }
+        PTSB_RETURN_IF_ERROR(pipeline.error());
         const double window_sec = (now_min - window_start) * 60.0;
         WindowBaselines base{io0,
                              smart0,
@@ -560,6 +737,11 @@ StatusOr<ExperimentResult> RunExperiment(
         stalls_window_start = stack.store->GetStats().stall_count;
       }
     }
+    // Retire the commits still in flight when the duration ran out.
+    pipeline.Drain();
+    result.update_ops += pipeline.TakeOpsDone();
+    if (pipeline.out_of_space()) result.ran_out_of_space = true;
+    PTSB_RETURN_IF_ERROR(pipeline.error());
   }
 
   result.steady = result.series.SteadyState();

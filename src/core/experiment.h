@@ -83,6 +83,17 @@ struct ExperimentConfig {
   // their device time overlaps across channels in VIRTUAL time. Ignored
   // by engines without async dispatch.
   int queue_depth = 1;
+  // Pipelined writer mode: the update phase issues writes through
+  // KVStore::WriteAsync and observes their completions via
+  // WriteHandle::OnComplete callbacks instead of blocking on each
+  // commit, keeping up to pipeline_depth commits in flight per worker.
+  // Mutations are applied at submit (the engine's group-commit path runs
+  // then); only the completion wait is deferred, so reads issued between
+  // submissions still see every prior write. Works with any engine and
+  // any num_threads; per-op latency is measured submit-to-completion in
+  // virtual time.
+  bool pipeline_writes = false;
+  int pipeline_depth = 4;
   // Read-side submission depth (every engine's read_queue_depth param,
   // unless engine_params overrides it): > 1 lets MultiGet fan point
   // lookups out across read submission lanes, so independent reads

@@ -12,8 +12,9 @@ namespace ptsb::fs {
 
 namespace {
 // Writes a run of logically-consecutive file pages, batching device writes
-// over physically-contiguous LBA runs. The caller holds the filesystem's
-// io_mu_ (all device commands are serialized there).
+// over physically-contiguous LBA runs. Takes no filesystem lock: the
+// device serializes its own command processing, and the extent list is
+// per-file state owned by the file's single user.
 Status WriteFilePages(block::BlockDevice* device,
                       const std::vector<Extent>& extents, uint64_t first_page,
                       uint64_t num_pages, const uint8_t* src,
@@ -97,12 +98,9 @@ Status File::AppendImpl(std::string_view data) {
           &inode,
           std::max(file_page + npages,
                    file_page + fs_->options_.append_alloc_pages)));
-      {
-        std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
-        PTSB_RETURN_IF_ERROR(WriteFilePages(
-            fs_->device_, inode.extents, file_page, npages,
-            reinterpret_cast<const uint8_t*>(data.data()), page));
-      }
+      PTSB_RETURN_IF_ERROR(WriteFilePages(
+          fs_->device_, inode.extents, file_page, npages,
+          reinterpret_cast<const uint8_t*>(data.data()), page));
       inode.size_bytes += npages * page;
       inode.synced_bytes = inode.size_bytes;
       data.remove_prefix(npages * page);
@@ -118,12 +116,9 @@ Status File::AppendImpl(std::string_view data) {
       PTSB_RETURN_IF_ERROR(fs_->ExtendInode(
           &inode, std::max(file_page + 1,
                            file_page + fs_->options_.append_alloc_pages)));
-      {
-        std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
-        PTSB_RETURN_IF_ERROR(WriteFilePages(fs_->device_, inode.extents,
-                                            file_page, 1, inode.tail.get(),
-                                            page));
-      }
+      PTSB_RETURN_IF_ERROR(WriteFilePages(fs_->device_, inode.extents,
+                                          file_page, 1, inode.tail.get(),
+                                          page));
       inode.synced_bytes = inode.size_bytes;
       std::memset(inode.tail.get(), 0, page);
     }
@@ -148,7 +143,6 @@ StatusOr<uint64_t> File::ReadAt(uint64_t offset, uint64_t n, char* dst) const {
   const uint64_t device_end = std::min(end, tail_start);
   if (pos < device_end) {
     std::unique_ptr<uint8_t[]> scratch(new uint8_t[page]);
-    std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
     // Unaligned head.
     if (pos % page != 0) {
       const uint64_t in_page = pos % page;
@@ -206,7 +200,6 @@ Status File::WriteAtImpl(uint64_t offset, std::string_view data) {
   if (offset + data.size() > inode.allocated_pages * page) {
     return Status::InvalidArgument("WriteAt beyond allocation");
   }
-  std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
   return WriteFilePages(fs_->device_, inode.extents, offset / page,
                         data.size() / page,
                         reinterpret_cast<const uint8_t*>(data.data()), page);
@@ -231,13 +224,11 @@ Status File::Sync() {
   if (inode.synced_bytes < inode.size_bytes && tail_off != 0) {
     const uint64_t file_page = inode.size_bytes / page;
     PTSB_RETURN_IF_ERROR(fs_->ExtendInode(&inode, file_page + 1));
-    std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
     PTSB_RETURN_IF_ERROR(WriteFilePages(fs_->device_, inode.extents,
                                         file_page, 1, inode.tail.get(),
                                         page));
   }
   inode.synced_bytes = inode.size_bytes;
-  std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
   return fs_->device_->Flush();
 }
 
@@ -245,7 +236,9 @@ Status File::ShrinkToFit() {
   Inode& inode = *inode_;
   const uint64_t page = fs_->page_bytes_;
   const uint64_t needed = (inode.size_bytes + page - 1) / page;
-  std::lock_guard<std::mutex> io_lock(fs_->io_mu_);
+  // Returning extents mutates the shared allocator: that is fs-wide
+  // allocation state, guarded by the filesystem mutex.
+  std::lock_guard<std::mutex> lock(fs_->mu_);
   while (inode.allocated_pages > needed) {
     Extent& last = inode.extents.back();
     const uint64_t excess =

@@ -21,7 +21,6 @@ SimpleFs::~SimpleFs() = default;
 
 Status SimpleFs::TouchMetadata() {
   if (options_.metadata_pages == 0) return Status::OK();
-  std::lock_guard<std::mutex> io_lock(io_mu_);
   const uint64_t lba = metadata_cursor_;
   metadata_cursor_ = (metadata_cursor_ + 1) % options_.metadata_pages;
   return device_->Write(lba, 1, nullptr);
@@ -43,7 +42,7 @@ uint64_t SimpleFs::PageToLba(const Inode& inode, uint64_t file_page) const {
 Status SimpleFs::ExtendInode(Inode* inode, uint64_t min_pages) {
   if (min_pages <= inode->allocated_pages) return Status::OK();
   const uint64_t want = min_pages - inode->allocated_pages;
-  std::lock_guard<std::mutex> io_lock(io_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   auto extents = allocator_->Allocate(want, options_.max_extent_pages);
   if (!extents.ok()) return extents.status();
   for (Extent& e : *extents) {
@@ -59,7 +58,6 @@ Status SimpleFs::ExtendInode(Inode* inode, uint64_t min_pages) {
 }
 
 void SimpleFs::FreeInodeExtents(Inode* inode) {
-  std::lock_guard<std::mutex> io_lock(io_mu_);
   for (const Extent& e : inode->extents) {
     allocator_->Free(e);
     if (!options_.nodiscard) {
@@ -174,7 +172,6 @@ void SimpleFs::SimulateCrash() {
   // Whole-fs inspection: expects writers quiesced (it mutates per-file
   // state the files' owners otherwise own).
   std::lock_guard<std::mutex> lock(mu_);
-  std::lock_guard<std::mutex> io_lock(io_mu_);
   for (auto& [id, inode] : inodes_) {
     if (inode->size_bytes == inode->synced_bytes) continue;
     inode->size_bytes = inode->synced_bytes;
@@ -194,7 +191,6 @@ void SimpleFs::SimulateCrash() {
 
 FsStats SimpleFs::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::lock_guard<std::mutex> io_lock(io_mu_);
   FsStats s;
   s.capacity_bytes = device_->capacity_bytes();
   const uint64_t data_pages = allocator_->total_pages();
@@ -210,7 +206,6 @@ FsStats SimpleFs::GetStats() const {
 
 Status SimpleFs::CheckConsistency() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::lock_guard<std::mutex> io_lock(io_mu_);
   PTSB_RETURN_IF_ERROR(allocator_->CheckConsistency());
   // Extents of all files must be disjoint, in range, and match counters.
   std::vector<std::pair<uint64_t, uint64_t>> ranges;  // (start, end)

@@ -14,20 +14,26 @@
 //    metadata region; namespace mutations charge one metadata page write.
 //    Namespace durability follows the journaled-fs assumption: after
 //    SimulateCrash() the namespace survives, unsynced file data does not.
-//  - Thread safety, modeled on the kernel's locking split. TWO mutexes:
-//    `mu_` serializes the namespace (directory + inode table), `io_mu_`
-//    serializes the shared I/O substrate (extent allocator, metadata
-//    region, and every block-device command — the bio/FTL serialization
-//    point). Per-file state (tail buffer, sizes, extent list) takes
-//    NEITHER lock: like a kernel page cache keyed by inode, it is safe as
-//    long as each File has one user at a time, which is exactly the
-//    per-shard serialization kv::ShardedStore provides. Concurrent shards
-//    therefore overlap all their CPU work — key comparisons, checksums,
-//    index updates, tail-page memcpys — and queue only for device
-//    commands and allocations. A single File shared by two unsynchronized
-//    threads is still a bug (appends would interleave unpredictably), and
-//    whole-fs inspection (SimulateCrash, CheckConsistency, GetStats over
-//    in-flight files) expects writers quiesced.
+//  - Thread safety, modeled on the kernel's locking split. ONE filesystem
+//    mutex: `mu_` serializes the namespace (directory + inode table) AND
+//    the shared allocation state (extent allocator, metadata-region
+//    cursor) — the inode/block-bitmap lock. Device commands take no
+//    filesystem lock at all: each BlockDevice serializes its own command
+//    processing internally (the bio/FTL serialization point lives in the
+//    device, where it belongs), so two files' data I/O never contends on
+//    a filesystem-wide mutex — only allocations and namespace mutations
+//    do. Per-file state (tail buffer, sizes, extent list) takes no lock
+//    either: like a kernel page cache keyed by inode, it is safe as long
+//    as each File has one user at a time, which is exactly the
+//    serialization kv::ShardedStore (per shard) and kv::WriteGroup (per
+//    store) provide. Concurrent writers therefore overlap all their CPU
+//    work — key comparisons, checksums, index updates, tail-page memcpys
+//    — and their device commands queue only inside the device model. A
+//    single File shared by two unsynchronized threads is still a bug
+//    (appends would interleave unpredictably), and whole-fs inspection
+//    (SimulateCrash, CheckConsistency, GetStats over in-flight files)
+//    expects writers quiesced. Lock order: mu_ before any device-internal
+//    mutex.
 #ifndef PTSB_FS_FILESYSTEM_H_
 #define PTSB_FS_FILESYSTEM_H_
 
@@ -135,27 +141,29 @@ class SimpleFs {
   StatusOr<File*> OpenLocked(const std::string& name);
   Status DeleteLocked(const std::string& name);
 
-  // Charges one metadata page write for a namespace mutation. Takes
-  // io_mu_ internally.
+  // Charges one metadata page write for a namespace mutation. Caller
+  // holds mu_ (every namespace mutation already does).
   Status TouchMetadata();
 
   // Maps a page index within the file to a device LBA. Reads only the
   // file's own extent list: the caller must be the file's (sole) user.
   uint64_t PageToLba(const Inode& inode, uint64_t file_page) const;
 
-  // Allocator interactions; both take io_mu_ internally and otherwise
-  // touch only the inode's own fields.
+  // Allocator interactions. ExtendInode takes mu_ internally (its callers
+  // are File operations, which hold no fs lock); FreeInodeExtents expects
+  // the caller to hold mu_ (its one caller is DeleteLocked). Both
+  // otherwise touch only the inode's own fields.
   Status ExtendInode(Inode* inode, uint64_t min_pages);
   void FreeInodeExtents(Inode* inode);
 
   block::BlockDevice* device_;
   FsOptions options_;
   uint64_t page_bytes_;
-  // mu_ guards directory_/inodes_/next_inode_id_; io_mu_ guards
-  // allocator_, metadata_cursor_ and every device_ command. Lock order:
-  // mu_ before io_mu_; File operations take only io_mu_.
+  // Guards directory_/inodes_/next_inode_id_ (the namespace) and
+  // allocator_/metadata_cursor_ (shared allocation state). Device
+  // commands are serialized by the device itself, not here; File data
+  // paths take mu_ only to allocate (ExtendInode) or free (ShrinkToFit).
   mutable std::mutex mu_;
-  mutable std::mutex io_mu_;
   std::unique_ptr<ExtentAllocator> allocator_;
   std::map<std::string, uint64_t> directory_;       // name -> inode id
   std::map<uint64_t, std::unique_ptr<Inode>> inodes_;

@@ -5,10 +5,30 @@
 namespace ptsb::kv {
 
 Status WriteHandle::Wait() {
-  if (clock_ != nullptr && complete_ns_ > 0) {
-    clock_->AdvanceTo(complete_ns_);
-  }
+  Settle();
   return status_;
+}
+
+void WriteHandle::OnComplete(Callback cb) {
+  if (joined_) {
+    if (cb) cb(status_);
+    return;
+  }
+  callback_ = std::move(cb);
+}
+
+void WriteHandle::Settle() {
+  if (!joined_) {
+    if (clock_ != nullptr && complete_ns_ > 0) {
+      clock_->AdvanceTo(complete_ns_);
+    }
+    joined_ = true;
+  }
+  if (callback_) {
+    Callback cb = std::move(callback_);
+    callback_ = nullptr;
+    cb(status_);
+  }
 }
 
 WriteHandle AsyncCommit(sim::SimClock* clock, uint32_t queue,
@@ -19,10 +39,30 @@ WriteHandle AsyncCommit(sim::SimClock* clock, uint32_t queue,
 }
 
 Status ReadHandle::Wait() {
-  if (clock_ != nullptr && complete_ns_ > 0) {
-    clock_->AdvanceTo(complete_ns_);
-  }
+  Settle();
   return status_;
+}
+
+void ReadHandle::OnComplete(Callback cb) {
+  if (joined_) {
+    if (cb) cb(status_);
+    return;
+  }
+  callback_ = std::move(cb);
+}
+
+void ReadHandle::Settle() {
+  if (!joined_) {
+    if (clock_ != nullptr && complete_ns_ > 0) {
+      clock_->AdvanceTo(complete_ns_);
+    }
+    joined_ = true;
+  }
+  if (callback_) {
+    Callback cb = std::move(callback_);
+    callback_ = nullptr;
+    cb(status_);
+  }
 }
 
 ReadHandle AsyncRead(sim::SimClock* clock, uint32_t queue,

@@ -63,6 +63,17 @@ struct KvStoreStats {
   uint64_t user_bytes_written = 0;  // sum of key+value sizes put
   uint64_t user_bytes_read = 0;
 
+  // Group-commit accounting. wal_records counts the log records the
+  // engine actually wrote (one per commit GROUP); write_groups counts the
+  // groups committed and write_group_batches the user batches folded into
+  // them. Under a single writer all three track user_batches one-to-one;
+  // under N concurrent writers wal_records/write_groups grow SUB-linearly
+  // while write_group_batches keeps counting every user batch — their
+  // ratio is the measured group occupancy.
+  uint64_t wal_records = 0;
+  uint64_t write_groups = 0;
+  uint64_t write_group_batches = 0;
+
   uint64_t wal_bytes_written = 0;         // LSM WAL / journal / alog appends
   uint64_t flush_bytes_written = 0;       // LSM memtable flushes
   uint64_t compaction_bytes_written = 0;  // LSM compaction output
@@ -112,29 +123,81 @@ struct KvStoreStats {
 // at submission; `complete_ns` is the virtual time at which it finishes.
 // Wait() joins that time into the shared clock (a monotonic max) and
 // returns the commit's status — so handles obtained from the same global
-// instant overlap in virtual time, and every handle MUST be waited or the
-// clock never observes the commit's latency. For engines without a clock
-// (or without async support) the handle is already complete and Wait()
-// just returns the status.
+// instant overlap in virtual time. For engines without a clock (or
+// without async support) the handle is already complete and Wait() just
+// returns the status.
+//
+// Completion can also be consumed push-style: OnComplete(cb) registers a
+// single callback that fires EXACTLY ONCE with the commit status —
+// inline, on the registering thread, if the handle is already complete;
+// otherwise inside the Wait() that joins the completion time (so the
+// callback always observes a clock that has absorbed the commit's
+// latency). Handles are move-only: the callback has one owner and one
+// firer. Destroying a handle that was never waited is NOT an error — the
+// destructor safe-joins (performs the Wait-join and fires the pending
+// callback), so a dropped handle can neither lose its latency nor strand
+// its callback. This is the documented alternative to making un-waited
+// destruction a hard error; see tests/async_io_test.cc.
 class WriteHandle {
  public:
-  WriteHandle() = default;
+  using Callback = std::function<void(const Status&)>;
+
+  WriteHandle() : joined_(true) {}
   // Already-complete (synchronous) commit.
-  explicit WriteHandle(Status status) : status_(std::move(status)) {}
+  explicit WriteHandle(Status status)
+      : status_(std::move(status)), joined_(true) {}
   WriteHandle(Status status, int64_t complete_ns, sim::SimClock* clock)
       : status_(std::move(status)), complete_ns_(complete_ns),
-        clock_(clock) {}
+        clock_(clock), joined_(clock == nullptr || complete_ns <= 0) {}
 
-  // Joins the completion time into the clock and returns the commit
-  // status. Idempotent.
+  WriteHandle(WriteHandle&& o) noexcept { MoveFrom(o); }
+  WriteHandle& operator=(WriteHandle&& o) noexcept {
+    if (this != &o) {
+      Settle();
+      MoveFrom(o);
+    }
+    return *this;
+  }
+  WriteHandle(const WriteHandle&) = delete;
+  WriteHandle& operator=(const WriteHandle&) = delete;
+
+  // Safe-join: never loses the commit's virtual latency or a pending
+  // callback.
+  ~WriteHandle() { Settle(); }
+
+  // Joins the completion time into the clock, fires the pending callback
+  // (if any), and returns the commit status. Idempotent (the join and
+  // the callback each happen at most once).
   Status Wait();
+
+  // Registers the completion callback (one per handle). Fires inline if
+  // the handle is already complete.
+  void OnComplete(Callback cb);
+
+  // True once the completion time has been joined (or there was never a
+  // pending timeline to join).
+  bool complete() const { return joined_; }
 
   int64_t complete_ns() const { return complete_ns_; }
 
  private:
+  void MoveFrom(WriteHandle& o) {
+    status_ = std::move(o.status_);
+    complete_ns_ = o.complete_ns_;
+    clock_ = o.clock_;
+    joined_ = o.joined_;
+    callback_ = std::move(o.callback_);
+    o.clock_ = nullptr;
+    o.joined_ = true;
+    o.callback_ = nullptr;
+  }
+  void Settle();
+
   Status status_;
   int64_t complete_ns_ = 0;
   sim::SimClock* clock_ = nullptr;
+  bool joined_ = true;
+  Callback callback_;
 };
 
 // Runs `commit` inside a virtual-time submission lane on `clock` (queue
@@ -150,28 +213,65 @@ WriteHandle AsyncCommit(sim::SimClock* clock, uint32_t queue,
 // mirroring WriteHandle: the value is filled at submission, `complete_ns`
 // is the virtual time the lookup's lane finished at, and Wait() joins
 // that time into the shared clock (monotonic max) and returns the read's
-// status. Handles obtained from the same global instant overlap in
-// virtual time; every handle MUST be waited or the clock never observes
-// the read's latency.
+// status. Completion callbacks, move-only ownership and the safe-join
+// destructor follow WriteHandle exactly: OnComplete(cb) fires once —
+// inline if already complete, inside Wait() (or the destructor's
+// safe-join) otherwise.
 class ReadHandle {
  public:
-  ReadHandle() = default;
+  using Callback = std::function<void(const Status&)>;
+
+  ReadHandle() : joined_(true) {}
   // Already-complete (synchronous) read.
-  explicit ReadHandle(Status status) : status_(std::move(status)) {}
+  explicit ReadHandle(Status status)
+      : status_(std::move(status)), joined_(true) {}
   ReadHandle(Status status, int64_t complete_ns, sim::SimClock* clock)
       : status_(std::move(status)), complete_ns_(complete_ns),
-        clock_(clock) {}
+        clock_(clock), joined_(clock == nullptr || complete_ns <= 0) {}
 
-  // Joins the completion time into the clock and returns the read
-  // status. Idempotent.
+  ReadHandle(ReadHandle&& o) noexcept { MoveFrom(o); }
+  ReadHandle& operator=(ReadHandle&& o) noexcept {
+    if (this != &o) {
+      Settle();
+      MoveFrom(o);
+    }
+    return *this;
+  }
+  ReadHandle(const ReadHandle&) = delete;
+  ReadHandle& operator=(const ReadHandle&) = delete;
+
+  ~ReadHandle() { Settle(); }
+
+  // Joins the completion time into the clock, fires the pending callback
+  // (if any), and returns the read status. Idempotent.
   Status Wait();
+
+  // Registers the completion callback (one per handle). Fires inline if
+  // the handle is already complete.
+  void OnComplete(Callback cb);
+
+  bool complete() const { return joined_; }
 
   int64_t complete_ns() const { return complete_ns_; }
 
  private:
+  void MoveFrom(ReadHandle& o) {
+    status_ = std::move(o.status_);
+    complete_ns_ = o.complete_ns_;
+    clock_ = o.clock_;
+    joined_ = o.joined_;
+    callback_ = std::move(o.callback_);
+    o.clock_ = nullptr;
+    o.joined_ = true;
+    o.callback_ = nullptr;
+  }
+  void Settle();
+
   Status status_;
   int64_t complete_ns_ = 0;
   sim::SimClock* clock_ = nullptr;
+  bool joined_ = true;
+  Callback callback_;
 };
 
 // Runs `read` inside a virtual-time submission lane on `clock` tagged
@@ -244,15 +344,20 @@ class KVStore {
     return WriteHandle(Write(batch));
   }
 
-  // One-entry conveniences over Write.
+  // One-entry conveniences over Write. Each thread reuses one WriteBatch
+  // (and its entry's string capacity) across calls, so the steady-state
+  // hot path allocates nothing: a fresh batch per call would pay a vector
+  // plus two string allocations per operation. Safe because the batch is
+  // consumed synchronously by Write before the wrapper returns, and no
+  // engine's Write re-enters Put/Delete.
   Status Put(std::string_view key, std::string_view value) {
-    WriteBatch batch;
-    batch.Put(key, value);
+    thread_local WriteBatch batch;
+    batch.SetSingle(WriteBatch::EntryKind::kPut, key, value);
     return Write(batch);
   }
   Status Delete(std::string_view key) {
-    WriteBatch batch;
-    batch.Delete(key);
+    thread_local WriteBatch batch;
+    batch.SetSingle(WriteBatch::EntryKind::kDelete, key, "");
     return Write(batch);
   }
 
@@ -297,10 +402,13 @@ class KVStore {
   virtual Status Close() = 0;
 
   // Whether Write/Get may be called from multiple threads concurrently.
-  // The storage engines are single-threaded (false, the default); the
-  // sharded front end serializes per shard and returns true. Drivers must
-  // check this before fanning out workers — concurrent writes to a
-  // single-threaded engine corrupt it.
+  // The storage engines route Write through a kv::WriteGroup (concurrent
+  // callers line up and a leader commits their batches as one log record)
+  // and exclude point reads against in-flight commits, so they return
+  // true; the sharded front end serializes per shard and returns true as
+  // well. Iterators and lifecycle calls (Flush/Close/SettleBackgroundWork)
+  // still expect a quiesced store. Drivers must check this before fanning
+  // out workers.
   virtual bool SupportsConcurrentWriters() const { return false; }
 
   virtual KvStoreStats GetStats() const = 0;

@@ -40,6 +40,32 @@ class WriteBatch {
     byte_size_ += key.size();
   }
 
+  // Appends a copy of another batch's entries in order. Used by the write
+  // group's leader to merge followers' batches into one commit unit.
+  void Append(const WriteBatch& other) {
+    entries_.insert(entries_.end(), other.entries_.begin(),
+                    other.entries_.end());
+    byte_size_ += other.byte_size_;
+  }
+
+  // Resets the batch to exactly one entry, reusing the entry slot's string
+  // capacity. The Put/Delete convenience wrappers call this on a reused
+  // batch so the one-entry hot path stops paying a vector + two string
+  // allocations per operation.
+  void SetSingle(EntryKind kind, std::string_view key,
+                 std::string_view value) {
+    if (entries_.empty()) {
+      entries_.emplace_back();
+    } else {
+      entries_.resize(1);
+    }
+    Entry& e = entries_.front();
+    e.kind = kind;
+    e.key.assign(key);
+    e.value.assign(value);
+    byte_size_ = key.size() + value.size();
+  }
+
   void Clear() {
     entries_.clear();
     byte_size_ = 0;

@@ -9,7 +9,8 @@ namespace ptsb::lsm {
 
 LsmStore::LsmStore(fs::SimpleFs* fs, const LsmOptions& options,
                    std::string dir)
-    : fs_(fs), options_(options), dir_(std::move(dir)) {}
+    : fs_(fs), options_(options), dir_(std::move(dir)),
+      write_group_(options.max_write_group_bytes) {}
 
 LsmStore::~LsmStore() {
   if (!closed_) {
@@ -88,9 +89,22 @@ kv::WriteHandle LsmStore::WriteAsync(const kv::WriteBatch& batch) {
 Status LsmStore::Write(const kv::WriteBatch& batch) {
   PTSB_CHECK(!closed_);
   if (batch.empty()) return Status::OK();
+  // Cross-thread group commit: a single caller passes straight through
+  // (group of one, no copy); concurrent callers elect a leader that
+  // merges their batches into one WAL record.
+  return write_group_.Commit(
+      batch, [this](const kv::WriteBatch& merged, size_t n_user_batches) {
+        return WriteInternal(merged, n_user_batches);
+      });
+}
+
+Status LsmStore::WriteInternal(const kv::WriteBatch& batch,
+                               size_t n_user_batches) {
   write_epoch_++;
   ChargeCpu(options_.cpu_put_ns * static_cast<int64_t>(batch.Count()));
-  stats_.user_batches++;
+  stats_.user_batches += n_user_batches;
+  stats_.write_groups++;
+  stats_.write_group_batches += n_user_batches;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
     if (e.kind == kv::WriteBatch::EntryKind::kPut) {
       stats_.user_puts++;
@@ -113,6 +127,7 @@ Status LsmStore::Write(const kv::WriteBatch& batch) {
     PTSB_RETURN_IF_ERROR(wal_->AddBatch(batch, first_seq));
     stats_.time_wal_ns += now() - t0;
     stats_.wal_bytes_written += wal_->bytes_written() - wal_before;
+    stats_.wal_records++;
   }
   SequenceNumber seq = first_seq;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
@@ -319,6 +334,12 @@ void LsmStore::EvictReaders(const std::vector<uint64_t>& numbers) {
 
 Status LsmStore::Get(std::string_view key, std::string* value) {
   PTSB_CHECK(!closed_);
+  // Exclude in-flight group commits: a leader may be rotating the
+  // memtable or retiring SSTs for followers on another thread.
+  return write_group_.RunExclusive([&] { return GetInternal(key, value); });
+}
+
+Status LsmStore::GetInternal(std::string_view key, std::string* value) {
   ChargeCpu(options_.cpu_get_ns);
   stats_.user_gets++;
 
@@ -523,8 +544,13 @@ class LsmStore::MergingIterator : public kv::KVStore::Iterator {
 
 std::unique_ptr<kv::KVStore::Iterator> LsmStore::NewIterator() {
   PTSB_CHECK(!closed_);
-  stats_.user_scans++;
-  return std::make_unique<MergingIterator>(this);
+  // Construction snapshots sources, so it excludes in-flight commits;
+  // iteration itself still requires a quiesced writer (epoch-checked).
+  return write_group_.RunExclusive(
+      [&]() -> std::unique_ptr<kv::KVStore::Iterator> {
+        stats_.user_scans++;
+        return std::make_unique<MergingIterator>(this);
+      });
 }
 
 Status LsmStore::Flush() {
@@ -586,6 +612,8 @@ LsmOptions LsmOptionsFromEngineOptions(const kv::EngineOptions& eo) {
                       o.compaction_work_per_user_write);
   o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
   o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
+  o.max_write_group_bytes = kv::ParamUint64(eo, "max_write_group_bytes",
+                                            o.max_write_group_bytes);
   o.read_queue_depth =
       kv::ParamInt(eo, "read_queue_depth", o.read_queue_depth);
   o.background_io = kv::ParamBool(eo, "background_io", o.background_io);
@@ -630,6 +658,7 @@ std::map<std::string, std::string> EncodeEngineParams(const LsmOptions& o) {
       std::to_string(o.compaction_work_per_user_write);
   p["cpu_put_ns"] = std::to_string(o.cpu_put_ns);
   p["cpu_get_ns"] = std::to_string(o.cpu_get_ns);
+  p["max_write_group_bytes"] = std::to_string(o.max_write_group_bytes);
   p["read_queue_depth"] = std::to_string(o.read_queue_depth);
   p["background_io"] = o.background_io ? "1" : "0";
   return p;

@@ -13,6 +13,7 @@
 #include "fs/filesystem.h"
 #include "kv/kvstore.h"
 #include "kv/registry.h"
+#include "kv/write_group.h"
 #include "lsm/compaction.h"
 #include "lsm/memtable.h"
 #include "lsm/options.h"
@@ -31,9 +32,11 @@ class LsmStore : public kv::KVStore {
                                                   std::string dir = "lsm");
   ~LsmStore() override;
 
-  // kv::KVStore interface. Write is the group-commit path: the whole
-  // batch becomes ONE WAL record, then one memtable insertion pass;
-  // flush/compaction pacing runs once per batch.
+  // kv::KVStore interface. Write is the group-commit path: the batch is
+  // routed through a cross-thread kv::WriteGroup, so a single caller's
+  // batch becomes ONE WAL record (one memtable insertion pass, one
+  // flush/compaction pacing step) and N concurrent callers' batches are
+  // merged by a leader into sub-linearly many records.
   Status Write(const kv::WriteBatch& batch) override;
   // Runs the commit in a submission lane on options().io_queue, so
   // back-to-back WriteAsync calls on distinct queues overlap in virtual
@@ -54,7 +57,13 @@ class LsmStore : public kv::KVStore {
   Status Flush() override;
   Status SettleBackgroundWork() override { return DrainCompactions(); }
   Status Close() override;
-  kv::KvStoreStats GetStats() const override { return stats_; }
+  // Concurrent Write callers group-commit; point reads run under the
+  // group's commit-exclusion lock. Iterators and lifecycle calls still
+  // expect a quiesced store.
+  bool SupportsConcurrentWriters() const override { return true; }
+  kv::KvStoreStats GetStats() const override {
+    return write_group_.RunExclusive([&] { return stats_; });
+  }
   std::string Name() const override { return "lsm(rocksdb-like)"; }
   uint64_t DiskBytesUsed() const override;
 
@@ -75,6 +84,11 @@ class LsmStore : public kv::KVStore {
 
   LsmStore(fs::SimpleFs* fs, const LsmOptions& options, std::string dir);
 
+  // The commit function the write group's leader runs: the old Write
+  // body, applied to the merged batch of `n_user_batches` user Writes.
+  Status WriteInternal(const kv::WriteBatch& batch, size_t n_user_batches);
+  // Get's body, run under the group's commit-exclusion lock.
+  Status GetInternal(std::string_view key, std::string* value);
   Status FlushMemtable();
   // Runs up to `budget` bytes of compaction work, starting a job if due.
   // With background_io on (and a clock), the work runs on the engine's
@@ -119,6 +133,10 @@ class LsmStore : public kv::KVStore {
   // freed memtables/SSTs.
   uint64_t write_epoch_ = 0;
   kv::KvStoreStats stats_;
+  // Cross-thread group commit queue; also provides the commit-exclusion
+  // lock the read paths (and const stats snapshots) run under. mutable:
+  // taking the exclusion lock is not logically a mutation.
+  mutable kv::WriteGroup write_group_;
   bool closed_ = false;
 };
 

@@ -54,6 +54,13 @@ struct LsmOptions {
   int64_t cpu_put_ns = 8'000;
   int64_t cpu_get_ns = 10'000;
 
+  // Cap on the merged byte size of one cross-thread commit group: a
+  // leader folds waiting writers' batches into a single WAL record up to
+  // this many payload bytes (its own batch always commits regardless).
+  // Larger groups amortize record framing further but lengthen the
+  // latency of the unluckiest follower.
+  uint64_t max_write_group_bytes = 1ull << 20;
+
   // Max in-flight MultiGet point lookups: each runs in its own
   // foreground-read submission lane, so up to this many independent SST
   // probes overlap in virtual device time across SSD channels. 1 (or no

@@ -24,6 +24,9 @@ void AddStats(kv::KvStoreStats* into, const kv::KvStoreStats& s) {
   into->user_batches += s.user_batches;
   into->user_bytes_written += s.user_bytes_written;
   into->user_bytes_read += s.user_bytes_read;
+  into->wal_records += s.wal_records;
+  into->write_groups += s.write_groups;
+  into->write_group_batches += s.write_group_batches;
   into->wal_bytes_written += s.wal_bytes_written;
   into->flush_bytes_written += s.flush_bytes_written;
   into->compaction_bytes_written += s.compaction_bytes_written;

@@ -102,6 +102,7 @@ Status SsdDevice::Read(uint64_t lba, uint64_t count, uint8_t* dst) {
   if (lba + count > num_lbas()) {
     return Status::InvalidArgument("read beyond device");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   const uint64_t page = config_.geometry.page_bytes;
   const uint64_t bytes = count * page;
   // Content.
@@ -146,6 +147,7 @@ Status SsdDevice::Write(uint64_t lba, uint64_t count, const uint8_t* src) {
   if (lba + count > num_lbas()) {
     return Status::InvalidArgument("write beyond device");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   const uint64_t page = config_.geometry.page_bytes;
   Channel& channel = ActiveChannel();
   // Process in bounded batches so cache admission interleaves with large
@@ -217,6 +219,7 @@ Status SsdDevice::Trim(uint64_t lba, uint64_t count) {
   if (lba + count > num_lbas()) {
     return Status::InvalidArgument("trim beyond device");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   for (uint64_t i = 0; i < count; i++) {
     const uint64_t lpn = lba + i;
     ftl_->Trim(lpn);
@@ -234,12 +237,14 @@ Status SsdDevice::Trim(uint64_t lba, uint64_t count) {
 }
 
 Status SsdDevice::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   clock_->Advance(config_.timing.flush_latency_ns);
   DrainCache(clock_->NowNanos());
   return Status::OK();
 }
 
 SsdDevice::CacheState SsdDevice::GetCacheState() const {
+  std::lock_guard<std::mutex> lock(mu_);
   CacheState s;
   s.occupancy_bytes = cache_occupancy_;
   for (const Channel& c : channels_) {
@@ -249,6 +254,7 @@ SsdDevice::CacheState SsdDevice::GetCacheState() const {
 }
 
 std::vector<SsdDevice::ChannelStats> SsdDevice::channel_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<ChannelStats> out;
   out.reserve(channels_.size());
   for (const Channel& c : channels_) {
@@ -283,6 +289,7 @@ std::vector<SsdDevice::ChannelStats> SsdDevice::channel_stats() const {
 }
 
 uint64_t SsdDevice::ContentMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = 0;
   for (const auto& c : chunks_) {
     if (c) n += kPagesPerChunk * config_.geometry.page_bytes;

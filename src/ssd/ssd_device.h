@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -70,7 +71,10 @@ class SsdDevice : public block::BlockDevice {
   Status Trim(uint64_t lba, uint64_t count) override;
   Status Flush() override;
 
-  SmartCounters smart() const { return smart_; }
+  SmartCounters smart() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return smart_;
+  }
   const FlashTranslationLayer& ftl() const { return *ftl_; }
   const SsdConfig& config() const { return config_; }
 
@@ -89,7 +93,10 @@ class SsdDevice : public block::BlockDevice {
     uint64_t read_commands = 0;
     uint64_t write_commands = 0;
   };
-  const TimeBreakdown& time_breakdown() const { return times_; }
+  TimeBreakdown time_breakdown() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return times_;
+  }
   CacheState GetCacheState() const;
 
   // Per-channel accounting, for the per-channel utilization report:
@@ -175,6 +182,14 @@ class SsdDevice : public block::BlockDevice {
 
   SsdConfig config_;
   sim::SimClock* clock_;
+  // The device's command-processing lock: Read/Write/Trim/Flush bodies
+  // and the snapshot accessors serialize here (the firmware command
+  // queue). The filesystem above takes no lock for data I/O — two files'
+  // commands contend only at this point, never on an fs-wide mutex.
+  // Virtual-time lane state lives in the clock (atomic / thread-local),
+  // so holding mu_ across clock calls is safe; lock order is
+  // SimpleFs::mu_ -> this (never the reverse).
+  mutable std::mutex mu_;
   std::unique_ptr<FlashTranslationLayer> ftl_;
 
   // Sparse content store: fixed-size chunks of pages, allocated on first

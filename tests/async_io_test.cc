@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "block/memory_device.h"
 #include "fs/file.h"
 #include "fs/filesystem.h"
 #include "kv/kv.h"
@@ -397,6 +398,169 @@ TEST(MultiGetTest, FanOutCompressesVirtualTime) {
   run(4, 8, &repeat_ns, &repeat_sum);  // virtual-time determinism
   EXPECT_EQ(repeat_ns, fan_ns);
   EXPECT_EQ(repeat_sum, fan_sum);
+}
+
+// ---- Completion callbacks (push-style handles) ------------------------
+//
+// WriteHandle/ReadHandle::OnComplete registers a one-shot callback that
+// fires with the operation's status EXACTLY ONCE: inline at registration
+// if the handle is already complete, otherwise inside the Wait() that
+// joins the completion time into the clock — i.e. on the WAITER's
+// thread, after the clock has absorbed the operation's virtual latency.
+// A handle dropped without Wait() safe-joins in its destructor (performs
+// the clock join and fires the pending callback) rather than erroring;
+// that choice is documented on the class in kv/kvstore.h and pinned by
+// DroppedHandleSafeJoinsAndFires below.
+
+struct TimedAlogHarness {
+  sim::SimClock clock;
+  std::unique_ptr<ssd::SsdDevice> ssd;
+  std::unique_ptr<fs::SimpleFs> fs;
+  std::unique_ptr<kv::KVStore> store;
+};
+
+std::unique_ptr<TimedAlogHarness> MakeTimedAlog() {
+  auto h = std::make_unique<TimedAlogHarness>();
+  h->ssd = std::make_unique<ssd::SsdDevice>(SmallSsd(2), &h->clock);
+  h->fs = std::make_unique<fs::SimpleFs>(h->ssd.get(), fs::FsOptions{});
+  kv::EngineOptions options;
+  options.engine = "alog";
+  options.fs = h->fs.get();
+  options.clock = &h->clock;
+  auto opened = kv::OpenStore(options);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  h->store = *std::move(opened);
+  return h;
+}
+
+TEST(CompletionCallbackTest, FiresExactlyOnceInsideWait) {
+  auto h = MakeTimedAlog();
+  kv::WriteBatch batch;
+  batch.Put("k", std::string(2048, 'v'));
+  int fires = 0;
+  {
+    kv::WriteHandle handle = h->store->WriteAsync(batch);
+    ASSERT_FALSE(handle.complete()) << "clock join must be deferred";
+    Status seen;
+    handle.OnComplete([&](const Status& s) {
+      fires++;
+      seen = s;
+    });
+    EXPECT_EQ(fires, 0) << "pending handle must not fire at registration";
+    const int64_t complete_ns = handle.complete_ns();
+    ASSERT_TRUE(handle.Wait().ok());
+    EXPECT_EQ(fires, 1);
+    EXPECT_TRUE(seen.ok());
+    EXPECT_GE(h->clock.NowNanos(), complete_ns)
+        << "the callback observes a clock past the commit's completion";
+    ASSERT_TRUE(handle.Wait().ok());  // Wait is idempotent...
+    EXPECT_EQ(fires, 1);              // ...and must not re-fire
+  }
+  EXPECT_EQ(fires, 1) << "nor may the destructor re-fire";
+  ASSERT_TRUE(h->store->Close().ok());
+}
+
+TEST(CompletionCallbackTest, FiresInlineWhenAlreadyComplete) {
+  // Without a clock the commit runs synchronously, so the handle is
+  // complete when WriteAsync returns and the callback fires inline, on
+  // the registering thread.
+  block::MemoryBlockDevice dev(4096, 1 << 13);
+  fs::SimpleFs fs(&dev, {});
+  kv::EngineOptions options;
+  options.engine = "alog";
+  options.fs = &fs;
+  auto opened = kv::OpenStore(options);
+  ASSERT_TRUE(opened.ok());
+  auto store = *std::move(opened);
+  kv::WriteBatch batch;
+  batch.Put("k", "v");
+  kv::WriteHandle handle = store->WriteAsync(batch);
+  EXPECT_TRUE(handle.complete());
+  int fires = 0;
+  std::thread::id cb_thread;
+  handle.OnComplete([&](const Status& s) {
+    fires++;
+    cb_thread = std::this_thread::get_id();
+    EXPECT_TRUE(s.ok());
+  });
+  EXPECT_EQ(fires, 1) << "complete handle fires inline at registration";
+  EXPECT_EQ(cb_thread, std::this_thread::get_id());
+  ASSERT_TRUE(handle.Wait().ok());
+  EXPECT_EQ(fires, 1);
+  ASSERT_TRUE(store->Close().ok());
+}
+
+TEST(CompletionCallbackTest, FiresOnTheWaitersThread) {
+  auto h = MakeTimedAlog();
+  kv::WriteBatch batch;
+  batch.Put("k", std::string(2048, 'v'));
+  kv::WriteHandle handle = h->store->WriteAsync(batch);
+  ASSERT_FALSE(handle.complete());
+  int fires = 0;
+  std::thread::id cb_thread;
+  handle.OnComplete([&](const Status& s) {
+    fires++;
+    cb_thread = std::this_thread::get_id();
+    EXPECT_TRUE(s.ok());
+  });
+  std::thread::id waiter_thread;
+  std::thread waiter([&] {
+    waiter_thread = std::this_thread::get_id();
+    EXPECT_TRUE(handle.Wait().ok());
+  });
+  waiter.join();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(cb_thread, waiter_thread)
+      << "a pending callback runs inside the Wait that joins the clock";
+  EXPECT_NE(cb_thread, std::this_thread::get_id());
+  ASSERT_TRUE(h->store->Close().ok());
+}
+
+TEST(CompletionCallbackTest, DroppedHandleSafeJoinsAndFires) {
+  auto h = MakeTimedAlog();
+  kv::WriteBatch batch;
+  batch.Put("k", std::string(2048, 'v'));
+  int fires = 0;
+  int64_t complete_ns = 0;
+  {
+    kv::WriteHandle handle = h->store->WriteAsync(batch);
+    ASSERT_FALSE(handle.complete());
+    complete_ns = handle.complete_ns();
+    handle.OnComplete([&](const Status& s) {
+      fires++;
+      EXPECT_TRUE(s.ok());
+    });
+    // Dropped without Wait: the destructor safe-joins.
+  }
+  EXPECT_EQ(fires, 1)
+      << "destroying an un-waited handle must fire the pending callback";
+  EXPECT_GE(h->clock.NowNanos(), complete_ns)
+      << "the safe-join must not lose the commit's virtual latency";
+  ASSERT_TRUE(h->store->Close().ok());
+}
+
+TEST(CompletionCallbackTest, ReadHandleCallbacksMirrorWriteHandles) {
+  auto h = MakeTimedAlog();
+  ASSERT_TRUE(h->store->Put("k", std::string(2048, 'v')).ok());
+  ASSERT_TRUE(h->store->Flush().ok());
+  std::string value;
+  int fires = 0;
+  {
+    kv::ReadHandle handle = h->store->ReadAsync("k", &value);
+    handle.OnComplete([&](const Status& s) {
+      fires++;
+      EXPECT_TRUE(s.ok());
+    });
+    // The callback travels with a move; the moved-from shell must not
+    // fire it at destruction.
+    kv::ReadHandle moved = std::move(handle);
+    EXPECT_TRUE(moved.Wait().ok());
+    EXPECT_EQ(fires, 1);
+  }
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(value, std::string(2048, 'v'))
+      << "the value is filled at submission, like WriteAsync's effects";
+  ASSERT_TRUE(h->store->Close().ok());
 }
 
 // ---- Background I/O separation ----------------------------------------

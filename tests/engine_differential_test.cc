@@ -12,11 +12,13 @@
 // injected device faults.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "block/iostat.h"
@@ -671,6 +673,15 @@ TEST(GroupCommitTest, WalBytesGrowSubLinearlyWithBatchSize) {
       EXPECT_EQ(stats.user_puts, 1024u);
       EXPECT_GT(stats.wal_bytes_written, stats.user_bytes_written)
           << engine << " must log payload plus framing";
+      // Single-caller record accounting: with one writer every Write is
+      // its own commit group and its own log record (wrappers excluded —
+      // sharded splits a batch into per-shard records, cached logs into
+      // its own durability log before the inner engine sees anything).
+      EXPECT_EQ(stats.write_group_batches, stats.user_batches) << engine;
+      if (config.engine != "sharded" && config.engine != "cached") {
+        EXPECT_EQ(stats.wal_records, stats.user_batches) << engine;
+        EXPECT_EQ(stats.write_groups, stats.user_batches) << engine;
+      }
       if (!first) {
         EXPECT_LT(stats.wal_bytes_written, prev_wal_bytes)
             << engine << " batch=" << batch_size
@@ -732,6 +743,9 @@ void ExpectStatsEqual(const std::string& label, const kv::KvStoreStats& a,
   PTSB_EXPECT_STAT_EQ(user_batches);
   PTSB_EXPECT_STAT_EQ(user_bytes_written);
   PTSB_EXPECT_STAT_EQ(user_bytes_read);
+  PTSB_EXPECT_STAT_EQ(wal_records);
+  PTSB_EXPECT_STAT_EQ(write_groups);
+  PTSB_EXPECT_STAT_EQ(write_group_batches);
   PTSB_EXPECT_STAT_EQ(wal_bytes_written);
   PTSB_EXPECT_STAT_EQ(flush_bytes_written);
   PTSB_EXPECT_STAT_EQ(compaction_bytes_written);
@@ -845,6 +859,101 @@ TEST(AsyncWriteEquivalenceTest, WriteAsyncPlusWaitMatchesSyncWrite) {
     EXPECT_FALSE(ia->Valid()) << label;
     ASSERT_TRUE(sync_h->store->Close().ok()) << label;
     ASSERT_TRUE(async_h->store->Close().ok()) << label;
+  }
+}
+
+// ---- Concurrent multi-writer differential test ------------------------
+//
+// N writer threads commit OVERLAPPING key ranges concurrently through
+// each engine's cross-thread write group (leaders merge waiting
+// followers' batches into one log record). Every value is a pure
+// function of its key, so any interleaving must converge to the same
+// final state — the one a serial golden run produces. The tiny params
+// make flush/compaction/eviction/checkpoint/segment GC all fire under
+// the concurrent load, and the battery covers every registered engine
+// config including the wrappers. This test is in the ctest "stress"
+// label: the TSan CI matrix entry runs it to hunt data races across the
+// write group, the filesystem lock split and the device-internal locks.
+TEST(ConcurrentWriteTest, MultiWriterMatchesSerialGoldenRun) {
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kKeys = 160;
+  constexpr int kRounds = 3;
+  constexpr uint64_t kSlice = kKeys / 2;  // each key hits 2 threads
+  const auto value_for = [](uint64_t key) {
+    return kv::MakeValue(key * 1315423911ull + 7, 120);
+  };
+  // Thread t's ops: kRounds passes over a half-keyspace slice starting
+  // at t * kKeys / kThreads (wrapping), so every key is written by two
+  // threads and rewritten every round.
+  const auto thread_keys = [&](size_t t) {
+    std::vector<uint64_t> keys;
+    for (uint64_t i = 0; i < kSlice; i++) {
+      keys.push_back((t * (kKeys / kThreads) + i) % kKeys);
+    }
+    return keys;
+  };
+  for (const EngineConfig& config : AllEngineConfigs()) {
+    const std::string& label = config.label;
+
+    // Serial golden run: the same per-thread op streams, one thread.
+    auto golden = MakeEngine(config);
+    for (int round = 0; round < kRounds; round++) {
+      for (size_t t = 0; t < kThreads; t++) {
+        for (const uint64_t key : thread_keys(t)) {
+          ASSERT_TRUE(
+              golden->store->Put(kv::MakeKey(key), value_for(key)).ok())
+              << label;
+        }
+      }
+    }
+
+    auto concurrent = MakeEngine(config);
+    ASSERT_TRUE(concurrent->store->SupportsConcurrentWriters()) << label;
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> writers;
+    for (size_t t = 0; t < kThreads; t++) {
+      writers.emplace_back([&, t] {
+        for (int round = 0; round < kRounds; round++) {
+          for (const uint64_t key : thread_keys(t)) {
+            if (!concurrent->store->Put(kv::MakeKey(key), value_for(key))
+                     .ok()) {
+              failed.store(true);
+              return;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+    ASSERT_FALSE(failed.load()) << label;
+
+    // Same totals through the group: every user batch landed in exactly
+    // one group, and merging can only reduce the record count.
+    const auto gs = golden->store->GetStats();
+    const auto cs = concurrent->store->GetStats();
+    EXPECT_EQ(cs.user_puts, gs.user_puts) << label;
+    EXPECT_EQ(cs.write_group_batches, cs.user_batches) << label;
+    EXPECT_LE(cs.write_groups, cs.user_batches) << label;
+    EXPECT_LE(cs.wal_records, gs.wal_records) << label;
+
+    // Identical final visible state, entry by entry.
+    auto ig = golden->store->NewIterator();
+    auto ic = concurrent->store->NewIterator();
+    ig->SeekToFirst();
+    ic->SeekToFirst();
+    size_t seen = 0;
+    while (ig->Valid()) {
+      ASSERT_TRUE(ic->Valid()) << label;
+      EXPECT_EQ(ig->key(), ic->key()) << label;
+      EXPECT_EQ(ig->value(), ic->value()) << label;
+      ig->Next();
+      ic->Next();
+      seen++;
+    }
+    EXPECT_FALSE(ic->Valid()) << label;
+    EXPECT_EQ(seen, kKeys) << label;
+    ASSERT_TRUE(golden->store->Close().ok()) << label;
+    ASSERT_TRUE(concurrent->store->Close().ok()) << label;
   }
 }
 
