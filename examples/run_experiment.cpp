@@ -54,6 +54,12 @@ namespace {
       "  --read-queue-depth=N        in-flight MultiGet point lookups per\n"
       "                              engine (1 = sequential gets)\n"
       "  --read-batch-size=N         gets grouped into one MultiGet (1)\n"
+      "  --scan-while-writing=0|1    run scan ops over snapshots\n"
+      "                              (GetSnapshot + ReadOptions), so they\n"
+      "                              compose with --threads > 1 (0)\n"
+      "  --scan-readahead=N          iterator readahead per scan: prefetch\n"
+      "                              N leaves/blocks/values across read\n"
+      "                              lanes (1 = none; implies snapshots)\n"
       "  --background-io=0|1         run compaction/checkpoint/GC on a\n"
       "                              background queue off the commit path\n"
       "  --cache-bytes=N             read-cache capacity for\n"
@@ -144,6 +150,13 @@ int main(int argc, char** argv) {
       config.read_batch_size =
           static_cast<size_t>(ArgF(argv[i], "--read-batch-size="));
       if (config.read_batch_size < 1) Usage();
+    } else if (a.starts_with("--scan-while-writing=")) {
+      config.scan_while_writing =
+          ArgF(argv[i], "--scan-while-writing=") != 0;
+    } else if (a.starts_with("--scan-readahead=")) {
+      config.scan_readahead =
+          static_cast<int>(ArgF(argv[i], "--scan-readahead="));
+      if (config.scan_readahead < 1) Usage();
     } else if (a.starts_with("--background-io=")) {
       config.background_io = ArgF(argv[i], "--background-io=") != 0;
     } else if (a.starts_with("--cache-bytes=")) {

@@ -1,6 +1,8 @@
 #include "alog/alog_store.h"
 
 #include <algorithm>
+#include <deque>
+#include <set>
 
 #include "util/human.h"
 #include "util/logging.h"
@@ -233,6 +235,61 @@ Status AlogStore::Write(const kv::WriteBatch& batch) {
       });
 }
 
+kv::WriteBatch AlogStore::ExpandRangeDeletes(const kv::WriteBatch& batch,
+                                             bool* changed) const {
+  *changed = false;
+  bool has_range = false;
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    if (e.kind == kv::WriteBatch::EntryKind::kDeleteRange) {
+      has_range = true;
+      break;
+    }
+  }
+  if (!has_range) return {};
+  *changed = true;
+  kv::WriteBatch out;
+  // Batch-local overlay: entries earlier in this batch shadow the index
+  // for later range entries (a put inside the batch is covered by a
+  // following range over it; a delete removes the key from coverage).
+  std::map<std::string, bool, std::less<>> overlay;  // key -> live?
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    switch (e.kind) {
+      case kv::WriteBatch::EntryKind::kPut:
+        out.Put(e.key, e.value);
+        overlay[std::string(e.key)] = true;
+        break;
+      case kv::WriteBatch::EntryKind::kDelete:
+        out.Delete(e.key);
+        overlay[std::string(e.key)] = false;
+        break;
+      case kv::WriteBatch::EntryKind::kDeleteRange: {
+        const std::string_view begin = e.key;
+        const std::string_view end = e.value;  // exclusive
+        if (begin >= end) break;
+        std::set<std::string, std::less<>> covered;
+        for (auto it = index_.lower_bound(begin);
+             it != index_.end() && it->first < end; ++it) {
+          if (!it->second.tombstone) covered.insert(it->first);
+        }
+        for (auto it = overlay.lower_bound(begin);
+             it != overlay.end() && it->first < end; ++it) {
+          if (it->second) {
+            covered.insert(it->first);
+          } else {
+            covered.erase(it->first);
+          }
+        }
+        for (const std::string& k : covered) {
+          out.Delete(k);
+          overlay[k] = false;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 Status AlogStore::WriteInternal(const kv::WriteBatch& batch,
                                 size_t n_user_batches) {
   write_epoch_++;
@@ -241,20 +298,39 @@ Status AlogStore::WriteInternal(const kv::WriteBatch& batch,
   stats_.write_groups++;
   stats_.write_group_batches += n_user_batches;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
-    if (e.kind == kv::WriteBatch::EntryKind::kPut) {
-      stats_.user_puts++;
-      stats_.user_bytes_written += e.key.size() + e.value.size();
-    } else {
-      stats_.user_deletes++;
-      stats_.user_bytes_written += e.key.size();
+    switch (e.kind) {
+      case kv::WriteBatch::EntryKind::kPut:
+        stats_.user_puts++;
+        stats_.user_bytes_written += e.key.size() + e.value.size();
+        break;
+      case kv::WriteBatch::EntryKind::kDelete:
+        stats_.user_deletes++;
+        stats_.user_bytes_written += e.key.size();
+        break;
+      case kv::WriteBatch::EntryKind::kDeleteRange:
+        // One logical delete spanning [key, value).
+        stats_.user_deletes++;
+        stats_.user_bytes_written += e.key.size() + e.value.size();
+        break;
     }
   }
+
+  // Range deletes are expanded into per-key tombstones at commit time:
+  // the index is the only source of covered keys, and expanding before
+  // the append makes the on-disk record (and crash replay) plain.
+  bool expanded_changed = false;
+  const kv::WriteBatch expanded = ExpandRangeDeletes(batch, &expanded_changed);
+  const kv::WriteBatch& to_apply = expanded_changed ? expanded : batch;
 
   auto now = [this]() {
     return options_.clock != nullptr ? options_.clock->NowNanos() : 0;
   };
   const int64_t t0 = now();
-  PTSB_RETURN_IF_ERROR(ApplyBatchRecord(batch, /*gc=*/false));
+  // A batch whose ranges covered nothing can expand to empty: the stats
+  // above still count the logical deletes, but nothing needs appending.
+  if (!to_apply.empty()) {
+    PTSB_RETURN_IF_ERROR(ApplyBatchRecord(to_apply, /*gc=*/false));
+  }
   stats_.time_wal_ns += now() - t0;
 
   const int64_t t1 = now();
@@ -509,9 +585,27 @@ Status AlogStore::CollectSegment(uint64_t id) {
       << "collected segment still referenced";
   sealed_payload_bytes_ -= collected.payload_bytes;
   sealed_live_bytes_ -= collected.live_bytes;
-  PTSB_RETURN_IF_ERROR(fs_->Delete(SegmentFileName(dir_, id)));
+  if (seg_pins_.count(id) != 0) {
+    // A live snapshot still reads values out of this file: keep it as a
+    // zombie (and account its bytes) until the last pin drops.
+    ZombieSegment z;
+    z.file = collected.file;
+    z.file_bytes = collected.file->size();
+    stats_.snapshot_pinned_bytes += z.file_bytes;
+    zombie_segments_.emplace(id, z);
+  } else {
+    PTSB_RETURN_IF_ERROR(fs_->Delete(SegmentFileName(dir_, id)));
+  }
   segments_.erase(id);
   return Status::OK();
+}
+
+fs::File* AlogStore::SegmentFile(uint64_t id) const {
+  const auto it = segments_.find(id);
+  if (it != segments_.end()) return it->second.file;
+  const auto z = zombie_segments_.find(id);
+  PTSB_CHECK(z != zombie_segments_.end()) << "segment " << id << " gone";
+  return z->second.file;
 }
 
 // Ordered cursor over the index; values are read lazily from the segment
@@ -606,6 +700,233 @@ std::unique_ptr<kv::KVStore::Iterator> AlogStore::NewIterator() {
       [&]() -> std::unique_ptr<kv::KVStore::Iterator> {
         stats_.user_scans++;
         return std::make_unique<OrderedIterator>(this);
+      });
+}
+
+// A frozen copy of the index plus pins on every segment existing at
+// creation. Segments are append-only, so the copied locations stay
+// readable as long as the files exist; the pins defer GC's file deletion
+// (zombies) until the last pinning snapshot drops. Contract (as in the
+// other engines): the snapshot must outlive cursors created from it and
+// must be released before the store is destroyed.
+class AlogStore::SnapshotImpl : public kv::Snapshot {
+ public:
+  explicit SnapshotImpl(AlogStore* store) : store_(store) {}
+  ~SnapshotImpl() override { store_->ReleaseSnapshot(*this); }
+  uint64_t sequence() const override { return seq_; }
+
+  AlogStore* store_;
+  uint64_t seq_ = 0;  // write_epoch_ at creation (opaque ordering token)
+  std::map<std::string, Location, std::less<>> index_;
+  std::vector<uint64_t> pinned_;  // segment ids pinned at creation
+};
+
+StatusOr<std::shared_ptr<const kv::Snapshot>> AlogStore::GetSnapshot() {
+  PTSB_CHECK(!closed_);
+  return write_group_.RunExclusive(
+      [&]() -> StatusOr<std::shared_ptr<const kv::Snapshot>> {
+        auto snap = std::make_shared<SnapshotImpl>(this);
+        snap->seq_ = write_epoch_;
+        // Full copy: the index IS the engine's version state, and the
+        // engine keeps no historical versions to share.
+        snap->index_ = index_;
+        snap->pinned_.reserve(segments_.size());
+        for (const auto& [id, seg] : segments_) {
+          snap->pinned_.push_back(id);
+          seg_pins_[id]++;
+        }
+        stats_.snapshots_created++;
+        stats_.snapshots_open++;
+        return std::shared_ptr<const kv::Snapshot>(std::move(snap));
+      });
+}
+
+void AlogStore::UnpinSegment(uint64_t id) {
+  auto it = seg_pins_.find(id);
+  PTSB_CHECK(it != seg_pins_.end());
+  if (--it->second > 0) return;
+  seg_pins_.erase(it);
+  const auto z = zombie_segments_.find(id);
+  if (z == zombie_segments_.end()) return;  // still a live segment
+  stats_.snapshot_pinned_bytes -= z->second.file_bytes;
+  const Status s = fs_->Delete(SegmentFileName(dir_, id));
+  PTSB_CHECK(s.ok()) << "zombie segment delete failed: " << s.ToString();
+  zombie_segments_.erase(z);
+}
+
+void AlogStore::ReleaseSnapshot(const SnapshotImpl& snap) {
+  write_group_.RunExclusive([&] {
+    for (const uint64_t id : snap.pinned_) UnpinSegment(id);
+    stats_.snapshots_open--;
+  });
+}
+
+Status AlogStore::SnapshotGetInternal(const SnapshotImpl& snap,
+                                      std::string_view key,
+                                      std::string* value) {
+  ChargeCpu(options_.cpu_get_ns);
+  stats_.user_gets++;
+  const auto it = snap.index_.find(key);
+  if (it == snap.index_.end()) return Status::NotFound("no such key");
+  if (it->second.tombstone) return Status::NotFound("deleted");
+  const Location& loc = it->second;
+  value->resize(loc.value_bytes);
+  PTSB_ASSIGN_OR_RETURN(
+      const uint64_t got,
+      SegmentFile(loc.segment)
+          ->ReadAt(loc.value_offset, loc.value_bytes, value->data()));
+  if (got != loc.value_bytes) return Status::Corruption("short value read");
+  stats_.user_bytes_read += value->size();
+  return Status::OK();
+}
+
+Status AlogStore::Get(const kv::ReadOptions& opts, std::string_view key,
+                      std::string* value) {
+  PTSB_CHECK(!closed_);
+  if (opts.snapshot == nullptr) return Get(key, value);
+  const auto* snap = static_cast<const SnapshotImpl*>(opts.snapshot);
+  PTSB_CHECK(snap->store_ == this) << "snapshot from a different store";
+  return write_group_.RunExclusive(
+      [&] { return SnapshotGetInternal(*snap, key, value); });
+}
+
+// Ordered cursor over a snapshot's frozen index copy. The index it walks
+// is owned by the snapshot (immutable), so concurrent writes never move
+// it — no write-epoch check. Each movement runs under the
+// commit-exclusion lock (segment reads share the File substrate with
+// commits), but the cursor stays valid across writes made between
+// movements. With readahead > 1, the next span of value reads is
+// submitted across foreground-read lanes before any is waited, so their
+// virtual device time overlaps.
+class AlogStore::SnapIterator : public kv::KVStore::Iterator {
+ public:
+  SnapIterator(AlogStore* store, const SnapshotImpl* snap, int readahead)
+      : store_(store),
+        snap_(snap),
+        span_(readahead > 1 ? readahead : 1),
+        depth_(std::min<int>(span_,
+                             std::max(1, store->options_.read_queue_depth))),
+        pos_(snap->index_.end()) {}
+
+  void SeekToFirst() override {
+    store_->write_group_.RunExclusive(
+        [&] { Position(snap_->index_.begin()); });
+  }
+  void Seek(std::string_view target) override {
+    store_->write_group_.RunExclusive(
+        [&] { Position(snap_->index_.lower_bound(target)); });
+  }
+  void Next() override {
+    if (!valid_) return;
+    store_->write_group_.RunExclusive([&] { Position(std::next(pos_)); });
+  }
+  bool Valid() const override { return valid_; }
+  std::string_view key() const override { return pos_->first; }
+  std::string_view value() const override { return value_; }
+  Status status() const override { return status_; }
+
+ private:
+  using ConstIter =
+      std::map<std::string, Location, std::less<>>::const_iterator;
+
+  void Position(ConstIter it) {
+    valid_ = false;
+    if (!status_.ok()) return;
+    while (it != snap_->index_.end() && it->second.tombstone) ++it;
+    if (it == snap_->index_.end()) return;  // clean end-of-data
+    if (!ready_.empty() && ready_.front().first == it) {
+      value_ = std::move(ready_.front().second);
+      ready_.pop_front();
+    } else {
+      ready_.clear();  // a Seek jumped off the prefetched run
+      if (!LoadSpan(it)) return;
+    }
+    pos_ = it;
+    store_->stats_.user_bytes_read += it->first.size() + value_.size();
+    valid_ = true;
+  }
+
+  // Reads the value at `first` into value_; with readahead, also submits
+  // the following span of value reads across lanes before waiting any,
+  // caching the extras in ready_ for upcoming Next() calls.
+  bool LoadSpan(ConstIter first) {
+    if (span_ <= 1 || depth_ <= 1 || store_->options_.clock == nullptr) {
+      return ReadValue(first, &value_);
+    }
+    std::vector<ConstIter> batch;
+    batch.reserve(static_cast<size_t>(span_));
+    for (ConstIter it = first;
+         it != snap_->index_.end() &&
+         batch.size() < static_cast<size_t>(span_);
+         ++it) {
+      if (!it->second.tombstone) batch.push_back(it);
+    }
+    std::vector<std::string> bufs(batch.size());
+    std::vector<std::pair<fs::File*, block::IoTicket>> inflight(batch.size());
+    for (size_t i = 0; i < batch.size(); i++) {
+      const Location& loc = batch[i]->second;
+      bufs[i].resize(loc.value_bytes);
+      fs::File* file = store_->SegmentFile(loc.segment);
+      inflight[i] = {
+          file,
+          file->SubmitReadAt(
+              loc.value_offset, loc.value_bytes, bufs[i].data(),
+              store_->options_.io_queue +
+                  static_cast<uint32_t>(i % static_cast<size_t>(depth_)))};
+    }
+    for (size_t i = 0; i < batch.size(); i++) {
+      const Status s = inflight[i].first->Wait(inflight[i].second);
+      if (!s.ok() && status_.ok()) status_ = s;
+    }
+    if (!status_.ok()) return false;
+    value_ = std::move(bufs[0]);
+    for (size_t i = 1; i < batch.size(); i++) {
+      ready_.emplace_back(batch[i], std::move(bufs[i]));
+    }
+    return true;
+  }
+
+  bool ReadValue(ConstIter it, std::string* out) {
+    const Location& loc = it->second;
+    out->resize(loc.value_bytes);
+    auto got = store_->SegmentFile(loc.segment)
+                   ->ReadAt(loc.value_offset, loc.value_bytes, out->data());
+    if (!got.ok()) {
+      status_ = got.status();
+      return false;
+    }
+    if (*got != loc.value_bytes) {
+      status_ = Status::Corruption("short value read");
+      return false;
+    }
+    return true;
+  }
+
+  AlogStore* store_;
+  const SnapshotImpl* snap_;
+  const int span_;   // values per prefetch batch
+  const int depth_;  // submission lanes used per batch
+  ConstIter pos_;
+  std::string value_;
+  std::deque<std::pair<ConstIter, std::string>> ready_;
+  bool valid_ = false;
+  Status status_;
+};
+
+std::unique_ptr<kv::KVStore::Iterator> AlogStore::NewIterator(
+    const kv::ReadOptions& opts) {
+  PTSB_CHECK(!closed_);
+  if (opts.snapshot == nullptr) {
+    // Readahead is a snapshot-cursor concern here: the live cursor's
+    // epoch contract already requires a quiesced writer.
+    return NewIterator();
+  }
+  const auto* snap = static_cast<const SnapshotImpl*>(opts.snapshot);
+  PTSB_CHECK(snap->store_ == this) << "snapshot from a different store";
+  return write_group_.RunExclusive(
+      [&]() -> std::unique_ptr<kv::KVStore::Iterator> {
+        stats_.user_scans++;
+        return std::make_unique<SnapIterator>(this, snap, opts.readahead);
       });
 }
 

@@ -45,6 +45,11 @@ class AlogStore : public kv::KVStore {
   // time (see kv::KVStore::WriteAsync).
   kv::WriteHandle WriteAsync(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
+  // Snapshot-aware point lookup: with a snapshot, consults the
+  // snapshot's frozen index copy and reads the value from its (possibly
+  // GC-deferred) segment file.
+  Status Get(const kv::ReadOptions& opts, std::string_view key,
+             std::string* value) override;
   // The index lookups run on the CPU; each hit's segment read is
   // submitted via fs::File::SubmitReadAt across read lanes at
   // options().read_queue_depth, so independent segment reads overlap in
@@ -58,6 +63,20 @@ class AlogStore : public kv::KVStore {
   // the segments. Invalidated by any write to the store (appends move the
   // index; GC deletes segment files).
   std::unique_ptr<kv::KVStore::Iterator> NewIterator() override;
+  // With a snapshot: an ordered cursor over the snapshot's frozen index
+  // copy, immune to concurrent writes (segments are append-only and the
+  // snapshot's pins defer GC file deletion). opts.readahead > 1 batches
+  // that many upcoming value reads per span across foreground-read
+  // submission lanes (capped at read_queue_depth), so the segment reads
+  // overlap in virtual device time. Without a snapshot, falls back to
+  // the live cursor.
+  std::unique_ptr<kv::KVStore::Iterator> NewIterator(
+      const kv::ReadOptions& opts) override;
+  // Freezes the current index (a full copy — the index IS the engine's
+  // version state) and pins every current segment: GC may still collect
+  // a pinned segment, but its file deletion is deferred until the last
+  // pinning snapshot drops (tracked in snapshot_pinned_bytes).
+  StatusOr<std::shared_ptr<const kv::Snapshot>> GetSnapshot() override;
   Status Flush() override;  // sync the active segment
   Status SettleBackgroundWork() override;
   Status Close() override;
@@ -80,6 +99,8 @@ class AlogStore : public kv::KVStore {
 
  private:
   class OrderedIterator;
+  class SnapshotImpl;
+  class SnapIterator;
 
   // Where the newest record for a key lives. Tombstones stay in the index
   // so GC can carry them forward past older shadowed puts (dropping one is
@@ -131,8 +152,29 @@ class AlogStore : public kv::KVStore {
                     const Location& loc);
   void ReleaseLocation(const Location& loc);
 
+  // Expands every kDeleteRange entry of `batch` into per-key tombstones
+  // against the index overlaid with the batch's earlier entries, so the
+  // appended record (and hence crash replay) carries plain tombstones.
+  // Returns the expanded batch; `*changed` says whether expansion
+  // happened (false: append `batch` itself).
+  kv::WriteBatch ExpandRangeDeletes(const kv::WriteBatch& batch,
+                                    bool* changed) const;
+
+  // Snapshot Get's body, run under the group's commit-exclusion lock.
+  Status SnapshotGetInternal(const SnapshotImpl& snap, std::string_view key,
+                             std::string* value);
+  // Called by ~SnapshotImpl: unpins the snapshot's segments, deleting
+  // any zombie whose last pin dropped.
+  void ReleaseSnapshot(const SnapshotImpl& snap);
+  void UnpinSegment(uint64_t id);
+  // The file backing segment `id`: live (segments_) or GC-collected but
+  // snapshot-pinned (zombie_segments_).
+  fs::File* SegmentFile(uint64_t id) const;
+
   // Rewrites every live entry (and surviving tombstone) of one sealed
-  // segment to the active head, then deletes its file.
+  // segment to the active head, then deletes its file — unless a
+  // snapshot pins it, in which case the file lingers as a zombie until
+  // the last pin drops.
   Status CollectSegment(uint64_t id);
   Status MaybeGc();
   // MaybeGc on the background lane when background_io is on (and not
@@ -167,6 +209,14 @@ class AlogStore : public kv::KVStore {
   // segments). Debug builds compare it against the value captured at
   // iterator creation to fail fast on use-after-write.
   uint64_t write_epoch_ = 0;
+  // segment id -> number of live snapshots pinning it.
+  std::map<uint64_t, int> seg_pins_;
+  // GC-collected segments whose file deletion is deferred by pins.
+  struct ZombieSegment {
+    fs::File* file = nullptr;
+    uint64_t file_bytes = 0;
+  };
+  std::map<uint64_t, ZombieSegment> zombie_segments_;
   kv::KvStoreStats stats_;
   // Cross-thread group commit queue; also provides the commit-exclusion
   // lock the read paths (and const stats snapshots) run under.

@@ -67,7 +67,8 @@ Status ReplaySegment(
       const size_t entry_start = payload.size() - p.size();
       const auto kind = static_cast<kv::WriteBatch::EntryKind>(p[0]);
       if (kind != kv::WriteBatch::EntryKind::kPut &&
-          kind != kv::WriteBatch::EntryKind::kDelete) {
+          kind != kv::WriteBatch::EntryKind::kDelete &&
+          kind != kv::WriteBatch::EntryKind::kDeleteRange) {
         parsed_ok = false;
         break;
       }

@@ -57,6 +57,28 @@ void BlockManager::MergePendingFrees() {
   pending_bytes_ = 0;
 }
 
+void BlockManager::QuarantinePendingFrees(uint64_t gen) {
+  if (pending_.empty()) return;
+  std::map<uint64_t, uint64_t>* cohort = &quarantined_[gen];
+  for (const auto& [off, len] : pending_) {
+    AddToList(cohort, off, len);
+    quarantined_bytes_ += len;
+  }
+  pending_.clear();
+  pending_bytes_ = 0;
+}
+
+void BlockManager::ReleaseQuarantinedUpTo(uint64_t min_pinned_gen) {
+  while (!quarantined_.empty() &&
+         quarantined_.begin()->first <= min_pinned_gen) {
+    for (const auto& [off, len] : quarantined_.begin()->second) {
+      AddToList(&available_, off, len);
+      quarantined_bytes_ -= len;
+    }
+    quarantined_.erase(quarantined_.begin());
+  }
+}
+
 void BlockManager::AddToList(std::map<uint64_t, uint64_t>* list,
                              uint64_t offset, uint64_t bytes) {
   auto [it, inserted] = list->emplace(offset, bytes);
@@ -122,6 +144,11 @@ std::string BlockManager::EncodeMergedFreeList(const BlockAddr& extra) const {
     }
   };
   for (const auto& [off, len] : pending_) add(off, len);
+  // Quarantined blocks are held back only for LIVE snapshots; a crash
+  // drops every snapshot, so the persisted image may reuse them.
+  for (const auto& [gen, cohort] : quarantined_) {
+    for (const auto& [off, len] : cohort) add(off, len);
+  }
   if (!extra.IsNull() && reuse_freed_blocks_) add(extra.offset, extra.bytes);
 
   std::string out;
@@ -140,6 +167,8 @@ Status BlockManager::DecodeFreeList(std::string_view in) {
   available_.clear();
   pending_.clear();
   pending_bytes_ = 0;
+  quarantined_.clear();
+  quarantined_bytes_ = 0;
   if (!GetVarint64(&in, &file_end_) || !GetVarint64(&in, &allocated_bytes_) ||
       !GetVarint64(&in, &count)) {
     return Status::Corruption("bad free list header");
@@ -176,6 +205,9 @@ Status BlockManager::CheckConsistency() const {
   };
   PTSB_RETURN_IF_ERROR(check_list(available_));
   PTSB_RETURN_IF_ERROR(check_list(pending_));
+  for (const auto& [gen, cohort] : quarantined_) {
+    PTSB_RETURN_IF_ERROR(check_list(cohort));
+  }
   return Status::OK();
 }
 

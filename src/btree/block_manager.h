@@ -43,6 +43,21 @@ class BlockManager {
   // Checkpoint committed: pending frees become available.
   void MergePendingFrees();
 
+  // Checkpoint committed while snapshots pin OLDER checkpoints: pending
+  // frees move into the quarantine cohort tagged with the committing
+  // generation instead of becoming available. Blocks in cohort G may be
+  // referenced by any checkpoint with generation < G, so they stay
+  // unallocatable until no snapshot pins such a generation.
+  void QuarantinePendingFrees(uint64_t gen);
+
+  // Releases every quarantine cohort whose generation is <=
+  // `min_pinned_gen` (cohort G is only needed by snapshots pinning a
+  // generation < G). Pass UINT64_MAX when no snapshots remain.
+  void ReleaseQuarantinedUpTo(uint64_t min_pinned_gen);
+
+  // Bytes held back from reuse on behalf of live snapshots.
+  uint64_t quarantined_bytes() const { return quarantined_bytes_; }
+
   // Returns the block to the available list right away. Only safe for
   // blocks that the previous checkpoint does not reference (e.g. the old
   // free-list blob, once the new header is durable).
@@ -75,8 +90,12 @@ class BlockManager {
   uint64_t file_end_;  // current end of managed space
   uint64_t allocated_bytes_ = 0;
   uint64_t pending_bytes_ = 0;
+  uint64_t quarantined_bytes_ = 0;
   std::map<uint64_t, uint64_t> available_;  // offset -> bytes
   std::map<uint64_t, uint64_t> pending_;
+  // gen -> (offset -> bytes): frees held back for snapshots pinning a
+  // checkpoint older than `gen`.
+  std::map<uint64_t, std::map<uint64_t, uint64_t>> quarantined_;
 };
 
 }  // namespace ptsb::btree

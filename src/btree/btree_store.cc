@@ -1,6 +1,8 @@
 #include "btree/btree_store.h"
 
 #include <algorithm>
+#include <deque>
+#include <limits>
 
 #include "util/crc32.h"
 #include "util/encoding.h"
@@ -88,8 +90,19 @@ StatusOr<std::unique_ptr<BTreeStore>> BTreeStore::Open(
           store->journal_file_,
           [&](JournalOp op, std::string_view key, std::string_view value) {
             if (!replay_status.ok()) return;
-            replay_status = op == JournalOp::kPut ? store->Put(key, value)
-                                                  : store->Delete(key);
+            switch (op) {
+              case JournalOp::kPut:
+                replay_status = store->Put(key, value);
+                break;
+              case JournalOp::kDelete:
+                replay_status = store->Delete(key);
+                break;
+              case JournalOp::kDeleteRange:
+                // Deterministic re-expansion through the same eager
+                // range-erase the original write used.
+                replay_status = store->DeleteRange(key, value);
+                break;
+            }
           }));
       store->replaying_ = false;
       PTSB_RETURN_IF_ERROR(replay_status);
@@ -280,8 +293,17 @@ Status BTreeStore::Checkpoint() {
 
     PTSB_RETURN_IF_ERROR(WriteHeader());
 
-    // The new header is durable: deferred frees become reusable.
-    blocks_->MergePendingFrees();
+    // The new header is durable: deferred frees become reusable — unless
+    // a live snapshot pins an older checkpoint, whose tree may still
+    // reference them; then they wait in a quarantine cohort until the
+    // last such snapshot drops. (Crash recovery ignores quarantine: the
+    // persisted free list already counts these blocks as free, which is
+    // correct because a crash drops every snapshot.)
+    if (snapshot_pins_.empty()) {
+      blocks_->MergePendingFrees();
+    } else {
+      blocks_->QuarantinePendingFrees(checkpoint_gen_);
+    }
     blocks_->FreeImmediately(old_blob);
     return Status::OK();
   }();
@@ -292,13 +314,26 @@ Status BTreeStore::Checkpoint() {
 
   // Rotate the journal: everything it held is now in the checkpoint.
   if (journal_ != nullptr) {
-    PTSB_RETURN_IF_ERROR(journal_->Sync());
-    const std::string jname = file_name_ + ".journal";
-    journal_.reset();
-    PTSB_RETURN_IF_ERROR(fs_->Delete(jname));
-    PTSB_ASSIGN_OR_RETURN(journal_file_, fs_->Create(jname));
-    journal_ = std::make_unique<JournalWriter>(
-        journal_file_, options_.journal_sync_every_bytes);
+    Status rotated = [&]() -> Status {
+      PTSB_RETURN_IF_ERROR(journal_->Sync());
+      const std::string jname = file_name_ + ".journal";
+      journal_.reset();
+      PTSB_RETURN_IF_ERROR(fs_->Delete(jname));
+      PTSB_ASSIGN_OR_RETURN(journal_file_, fs_->Create(jname));
+      journal_ = std::make_unique<JournalWriter>(
+          journal_file_, options_.journal_sync_every_bytes);
+      return Status::OK();
+    }();
+    if (!rotated.ok()) {
+      // Everything up to here IS durable (the checkpoint header synced
+      // above), but with the rotation half-done there is no journal to
+      // give further commits a durable record — acknowledging them would
+      // silently drop them at the next crash. Refuse writes until a
+      // reopen rebuilds the journal (see WriteInternal).
+      journal_.reset();
+      journal_lost_ = true;
+      return rotated;
+    }
   }
   return Status::OK();
 }
@@ -409,6 +444,10 @@ void BTreeStore::ChargeCpu(int64_t ns) const {
 }
 
 Status BTreeStore::ApplyEntry(const kv::WriteBatch::Entry& entry) {
+  if (entry.kind == kv::WriteBatch::EntryKind::kDeleteRange) {
+    // entry.value holds the exclusive range end (see kv::WriteBatch).
+    return ApplyDeleteRange(entry.key, entry.value);
+  }
   const std::string_view key = entry.key;
   PTSB_ASSIGN_OR_RETURN(Node* leaf, DescendToLeaf(key));
   auto it = std::lower_bound(
@@ -435,6 +474,48 @@ Status BTreeStore::ApplyEntry(const kv::WriteBatch::Entry& entry) {
   return SplitIfNeeded(leaf);
 }
 
+Status BTreeStore::ApplyDeleteRange(std::string_view begin,
+                                    std::string_view end) {
+  if (begin >= end) return Status::OK();
+  // Repeated root-to-leaf descents: each pass erases the covered span of
+  // one leaf. The descent tracks the closest right-sibling route key, so
+  // multi-leaf ranges hop to the next leaf's subtree without cursor
+  // machinery (the route key is the smallest key the next subtree can
+  // hold, and it is strictly greater than every key visited so far, so
+  // the loop terminates).
+  std::string cursor(begin);
+  for (;;) {
+    Node* node = root_.get();
+    std::string next_subtree;
+    bool has_next = false;
+    while (!node->is_leaf) {
+      const size_t idx = node->FindChildIdx(cursor);
+      if (idx + 1 < node->children.size()) {
+        next_subtree = node->children[idx + 1].first_key;
+        has_next = true;
+      }
+      PTSB_ASSIGN_OR_RETURN(node, FetchChild(node, idx));
+    }
+    const auto first = std::lower_bound(
+        node->items.begin(), node->items.end(), std::string_view(cursor),
+        [](const auto& item, std::string_view k) { return item.first < k; });
+    const auto last = std::lower_bound(
+        first, node->items.end(), end,
+        [](const auto& item, std::string_view k) { return item.first < k; });
+    if (first != last) {
+      for (auto it = first; it != last; ++it) {
+        node->bytes -=
+            it->first.size() + it->second.size() + Node::kLeafItemOverhead;
+      }
+      node->items.erase(first, last);  // empty leaves are allowed
+      node->dirty = true;
+      TouchLeaf(node);
+    }
+    if (!has_next || next_subtree >= end) return Status::OK();
+    cursor = next_subtree;
+  }
+}
+
 kv::WriteHandle BTreeStore::WriteAsync(const kv::WriteBatch& batch) {
   return kv::AsyncCommit(options_.clock, options_.io_queue,
                          [&] { return Write(batch); });
@@ -457,13 +538,28 @@ Status BTreeStore::WriteInternal(const kv::WriteBatch& batch,
   stats_.write_groups++;
   stats_.write_group_batches += n_user_batches;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
-    if (e.kind == kv::WriteBatch::EntryKind::kPut) {
-      stats_.user_puts++;
-      stats_.user_bytes_written += e.key.size() + e.value.size();
-    } else {
-      stats_.user_deletes++;
-      stats_.user_bytes_written += e.key.size();
+    switch (e.kind) {
+      case kv::WriteBatch::EntryKind::kPut:
+        stats_.user_puts++;
+        stats_.user_bytes_written += e.key.size() + e.value.size();
+        break;
+      case kv::WriteBatch::EntryKind::kDelete:
+        stats_.user_deletes++;
+        stats_.user_bytes_written += e.key.size();
+        break;
+      case kv::WriteBatch::EntryKind::kDeleteRange:
+        // One logical delete spanning [key, value).
+        stats_.user_deletes++;
+        stats_.user_bytes_written += e.key.size() + e.value.size();
+        break;
     }
+  }
+  if (journal_lost_) {
+    // A failed journal rotation left commits without a durable record;
+    // fail-stop instead of acknowledging writes a crash would drop.
+    return Status::IoError(
+        "btree: journal unavailable after failed rotation; reopen to "
+        "recover");
   }
   if (journal_ != nullptr && !replaying_) {
     // Group commit: one journal record, one crc, for the whole batch.
@@ -690,6 +786,302 @@ std::unique_ptr<kv::KVStore::Iterator> BTreeStore::NewIterator() {
       [&]() -> std::unique_ptr<kv::KVStore::Iterator> {
         stats_.user_scans++;
         return std::make_unique<Cursor>(this);
+      });
+}
+
+// A pinned checkpoint: the tree image rooted at `root_` stays readable on
+// disk because the block manager quarantines (instead of reusing) every
+// block freed by later checkpoints while this generation is pinned.
+// Contract (as in the LSM engine): the snapshot must outlive cursors
+// created from it and must be released before the store is destroyed.
+class BTreeStore::SnapshotImpl : public kv::Snapshot {
+ public:
+  explicit SnapshotImpl(BTreeStore* store) : store_(store) {}
+  ~SnapshotImpl() override { store_->ReleaseSnapshot(*this); }
+  uint64_t sequence() const override { return gen_; }
+
+  BTreeStore* store_;
+  uint64_t gen_ = 0;   // pinned checkpoint generation
+  BlockAddr root_;     // that checkpoint's root node
+};
+
+StatusOr<std::shared_ptr<const kv::Snapshot>> BTreeStore::GetSnapshot() {
+  PTSB_CHECK(!closed_);
+  return write_group_.RunExclusive(
+      [&]() -> StatusOr<std::shared_ptr<const kv::Snapshot>> {
+        // A snapshot IS a checkpoint here: make the current state one,
+        // then pin its generation. Checkpoint writebacks move leaves
+        // around, so live cursors are invalidated like any write.
+        write_epoch_++;
+        JoinBackgroundWork();
+        PTSB_RETURN_IF_ERROR(Checkpoint());
+        auto snap = std::make_shared<SnapshotImpl>(this);
+        snap->gen_ = checkpoint_gen_;
+        snap->root_ = root_addr_;
+        snapshot_pins_[snap->gen_]++;
+        stats_.snapshots_created++;
+        stats_.snapshots_open++;
+        return std::shared_ptr<const kv::Snapshot>(std::move(snap));
+      });
+}
+
+void BTreeStore::ReleaseSnapshot(const SnapshotImpl& snap) {
+  write_group_.RunExclusive([&] {
+    auto it = snapshot_pins_.find(snap.gen_);
+    PTSB_CHECK(it != snapshot_pins_.end());
+    if (--it->second == 0) snapshot_pins_.erase(it);
+    // Cohort G is needed only by snapshots pinning a generation < G:
+    // everything at or below the oldest remaining pin can be reused.
+    const uint64_t min_pinned = snapshot_pins_.empty()
+                                    ? std::numeric_limits<uint64_t>::max()
+                                    : snapshot_pins_.begin()->first;
+    blocks_->ReleaseQuarantinedUpTo(min_pinned);
+    stats_.snapshots_open--;
+  });
+}
+
+Status BTreeStore::SnapshotGetInternal(const SnapshotImpl& snap,
+                                       std::string_view key,
+                                       std::string* value) {
+  ChargeCpu(options_.cpu_get_ns);
+  stats_.user_gets++;
+  PTSB_CHECK(!snap.root_.IsNull());
+  // Private root-to-leaf walk of the pinned on-disk tree: nothing is
+  // linked into the live cache, so concurrent writes (excluded only for
+  // the duration of this call, not the snapshot's lifetime) never see or
+  // perturb these nodes.
+  PTSB_ASSIGN_OR_RETURN(std::unique_ptr<Node> node, ReadNode(snap.root_));
+  while (!node->is_leaf) {
+    const size_t idx = node->FindChildIdx(key);
+    const BlockAddr child = node->children[idx].addr;
+    PTSB_ASSIGN_OR_RETURN(node, ReadNode(child));
+  }
+  const auto it = std::lower_bound(
+      node->items.begin(), node->items.end(), key,
+      [](const auto& item, std::string_view k) { return item.first < k; });
+  if (it == node->items.end() || it->first != key) {
+    return Status::NotFound("no such key");
+  }
+  *value = it->second;
+  stats_.user_bytes_read += value->size();
+  return Status::OK();
+}
+
+Status BTreeStore::Get(const kv::ReadOptions& opts, std::string_view key,
+                       std::string* value) {
+  PTSB_CHECK(!closed_);
+  if (opts.snapshot == nullptr) return Get(key, value);
+  const auto* snap = static_cast<const SnapshotImpl*>(opts.snapshot);
+  PTSB_CHECK(snap->store_ == this) << "snapshot from a different store";
+  return write_group_.RunExclusive(
+      [&] { return SnapshotGetInternal(*snap, key, value); });
+}
+
+// Disk-walking cursor over a pinned checkpoint. It owns every node it
+// loads (stack of internal nodes + current leaf), so it is immune to
+// live-tree splits and evictions — no write-epoch check. Each movement
+// runs under the commit-exclusion lock (the File substrate has a
+// single-user contract), but the cursor stays valid across writes made
+// between movements. With readahead > 1, sibling-leaf reads are batched
+// across foreground-read submission lanes so their device time overlaps.
+class BTreeStore::SnapCursor : public kv::KVStore::Iterator {
+ public:
+  SnapCursor(BTreeStore* store, const SnapshotImpl* snap, int readahead)
+      : store_(store),
+        snap_(snap),
+        span_(readahead > 1 ? readahead : 1),
+        depth_(std::min<int>(span_,
+                             std::max(1, store->options_.read_queue_depth))) {}
+
+  void SeekToFirst() override { Seek(""); }
+
+  void Seek(std::string_view target) override {
+    store_->write_group_.RunExclusive([&] { SeekImpl(target); });
+  }
+
+  void Next() override {
+    if (!valid_) return;
+    store_->write_group_.RunExclusive([&] { NextImpl(); });
+  }
+
+  bool Valid() const override { return valid_; }
+  std::string_view key() const override { return leaf_->items[item_].first; }
+  std::string_view value() const override {
+    return leaf_->items[item_].second;
+  }
+  Status status() const override { return status_; }
+
+ private:
+  struct Frame {
+    std::unique_ptr<Node> node;  // internal node of the pinned tree
+    size_t idx;                  // child currently being explored
+  };
+
+  void SeekImpl(std::string_view target) {
+    status_ = Status::OK();
+    valid_ = false;
+    stack_.clear();
+    ready_.clear();
+    leaf_.reset();
+    item_ = 0;
+    auto got = store_->ReadNode(snap_->root_);
+    if (!got.ok()) {
+      status_ = got.status();
+      return;
+    }
+    std::unique_ptr<Node> cur = std::move(*got);
+    leaf_parent_level_ = -1;
+    while (!cur->is_leaf) {
+      const size_t idx = cur->FindChildIdx(target);
+      const BlockAddr child_addr = cur->children[idx].addr;
+      stack_.push_back({std::move(cur), idx});
+      auto child = store_->ReadNode(child_addr);
+      if (!child.ok()) {
+        status_ = child.status();
+        return;
+      }
+      cur = std::move(*child);
+    }
+    leaf_parent_level_ = static_cast<int>(stack_.size()) - 1;
+    leaf_ = std::move(cur);
+    const auto it = std::lower_bound(
+        leaf_->items.begin(), leaf_->items.end(), target,
+        [](const auto& item, std::string_view k) { return item.first < k; });
+    item_ = static_cast<size_t>(it - leaf_->items.begin());
+    if (item_ < leaf_->items.size()) {
+      SetCurrent();
+    } else {
+      AdvanceToNextLeaf();
+    }
+  }
+
+  void NextImpl() {
+    valid_ = false;
+    item_++;
+    if (leaf_ != nullptr && item_ < leaf_->items.size()) {
+      SetCurrent();
+    } else {
+      AdvanceToNextLeaf();
+    }
+  }
+
+  void SetCurrent() {
+    valid_ = true;
+    store_->stats_.user_bytes_read +=
+        leaf_->items[item_].first.size() + leaf_->items[item_].second.size();
+  }
+
+  void AdvanceToNextLeaf() {
+    leaf_.reset();
+    item_ = 0;
+    while (status_.ok()) {
+      // Drain prefetched leaves first.
+      while (!ready_.empty()) {
+        std::unique_ptr<Node> n = std::move(ready_.front());
+        ready_.pop_front();
+        if (n->items.empty()) continue;  // deletes can leave empty leaves
+        leaf_ = std::move(n);
+        SetCurrent();
+        return;
+      }
+      if (stack_.empty()) return;  // exhausted
+      Frame& top = stack_.back();
+      top.idx++;
+      if (top.idx >= top.node->children.size()) {
+        stack_.pop_back();
+        continue;
+      }
+      // Descend leftmost under the next sibling down to the level whose
+      // children are leaves (depth is uniform), then batch a leaf run.
+      while (static_cast<int>(stack_.size()) - 1 < leaf_parent_level_) {
+        Frame& f = stack_.back();
+        auto got = store_->ReadNode(f.node->children[f.idx].addr);
+        if (!got.ok()) {
+          status_ = got.status();
+          return;
+        }
+        stack_.push_back({std::move(*got), 0});
+      }
+      LoadLeafRun(&stack_.back());
+    }
+  }
+
+  // Reads children [frame->idx, frame->idx + span_) of a leaf-parent
+  // frame into ready_. With a clock and depth_ > 1 the reads are
+  // submitted before any is waited, striped over lanes io_queue + j, so
+  // their virtual device time is the max, not the sum.
+  void LoadLeafRun(Frame* frame) {
+    const auto& kids = frame->node->children;
+    const size_t first = frame->idx;
+    const size_t count =
+        std::min<size_t>(static_cast<size_t>(span_), kids.size() - first);
+    if (count <= 1 || depth_ <= 1 || store_->options_.clock == nullptr) {
+      for (size_t i = 0; i < count; i++) {
+        auto got = store_->ReadNode(kids[first + i].addr);
+        if (!got.ok()) {
+          status_ = got.status();
+          return;
+        }
+        ready_.push_back(std::move(*got));
+      }
+    } else {
+      std::vector<std::string> bufs(count);
+      std::vector<block::IoTicket> tickets(count);
+      for (size_t i = 0; i < count; i++) {
+        const BlockAddr& a = kids[first + i].addr;
+        bufs[i].resize(a.bytes);
+        tickets[i] = store_->file_->SubmitReadAt(
+            a.offset, a.bytes, bufs[i].data(),
+            store_->options_.io_queue +
+                static_cast<uint32_t>(i % static_cast<size_t>(depth_)));
+      }
+      for (size_t i = 0; i < count; i++) {
+        const Status s = store_->file_->Wait(tickets[i]);
+        if (!s.ok() && status_.ok()) status_ = s;
+      }
+      if (!status_.ok()) return;
+      for (size_t i = 0; i < count; i++) {
+        store_->stats_.page_read_bytes += bufs[i].size();
+        auto node = Node::Deserialize(bufs[i]);
+        if (!node.ok()) {
+          status_ = node.status();
+          return;
+        }
+        (*node)->addr = kids[first + i].addr;
+        ready_.push_back(std::move(*node));
+      }
+    }
+    frame->idx = first + count - 1;  // last child now explored
+  }
+
+  BTreeStore* store_;
+  const SnapshotImpl* snap_;
+  const int span_;   // leaves per prefetch batch
+  const int depth_;  // submission lanes used per batch
+  std::vector<Frame> stack_;
+  // Index of the stack level whose children are leaves (-1: root leaf).
+  int leaf_parent_level_ = -1;
+  std::deque<std::unique_ptr<Node>> ready_;  // prefetched sibling leaves
+  std::unique_ptr<Node> leaf_;
+  size_t item_ = 0;
+  bool valid_ = false;
+  Status status_;
+};
+
+std::unique_ptr<kv::KVStore::Iterator> BTreeStore::NewIterator(
+    const kv::ReadOptions& opts) {
+  PTSB_CHECK(!closed_);
+  if (opts.snapshot == nullptr) {
+    // Readahead is a disk-cursor concern; the live cursor reads through
+    // the leaf cache.
+    return NewIterator();
+  }
+  const auto* snap = static_cast<const SnapshotImpl*>(opts.snapshot);
+  PTSB_CHECK(snap->store_ == this) << "snapshot from a different store";
+  return write_group_.RunExclusive(
+      [&]() -> std::unique_ptr<kv::KVStore::Iterator> {
+        stats_.user_scans++;
+        return std::make_unique<SnapCursor>(this, snap, opts.readahead);
       });
 }
 

@@ -42,6 +42,10 @@ class BTreeStore : public kv::KVStore {
   // time (see kv::KVStore::WriteAsync).
   kv::WriteHandle WriteAsync(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
+  // Snapshot-aware point lookup: with a snapshot, walks the pinned
+  // checkpoint's on-disk tree privately (never touching the live cache).
+  Status Get(const kv::ReadOptions& opts, std::string_view key,
+             std::string* value) override;
   // Fans the lookups out across foreground-read submission lanes at
   // options().read_queue_depth, so independent leaf reads overlap in
   // virtual device time (see kv::KVStore::MultiGet).
@@ -53,6 +57,18 @@ class BTreeStore : public kv::KVStore {
   // Leaf-walking cursor in key order. Invalidated by any write to the
   // store (splits and evictions move items between pages).
   std::unique_ptr<kv::KVStore::Iterator> NewIterator() override;
+  // With a snapshot: a disk-walking cursor over the pinned checkpoint's
+  // tree, immune to concurrent writes (it never touches the live cache).
+  // opts.readahead > 1 batches that many sibling-leaf reads per span
+  // across foreground-read submission lanes (capped at
+  // read_queue_depth), so the leaf fetches overlap in virtual device
+  // time. Without a snapshot, falls back to the live cursor.
+  std::unique_ptr<kv::KVStore::Iterator> NewIterator(
+      const kv::ReadOptions& opts) override;
+  // Pins the current state as a checkpoint: runs a foreground checkpoint
+  // and holds its generation's blocks out of reuse (quarantine cohorts
+  // in the block manager) until the snapshot drops.
+  StatusOr<std::shared_ptr<const kv::Snapshot>> GetSnapshot() override;
   Status Flush() override;  // checkpoint
   // Waits out a background-lane checkpoint in flight (background_io);
   // checkpoints have no deferred debt beyond that, so nothing else to do.
@@ -63,7 +79,13 @@ class BTreeStore : public kv::KVStore {
   // Iterators and lifecycle calls still expect a quiesced store.
   bool SupportsConcurrentWriters() const override { return true; }
   kv::KvStoreStats GetStats() const override {
-    return write_group_.RunExclusive([&] { return stats_; });
+    return write_group_.RunExclusive([&] {
+      kv::KvStoreStats s = stats_;
+      // Live gauge: bytes the block manager holds out of reuse for
+      // snapshots (returns to 0 when the last snapshot drops).
+      s.snapshot_pinned_bytes = blocks_->quarantined_bytes();
+      return s;
+    });
   }
   std::string Name() const override { return "btree(wiredtiger-like)"; }
   uint64_t DiskBytesUsed() const override;
@@ -77,6 +99,8 @@ class BTreeStore : public kv::KVStore {
 
  private:
   class Cursor;
+  class SnapshotImpl;
+  class SnapCursor;
 
   BTreeStore(fs::SimpleFs* fs, const BTreeOptions& options,
              std::string file_name);
@@ -90,6 +114,17 @@ class BTreeStore : public kv::KVStore {
 
   // Applies one batch entry to its leaf (insert/overwrite/erase + split).
   Status ApplyEntry(const kv::WriteBatch::Entry& entry);
+  // Eagerly erases every key in [begin, end): B+Trees keep no tombstones,
+  // so a range delete is the per-leaf erasure of the covered spans.
+  Status ApplyDeleteRange(std::string_view begin, std::string_view end);
+
+  // Snapshot Get's body: a private root-to-leaf walk of the pinned
+  // checkpoint's on-disk tree (runs under the commit-exclusion lock).
+  Status SnapshotGetInternal(const SnapshotImpl& snap, std::string_view key,
+                             std::string* value);
+  // Called by ~SnapshotImpl: drops the generation pin and releases any
+  // quarantine cohorts no remaining snapshot needs.
+  void ReleaseSnapshot(const SnapshotImpl& snap);
 
   Status Recover();
   StatusOr<std::unique_ptr<Node>> ReadNode(const BlockAddr& addr);
@@ -143,11 +178,17 @@ class BTreeStore : public kv::KVStore {
   std::unique_ptr<JournalWriter> journal_;
   fs::File* journal_file_ = nullptr;
   bool replaying_ = false;
+  // Set when a journal rotation failed mid-way: the tree state is durable
+  // but new commits would have no durable record, so Write fail-stops
+  // until a reopen rebuilds the journal.
+  bool journal_lost_ = false;
 
   // Bumped by every mutating entry point (Write, Flush). Debug builds
   // compare it against the value captured at cursor creation to fail
   // fast on use-after-write instead of walking moved/evicted leaves.
   uint64_t write_epoch_ = 0;
+  // checkpoint generation -> number of live snapshots pinning it.
+  std::map<uint64_t, int> snapshot_pins_;
   kv::KvStoreStats stats_;
   // Cross-thread group commit queue; also provides the commit-exclusion
   // lock the read paths (and const stats snapshots) run under.

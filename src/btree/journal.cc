@@ -33,9 +33,18 @@ Status JournalWriter::AppendBatch(const kv::WriteBatch& batch) {
   std::string payload;
   payload.reserve(batch.ByteSize() + batch.Count() * 11);
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
-    const JournalOp op = e.kind == kv::WriteBatch::EntryKind::kPut
-                             ? JournalOp::kPut
-                             : JournalOp::kDelete;
+    JournalOp op = JournalOp::kDelete;
+    switch (e.kind) {
+      case kv::WriteBatch::EntryKind::kPut:
+        op = JournalOp::kPut;
+        break;
+      case kv::WriteBatch::EntryKind::kDelete:
+        op = JournalOp::kDelete;
+        break;
+      case kv::WriteBatch::EntryKind::kDeleteRange:
+        op = JournalOp::kDeleteRange;
+        break;
+    }
     AppendTuple(&payload, op, e.key, e.value);
   }
   return EmitRecord(payload);

@@ -19,7 +19,10 @@
 
 namespace ptsb::btree {
 
-enum class JournalOp : uint8_t { kPut = 1, kDelete = 2 };
+// kDeleteRange carries (begin, exclusive end) in the (key, value) slots;
+// replay re-expands it through the store's eager range-erase, so the
+// journal stays a flat op log.
+enum class JournalOp : uint8_t { kPut = 1, kDelete = 2, kDeleteRange = 3 };
 
 class JournalWriter {
  public:

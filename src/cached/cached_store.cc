@@ -164,8 +164,7 @@ Status CachedStore::ReplayAndCompactLog() {
     PTSB_ASSIGN_OR_RETURN(fs::File * file, fs_->Open(name));
     PTSB_RETURN_IF_ERROR(alog::ReplaySegment(
         file, [this](const alog::ReplayedEntry& e) {
-          ApplyEntry(e.kind == kv::WriteBatch::EntryKind::kDelete, e.key,
-                     e.value);
+          ApplyEntry(e.kind, e.key, e.value);
         }));
   }
   replaying_ = false;
@@ -173,7 +172,7 @@ Status CachedStore::ReplayAndCompactLog() {
   // Rewrite the surviving buffer as one synced snapshot segment, then
   // drop the replayed ones: recovery cost stays proportional to the
   // buffer, not to history.
-  if (!buffer_.empty()) {
+  if (!buffer_.empty() || !ranges_.empty()) {
     PTSB_RETURN_IF_ERROR(WriteSnapshotSegment());
   }
   for (const auto& [id, name] : segments) {
@@ -182,8 +181,13 @@ Status CachedStore::ReplayAndCompactLog() {
   return Status::OK();
 }
 
-void CachedStore::ApplyEntry(bool is_delete, std::string_view key,
-                             std::string_view value) {
+void CachedStore::ApplyEntry(kv::WriteBatch::EntryKind kind,
+                             std::string_view key, std::string_view value) {
+  if (kind == kv::WriteBatch::EntryKind::kDeleteRange) {
+    ApplyRangeDelete(key, value);
+    return;
+  }
+  const bool is_delete = kind == kv::WriteBatch::EntryKind::kDelete;
   // The buffer now owns the freshest version of the key; a stale cached
   // value must never outlive it (it would resurface after the flush).
   if (cache_ != nullptr) cache_->Erase(key);
@@ -209,10 +213,39 @@ void CachedStore::ApplyEntry(bool is_delete, std::string_view key,
   buffer_bytes_ += EntryCharge(it->first, it->second);
 }
 
+void CachedStore::ApplyRangeDelete(std::string_view begin,
+                                   std::string_view end) {
+  // Covered cache entries must go NOW: once the range flushes to the
+  // inner engine it leaves the wrapper's visibility checks, and a stale
+  // cached value would resurface. Nothing covered can re-enter the cache
+  // while the range is buffered (covered lookups short-circuit before
+  // the inner engine, and the merging iterator hides covered inner keys).
+  if (cache_ != nullptr) cache_->EraseRange(begin, end);
+  for (auto it = buffer_.lower_bound(begin);
+       it != buffer_.end() && it->first < end;) {
+    const uint64_t charge = EntryCharge(it->first, it->second);
+    buffer_bytes_ -= charge;
+    if (!replaying_) stats_.buffer_coalesced_bytes += charge;
+    it = buffer_.erase(it);
+  }
+  ranges_.push_back(BufferedRange{std::string(begin), std::string(end)});
+  const uint64_t range_charge = begin.size() + end.size();
+  ranges_bytes_ += range_charge;
+  buffer_bytes_ += range_charge;
+}
+
 void CachedStore::ApplyToBuffer(const kv::WriteBatch& batch) {
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
-    ApplyEntry(e.kind == kv::WriteBatch::EntryKind::kDelete, e.key, e.value);
+    ApplyEntry(e.kind, e.key, e.value);
   }
+}
+
+bool CachedStore::Covers(const std::vector<BufferedRange>& ranges,
+                         std::string_view key) {
+  for (const BufferedRange& r : ranges) {
+    if (key >= r.begin && key < r.end) return true;
+  }
+  return false;
 }
 
 Status CachedStore::AppendLogRecord(const std::string& record) {
@@ -239,8 +272,12 @@ Status CachedStore::WriteSnapshotSegment() {
   PTSB_ASSIGN_OR_RETURN(fs::File * file, fs_->Create(LogName(log_id_)));
   log_ = file;
   unsynced_log_bytes_ = 0;
-  if (buffer_.empty()) return Status::OK();
+  if (buffer_.empty() && ranges_.empty()) return Status::OK();
   kv::WriteBatch snapshot;
+  // Ranges first: every buffered entry postdates every buffered range
+  // (see BufferedRange), so replaying "ranges, then entries" rebuilds
+  // exactly this state.
+  for (const BufferedRange& r : ranges_) snapshot.DeleteRange(r.begin, r.end);
   for (const auto& [key, entry] : buffer_) {
     if (entry.tombstone) {
       snapshot.Delete(key);
@@ -270,12 +307,19 @@ Status CachedStore::WriteInternal(const kv::WriteBatch& batch,
   stats_.write_groups++;
   stats_.write_group_batches += n_user_batches;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
-    if (e.kind == kv::WriteBatch::EntryKind::kPut) {
-      stats_.user_puts++;
-      stats_.user_bytes_written += e.key.size() + e.value.size();
-    } else {
-      stats_.user_deletes++;
-      stats_.user_bytes_written += e.key.size();
+    switch (e.kind) {
+      case kv::WriteBatch::EntryKind::kPut:
+        stats_.user_puts++;
+        stats_.user_bytes_written += e.key.size() + e.value.size();
+        break;
+      case kv::WriteBatch::EntryKind::kDelete:
+        stats_.user_deletes++;
+        stats_.user_bytes_written += e.key.size();
+        break;
+      case kv::WriteBatch::EntryKind::kDeleteRange:
+        stats_.user_deletes++;
+        stats_.user_bytes_written += e.key.size() + e.value.size();
+        break;
     }
   }
   const int64_t t0 = NowNs();
@@ -317,7 +361,8 @@ Status CachedStore::MaybeFlush() {
 }
 
 Status CachedStore::FlushBuffer(uint64_t target_bytes) {
-  if (buffer_bytes_ <= target_bytes || buffer_.empty()) return Status::OK();
+  if (buffer_bytes_ <= target_bytes) return Status::OK();
+  if (buffer_.empty() && ranges_.empty()) return Status::OK();
 
   // Pick victims largest-coalesced-first: the entries that already
   // absorbed the most rewrite traffic have the highest payoff per inner
@@ -338,7 +383,9 @@ Status CachedStore::FlushBuffer(uint64_t target_bytes) {
     if (a.priority != b.priority) return a.priority > b.priority;
     return a.key < b.key;
   });
-  uint64_t projected = buffer_bytes_;
+  // Buffered ranges always flush, all of them, so start the projection
+  // with their charge already gone.
+  uint64_t projected = buffer_bytes_ - ranges_bytes_;
   std::vector<std::string_view> victims;
   for (const Victim& v : order) {
     if (projected <= target_bytes) break;
@@ -348,9 +395,14 @@ Status CachedStore::FlushBuffer(uint64_t target_bytes) {
 
   // One inner group commit in key order (flash-friendly: the inner
   // engine sees a single large sorted batch instead of the user's
-  // arrival order).
+  // arrival order). Ranges lead the batch: every buffered entry
+  // postdates every buffered range, so "all ranges, then any subset of
+  // entries" preserves the user's order no matter which victims win —
+  // and an entry flushed later can never be swallowed by a range already
+  // pushed down.
   std::sort(victims.begin(), victims.end());
   kv::WriteBatch batch;
+  for (const BufferedRange& r : ranges_) batch.DeleteRange(r.begin, r.end);
   for (const std::string_view key : victims) {
     const BufferEntry& entry = buffer_.find(key)->second;
     if (entry.tombstone) {
@@ -363,6 +415,9 @@ Status CachedStore::FlushBuffer(uint64_t target_bytes) {
   // everything; nothing is lost, the error just surfaces.
   PTSB_RETURN_IF_ERROR(inner_->Write(batch));
   stats_.flush_batches++;
+  buffer_bytes_ -= ranges_bytes_;
+  ranges_bytes_ = 0;
+  ranges_.clear();
   for (const std::string_view key : victims) {
     const auto it = buffer_.find(key);
     buffer_bytes_ -= EntryCharge(it->first, it->second);
@@ -417,6 +472,12 @@ Status CachedStore::GetInternal(std::string_view key, std::string* value) {
     stats_.user_bytes_read += value->size();
     return Status::OK();
   }
+  // A key inside a buffered range delete is gone, whatever the cache or
+  // the inner engine still hold (the range has not flushed down yet).
+  if (Covers(ranges_, key)) {
+    stats_.cache_hits++;
+    return Status::NotFound("key covered by buffered range delete");
+  }
   if (cache_ != nullptr && cache_->Get(key, value)) {
     stats_.cache_hits++;
     stats_.user_bytes_read += value->size();
@@ -461,6 +522,11 @@ std::vector<Status> CachedStore::MultiGetInternal(
         (*values)[i] = it->second.value;
         stats_.user_bytes_read += it->second.value.size();
       }
+      continue;
+    }
+    if (Covers(ranges_, keys[i])) {
+      stats_.cache_hits++;
+      statuses[i] = Status::NotFound("key covered by buffered range delete");
       continue;
     }
     if (cache_ != nullptr && cache_->Get(keys[i], &(*values)[i])) {
@@ -564,6 +630,13 @@ class CachedStore::MergeIterator : public kv::KVStore::Iterator {
       const bool have_buf = buf_it_ != store_->buffer_.end();
       const bool have_inner = inner_->Valid();
       if (!have_buf && !have_inner) return;  // clean end
+      // Inner keys swallowed by a buffered range delete are invisible; a
+      // buffered entry for the same key would win anyway (it postdates
+      // the range), so skipping unconditionally is safe.
+      if (have_inner && Covers(store_->ranges_, inner_->key())) {
+        inner_->Next();
+        continue;
+      }
       if (have_buf && (!have_inner || buf_it_->first <= inner_->key())) {
         // The buffer shadows an equal inner key: step past both versions
         // together.
@@ -601,6 +674,203 @@ std::unique_ptr<kv::KVStore::Iterator> CachedStore::NewIterator() {
       [&]() -> std::unique_ptr<kv::KVStore::Iterator> {
         stats_.user_scans++;
         return std::make_unique<MergeIterator>(this, inner_->NewIterator());
+      });
+}
+
+// The wrapper's snapshot is a composite: a full copy of the write buffer
+// and its buffered ranges (they are memory-resident and small by
+// construction — write_buffer_bytes caps them) plus the inner engine's
+// own snapshot, taken at the same instant under the commit-exclusion
+// lock. Snapshot reads check the copies first, then read the inner
+// engine AT the inner snapshot; the live read cache is never consulted
+// (it tracks the live state, not this one).
+class CachedStore::SnapshotImpl : public kv::Snapshot {
+ public:
+  ~SnapshotImpl() override { store_->ReleaseSnapshot(*this); }
+  uint64_t sequence() const override { return seq_; }
+
+  CachedStore* store_ = nullptr;
+  uint64_t seq_ = 0;
+  std::map<std::string, BufferEntry, std::less<>> buffer_;
+  uint64_t buffer_bytes_ = 0;  // charge held in snapshot_pinned_bytes
+  std::vector<BufferedRange> ranges_;
+  std::shared_ptr<const kv::Snapshot> inner_;
+};
+
+StatusOr<std::shared_ptr<const kv::Snapshot>> CachedStore::GetSnapshot() {
+  PTSB_CHECK(!closed_);
+  return write_group_.RunExclusive(
+      [&]() -> StatusOr<std::shared_ptr<const kv::Snapshot>> {
+        PTSB_ASSIGN_OR_RETURN(std::shared_ptr<const kv::Snapshot> inner_snap,
+                              inner_->GetSnapshot());
+        auto snap = std::make_shared<SnapshotImpl>();
+        snap->store_ = this;
+        snap->seq_ = write_epoch_;
+        snap->buffer_ = buffer_;
+        snap->buffer_bytes_ = buffer_bytes_;
+        snap->ranges_ = ranges_;
+        snap->inner_ = std::move(inner_snap);
+        snapshot_pinned_buffer_bytes_ += snap->buffer_bytes_;
+        stats_.snapshots_created++;
+        stats_.snapshots_open++;
+        return std::shared_ptr<const kv::Snapshot>(std::move(snap));
+      });
+}
+
+void CachedStore::ReleaseSnapshot(const SnapshotImpl& snap) {
+  write_group_.RunExclusive([&] {
+    snapshot_pinned_buffer_bytes_ -= snap.buffer_bytes_;
+    stats_.snapshots_open--;
+  });
+}
+
+Status CachedStore::SnapshotGetInternal(const SnapshotImpl& snap,
+                                        std::string_view key,
+                                        std::string* value) {
+  stats_.user_gets++;
+  if (const auto it = snap.buffer_.find(key); it != snap.buffer_.end()) {
+    stats_.cache_hits++;
+    if (it->second.tombstone) {
+      return Status::NotFound("key deleted in snapshot's buffer");
+    }
+    *value = it->second.value;
+    stats_.user_bytes_read += value->size();
+    return Status::OK();
+  }
+  if (Covers(snap.ranges_, key)) {
+    stats_.cache_hits++;
+    return Status::NotFound("key covered by snapshot's range delete");
+  }
+  stats_.cache_misses++;
+  kv::ReadOptions inner_opts;
+  inner_opts.snapshot = snap.inner_.get();
+  const Status s = inner_->Get(inner_opts, key, value);
+  // Historical values never enter the read cache.
+  if (s.ok()) stats_.user_bytes_read += value->size();
+  return s;
+}
+
+Status CachedStore::Get(const kv::ReadOptions& opts, std::string_view key,
+                        std::string* value) {
+  if (opts.snapshot == nullptr) return Get(key, value);
+  PTSB_CHECK(!closed_);
+  const auto* snap = static_cast<const SnapshotImpl*>(opts.snapshot);
+  PTSB_CHECK(snap->store_ == this);
+  return write_group_.RunExclusive(
+      [&] { return SnapshotGetInternal(*snap, key, value); });
+}
+
+// Merge of the snapshot's frozen buffer copy over the inner engine's
+// snapshot cursor. Same shape as MergeIterator, minus everything live:
+// no write-epoch check (the sources cannot move under it), no read-cache
+// feeding (the values are historical), and movements serialize against
+// concurrent commits via the wrapper's commit-exclusion lock — the
+// wrapper's flushes land in the inner engine's LIVE state, which the
+// inner snapshot cursor is immune to by its own contract.
+class CachedStore::SnapIterator : public kv::KVStore::Iterator {
+ public:
+  SnapIterator(CachedStore* store, const SnapshotImpl* snap,
+               std::unique_ptr<kv::KVStore::Iterator> inner)
+      : store_(store), snap_(snap), inner_(std::move(inner)) {}
+
+  void SeekToFirst() override { Seek(""); }
+
+  void Seek(std::string_view target) override {
+    store_->write_group_.RunExclusive([&] {
+      buf_it_ = snap_->buffer_.lower_bound(target);
+      inner_->Seek(target);
+      FindNext();
+    });
+  }
+
+  bool Valid() const override {
+    return source_ != Source::kNone && status_.ok();
+  }
+
+  void Next() override {
+    store_->write_group_.RunExclusive([&] {
+      if (source_ == Source::kNone) return;
+      if (source_ == Source::kBuffer) {
+        ++buf_it_;
+      } else {
+        inner_->Next();
+      }
+      FindNext();
+    });
+  }
+
+  std::string_view key() const override {
+    return source_ == Source::kBuffer ? std::string_view(buf_it_->first)
+                                      : inner_->key();
+  }
+  std::string_view value() const override {
+    return source_ == Source::kBuffer
+               ? std::string_view(buf_it_->second.value)
+               : inner_->value();
+  }
+
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    return inner_->status();
+  }
+
+ private:
+  enum class Source { kNone, kBuffer, kInner };
+
+  void FindNext() {
+    source_ = Source::kNone;
+    for (;;) {
+      if (!inner_->status().ok()) {
+        status_ = inner_->status();
+        return;
+      }
+      const bool have_buf = buf_it_ != snap_->buffer_.end();
+      const bool have_inner = inner_->Valid();
+      if (!have_buf && !have_inner) return;  // clean end
+      if (have_inner && Covers(snap_->ranges_, inner_->key())) {
+        inner_->Next();
+        continue;
+      }
+      if (have_buf && (!have_inner || buf_it_->first <= inner_->key())) {
+        if (have_inner && inner_->key() == buf_it_->first) inner_->Next();
+        if (buf_it_->second.tombstone) {
+          ++buf_it_;
+          continue;
+        }
+        source_ = Source::kBuffer;
+        store_->stats_.user_bytes_read +=
+            buf_it_->first.size() + buf_it_->second.value.size();
+        return;
+      }
+      source_ = Source::kInner;
+      store_->stats_.user_bytes_read +=
+          inner_->key().size() + inner_->value().size();
+      return;
+    }
+  }
+
+  CachedStore* const store_;
+  const SnapshotImpl* const snap_;
+  std::unique_ptr<kv::KVStore::Iterator> inner_;
+  std::map<std::string, BufferEntry, std::less<>>::const_iterator buf_it_;
+  Source source_ = Source::kNone;
+  Status status_;
+};
+
+std::unique_ptr<kv::KVStore::Iterator> CachedStore::NewIterator(
+    const kv::ReadOptions& opts) {
+  if (opts.snapshot == nullptr) return NewIterator();
+  PTSB_CHECK(!closed_);
+  const auto* snap = static_cast<const SnapshotImpl*>(opts.snapshot);
+  PTSB_CHECK(snap->store_ == this);
+  return write_group_.RunExclusive(
+      [&]() -> std::unique_ptr<kv::KVStore::Iterator> {
+        stats_.user_scans++;
+        kv::ReadOptions inner_opts;
+        inner_opts.snapshot = snap->inner_.get();
+        inner_opts.readahead = opts.readahead;
+        return std::make_unique<SnapIterator>(this, snap,
+                                              inner_->NewIterator(inner_opts));
       });
 }
 
@@ -649,8 +919,18 @@ Status CachedStore::Close() {
 }
 
 kv::KvStoreStats CachedStore::GetStats() const {
-  kv::KvStoreStats s = write_group_.RunExclusive([&] { return stats_; });
+  kv::KvStoreStats s = write_group_.RunExclusive([&] {
+    kv::KvStoreStats out = stats_;
+    // This layer's pinned bytes are the buffer copies snapshots hold in
+    // memory; the inner engine adds its pinned DISK bytes below.
+    out.snapshot_pinned_bytes = snapshot_pinned_buffer_bytes_;
+    return out;
+  });
   const kv::KvStoreStats in = inner_->GetStats();
+  // Inner snapshots are the wrapper's own composite snapshots, so the
+  // created/open counters stay the wrapper's; only the pinned-bytes gauge
+  // aggregates across layers.
+  s.snapshot_pinned_bytes += in.snapshot_pinned_bytes;
   // The inner engine's "user" traffic is this wrapper's flush traffic:
   // fold its whole write path into the maintenance columns and keep only
   // the wrapper's own user_* counters, so user_bytes_written still means

@@ -42,10 +42,27 @@ class CachedStore : public kv::KVStore {
   Status Write(const kv::WriteBatch& batch) override;
   kv::WriteHandle WriteAsync(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
+  // Snapshot-aware point lookup: with a snapshot, consults the snapshot's
+  // frozen buffer/range copies, then the inner engine AT the snapshot's
+  // inner snapshot. The live read cache is skipped entirely (it reflects
+  // live state, not the snapshot's).
+  Status Get(const kv::ReadOptions& opts, std::string_view key,
+             std::string* value) override;
   std::vector<Status> MultiGet(std::span<const std::string_view> keys,
                                std::vector<std::string>* values) override;
   kv::ReadHandle ReadAsync(std::string_view key, std::string* value) override;
   std::unique_ptr<Iterator> NewIterator() override;
+  // With a snapshot: a merge of the snapshot's frozen buffer copy over
+  // the inner engine's own snapshot iterator, immune to concurrent
+  // writes. opts.readahead forwards to the inner snapshot cursor (the
+  // wrapper's buffer is memory-resident; prefetch only helps below).
+  // Without a snapshot, falls back to the live merging cursor.
+  std::unique_ptr<Iterator> NewIterator(const kv::ReadOptions& opts) override;
+  // Freezes the wrapper state (a copy of the write buffer and buffered
+  // range deletes) AND the inner engine (inner_->GetSnapshot()) into one
+  // composite view at the wrapper's commit sequence. The buffer copy's
+  // bytes are accounted in snapshot_pinned_bytes until release.
+  StatusOr<std::shared_ptr<const kv::Snapshot>> GetSnapshot() override;
   Status Flush() override;
   Status SettleBackgroundWork() override;
   Status Close() override;
@@ -66,6 +83,8 @@ class CachedStore : public kv::KVStore {
 
  private:
   class MergeIterator;
+  class SnapshotImpl;
+  class SnapIterator;
 
   // One buffered mutation. absorbed_bytes accumulates the charges of the
   // earlier versions this entry overwrote since it entered the buffer —
@@ -75,6 +94,16 @@ class CachedStore : public kv::KVStore {
     std::string value;
     bool tombstone = false;
     uint64_t absorbed_bytes = 0;
+  };
+
+  // One buffered range delete ([begin, end), end exclusive). Ingesting a
+  // range erases every covered buffer entry, so EVERY buffered entry
+  // postdates every buffered range — which is why a flush can emit all
+  // ranges first and then any subset of entries and still reproduce the
+  // user's order.
+  struct BufferedRange {
+    std::string begin;
+    std::string end;
   };
 
   CachedStore(const CachedOptions& options, fs::SimpleFs* fs,
@@ -103,9 +132,16 @@ class CachedStore : public kv::KVStore {
 
   // Applies one mutation to the in-memory buffer and invalidates the read
   // cache for the key. Coalescing stats are skipped during log replay.
-  void ApplyEntry(bool is_delete, std::string_view key,
+  void ApplyEntry(kv::WriteBatch::EntryKind kind, std::string_view key,
                   std::string_view value);
+  // Ingests one range delete: erases every covered buffer entry
+  // (coalescing credit), invalidates the covered read-cache span, and
+  // appends the range to ranges_ (charged to buffer_bytes_).
+  void ApplyRangeDelete(std::string_view begin, std::string_view end);
   void ApplyToBuffer(const kv::WriteBatch& batch);
+  // Whether `key` falls inside any of the given buffered ranges.
+  static bool Covers(const std::vector<BufferedRange>& ranges,
+                     std::string_view key);
   // Appends one encoded batch record to the active log segment (creating
   // it lazily) and honors the sync cadence.
   Status AppendLogRecord(const std::string& record);
@@ -131,6 +167,13 @@ class CachedStore : public kv::KVStore {
   Status DeleteLogSegments(uint64_t keep_from_id);
   void JoinBackgroundWork();
 
+  // Snapshot Get's body, run under the group's commit-exclusion lock.
+  Status SnapshotGetInternal(const SnapshotImpl& snap, std::string_view key,
+                             std::string* value);
+  // Called by ~SnapshotImpl: releases the pinned-buffer accounting (the
+  // inner snapshot releases itself via its own shared_ptr deleter).
+  void ReleaseSnapshot(const SnapshotImpl& snap);
+
   const CachedOptions options_;
   fs::SimpleFs* const fs_;
   const std::string root_;
@@ -139,6 +182,14 @@ class CachedStore : public kv::KVStore {
 
   std::map<std::string, BufferEntry, std::less<>> buffer_;
   uint64_t buffer_bytes_ = 0;
+  // Buffered range deletes in ingest order; flushed (all of them, first
+  // in the batch) by the next FlushBuffer. Their begin+end bytes are
+  // charged to buffer_bytes_ and tracked separately here.
+  std::vector<BufferedRange> ranges_;
+  uint64_t ranges_bytes_ = 0;
+  // Sum of buffer-copy bytes held by live snapshots (a memory gauge,
+  // reported as this layer's share of snapshot_pinned_bytes).
+  uint64_t snapshot_pinned_buffer_bytes_ = 0;
 
   fs::File* log_ = nullptr;  // owned by fs_; null until first append
   uint64_t log_id_ = 0;      // id of the active segment

@@ -55,6 +55,15 @@ class LruCache : public ReadCache {
     index_.erase(it);
   }
 
+  void EraseRange(std::string_view begin, std::string_view end) override {
+    for (auto it = index_.lower_bound(begin);
+         it != index_.end() && it->first < end;) {
+      bytes_ -= Charge(it->second->first, it->second->second);
+      entries_.erase(it->second);
+      it = index_.erase(it);
+    }
+  }
+
   uint64_t SizeBytes() const override { return bytes_; }
   uint64_t EntryCount() const override { return entries_.size(); }
   std::string PolicyName() const override { return "lru"; }
@@ -143,6 +152,29 @@ class TwoQCache : public ReadCache {
       ghost_bytes_ -= ghost->second->size();
       ghosts_.erase(ghost->second);
       ghost_index_.erase(ghost);
+    }
+  }
+
+  void EraseRange(std::string_view begin, std::string_view end) override {
+    for (auto it = am_index_.lower_bound(begin);
+         it != am_index_.end() && it->first < end;) {
+      resident_bytes_ -= Charge(it->second->first, it->second->second);
+      am_.erase(it->second);
+      it = am_index_.erase(it);
+    }
+    for (auto it = a1in_index_.lower_bound(begin);
+         it != a1in_index_.end() && it->first < end;) {
+      const uint64_t charge = Charge(it->second->first, it->second->second);
+      resident_bytes_ -= charge;
+      a1in_bytes_ -= charge;
+      a1in_.erase(it->second);
+      it = a1in_index_.erase(it);
+    }
+    for (auto it = ghost_index_.lower_bound(begin);
+         it != ghost_index_.end() && it->first < end;) {
+      ghost_bytes_ -= it->second->size();
+      ghosts_.erase(it->second);
+      it = ghost_index_.erase(it);
     }
   }
 

@@ -36,6 +36,13 @@ class ReadCache {
   // buffer now owns the freshest version).
   virtual void Erase(std::string_view key) = 0;
 
+  // Drops every cached key in [begin, end) — end exclusive, matching
+  // WriteBatch::DeleteRange. Called when a range delete enters the write
+  // buffer: a covered cached value must never resurface once the range
+  // reaches the inner engine. Ghost keys (2Q) are dropped too, so a
+  // deleted key re-entering the cache starts on probation again.
+  virtual void EraseRange(std::string_view begin, std::string_view end) = 0;
+
   // Resident key+value bytes (ghost keys included for 2Q).
   virtual uint64_t SizeBytes() const = 0;
   virtual uint64_t EntryCount() const = 0;

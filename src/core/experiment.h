@@ -101,6 +101,16 @@ struct ExperimentConfig {
   // that many gets into one MultiGet op.
   int read_queue_depth = 1;
   size_t read_batch_size = 1;
+  // Run every scan op over a snapshot (KVStore::GetSnapshot +
+  // ReadOptions::snapshot): the cursor freezes a commit sequence and
+  // survives concurrent writers, so scan_fraction > 0 composes with
+  // num_threads > 1 instead of being downgraded to point reads.
+  bool scan_while_writing = false;
+  // Iterator readahead for scan ops (ReadOptions::readahead): > 1
+  // prefetches that many leaves/blocks/values per span across read
+  // submission lanes at the engine's read_queue_depth, overlapping a
+  // scan's I/O across SSD channels. Implies the snapshot scan path.
+  int scan_readahead = 1;
   // Run engine maintenance (LSM compaction, B+Tree checkpoints, alog GC)
   // on a dedicated background submission lane/queue (the engines'
   // background_io param): user commits no longer absorb background

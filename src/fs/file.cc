@@ -14,11 +14,14 @@ namespace {
 // Writes a run of logically-consecutive file pages, batching device writes
 // over physically-contiguous LBA runs. Takes no filesystem lock: the
 // device serializes its own command processing, and the extent list is
-// per-file state owned by the file's single user.
-Status WriteFilePages(block::BlockDevice* device,
-                      const std::vector<Extent>& extents, uint64_t first_page,
+// per-file state owned by the file's single user. The fault-policy check
+// happens here — one consult per device write command, so a counting
+// policy sees every distinct write the filesystem issues.
+Status WriteFilePages(SimpleFs* fs, const Inode& inode, uint64_t first_page,
                       uint64_t num_pages, const uint8_t* src,
                       uint64_t page_bytes) {
+  block::BlockDevice* device = fs->device();
+  const std::vector<Extent>& extents = inode.extents;
   uint64_t skipped = 0;
   uint64_t page = first_page;
   uint64_t remaining = num_pages;
@@ -32,6 +35,7 @@ Status WriteFilePages(block::BlockDevice* device,
     const uint64_t offset_in_extent = page - skipped;
     const uint64_t run =
         std::min(remaining, e.num_pages - offset_in_extent);
+    PTSB_RETURN_IF_ERROR(fs->CheckFault(inode.name));
     PTSB_RETURN_IF_ERROR(
         device->Write(e.first_page + offset_in_extent, run, p));
     p += run * page_bytes;
@@ -99,7 +103,7 @@ Status File::AppendImpl(std::string_view data) {
           std::max(file_page + npages,
                    file_page + fs_->options_.append_alloc_pages)));
       PTSB_RETURN_IF_ERROR(WriteFilePages(
-          fs_->device_, inode.extents, file_page, npages,
+          fs_, inode, file_page, npages,
           reinterpret_cast<const uint8_t*>(data.data()), page));
       inode.size_bytes += npages * page;
       inode.synced_bytes = inode.size_bytes;
@@ -116,9 +120,8 @@ Status File::AppendImpl(std::string_view data) {
       PTSB_RETURN_IF_ERROR(fs_->ExtendInode(
           &inode, std::max(file_page + 1,
                            file_page + fs_->options_.append_alloc_pages)));
-      PTSB_RETURN_IF_ERROR(WriteFilePages(fs_->device_, inode.extents,
-                                          file_page, 1, inode.tail.get(),
-                                          page));
+      PTSB_RETURN_IF_ERROR(WriteFilePages(fs_, inode, file_page, 1,
+                                          inode.tail.get(), page));
       inode.synced_bytes = inode.size_bytes;
       std::memset(inode.tail.get(), 0, page);
     }
@@ -200,8 +203,7 @@ Status File::WriteAtImpl(uint64_t offset, std::string_view data) {
   if (offset + data.size() > inode.allocated_pages * page) {
     return Status::InvalidArgument("WriteAt beyond allocation");
   }
-  return WriteFilePages(fs_->device_, inode.extents, offset / page,
-                        data.size() / page,
+  return WriteFilePages(fs_, inode, offset / page, data.size() / page,
                         reinterpret_cast<const uint8_t*>(data.data()), page);
 }
 
@@ -224,9 +226,8 @@ Status File::Sync() {
   if (inode.synced_bytes < inode.size_bytes && tail_off != 0) {
     const uint64_t file_page = inode.size_bytes / page;
     PTSB_RETURN_IF_ERROR(fs_->ExtendInode(&inode, file_page + 1));
-    PTSB_RETURN_IF_ERROR(WriteFilePages(fs_->device_, inode.extents,
-                                        file_page, 1, inode.tail.get(),
-                                        page));
+    PTSB_RETURN_IF_ERROR(WriteFilePages(fs_, inode, file_page, 1,
+                                        inode.tail.get(), page));
   }
   inode.synced_bytes = inode.size_bytes;
   return fs_->device_->Flush();

@@ -21,6 +21,7 @@ SimpleFs::~SimpleFs() = default;
 
 Status SimpleFs::TouchMetadata() {
   if (options_.metadata_pages == 0) return Status::OK();
+  PTSB_RETURN_IF_ERROR(CheckFault(""));
   const uint64_t lba = metadata_cursor_;
   metadata_cursor_ = (metadata_cursor_ + 1) % options_.metadata_pages;
   return device_->Write(lba, 1, nullptr);

@@ -52,6 +52,22 @@ namespace ptsb::fs {
 
 class File;
 
+// Fault-injection hook, consulted immediately BEFORE every device write
+// the filesystem issues — file data pages (appends, write-through,
+// sync of a partial tail) and namespace metadata pages alike. Returning
+// non-OK suppresses the write and fails the operation above it, modeling
+// power loss at exactly that device write; the crash-recovery tests
+// install a counting policy, run a workload until it trips, then
+// SimulateCrash() and reopen. Reads are never faulted (a dying drive
+// that corrupts reads is a different failure model).
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+  // `name` is the file being written ("" for namespace metadata). Called
+  // once per device write command, before it reaches the device.
+  virtual Status BeforeDeviceWrite(const std::string& name) = 0;
+};
+
 struct FsOptions {
   // If true (paper default), freed extents are not trimmed on the device.
   bool nodiscard = true;
@@ -131,6 +147,19 @@ class SimpleFs {
   // two files + sizes consistent). Used by tests.
   Status CheckConsistency() const;
 
+  // Installs (or, with nullptr, clears) the fault-injection policy.
+  // Unowned: the caller keeps it alive until cleared. Install/clear with
+  // writers quiesced.
+  void SetFaultPolicy(FaultPolicy* policy) { fault_policy_ = policy; }
+
+  // Consults the installed policy before a device write on behalf of
+  // `name`. Internal to the fs and its File handles, public so the
+  // file-data write path (a free function in file.cc) can reach it.
+  Status CheckFault(const std::string& name) {
+    if (fault_policy_ == nullptr) return Status::OK();
+    return fault_policy_->BeforeDeviceWrite(name);
+  }
+
  private:
   friend class File;
 
@@ -169,6 +198,7 @@ class SimpleFs {
   std::map<uint64_t, std::unique_ptr<Inode>> inodes_;
   uint64_t next_inode_id_ = 1;
   uint64_t metadata_cursor_ = 0;
+  FaultPolicy* fault_policy_ = nullptr;  // unowned; null = no injection
 };
 
 }  // namespace ptsb::fs

@@ -41,6 +41,14 @@ struct WorkloadSpec {
   size_t read_batch_size = 1;
   // Entries consumed per scan op.
   size_t scan_count = 100;
+  // Run each scan over a snapshot (KVStore::GetSnapshot + ReadOptions):
+  // the cursor observes a frozen sequence and survives concurrent
+  // writers — required for scan ops under num_threads > 1.
+  bool scan_snapshot = false;
+  // Iterator readahead for scan ops (ReadOptions::readahead): > 1
+  // prefetches that many leaves/blocks/values across read submission
+  // lanes. Takes the snapshot path (engines only honor readahead there).
+  int scan_readahead = 1;
   // Worker threads replaying the update phase. Each worker runs its own
   // WorkloadGenerator seeded with ForThread(t).seed, so the T op streams
   // are disjoint and the whole run is deterministic given (seed, T).

@@ -21,12 +21,12 @@ namespace ptsb::kv {
 
 class WriteBatch {
  public:
-  enum class EntryKind : uint8_t { kPut = 1, kDelete = 2 };
+  enum class EntryKind : uint8_t { kPut = 1, kDelete = 2, kDeleteRange = 3 };
 
   struct Entry {
     EntryKind kind;
     std::string key;
-    std::string value;  // empty for deletes
+    std::string value;  // empty for deletes; range end for kDeleteRange
   };
 
   void Put(std::string_view key, std::string_view value) {
@@ -38,6 +38,19 @@ class WriteBatch {
   void Delete(std::string_view key) {
     entries_.push_back(Entry{EntryKind::kDelete, std::string(key), ""});
     byte_size_ += key.size();
+  }
+
+  // Deletes every key in [begin, end) — end EXCLUSIVE, like RocksDB's
+  // DeleteRange. The entry stores begin in `key` and end in `value`, so
+  // the range rides through the log codecs with the same framing as a
+  // Put. An empty or inverted range (begin >= end) is normalized away at
+  // batch build time: no entry is added, making the no-op uniform across
+  // engines instead of each replay path special-casing it.
+  void DeleteRange(std::string_view begin, std::string_view end) {
+    if (begin >= end) return;
+    entries_.push_back(Entry{EntryKind::kDeleteRange, std::string(begin),
+                             std::string(end)});
+    byte_size_ += begin.size() + end.size();
   }
 
   // Appends a copy of another batch's entries in order. Used by the write

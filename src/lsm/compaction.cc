@@ -241,16 +241,24 @@ Status CompactionJob::Install() {
     edit.added.emplace_back(pick_.level + 1, meta);
   }
   PTSB_RETURN_IF_ERROR(versions_->LogAndApply(edit));
-  // Drop input files (readers first, then the files).
+  // Drop input files (this job's readers first, then the files). The
+  // store's deleter keeps inputs a snapshot pins on disk as zombies and
+  // reports false; only physical deletions reach deleted_, so the table
+  // cache keeps serving pinned files to snapshot iterators.
   inputs_.clear();
-  for (const FileMeta& f : pick_.inputs0) {
-    PTSB_RETURN_IF_ERROR(fs_->Delete(VersionSet::SstFileName(dir_, f.number)));
-    deleted_.push_back(f.number);
-  }
-  for (const FileMeta& f : pick_.inputs1) {
-    PTSB_RETURN_IF_ERROR(fs_->Delete(VersionSet::SstFileName(dir_, f.number)));
-    deleted_.push_back(f.number);
-  }
+  auto dispose = [&](const FileMeta& f) -> Status {
+    bool deleted = true;
+    if (file_deleter_) {
+      PTSB_ASSIGN_OR_RETURN(deleted, file_deleter_(f));
+    } else {
+      PTSB_RETURN_IF_ERROR(
+          fs_->Delete(VersionSet::SstFileName(dir_, f.number)));
+    }
+    if (deleted) deleted_.push_back(f.number);
+    return Status::OK();
+  };
+  for (const FileMeta& f : pick_.inputs0) PTSB_RETURN_IF_ERROR(dispose(f));
+  for (const FileMeta& f : pick_.inputs1) PTSB_RETURN_IF_ERROR(dispose(f));
   return Status::OK();
 }
 

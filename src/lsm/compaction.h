@@ -6,6 +6,7 @@
 #define PTSB_LSM_COMPACTION_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -72,8 +73,19 @@ class CompactionJob {
   bool finished() const { return finished_; }
   const CompactionIoStats& io_stats() const { return io_; }
   const CompactionPick& pick() const { return pick_; }
-  // File numbers of tables this job deleted (for table-cache invalidation).
+  // File numbers of tables this job PHYSICALLY deleted (for table-cache
+  // invalidation). Inputs an open snapshot still pins are not listed: the
+  // store's deleter turned them into zombies instead of deleting them.
   const std::vector<uint64_t>& deleted_files() const { return deleted_; }
+
+  // Input disposal hook. Returns true if the file was physically deleted,
+  // false if it must outlive the compaction (an open snapshot reads it);
+  // the store installs one that parks pinned inputs as zombies. Unset,
+  // inputs are deleted directly.
+  using FileDeleter = std::function<StatusOr<bool>(const FileMeta&)>;
+  void set_file_deleter(FileDeleter deleter) {
+    file_deleter_ = std::move(deleter);
+  }
 
  private:
   struct Input {
@@ -106,6 +118,7 @@ class CompactionJob {
   bool finished_ = false;
   CompactionIoStats io_;
   std::vector<uint64_t> deleted_;
+  FileDeleter file_deleter_;
 };
 
 }  // namespace ptsb::lsm

@@ -15,9 +15,26 @@ namespace ptsb::lsm {
 enum class EntryType : uint8_t {
   kDelete = 0,
   kPut = 1,
+  // Range tombstone: user_key holds the range begin, value the EXCLUSIVE
+  // end. Lives in the WAL and the manifest (never inside SSTs); covered
+  // point entries are hidden at read time by seq comparison.
+  kRangeDelete = 2,
 };
 
 using SequenceNumber = uint64_t;
+
+// A range tombstone as the read path consumes it: hides any point entry
+// with begin <= key < end whose sequence is older than seq.
+struct RangeTombstone {
+  std::string begin;
+  std::string end;  // exclusive
+  SequenceNumber seq = 0;
+};
+
+inline bool RangeCovers(const RangeTombstone& t, std::string_view key,
+                        SequenceNumber entry_seq) {
+  return entry_seq < t.seq && t.begin <= key && key < t.end;
+}
 
 struct InternalEntry {
   std::string_view user_key;

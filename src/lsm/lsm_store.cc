@@ -27,8 +27,45 @@ StatusOr<std::unique_ptr<LsmStore>> LsmStore::Open(fs::SimpleFs* fs,
   store->versions_ = std::make_unique<VersionSet>(fs, store->dir_,
                                                   options.max_levels);
   PTSB_RETURN_IF_ERROR(store->versions_->Recover());
-  store->memtable_ = std::make_unique<Memtable>();
+  store->memtable_ = std::make_shared<Memtable>();
   store->seq_ = store->versions_->last_sequence();
+  // Manifest-recovered range tombstones are the flushed baseline; WAL
+  // replay re-appends anything newer.
+  store->tombstones_ = store->versions_->range_tombstones();
+  store->tombstones_persisted_ = store->tombstones_.size();
+
+  // Sweep orphan SSTs: a crash mid-flush/compaction can leave a created
+  // but never-installed file whose number the recovered manifest will
+  // hand out again (next_file_number is only durable as of the last
+  // edit) — the next flush would then collide on Create. Files the
+  // manifest doesn't reference are dead by construction; delete them.
+  {
+    std::vector<std::string> files = fs->List(store->dir_ + "/");
+    for (const std::string& name : files) {
+      const size_t slash = name.rfind('/');
+      if (name.ends_with(".log")) {
+        // Kept and replayed below, but its allocation may not be durable:
+        // never hand the number out again.
+        store->versions_->EnsureFileNumberPast(
+            std::stoull(name.substr(slash + 1)));
+        continue;
+      }
+      if (!name.ends_with(".sst")) continue;
+      const uint64_t number = std::stoull(name.substr(slash + 1));
+      store->versions_->EnsureFileNumberPast(number);
+      bool live = false;
+      for (int level = 0; level < store->versions_->num_levels() && !live;
+           level++) {
+        for (const FileMeta& f : store->versions_->LevelFiles(level)) {
+          if (f.number == number) {
+            live = true;
+            break;
+          }
+        }
+      }
+      if (!live) PTSB_RETURN_IF_ERROR(fs->Delete(name));
+    }
+  }
 
   // Replay WALs at or above the manifest's log number, in file order.
   std::vector<std::string> logs = fs->List(store->dir_ + "/");
@@ -51,7 +88,14 @@ StatusOr<std::unique_ptr<LsmStore>> LsmStore::Open(fs::SimpleFs* fs,
     PTSB_RETURN_IF_ERROR(ReplayWal(
         file, [&](std::string_view key, SequenceNumber seq, EntryType type,
                   std::string_view value) {
-          store->memtable_->Add(key, seq, type, value);
+          if (type == EntryType::kRangeDelete) {
+            // Range tombstones never enter the memtable: they live in the
+            // store's side list (key=begin, value=exclusive end).
+            store->tombstones_.push_back(RangeTombstone{
+                std::string(key), std::string(value), seq});
+          } else {
+            store->memtable_->Add(key, seq, type, value);
+          }
           max_seq = std::max(max_seq, seq);
         }));
     store->seq_ = max_seq;
@@ -106,12 +150,19 @@ Status LsmStore::WriteInternal(const kv::WriteBatch& batch,
   stats_.write_groups++;
   stats_.write_group_batches += n_user_batches;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
-    if (e.kind == kv::WriteBatch::EntryKind::kPut) {
-      stats_.user_puts++;
-      stats_.user_bytes_written += e.key.size() + e.value.size();
-    } else {
-      stats_.user_deletes++;
-      stats_.user_bytes_written += e.key.size();
+    switch (e.kind) {
+      case kv::WriteBatch::EntryKind::kPut:
+        stats_.user_puts++;
+        stats_.user_bytes_written += e.key.size() + e.value.size();
+        break;
+      case kv::WriteBatch::EntryKind::kDelete:
+        stats_.user_deletes++;
+        stats_.user_bytes_written += e.key.size();
+        break;
+      case kv::WriteBatch::EntryKind::kDeleteRange:
+        stats_.user_deletes++;
+        stats_.user_bytes_written += e.key.size() + e.value.size();
+        break;
     }
   }
 
@@ -131,10 +182,21 @@ Status LsmStore::WriteInternal(const kv::WriteBatch& batch,
   }
   SequenceNumber seq = first_seq;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
-    const EntryType type = e.kind == kv::WriteBatch::EntryKind::kPut
-                               ? EntryType::kPut
-                               : EntryType::kDelete;
-    memtable_->Add(e.key, seq++, type, e.value);
+    const SequenceNumber s = seq++;
+    switch (e.kind) {
+      case kv::WriteBatch::EntryKind::kPut:
+        memtable_->Add(e.key, s, EntryType::kPut, e.value);
+        break;
+      case kv::WriteBatch::EntryKind::kDelete:
+        memtable_->Add(e.key, s, EntryType::kDelete, e.value);
+        break;
+      case kv::WriteBatch::EntryKind::kDeleteRange:
+        // Range tombstones live beside the key space: WAL-logged above,
+        // persisted in full by the next manifest edit, filtered on the
+        // read paths (never merged into SSTs).
+        tombstones_.push_back(RangeTombstone{e.key, e.value, s});
+        break;
+    }
   }
 
   if (memtable_->ApproximateBytes() >= options_.memtable_bytes) {
@@ -152,7 +214,18 @@ Status LsmStore::WriteInternal(const kv::WriteBatch& batch,
 }
 
 Status LsmStore::FlushMemtable() {
-  if (memtable_->empty()) return Status::OK();
+  if (memtable_->empty()) {
+    if (tombstones_persisted_ == tombstones_.size()) return Status::OK();
+    // Nothing to flush, but range tombstones the manifest has not seen
+    // yet: persist them in an edit of their own (a DeleteRange-only
+    // workload must survive WAL rotation and Close like any other write).
+    VersionEdit edit;
+    edit.range_tombstones = tombstones_;
+    edit.last_sequence = seq_;
+    PTSB_RETURN_IF_ERROR(versions_->LogAndApply(edit));
+    tombstones_persisted_ = tombstones_.size();
+    return Status::OK();
+  }
   const uint64_t number = versions_->NewFileNumber();
   PTSB_ASSIGN_OR_RETURN(fs::File * file,
                         fs_->Create(VersionSet::SstFileName(dir_, number)));
@@ -175,6 +248,9 @@ Status LsmStore::FlushMemtable() {
   VersionEdit edit;
   edit.added.emplace_back(0, std::move(meta));
   edit.last_sequence = seq_;
+  // Every flush re-writes the full tombstone list (replace-on-apply), so
+  // the rotated-away WAL's range deletes stay durable.
+  edit.range_tombstones = tombstones_;
 
   // Rotate the WAL: the flushed SST covers everything in the old log.
   uint64_t old_wal = wal_number_;
@@ -188,11 +264,14 @@ Status LsmStore::FlushMemtable() {
     edit.log_number = wal_number_;
   }
   PTSB_RETURN_IF_ERROR(versions_->LogAndApply(edit));
+  tombstones_persisted_ = tombstones_.size();
   if (wal_ != nullptr) {
     PTSB_RETURN_IF_ERROR(
         fs_->Delete(VersionSet::WalFileName(dir_, old_wal)));
   }
-  memtable_ = std::make_unique<Memtable>();
+  // Rotate, not reset: a snapshot's shared_ptr keeps the old memtable
+  // (and the versions it froze) readable after the swap.
+  memtable_ = std::make_shared<Memtable>();
   return Status::OK();
 }
 
@@ -227,6 +306,7 @@ Status LsmStore::CompactionWorkImpl(uint64_t budget) {
     }
     job_ = std::make_unique<CompactionJob>(fs_, dir_, versions_.get(),
                                            options_, std::move(pick));
+    job_->set_file_deleter(MakeFileDeleter());
     PTSB_RETURN_IF_ERROR(job_->Prepare());
   }
   PTSB_ASSIGN_OR_RETURN(const bool done, job_->Step(budget));
@@ -304,6 +384,7 @@ Status LsmStore::CompactAll() {
       pick.drop_tombstones = CanDropTombstones(*versions_, level + 1);
       auto job = std::make_unique<CompactionJob>(fs_, dir_, versions_.get(),
                                                  options_, std::move(pick));
+      job->set_file_deleter(MakeFileDeleter());
       PTSB_RETURN_IF_ERROR(job->Prepare());
       for (;;) {
         PTSB_ASSIGN_OR_RETURN(const bool done, job->Step(64 << 20));
@@ -332,6 +413,155 @@ void LsmStore::EvictReaders(const std::vector<uint64_t>& numbers) {
   for (const uint64_t n : numbers) readers_.erase(n);
 }
 
+namespace {
+
+// True when some range tombstone visible at `bound` hides a version of
+// `key` written at `entry_seq`.
+bool CoveredByRange(const std::vector<RangeTombstone>& tombstones,
+                    std::string_view key, SequenceNumber entry_seq,
+                    SequenceNumber bound) {
+  for (const RangeTombstone& t : tombstones) {
+    if (t.seq <= bound && RangeCovers(t, key, entry_seq)) return true;
+  }
+  return false;
+}
+
+// Newest version of `key` with seq <= bound in one table. SstReader::Get
+// only surfaces the newest version outright, so bounded lookups walk the
+// versions (internal order: newest first) through an iterator.
+StatusOr<SstReader::GetResult> BoundedSstGet(SstReader* reader,
+                                             std::string_view key,
+                                             SequenceNumber bound) {
+  SstReader::GetResult result;
+  SstReader::Iterator it(reader);
+  PTSB_RETURN_IF_ERROR(it.Seek(key));
+  while (it.Valid() && it.key() == key) {
+    if (it.seq() <= bound) {
+      result.found = true;
+      result.type = it.type();
+      result.seq = it.seq();
+      result.value.assign(it.value().data(), it.value().size());
+      break;
+    }
+    PTSB_RETURN_IF_ERROR(it.Next());
+  }
+  return result;
+}
+
+}  // namespace
+
+// A frozen view: the sequence bound plus owning references to everything
+// a read at that bound can touch — the memtable of the moment (shared_ptr
+// keeps it alive across rotations) and a copy of the per-level file lists
+// (each file pinned in the store against physical deletion) and range
+// tombstones. Destruction releases the pins under commit exclusion; the
+// snapshot must be released before the store is destroyed.
+class LsmStore::SnapshotImpl : public kv::Snapshot {
+ public:
+  explicit SnapshotImpl(LsmStore* store) : store_(store) {}
+  ~SnapshotImpl() override { store_->ReleaseSnapshot(*this); }
+  uint64_t sequence() const override { return seq_; }
+
+  LsmStore* store_;
+  SequenceNumber seq_ = 0;
+  std::shared_ptr<Memtable> memtable_;
+  std::vector<std::vector<FileMeta>> levels_;
+  std::vector<RangeTombstone> tombstones_;
+};
+
+StatusOr<std::shared_ptr<const kv::Snapshot>> LsmStore::GetSnapshot() {
+  PTSB_CHECK(!closed_);
+  return write_group_.RunExclusive(
+      [&]() -> StatusOr<std::shared_ptr<const kv::Snapshot>> {
+        auto snap = std::make_shared<SnapshotImpl>(this);
+        snap->seq_ = seq_;
+        snap->memtable_ = memtable_;
+        snap->tombstones_ = tombstones_;
+        snap->levels_.resize(versions_->num_levels());
+        for (int l = 0; l < versions_->num_levels(); l++) {
+          snap->levels_[l] = versions_->LevelFiles(l);
+          for (const FileMeta& f : snap->levels_[l]) pins_[f.number]++;
+        }
+        stats_.snapshots_created++;
+        stats_.snapshots_open++;
+        return std::shared_ptr<const kv::Snapshot>(std::move(snap));
+      });
+}
+
+void LsmStore::ReleaseSnapshot(const SnapshotImpl& snap) {
+  write_group_.RunExclusive([&] {
+    for (const auto& level : snap.levels_) {
+      for (const FileMeta& f : level) UnpinFile(f.number);
+    }
+    stats_.snapshots_open--;
+  });
+}
+
+void LsmStore::UnpinFile(uint64_t number) {
+  auto it = pins_.find(number);
+  PTSB_CHECK(it != pins_.end());
+  if (--it->second > 0) return;
+  pins_.erase(it);
+  auto z = zombies_.find(number);
+  if (z == zombies_.end()) return;  // still in the live version
+  stats_.snapshot_pinned_bytes -= z->second;
+  zombies_.erase(z);
+  readers_.erase(number);
+  // Runs inside the snapshot's destructor, so a failure cannot propagate;
+  // in the simulated filesystem a delete of an existing file cannot fail.
+  const Status s = fs_->Delete(VersionSet::SstFileName(dir_, number));
+  PTSB_CHECK(s.ok()) << "zombie SST delete failed: " << s.ToString();
+}
+
+CompactionJob::FileDeleter LsmStore::MakeFileDeleter() {
+  return [this](const FileMeta& f) -> StatusOr<bool> {
+    if (pins_.count(f.number) != 0) {
+      // A snapshot still reads this input: park it as an on-disk zombie.
+      zombies_[f.number] = f.file_bytes;
+      stats_.snapshot_pinned_bytes += f.file_bytes;
+      return false;
+    }
+    PTSB_RETURN_IF_ERROR(fs_->Delete(VersionSet::SstFileName(dir_, f.number)));
+    return true;
+  };
+}
+
+Status LsmStore::SnapshotGetInternal(const SnapshotImpl& snap,
+                                     std::string_view key,
+                                     std::string* value) {
+  ChargeCpu(options_.cpu_get_ns);
+  stats_.user_gets++;
+
+  const auto mem = snap.memtable_->Get(key, snap.seq_);
+  if (mem.found) {
+    if (mem.deleted ||
+        CoveredByRange(snap.tombstones_, key, mem.seq, snap.seq_)) {
+      return Status::NotFound("deleted");
+    }
+    *value = mem.value;
+    stats_.user_bytes_read += value->size();
+    return Status::OK();
+  }
+  for (size_t level = 0; level < snap.levels_.size(); level++) {
+    for (const FileMeta& f : snap.levels_[level]) {
+      if (key < f.smallest || key > f.largest) continue;
+      PTSB_ASSIGN_OR_RETURN(SstReader * reader, GetReader(f.number));
+      PTSB_ASSIGN_OR_RETURN(auto result, BoundedSstGet(reader, key, snap.seq_));
+      if (result.found) {
+        if (result.type == EntryType::kDelete ||
+            CoveredByRange(snap.tombstones_, key, result.seq, snap.seq_)) {
+          return Status::NotFound("deleted");
+        }
+        *value = std::move(result.value);
+        stats_.user_bytes_read += value->size();
+        return Status::OK();
+      }
+      if (level > 0) break;
+    }
+  }
+  return Status::NotFound("no such key");
+}
+
 Status LsmStore::Get(std::string_view key, std::string* value) {
   PTSB_CHECK(!closed_);
   // Exclude in-flight group commits: a leader may be rotating the
@@ -339,13 +569,26 @@ Status LsmStore::Get(std::string_view key, std::string* value) {
   return write_group_.RunExclusive([&] { return GetInternal(key, value); });
 }
 
+Status LsmStore::Get(const kv::ReadOptions& opts, std::string_view key,
+                     std::string* value) {
+  if (opts.snapshot == nullptr) return Get(key, value);
+  PTSB_CHECK(!closed_);
+  const auto* snap = static_cast<const SnapshotImpl*>(opts.snapshot);
+  PTSB_CHECK(snap->store_ == this) << "snapshot from a different store";
+  return write_group_.RunExclusive(
+      [&] { return SnapshotGetInternal(*snap, key, value); });
+}
+
 Status LsmStore::GetInternal(std::string_view key, std::string* value) {
   ChargeCpu(options_.cpu_get_ns);
   stats_.user_gets++;
 
+  constexpr SequenceNumber kNoBound = ~SequenceNumber{0};
   const auto mem = memtable_->Get(key);
   if (mem.found) {
-    if (mem.deleted) return Status::NotFound("deleted");
+    if (mem.deleted || CoveredByRange(tombstones_, key, mem.seq, kNoBound)) {
+      return Status::NotFound("deleted");
+    }
     *value = mem.value;
     stats_.user_bytes_read += value->size();
     return Status::OK();
@@ -357,7 +600,8 @@ Status LsmStore::GetInternal(std::string_view key, std::string* value) {
       PTSB_ASSIGN_OR_RETURN(SstReader * reader, GetReader(f.number));
       PTSB_ASSIGN_OR_RETURN(auto result, reader->Get(key));
       if (result.found) {
-        if (result.type == EntryType::kDelete) {
+        if (result.type == EntryType::kDelete ||
+            CoveredByRange(tombstones_, key, result.seq, kNoBound)) {
           return Status::NotFound("deleted");
         }
         *value = std::move(result.value);
@@ -383,30 +627,66 @@ kv::ReadHandle LsmStore::ReadAsync(std::string_view key, std::string* value) {
                        [&] { return Get(key, value); });
 }
 
-// Streaming merge over the memtable and every live SST: picks the
-// smallest entry in internal order, surfaces the newest version of each
-// user key, skips tombstones. Sources are positioned at creation; any
-// write to the store invalidates the iterator (memtable rotation,
-// compaction file deletion).
+// Streaming merge over a memtable and a set of SSTs: picks the smallest
+// entry in internal order, surfaces the newest visible version of each
+// user key, skips point and range tombstones. In live mode the sources
+// are the store's current memtable and version — any write invalidates
+// the iterator (memtable rotation, compaction file deletion). In
+// snapshot mode the sources are the snapshot's pinned memtable and
+// frozen file lists, entries above the snapshot's sequence bound are
+// invisible, and every cursor move takes the commit-exclusion lock — so
+// the cursor survives (and serializes against) concurrent writers. The
+// snapshot must outlive the cursor.
 class LsmStore::MergingIterator : public kv::KVStore::Iterator {
  public:
-  explicit MergingIterator(LsmStore* store)
-      : store_(store), epoch_(store->write_epoch_) {
+  MergingIterator(LsmStore* store, const SnapshotImpl* snap, int readahead)
+      : store_(store),
+        snap_(snap),
+        epoch_(store->write_epoch_),
+        bound_(snap != nullptr ? snap->seq_ : ~SequenceNumber{0}),
+        tombstones_(snap != nullptr ? snap->tombstones_
+                                    : store->tombstones_) {
+    // readahead > 1: prefetch that many data blocks per span, split
+    // across foreground-read lanes at the engine's read_queue_depth so
+    // one span's chunks overlap across SSD channels.
+    uint64_t ra_bytes = 0;
+    int depth = 1;
+    if (readahead > 1) {
+      ra_bytes = static_cast<uint64_t>(readahead) *
+                 store_->options_.block_bytes;
+      depth = std::min(readahead,
+                       std::max(1, store_->options_.read_queue_depth));
+    }
     Source mem_source;
-    mem_source.mem = std::make_unique<Memtable::Iterator>(
-        store_->memtable_.get());
+    const Memtable* mt = snap != nullptr ? snap->memtable_.get()
+                                         : store_->memtable_.get();
+    mem_source.mem = std::make_unique<Memtable::Iterator>(mt);
     sources_.push_back(std::move(mem_source));
-    for (int level = 0; level < store_->versions_->num_levels(); level++) {
-      for (const FileMeta& f : store_->versions_->LevelFiles(level)) {
-        auto reader = store_->GetReader(f.number);
-        if (!reader.ok()) {
-          status_ = reader.status();
-          return;
+    auto add_file = [&](const FileMeta& f) {
+      auto reader = store_->GetReader(f.number);
+      if (!reader.ok()) {
+        status_ = reader.status();
+        return false;
+      }
+      Source s;
+      s.sst = std::make_unique<SstReader::Iterator>(
+          *reader, ra_bytes, depth > 1 ? store_->options_.clock : nullptr,
+          store_->options_.io_queue, depth);
+      s.largest = f.largest;
+      sources_.push_back(std::move(s));
+      return true;
+    };
+    if (snap != nullptr) {
+      for (const auto& level : snap->levels_) {
+        for (const FileMeta& f : level) {
+          if (!add_file(f)) return;
         }
-        Source s;
-        s.sst = std::make_unique<SstReader::Iterator>(*reader);
-        s.largest = f.largest;
-        sources_.push_back(std::move(s));
+      }
+    } else {
+      for (int level = 0; level < store_->versions_->num_levels(); level++) {
+        for (const FileMeta& f : store_->versions_->LevelFiles(level)) {
+          if (!add_file(f)) return;
+        }
       }
     }
   }
@@ -414,6 +694,38 @@ class LsmStore::MergingIterator : public kv::KVStore::Iterator {
   void SeekToFirst() override { Seek(""); }
 
   void Seek(std::string_view target) override {
+    if (snap_ != nullptr) {
+      store_->write_group_.RunExclusive([&] { SeekImpl(target); });
+    } else {
+      SeekImpl(target);
+    }
+  }
+
+  bool Valid() const override {
+    CheckEpoch();
+    return valid_;
+  }
+
+  void Next() override {
+    if (snap_ != nullptr) {
+      store_->write_group_.RunExclusive([&] { NextImpl(); });
+    } else {
+      NextImpl();
+    }
+  }
+
+  std::string_view key() const override {
+    CheckEpoch();
+    return key_;
+  }
+  std::string_view value() const override {
+    CheckEpoch();
+    return value_;
+  }
+  Status status() const override { return status_; }
+
+ private:
+  void SeekImpl(std::string_view target) {
     CheckEpoch();
     if (!status_.ok()) return;
     valid_ = false;
@@ -428,12 +740,7 @@ class LsmStore::MergingIterator : public kv::KVStore::Iterator {
     FindNextLiveEntry();
   }
 
-  bool Valid() const override {
-    CheckEpoch();
-    return valid_;
-  }
-
-  void Next() override {
+  void NextImpl() {
     CheckEpoch();
     if (!valid_) return;
     valid_ = false;
@@ -442,22 +749,13 @@ class LsmStore::MergingIterator : public kv::KVStore::Iterator {
     FindNextLiveEntry();
   }
 
-  std::string_view key() const override {
-    CheckEpoch();
-    return key_;
-  }
-  std::string_view value() const override {
-    CheckEpoch();
-    return value_;
-  }
-  Status status() const override { return status_; }
-
- private:
   // Debug-build fail-fast on use-after-write: a write can rotate the
   // memtable or delete the SSTs this iterator's sources point into, so
-  // continuing would silently read stale (or freed) state.
+  // continuing would silently read stale (or freed) state. Snapshot
+  // cursors are exempt: their sources are pinned, and their visibility
+  // bound filters what concurrent writers append to the shared memtable.
   void CheckEpoch() const {
-    PTSB_DCHECK(epoch_ == store_->write_epoch_)
+    PTSB_DCHECK(snap_ != nullptr || epoch_ == store_->write_epoch_)
         << "LSM iterator used after a write to the store; iterators "
            "observe the store as of creation and are invalidated by "
            "writes (create, consume, discard)";
@@ -513,11 +811,18 @@ class LsmStore::MergingIterator : public kv::KVStore::Iterator {
       }
       if (best < 0) return;  // all sources exhausted: clean end
       Source& src = sources_[best];
+      if (src.seq() > bound_) {
+        // Written after the snapshot: invisible, and it does NOT shadow —
+        // an older visible version of the same key may follow.
+        status_ = src.Advance();
+        continue;
+      }
       const bool shadowed = have_last_ && src.key() == last_user_key_;
       if (!shadowed) {
         last_user_key_.assign(src.key().data(), src.key().size());
         have_last_ = true;
-        if (src.type() == EntryType::kPut) {
+        if (src.type() == EntryType::kPut &&
+            !CoveredByRange(tombstones_, src.key(), src.seq(), bound_)) {
           key_ = last_user_key_;
           value_.assign(src.value().data(), src.value().size());
           current_ = static_cast<size_t>(best);
@@ -531,7 +836,10 @@ class LsmStore::MergingIterator : public kv::KVStore::Iterator {
   }
 
   LsmStore* store_;
+  const SnapshotImpl* snap_;  // null: live mode
   const uint64_t epoch_;  // store_->write_epoch_ at creation
+  const SequenceNumber bound_;  // newest visible sequence
+  const std::vector<RangeTombstone> tombstones_;
   std::vector<Source> sources_;
   size_t current_ = 0;  // source providing the current entry
   std::string last_user_key_;
@@ -549,7 +857,21 @@ std::unique_ptr<kv::KVStore::Iterator> LsmStore::NewIterator() {
   return write_group_.RunExclusive(
       [&]() -> std::unique_ptr<kv::KVStore::Iterator> {
         stats_.user_scans++;
-        return std::make_unique<MergingIterator>(this);
+        return std::make_unique<MergingIterator>(this, nullptr, 0);
+      });
+}
+
+std::unique_ptr<kv::KVStore::Iterator> LsmStore::NewIterator(
+    const kv::ReadOptions& opts) {
+  PTSB_CHECK(!closed_);
+  const auto* snap = static_cast<const SnapshotImpl*>(opts.snapshot);
+  if (snap != nullptr) {
+    PTSB_CHECK(snap->store_ == this) << "snapshot from a different store";
+  }
+  return write_group_.RunExclusive(
+      [&]() -> std::unique_ptr<kv::KVStore::Iterator> {
+        stats_.user_scans++;
+        return std::make_unique<MergingIterator>(this, snap, opts.readahead);
       });
 }
 

@@ -51,9 +51,28 @@ class LsmStore : public kv::KVStore {
   // Runs the lookup in a foreground-read lane on options().io_queue (see
   // kv::KVStore::ReadAsync).
   kv::ReadHandle ReadAsync(std::string_view key, std::string* value) override;
+  // Snapshot-aware point lookup: resolves the key against the snapshot's
+  // pinned memtable + file lists at its sequence bound.
+  Status Get(const kv::ReadOptions& opts, std::string_view key,
+             std::string* value) override;
   // Merging iterator over the memtable and every live SST. Invalidated by
   // any write to the store (no snapshot pinning).
   std::unique_ptr<kv::KVStore::Iterator> NewIterator() override;
+  // Snapshot / readahead variant. With a snapshot the cursor reads the
+  // pinned sources (shared memtable, pinned SSTs) at the snapshot's
+  // sequence bound, takes the commit-exclusion lock around every cursor
+  // move (so it is safe under concurrent writers), and skips the
+  // write-epoch invalidation check. The snapshot must outlive the
+  // cursor. readahead > 1 prefetches that many data blocks per span,
+  // split across foreground-read lanes at read_queue_depth.
+  std::unique_ptr<kv::KVStore::Iterator> NewIterator(
+      const kv::ReadOptions& opts) override;
+  // Freezes the current state: sequence bound + shared memtable + the
+  // per-level file lists (each file pinned against physical deletion) +
+  // the range-tombstone list. Compaction may still retire pinned files
+  // from the live version; they become zombies on disk (accounted in
+  // snapshot_pinned_bytes) until the last pinning snapshot drops.
+  StatusOr<std::shared_ptr<const kv::Snapshot>> GetSnapshot() override;
   Status Flush() override;
   Status SettleBackgroundWork() override { return DrainCompactions(); }
   Status Close() override;
@@ -81,6 +100,7 @@ class LsmStore : public kv::KVStore {
 
  private:
   class MergingIterator;
+  class SnapshotImpl;
 
   LsmStore(fs::SimpleFs* fs, const LsmOptions& options, std::string dir);
 
@@ -105,12 +125,27 @@ class LsmStore : public kv::KVStore {
   void EvictReaders(const std::vector<uint64_t>& numbers);
   void ChargeCpu(int64_t ns) const;
 
+  // Snapshot Get's body: newest version of `key` at the snapshot's
+  // sequence bound across its pinned memtable + frozen file lists,
+  // filtered by its range tombstones. Runs under commit exclusion.
+  Status SnapshotGetInternal(const SnapshotImpl& snap, std::string_view key,
+                             std::string* value);
+  // The CompactionJob input-disposal hook: pinned inputs become on-disk
+  // zombies (snapshot_pinned_bytes grows) instead of being deleted.
+  CompactionJob::FileDeleter MakeFileDeleter();
+  // Snapshot deleter body: un-pins every file the snapshot held and
+  // physically deletes zombies whose last pin dropped.
+  void ReleaseSnapshot(const SnapshotImpl& snap);
+  void UnpinFile(uint64_t number);
+
   fs::SimpleFs* fs_;
   LsmOptions options_;
   std::string dir_;
 
   std::unique_ptr<VersionSet> versions_;
-  std::unique_ptr<Memtable> memtable_;
+  // shared_ptr: a snapshot keeps the memtable it froze alive across
+  // rotations (flush swaps in a fresh one; pinned versions stay readable).
+  std::shared_ptr<Memtable> memtable_;
   std::unique_ptr<WalWriter> wal_;
   fs::File* wal_file_ = nullptr;
   uint64_t wal_number_ = 0;
@@ -125,6 +160,22 @@ class LsmStore : public kv::KVStore {
   // Table cache: open readers with pinned index+bloom (never evicted while
   // the file is live, as RocksDB effectively does for filter/index blocks).
   std::map<uint64_t, std::unique_ptr<SstReader>> readers_;
+
+  // Range tombstones, oldest first: {begin, end, seq} hides every version
+  // of a covered key older than seq. They live beside the key space (WAL
+  // records until the next flush, then the manifest's full-list edit) and
+  // are filtered on the read path, never merged into SSTs.
+  std::vector<RangeTombstone> tombstones_;
+  // How many of tombstones_ the manifest already holds (they are only
+  // appended, so a count is a full description).
+  size_t tombstones_persisted_ = 0;
+
+  // Snapshot pinning. pins_: file number -> number of open snapshots
+  // whose frozen file lists include it. zombies_: pinned files the live
+  // version already dropped (compaction inputs) -> their byte size; they
+  // stay on the filesystem until the last pin drops.
+  std::map<uint64_t, int> pins_;
+  std::map<uint64_t, uint64_t> zombies_;
 
   SequenceNumber seq_ = 0;
   // Bumped by every mutating entry point (Write, Flush, compaction

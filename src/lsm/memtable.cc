@@ -63,16 +63,13 @@ Memtable::Node* Memtable::FindGreaterOrEqual(std::string_view key,
 void Memtable::Add(std::string_view key, SequenceNumber seq, EntryType type,
                    std::string_view value) {
   Node* prev[kMaxHeight];
+  // Always insert: the new node lands BEFORE any existing versions of the
+  // same user key (FindGreaterOrEqual stops at the first node with
+  // key >= target), and since sequences per key arrive ascending, level-0
+  // order is exactly internal order — key ascending, seq descending.
   Node* node = FindGreaterOrEqual(key, prev);
   if (node != nullptr && node->key == key) {
-    // Update in place: the memtable keeps only the newest version.
-    PTSB_DCHECK(seq >= node->seq);
-    bytes_ -= node->value.size();
-    node->value.assign(value.data(), value.size());
-    node->seq = seq;
-    node->type = type;
-    bytes_ += value.size();
-    return;
+    PTSB_DCHECK(seq > node->seq);
   }
   const int height = RandomHeight();
   if (height > height_) {
@@ -91,9 +88,14 @@ void Memtable::Add(std::string_view key, SequenceNumber seq, EntryType type,
   bytes_ += key.size() + value.size() + kNodeOverhead;
 }
 
-Memtable::LookupResult Memtable::Get(std::string_view key) const {
+Memtable::LookupResult Memtable::Get(std::string_view key,
+                                     SequenceNumber max_seq) const {
   LookupResult r;
   const Node* node = FindGreaterOrEqual(key, nullptr);
+  // Versions of one key sit newest-first; skip those above the bound.
+  while (node != nullptr && node->key == key && node->seq > max_seq) {
+    node = node->next[0];
+  }
   if (node == nullptr || node->key != key) return r;
   r.found = true;
   r.seq = node->seq;

@@ -1,7 +1,8 @@
-// In-memory write buffer: a skiplist keyed by user key holding the newest
-// (seq, type, value) per key. The paper's workload has no snapshots or
-// transactions, so retaining older versions in memory is unnecessary;
-// on-disk SSTs still carry full (key, seq, type) records.
+// In-memory write buffer: a skiplist in INTERNAL order (user key
+// ascending, sequence descending) holding every version written since
+// the last flush. Multi-versioning is what lets a snapshot at sequence S
+// keep reading the value a later write overwrote: lookups and scans take
+// a sequence bound and surface the newest version at or below it.
 #ifndef PTSB_LSM_MEMTABLE_H_
 #define PTSB_LSM_MEMTABLE_H_
 
@@ -24,7 +25,9 @@ class Memtable {
   Memtable(const Memtable&) = delete;
   Memtable& operator=(const Memtable&) = delete;
 
-  // Inserts or updates a key. Delete is an Add with EntryType::kDelete.
+  // Inserts a new version. Delete is an Add with EntryType::kDelete.
+  // Sequences for one user key must arrive in ascending order (they do:
+  // the store assigns them monotonically under the commit lock).
   void Add(std::string_view key, SequenceNumber seq, EntryType type,
            std::string_view value);
 
@@ -36,7 +39,10 @@ class Memtable {
     std::string value;
     SequenceNumber seq = 0;
   };
-  LookupResult Get(std::string_view key) const;
+  // Newest version with seq <= max_seq (snapshot reads pass their bound;
+  // live reads pass the default, which sees everything).
+  LookupResult Get(std::string_view key,
+                   SequenceNumber max_seq = ~SequenceNumber{0}) const;
 
   // Approximate memory footprint (keys + values + node overhead).
   uint64_t ApproximateBytes() const { return bytes_; }

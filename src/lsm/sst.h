@@ -99,7 +99,14 @@ class SstReader {
    public:
     // `readahead_bytes` batches sequential block reads into large device
     // commands (RocksDB's compaction readahead); 0 reads block by block.
-    explicit Iterator(SstReader* reader, uint64_t readahead_bytes = 0);
+    // With a clock and depth > 1, each span read is additionally split
+    // into up to `depth` block-aligned chunks submitted on foreground-read
+    // lanes base_queue..base_queue+depth-1, so one span's I/O overlaps
+    // across SSD channels (completion = slowest chunk, not the sum) — the
+    // scan-side analog of the MultiGet fan-out.
+    explicit Iterator(SstReader* reader, uint64_t readahead_bytes = 0,
+                      sim::SimClock* clock = nullptr, uint32_t base_queue = 0,
+                      int depth = 1);
     bool Valid() const { return valid_; }
     Status SeekToFirst();
     // Positions at the first entry with user key >= target.
@@ -120,6 +127,9 @@ class SstReader {
 
     SstReader* reader_;
     uint64_t readahead_bytes_;
+    sim::SimClock* clock_;
+    uint32_t base_queue_;
+    int depth_;
     size_t span_first_ = 0;  // first block index in span_data_
     size_t span_end_ = 0;    // one past the last block in span_data_
     uint64_t span_base_offset_ = 0;

@@ -18,6 +18,7 @@ enum EditTag : uint32_t {
   kLogNumber = 3,
   kAddedFile = 4,
   kRemovedFile = 5,
+  kRangeTombstones = 6,  // full-list replacement (count + entries)
 };
 }  // namespace
 
@@ -48,6 +49,15 @@ std::string VersionEdit::Encode() const {
     PutVarint32(&out, kRemovedFile);
     PutVarint32(&out, static_cast<uint32_t>(level));
     PutVarint64(&out, number);
+  }
+  if (range_tombstones) {
+    PutVarint32(&out, kRangeTombstones);
+    PutVarint32(&out, static_cast<uint32_t>(range_tombstones->size()));
+    for (const RangeTombstone& t : *range_tombstones) {
+      PutLengthPrefixed(&out, t.begin);
+      PutLengthPrefixed(&out, t.end);
+      PutVarint64(&out, t.seq);
+    }
   }
   return out;
 }
@@ -97,6 +107,29 @@ StatusOr<VersionEdit> VersionEdit::Decode(std::string_view in) {
         edit.removed.emplace_back(static_cast<int>(level), v64);
         break;
       }
+      case kRangeTombstones: {
+        uint32_t count;
+        if (!GetVarint32(&in, &count)) {
+          return Status::Corruption("bad range-tombstone edit");
+        }
+        std::vector<RangeTombstone> list;
+        list.reserve(count);
+        for (uint32_t i = 0; i < count; i++) {
+          std::string_view begin, end;
+          uint64_t seq;
+          if (!GetLengthPrefixed(&in, &begin) ||
+              !GetLengthPrefixed(&in, &end) || !GetVarint64(&in, &seq)) {
+            return Status::Corruption("bad range-tombstone edit");
+          }
+          RangeTombstone t;
+          t.begin.assign(begin.data(), begin.size());
+          t.end.assign(end.data(), end.size());
+          t.seq = seq;
+          list.push_back(std::move(t));
+        }
+        edit.range_tombstones = std::move(list);
+        break;
+      }
       default:
         return Status::Corruption("unknown edit tag");
     }
@@ -128,6 +161,7 @@ void VersionSet::Apply(const VersionEdit& edit) {
   if (edit.next_file_number) next_file_number_ = *edit.next_file_number;
   if (edit.last_sequence) last_sequence_ = *edit.last_sequence;
   if (edit.log_number) log_number_ = *edit.log_number;
+  if (edit.range_tombstones) tombstones_ = *edit.range_tombstones;
   for (const auto& [level, number] : edit.removed) {
     auto& files = levels_[level];
     files.erase(std::remove_if(files.begin(), files.end(),
@@ -202,6 +236,7 @@ Status VersionSet::WriteSnapshot() {
   snapshot.next_file_number = next_file_number_;
   snapshot.last_sequence = last_sequence_;
   snapshot.log_number = log_number_;
+  snapshot.range_tombstones = tombstones_;
   for (int level = 0; level < num_levels(); level++) {
     for (const FileMeta& f : levels_[level]) {
       snapshot.added.emplace_back(level, f);

@@ -33,6 +33,11 @@ struct VersionEdit {
   std::optional<uint64_t> log_number;
   std::vector<std::pair<int, FileMeta>> added;    // (level, file)
   std::vector<std::pair<int, uint64_t>> removed;  // (level, file number)
+  // Replace-on-apply: when present, the FULL range-tombstone list as of
+  // this edit (written at every memtable flush, so the manifest state is
+  // always "tombstones as of the last flush"; WAL replay re-adds newer
+  // ones). Absent means "unchanged".
+  std::optional<std::vector<RangeTombstone>> range_tombstones;
 
   std::string Encode() const;
   static StatusOr<VersionEdit> Decode(std::string_view in);
@@ -58,7 +63,19 @@ class VersionSet {
   uint64_t TotalEntries() const;
   int MaxPopulatedLevel() const;  // -1 if empty
 
+  // Durable range tombstones (as of the last flush-carrying edit).
+  const std::vector<RangeTombstone>& range_tombstones() const {
+    return tombstones_;
+  }
+
   uint64_t NewFileNumber() { return next_file_number_++; }
+  // Guarantees NewFileNumber never re-issues `number`. Recovery calls
+  // this for every file found on disk: a crash can leave files whose
+  // allocating edit never reached the manifest, and a reissued number
+  // would collide on Create.
+  void EnsureFileNumberPast(uint64_t number) {
+    next_file_number_ = std::max(next_file_number_, number + 1);
+  }
   SequenceNumber last_sequence() const { return last_sequence_; }
   void set_last_sequence(SequenceNumber s) { last_sequence_ = s; }
   uint64_t log_number() const { return log_number_; }
@@ -82,6 +99,7 @@ class VersionSet {
   fs::SimpleFs* fs_;
   std::string dir_;
   std::vector<std::vector<FileMeta>> levels_;
+  std::vector<RangeTombstone> tombstones_;
   uint64_t next_file_number_ = 1;
   SequenceNumber last_sequence_ = 0;
   uint64_t log_number_ = 0;

@@ -47,9 +47,19 @@ Status WalWriter::AddBatch(const kv::WriteBatch& batch,
   payload.reserve(batch.ByteSize() + batch.Count() * 24);
   SequenceNumber seq = first_seq;
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
-    const EntryType type = e.kind == kv::WriteBatch::EntryKind::kPut
-                               ? EntryType::kPut
-                               : EntryType::kDelete;
+    EntryType type = EntryType::kDelete;
+    switch (e.kind) {
+      case kv::WriteBatch::EntryKind::kPut:
+        type = EntryType::kPut;
+        break;
+      case kv::WriteBatch::EntryKind::kDelete:
+        type = EntryType::kDelete;
+        break;
+      case kv::WriteBatch::EntryKind::kDeleteRange:
+        // key = range begin, value = exclusive end; same framing as a Put.
+        type = EntryType::kRangeDelete;
+        break;
+    }
     AppendEntry(&payload, e.key, seq++, type, e.value);
   }
   return EmitRecord(payload);

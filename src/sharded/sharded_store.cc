@@ -41,6 +41,9 @@ void AddStats(kv::KvStoreStats* into, const kv::KvStoreStats& s) {
   into->buffer_coalesced_bytes += s.buffer_coalesced_bytes;
   into->flush_batches += s.flush_batches;
   into->stall_count += s.stall_count;
+  into->snapshots_created += s.snapshots_created;
+  into->snapshots_open += s.snapshots_open;
+  into->snapshot_pinned_bytes += s.snapshot_pinned_bytes;
   into->time_wal_ns += s.time_wal_ns;
   into->time_flush_ns += s.time_flush_ns;
   into->time_compaction_ns += s.time_compaction_ns;
@@ -185,7 +188,10 @@ StatusOr<std::unique_ptr<ShardedStore>> ShardedStore::Open(
   inner.params.erase("parallel_write");
   inner.params.erase("parallel_write_min_bytes");
   inner.params.erase("queue_depth");
-  inner.params.erase("read_queue_depth");
+  // read_queue_depth is dual-use: the router consumes it for its own
+  // cross-shard MultiGet fan-out AND leaves it in the inner params, so
+  // each shard's snapshot iterator can prefetch (ReadOptions::readahead)
+  // across its own read submission lanes.
 
   for (int i = 0; i < so.shards; i++) {
     inner.root = root + "/shard-" + std::to_string(i);
@@ -267,6 +273,13 @@ Status ShardedStore::Write(const kv::WriteBatch& batch) {
   // keys hash identically, so last-entry-wins is per-shard order.
   std::vector<kv::WriteBatch> subs(shards_.size());
   for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    if (e.kind == kv::WriteBatch::EntryKind::kDeleteRange) {
+      // A range spans the hash partition (covered keys live on every
+      // shard), so it is broadcast: each shard deletes its own covered
+      // keys, and in-sub-batch order still matches the user's order.
+      for (kv::WriteBatch& sub : subs) sub.DeleteRange(e.key, e.value);
+      continue;
+    }
     kv::WriteBatch& sub = subs[static_cast<size_t>(ShardOf(e.key))];
     if (e.kind == kv::WriteBatch::EntryKind::kPut) {
       sub.Put(e.key, e.value);
@@ -382,6 +395,49 @@ Status ShardedStore::Get(std::string_view key, std::string* value) {
   return shard->store->Get(key, value);
 }
 
+// The composite snapshot: one inner snapshot per shard, in shard order.
+// Each component holds its own engine's pins (SSTs, checkpoint blocks,
+// segments), released by its shared_ptr deleter — the engines' release
+// paths take their own commit-exclusion locks, so dropping the composite
+// needs no shard mutexes here.
+class ShardedStore::SnapshotImpl : public kv::Snapshot {
+ public:
+  uint64_t sequence() const override { return seq_; }
+
+  const ShardedStore* store_ = nullptr;
+  uint64_t seq_ = 0;
+  std::vector<std::shared_ptr<const kv::Snapshot>> shard_snaps_;
+};
+
+StatusOr<std::shared_ptr<const kv::Snapshot>> ShardedStore::GetSnapshot() {
+  PTSB_CHECK(!closed_);
+  auto snap = std::make_shared<SnapshotImpl>();
+  snap->store_ = this;
+  snap->shard_snaps_.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    PTSB_ASSIGN_OR_RETURN(std::shared_ptr<const kv::Snapshot> s,
+                          shard->store->GetSnapshot());
+    snap->shard_snaps_.push_back(std::move(s));
+  }
+  snap->seq_ = snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return std::shared_ptr<const kv::Snapshot>(std::move(snap));
+}
+
+Status ShardedStore::Get(const kv::ReadOptions& opts, std::string_view key,
+                         std::string* value) {
+  if (opts.snapshot == nullptr) return Get(key, value);
+  PTSB_CHECK(!closed_);
+  const auto* snap = static_cast<const SnapshotImpl*>(opts.snapshot);
+  PTSB_CHECK(snap->store_ == this);
+  const auto idx = static_cast<size_t>(ShardOf(key));
+  kv::ReadOptions inner_opts = opts;
+  inner_opts.snapshot = snap->shard_snaps_[idx].get();
+  Shard* shard = shards_[idx].get();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return shard->store->Get(inner_opts, key, value);
+}
+
 std::vector<Status> ShardedStore::MultiGet(
     std::span<const std::string_view> keys,
     std::vector<std::string>* values) {
@@ -495,6 +551,27 @@ std::unique_ptr<kv::KVStore::Iterator> ShardedStore::NewIterator() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     inners.push_back(shard->store->NewIterator());
+  }
+  return std::make_unique<MergingIterator>(std::move(inners));
+}
+
+std::unique_ptr<kv::KVStore::Iterator> ShardedStore::NewIterator(
+    const kv::ReadOptions& opts) {
+  if (opts.snapshot == nullptr) return NewIterator();
+  PTSB_CHECK(!closed_);
+  const auto* snap = static_cast<const SnapshotImpl*>(opts.snapshot);
+  PTSB_CHECK(snap->store_ == this);
+  // The merge layer itself shares no mutable state with writers; each
+  // per-shard snapshot cursor serializes its own movements against that
+  // shard's commits internally, so the merged cursor survives concurrent
+  // writes exactly as far as its components do.
+  std::vector<std::unique_ptr<kv::KVStore::Iterator>> inners;
+  inners.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); i++) {
+    kv::ReadOptions inner_opts = opts;
+    inner_opts.snapshot = snap->shard_snaps_[i].get();
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    inners.push_back(shards_[i]->store->NewIterator(inner_opts));
   }
   return std::make_unique<MergingIterator>(std::move(inners));
 }

@@ -62,8 +62,15 @@ class ShardedStore : public kv::KVStore {
       const kv::EngineOptions& options);
   ~ShardedStore() override;
 
+  // Splits the batch by shard (Put/Delete route by hash; a DeleteRange
+  // spans the partition and is broadcast to every shard) and commits the
+  // sub-batches concurrently.
   Status Write(const kv::WriteBatch& batch) override;
   Status Get(std::string_view key, std::string* value) override;
+  // Snapshot-aware point lookup: routes to the owning shard with that
+  // shard's component of the composite snapshot.
+  Status Get(const kv::ReadOptions& opts, std::string_view key,
+             std::string* value) override;
   // Fans each key's lookup out to its owning shard via the inner
   // engine's ReadAsync (shard i on queue i), with at most
   // read_queue_depth sub-lookups in flight — reads hitting distinct
@@ -74,6 +81,18 @@ class ShardedStore : public kv::KVStore {
   // Routes to the owning shard's ReadAsync.
   kv::ReadHandle ReadAsync(std::string_view key, std::string* value) override;
   std::unique_ptr<kv::KVStore::Iterator> NewIterator() override;
+  // With a snapshot: the same k-way merge over per-shard SNAPSHOT
+  // iterators (opts.readahead forwards to each shard's cursor), immune
+  // to concurrent writes. Without a snapshot, falls back to the live
+  // merged cursor.
+  std::unique_ptr<kv::KVStore::Iterator> NewIterator(
+      const kv::ReadOptions& opts) override;
+  // Composes one inner snapshot per shard. Each component is a
+  // consistent view of its shard, but the composite is NOT cross-shard
+  // atomic: a concurrent multi-shard Write can land in a later shard's
+  // component and miss an earlier one — exactly mirroring Write's
+  // per-shard atomicity contract.
+  StatusOr<std::shared_ptr<const kv::Snapshot>> GetSnapshot() override;
   Status Flush() override;
   Status SettleBackgroundWork() override;
   Status Close() override;
@@ -92,6 +111,7 @@ class ShardedStore : public kv::KVStore {
 
  private:
   class MergingIterator;
+  class SnapshotImpl;
   struct WriteBarrier;
   struct WriteTask;
   struct Shard;
@@ -114,6 +134,10 @@ class ShardedStore : public kv::KVStore {
   std::vector<std::unique_ptr<Shard>> shards_;
   // De-synchronizes concurrent Writes' shard-commit order (see Write).
   std::atomic<uint32_t> write_rotation_{0};
+  // Orders composite snapshots (kv::Snapshot::sequence is per-store
+  // monotonic; the per-shard components each carry their own engine
+  // sequence).
+  std::atomic<uint64_t> snapshot_seq_{0};
   bool closed_ = false;
 };
 

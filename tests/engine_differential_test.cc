@@ -440,6 +440,220 @@ TEST_P(BatchedDifferentialTest, BatchedTraceProducesIdenticalState) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchedDifferentialTest,
                          ::testing::Values(11u, 12u, 13u));
 
+// ---- DeleteRange differential battery ---------------------------------
+//
+// Interleaved DeleteRange / Put / Delete / snapshot trace, cross-checked
+// against the reference model in every engine config. Range deletes ride
+// inside mixed WriteBatches (the codec, write-group merge and replay
+// paths all see them between puts), snapshots taken mid-trace must keep
+// serving their frozen state through later range deletes, and the final
+// state must survive reopen.
+class DeleteRangeDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(DeleteRangeDifferentialTest, RangeDeletesMatchModelEverywhere) {
+  const std::vector<EngineConfig> configs = AllEngineConfigs();
+  std::vector<std::unique_ptr<EngineHarness>> engines;
+  for (const EngineConfig& c : configs) {
+    engines.push_back(MakeEngine(c, JournalParams(c)));
+  }
+  testing::ReferenceModel model;
+  Rng rng(GetParam() ^ 0xde1e7e);
+
+  // One frozen (snapshot, model copy) pair per engine, taken mid-trace.
+  std::vector<std::shared_ptr<const kv::Snapshot>> snaps(engines.size());
+  std::map<std::string, std::string> frozen;
+
+  for (int round = 0; round < 100; round++) {
+    const int pick = static_cast<int>(rng.Uniform(10));
+    if (pick < 5) {
+      // Mixed batch: puts, deletes AND range deletes in one Write.
+      kv::WriteBatch batch;
+      const size_t n = 1 + rng.Uniform(16);
+      for (size_t j = 0; j < n; j++) {
+        const std::string key = "k" + std::to_string(rng.Uniform(400));
+        if (rng.Bernoulli(0.8)) {
+          std::string value(rng.UniformRange(1, 300), '\0');
+          rng.FillBytes(value.data(), value.size());
+          batch.Put(key, value);
+          model.Put(key, value);
+        } else {
+          batch.Delete(key);
+          model.Delete(key);
+        }
+      }
+      if (rng.Bernoulli(0.5)) {
+        // Lexicographic bounds ("k10" < "k5"): any begin < end pair is a
+        // valid range; the model erases with identical string compares.
+        const std::string a = "k" + std::to_string(rng.Uniform(400));
+        const std::string b = "k" + std::to_string(rng.Uniform(400));
+        const std::string& begin = a < b ? a : b;
+        const std::string& end = a < b ? b : a;
+        batch.DeleteRange(begin, end);
+        model.DeleteRange(begin, end);
+      }
+      for (auto& h : engines) {
+        ASSERT_TRUE(h->store->Write(batch).ok()) << "round " << round;
+      }
+    } else if (pick < 7) {
+      // A bare range delete as its own batch (its own log record).
+      const std::string a = "k" + std::to_string(rng.Uniform(400));
+      const std::string b = "k" + std::to_string(rng.Uniform(400));
+      const std::string& begin = a < b ? a : b;
+      const std::string& end = a < b ? b : a;
+      kv::WriteBatch batch;
+      batch.DeleteRange(begin, end);
+      model.DeleteRange(begin, end);
+      for (auto& h : engines) {
+        ASSERT_TRUE(h->store->Write(batch).ok()) << "round " << round;
+      }
+    } else if (pick < 9) {
+      const std::string key = "k" + std::to_string(rng.Uniform(400));
+      const auto expected = model.Get(key);
+      for (size_t e = 0; e < engines.size(); e++) {
+        std::string got;
+        const Status s = engines[e]->store->Get(key, &got);
+        ASSERT_EQ(s.ok(), expected.has_value())
+            << configs[e].label << ": " << key << " at round " << round;
+        if (expected.has_value()) {
+          ASSERT_EQ(got, *expected);
+        }
+      }
+    } else if (round == 50 || !snaps[0]) {
+      // Freeze the state once, roughly mid-trace: later range deletes
+      // must not leak into these snapshots.
+      frozen = model.map();
+      for (size_t e = 0; e < engines.size(); e++) {
+        auto got = engines[e]->store->GetSnapshot();
+        ASSERT_TRUE(got.ok()) << configs[e].label;
+        snaps[e] = *std::move(got);
+      }
+    }
+  }
+
+  // Live state: full sweep against the model, per engine.
+  for (size_t e = 0; e < engines.size(); e++) {
+    auto it = engines[e]->store->NewIterator();
+    it->SeekToFirst();
+    for (auto im = model.map().begin(); im != model.map().end(); ++im) {
+      ASSERT_TRUE(it->Valid()) << configs[e].label << " lost " << im->first;
+      EXPECT_EQ(it->key(), im->first) << configs[e].label;
+      EXPECT_EQ(it->value(), im->second) << configs[e].label;
+      it->Next();
+    }
+    EXPECT_FALSE(it->Valid()) << configs[e].label << " has phantom keys";
+    ASSERT_TRUE(it->status().ok()) << configs[e].label;
+  }
+
+  // Snapshots still serve the frozen state despite every DeleteRange
+  // (and flush/compaction/GC) that ran since.
+  for (size_t e = 0; e < engines.size(); e++) {
+    ASSERT_TRUE(snaps[e] != nullptr) << configs[e].label;
+    kv::ReadOptions opts;
+    opts.snapshot = snaps[e].get();
+    auto it = engines[e]->store->NewIterator(opts);
+    it->SeekToFirst();
+    for (auto im = frozen.begin(); im != frozen.end(); ++im) {
+      ASSERT_TRUE(it->Valid())
+          << configs[e].label << " snapshot lost " << im->first;
+      EXPECT_EQ(it->key(), im->first) << configs[e].label;
+      EXPECT_EQ(it->value(), im->second) << configs[e].label;
+      it->Next();
+    }
+    EXPECT_FALSE(it->Valid())
+        << configs[e].label << " snapshot leaked later state";
+    ASSERT_TRUE(it->status().ok()) << configs[e].label;
+    it.reset();
+    snaps[e].reset();
+  }
+
+  // Range deletes survive reopen (checkpointed or replayed from the log).
+  for (size_t e = 0; e < engines.size(); e++) {
+    ASSERT_TRUE(engines[e]->store->Close().ok()) << configs[e].label;
+    Reopen(engines[e].get(), configs[e], JournalParams(configs[e]));
+    testing::VerifyAll(engines[e]->store.get(), model);
+    auto it = engines[e]->store->NewIterator();
+    size_t n = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) n++;
+    EXPECT_EQ(n, model.size())
+        << configs[e].label << " resurrected range-deleted keys on reopen";
+    ASSERT_TRUE(engines[e]->store->Close().ok()) << configs[e].label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeleteRangeDifferentialTest,
+                         ::testing::Values(21u, 22u, 23u));
+
+// DeleteRange edge cases: empty and inverted ranges normalize to no-ops
+// at batch build time (uniformly, so every engine and codec agrees by
+// construction), and a full-keyspace range empties every engine.
+TEST(DeleteRangeEdgeCaseTest, EmptyAndInvertedRangesAreBuildTimeNoOps) {
+  kv::WriteBatch batch;
+  batch.DeleteRange("b", "b");  // empty
+  EXPECT_EQ(batch.Count(), 0u);
+  batch.DeleteRange("z", "a");  // inverted
+  EXPECT_EQ(batch.Count(), 0u);
+  EXPECT_TRUE(batch.empty());
+
+  // Writing the normalized batch is the empty-batch no-op everywhere.
+  for (const EngineConfig& config : AllEngineConfigs()) {
+    auto h = MakeEngine(config, DurableParams(config));
+    ASSERT_TRUE(h->store->Put("b", "survivor").ok()) << config.label;
+    const auto before = h->store->GetStats();
+    ASSERT_TRUE(h->store->Write(batch).ok()) << config.label;
+    const auto after = h->store->GetStats();
+    EXPECT_EQ(after.user_batches, before.user_batches) << config.label;
+    EXPECT_EQ(after.wal_bytes_written, before.wal_bytes_written)
+        << config.label;
+    std::string v;
+    ASSERT_TRUE(h->store->Get("b", &v).ok())
+        << config.label << " empty/inverted range deleted a key";
+    EXPECT_EQ(v, "survivor") << config.label;
+    ASSERT_TRUE(h->store->Close().ok()) << config.label;
+  }
+}
+
+TEST(DeleteRangeEdgeCaseTest, FullKeyspaceRangeEmptiesEveryEngine) {
+  for (const EngineConfig& config : AllEngineConfigs()) {
+    const std::string& label = config.label;
+    auto h = MakeEngine(config, DurableParams(config));
+    Rng rng(0xf0ll);
+    for (int i = 0; i < 300; i++) {
+      ASSERT_TRUE(h->store
+                      ->Put("k" + std::to_string(rng.Uniform(120)),
+                            "v" + std::to_string(i))
+                      .ok())
+          << label;
+    }
+    ASSERT_TRUE(h->store->Flush().ok()) << label;
+    // [ "", 0xff ) covers every key the trace can produce.
+    kv::WriteBatch batch;
+    batch.DeleteRange("", "\xff");
+    ASSERT_TRUE(h->store->Write(batch).ok()) << label;
+    auto it = h->store->NewIterator();
+    it->SeekToFirst();
+    EXPECT_FALSE(it->Valid()) << label << " survived a full-keyspace delete";
+    ASSERT_TRUE(it->status().ok()) << label;
+    it.reset();
+    std::string v;
+    EXPECT_TRUE(h->store->Get("k1", &v).IsNotFound()) << label;
+    // Emptiness survives a crash + reopen (the range record replays).
+    h->fs.SimulateCrash();
+    h->store.release();  // NOLINT: intentional leak of a "crashed" instance
+    Reopen(h.get(), config, DurableParams(config));
+    auto it2 = h->store->NewIterator();
+    it2->SeekToFirst();
+    EXPECT_FALSE(it2->Valid()) << label << " resurrected keys on reopen";
+    ASSERT_TRUE(it2->status().ok()) << label;
+    it2.reset();
+    // New writes land normally after the wipe.
+    ASSERT_TRUE(h->store->Put("fresh", "value").ok()) << label;
+    ASSERT_TRUE(h->store->Get("fresh", &v).ok()) << label;
+    EXPECT_EQ(v, "value") << label;
+    ASSERT_TRUE(h->store->Close().ok()) << label;
+  }
+}
+
 // MultiGet is Get, batched: for every registered engine config, the
 // statuses and values must match per-key Gets exactly — present keys,
 // missing keys and deleted keys alike — and the result order must follow

@@ -1,0 +1,350 @@
+// Fault-injection battery: crash at EVERY Nth device write.
+//
+// A counting fs::FaultPolicy first measures how many device writes W a
+// deterministic mixed workload (batched puts, deletes, range deletes,
+// snapshot scans mid-stream) issues, then replays the workload W times,
+// failing every write from the Nth on (a dying drive stays dead), crashing
+// the filesystem at the first surfaced error and reopening. Recovery must
+// be prefix-consistent at every single crash point:
+//
+//  - Engines that log a batch as one record (lsm WAL, btree journal, alog
+//    segment, each sync-per-record) must recover to the state after K
+//    fully-acknowledged batches, or K+1 if the faulted batch's record
+//    reached the device before the fault surfaced elsewhere in the same
+//    Write. Nothing in between: a torn record is dropped whole.
+//
+//  - The wrappers (sharded splits a batch across shard commits, cached
+//    interposes its own durability log over an inner engine) promise
+//    per-key prefix consistency: every key independently reads from state
+//    K or state K+1, never from an older state and never a value no
+//    prefix ever held.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "block/memory_device.h"
+#include "fs/filesystem.h"
+#include "kv/kv.h"
+#include "kv/kvstore.h"
+#include "kv/registry.h"
+#include "kv/write_batch.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ptsb {
+namespace {
+
+// Counts device writes; from `fail_at` (1-based) on, every write fails
+// (sticky — the injected drive does not come back until cleared).
+class CountingFaultPolicy : public fs::FaultPolicy {
+ public:
+  Status BeforeDeviceWrite(const std::string&) override {
+    count_++;
+    if (fail_at_ > 0 && count_ >= fail_at_) {
+      return Status::IoError("injected device-write fault");
+    }
+    return Status::OK();
+  }
+  void Arm(uint64_t fail_at) {
+    count_ = 0;
+    fail_at_ = fail_at;
+  }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t fail_at_ = 0;  // 0 = count only
+};
+
+struct EngineConfig {
+  std::string label;
+  std::string engine;
+  std::map<std::string, std::string> params;
+  bool per_key_consistency;  // wrappers: per-key (not whole-batch) prefix
+};
+
+// Tiny structural sizes so flush/compaction/checkpoint/GC run inside the
+// short workload, plus sync-per-record durability: a batch whose Write
+// returned OK is on the device and MUST survive the crash.
+std::vector<EngineConfig> Configs() {
+  kv::RegisterBuiltinEngines();
+  std::vector<EngineConfig> configs;
+  configs.push_back({"lsm",
+                     "lsm",
+                     {{"memtable_bytes", std::to_string(8 << 10)},
+                      {"l1_target_bytes", std::to_string(32 << 10)},
+                      {"sst_target_bytes", std::to_string(16 << 10)},
+                      {"block_bytes", "1024"},
+                      {"wal_sync_every_bytes", "1"}},
+                     false});
+  configs.push_back({"btree",
+                     "btree",
+                     {{"leaf_max_bytes", std::to_string(2 << 10)},
+                      {"internal_max_bytes", "512"},
+                      {"cache_bytes", std::to_string(16 << 10)},
+                      {"checkpoint_every_bytes", std::to_string(32 << 10)},
+                      {"journal_enabled", "1"},
+                      {"journal_sync_every_bytes", "1"}},
+                     false});
+  configs.push_back({"alog",
+                     "alog",
+                     {{"segment_bytes", std::to_string(8 << 10)},
+                      {"gc_trigger", "0.4"},
+                      {"sync_every_bytes", "1"}},
+                     false});
+  configs.push_back({"sharded/alog",
+                     "sharded",
+                     {{"shards", "3"},
+                      {"inner_engine", "alog"},
+                      {"segment_bytes", std::to_string(8 << 10)},
+                      {"gc_trigger", "0.4"},
+                      {"sync_every_bytes", "1"}},
+                     true});
+  configs.push_back({"cached/lsm",
+                     "cached",
+                     {{"inner_engine", "lsm"},
+                      {"memtable_bytes", std::to_string(8 << 10)},
+                      {"l1_target_bytes", std::to_string(32 << 10)},
+                      {"sst_target_bytes", std::to_string(16 << 10)},
+                      {"block_bytes", "1024"},
+                      {"write_buffer_bytes", std::to_string(4 << 10)},
+                      {"read_cache_bytes", std::to_string(16 << 10)},
+                      {"log_sync_every_bytes", "1"}},
+                     true});
+  return configs;
+}
+
+// The deterministic workload: ~24 batches of puts/deletes with a range
+// delete every few batches. Built once; the same sequence drives the
+// count pass, every crash pass, and the reference models.
+std::vector<kv::WriteBatch> BuildWorkload() {
+  std::vector<kv::WriteBatch> batches;
+  Rng rng(0xfa0170);
+  for (int b = 0; b < 24; b++) {
+    kv::WriteBatch batch;
+    const size_t n = 2 + rng.Uniform(6);
+    for (size_t j = 0; j < n; j++) {
+      const uint64_t id = rng.Uniform(60);
+      if (rng.Bernoulli(0.8)) {
+        batch.Put(kv::MakeKey(id), kv::MakeValue(id + b * 911, 48));
+      } else {
+        batch.Delete(kv::MakeKey(id));
+      }
+    }
+    if (b % 5 == 4) {
+      const uint64_t lo = rng.Uniform(50);
+      batch.DeleteRange(kv::MakeKey(lo), kv::MakeKey(lo + 8));
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+using Model = std::map<std::string, std::string>;
+
+void ApplyToModel(Model* model, const kv::WriteBatch& batch) {
+  for (const kv::WriteBatch::Entry& e : batch.entries()) {
+    switch (e.kind) {
+      case kv::WriteBatch::EntryKind::kPut:
+        (*model)[e.key] = e.value;
+        break;
+      case kv::WriteBatch::EntryKind::kDelete:
+        model->erase(e.key);
+        break;
+      case kv::WriteBatch::EntryKind::kDeleteRange: {
+        auto it = model->lower_bound(e.key);
+        while (it != model->end() && it->first < e.value) {
+          it = model->erase(it);
+        }
+        break;
+      }
+    }
+  }
+}
+
+// Model state after each prefix: prefix_models[k] = state after k batches.
+std::vector<Model> PrefixModels(const std::vector<kv::WriteBatch>& batches) {
+  std::vector<Model> models;
+  models.emplace_back();
+  for (const kv::WriteBatch& batch : batches) {
+    Model next = models.back();
+    ApplyToModel(&next, batch);
+    models.push_back(std::move(next));
+  }
+  return models;
+}
+
+struct Harness {
+  block::MemoryBlockDevice dev{4096, 1 << 14};
+  fs::SimpleFs fs{&dev, {}};
+  std::unique_ptr<kv::KVStore> store;
+};
+
+std::unique_ptr<Harness> OpenStore(const EngineConfig& config,
+                                   Harness* reuse = nullptr) {
+  std::unique_ptr<Harness> h;
+  if (reuse == nullptr) h = std::make_unique<Harness>();
+  Harness* target = reuse ? reuse : h.get();
+  kv::EngineOptions options;
+  options.engine = config.engine;
+  options.fs = &target->fs;
+  options.params = config.params;
+  auto opened = kv::OpenStore(options);
+  EXPECT_TRUE(opened.ok()) << config.label << ": "
+                           << opened.status().ToString();
+  target->store = *std::move(opened);
+  return h;
+}
+
+// Runs the workload until the first Write error; returns the number of
+// fully-acknowledged batches. A snapshot scan runs mid-stream so the
+// snapshot read path is live while the device degrades.
+size_t RunWorkload(kv::KVStore* store,
+                   const std::vector<kv::WriteBatch>& batches) {
+  size_t ok_batches = 0;
+  std::shared_ptr<const kv::Snapshot> snap;
+  for (size_t b = 0; b < batches.size(); b++) {
+    if (!store->Write(batches[b]).ok()) break;
+    ok_batches++;
+    if (b == batches.size() / 2) {
+      // Mid-workload snapshot scan: must not disturb recovery state.
+      auto got = store->GetSnapshot();
+      if (got.ok()) {
+        snap = *std::move(got);
+        kv::ReadOptions opts;
+        opts.snapshot = snap.get();
+        auto it = store->NewIterator(opts);
+        for (it->SeekToFirst(); it->Valid(); it->Next()) {
+        }
+      }
+    }
+  }
+  snap.reset();
+  return ok_batches;
+}
+
+// Whole-batch engines: the recovered state IS one of the two candidate
+// prefixes.
+void ExpectWholeBatchConsistent(const std::string& label, uint64_t fail_at,
+                                kv::KVStore* store, const Model& at_k,
+                                const Model& at_k1) {
+  Model got;
+  auto it = store->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    got[std::string(it->key())] = std::string(it->value());
+  }
+  ASSERT_TRUE(it->status().ok()) << label << " N=" << fail_at;
+  std::string diff;
+  for (const auto& [key, value] : at_k) {
+    auto it2 = got.find(key);
+    if (it2 == got.end()) {
+      diff += " missing:" + key;
+    } else if (it2->second != value) {
+      diff += " differs:" + key;
+    }
+  }
+  for (const auto& [key, value] : got) {
+    if (at_k.count(key) == 0) diff += " phantom:" + key;
+  }
+  EXPECT_TRUE(got == at_k || got == at_k1)
+      << label << " crash at device write " << fail_at
+      << ": recovered state matches neither prefix K (" << at_k.size()
+      << " keys) nor K+1 (" << at_k1.size() << " keys); got " << got.size()
+      << " keys; vs K:" << diff;
+}
+
+// Wrapper engines: every key independently reads from prefix K or K+1.
+void ExpectPerKeyConsistent(const std::string& label, uint64_t fail_at,
+                            kv::KVStore* store, const Model& at_k,
+                            const Model& at_k1) {
+  const auto expected = [&](const std::string& key) {
+    std::vector<std::optional<std::string>> allowed;
+    const auto k = at_k.find(key);
+    allowed.push_back(k == at_k.end() ? std::nullopt
+                                      : std::make_optional(k->second));
+    const auto k1 = at_k1.find(key);
+    allowed.push_back(k1 == at_k1.end() ? std::nullopt
+                                        : std::make_optional(k1->second));
+    return allowed;
+  };
+  // Every key either model mentions, probed point-wise.
+  Model all = at_k;
+  all.insert(at_k1.begin(), at_k1.end());
+  for (const auto& [key, unused] : all) {
+    std::string value;
+    const Status s = store->Get(key, &value);
+    ASSERT_TRUE(s.ok() || s.IsNotFound()) << label << " N=" << fail_at;
+    const std::optional<std::string> got =
+        s.ok() ? std::make_optional(value) : std::nullopt;
+    const auto allowed = expected(key);
+    EXPECT_TRUE(got == allowed[0] || got == allowed[1])
+        << label << " crash at device write " << fail_at << ": key " << key
+        << " reads a value no adjacent prefix held";
+  }
+  // No phantom keys outside both models.
+  auto it = store->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_TRUE(all.count(std::string(it->key())) > 0)
+        << label << " N=" << fail_at << ": phantom key " << it->key();
+  }
+  ASSERT_TRUE(it->status().ok()) << label << " N=" << fail_at;
+}
+
+TEST(FaultInjectionBattery, EveryCrashPointRecoversAPrefix) {
+  const std::vector<kv::WriteBatch> batches = BuildWorkload();
+  const std::vector<Model> prefixes = PrefixModels(batches);
+
+  for (const EngineConfig& config : Configs()) {
+    // Pass 0: count the device writes the full workload issues.
+    CountingFaultPolicy policy;
+    uint64_t total_writes = 0;
+    {
+      auto h = OpenStore(config);
+      ASSERT_NE(h->store, nullptr) << config.label;
+      h->fs.SetFaultPolicy(&policy);
+      policy.Arm(0);
+      ASSERT_EQ(RunWorkload(h->store.get(), batches), batches.size())
+          << config.label << ": workload must succeed without faults";
+      h->fs.SetFaultPolicy(nullptr);
+      total_writes = policy.count();
+      ASSERT_TRUE(h->store->Close().ok()) << config.label;
+    }
+    ASSERT_GT(total_writes, batches.size())
+        << config.label << ": sync-per-record must write per batch";
+
+    // Crash at every Nth device write.
+    for (uint64_t n = 1; n <= total_writes; n++) {
+      auto h = OpenStore(config);
+      ASSERT_NE(h->store, nullptr) << config.label;
+      h->fs.SetFaultPolicy(&policy);
+      policy.Arm(n);
+      const size_t k = RunWorkload(h->store.get(), batches);
+      // Crash: drop unsynced state, leak the store so destructors cannot
+      // write post-crash, clear the injection for recovery.
+      h->fs.SimulateCrash();
+      h->store.release();  // NOLINT: intentional leak of a crashed store
+      h->fs.SetFaultPolicy(nullptr);
+      OpenStore(config, h.get());
+      ASSERT_NE(h->store, nullptr) << config.label << " N=" << n;
+      const Model& at_k = prefixes[k];
+      const Model& at_k1 = prefixes[std::min(k + 1, batches.size())];
+      if (config.per_key_consistency) {
+        ExpectPerKeyConsistent(config.label, n, h->store.get(), at_k, at_k1);
+      } else {
+        ExpectWholeBatchConsistent(config.label, n, h->store.get(), at_k,
+                                   at_k1);
+      }
+      const Status closed = h->store->Close();
+      ASSERT_TRUE(closed.ok())
+          << config.label << " N=" << n << ": " << closed.ToString();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptsb

@@ -31,7 +31,9 @@ TEST(MemtableTest, AddAndGet) {
   EXPECT_EQ(mt.entries(), 2u);
 }
 
-TEST(MemtableTest, UpdateKeepsNewestOnly) {
+TEST(MemtableTest, UpdateKeepsEveryVersion) {
+  // Multi-version: an update inserts a new version instead of replacing
+  // in place, so a snapshot bound can still reach the old one.
   Memtable mt;
   mt.Add("k", 1, EntryType::kPut, "v1");
   mt.Add("k", 2, EntryType::kPut, "v2");
@@ -39,7 +41,27 @@ TEST(MemtableTest, UpdateKeepsNewestOnly) {
   ASSERT_TRUE(r.found);
   EXPECT_EQ(r.value, "v2");
   EXPECT_EQ(r.seq, 2u);
-  EXPECT_EQ(mt.entries(), 1u);
+  EXPECT_EQ(mt.entries(), 2u);
+}
+
+TEST(MemtableTest, SequenceBoundedGet) {
+  Memtable mt;
+  mt.Add("k", 1, EntryType::kPut, "v1");
+  mt.Add("k", 3, EntryType::kDelete, "");
+  mt.Add("k", 5, EntryType::kPut, "v5");
+  // Unbounded: newest version.
+  EXPECT_EQ(mt.Get("k").value, "v5");
+  // At the tombstone.
+  auto r3 = mt.Get("k", 3);
+  ASSERT_TRUE(r3.found);
+  EXPECT_TRUE(r3.deleted);
+  // Before the tombstone.
+  auto r2 = mt.Get("k", 2);
+  ASSERT_TRUE(r2.found);
+  EXPECT_EQ(r2.value, "v1");
+  EXPECT_EQ(r2.seq, 1u);
+  // Before the key existed.
+  EXPECT_FALSE(mt.Get("k", 0).found);
 }
 
 TEST(MemtableTest, TombstoneVisible) {
@@ -51,22 +73,38 @@ TEST(MemtableTest, TombstoneVisible) {
   EXPECT_TRUE(r.deleted);
 }
 
-TEST(MemtableTest, IterationIsSorted) {
+TEST(MemtableTest, IterationIsInternalOrder) {
+  // Every version is iterated, in internal order: user key ascending,
+  // sequence descending within one key.
   Memtable mt;
   Rng rng(1);
   std::set<std::string> keys;
-  for (int i = 0; i < 1000; i++) {
+  const int kN = 1000;
+  for (int i = 0; i < kN; i++) {
     const std::string k = "k" + std::to_string(rng.Uniform(10000));
     keys.insert(k);
     mt.Add(k, i + 1, EntryType::kPut, "v");
   }
   Memtable::Iterator it(&mt);
-  auto expect = keys.begin();
-  for (it.SeekToFirst(); it.Valid(); it.Next(), ++expect) {
-    ASSERT_NE(expect, keys.end());
-    EXPECT_EQ(it.key(), *expect);
+  std::set<std::string> seen;
+  int count = 0;
+  std::string prev_key;
+  SequenceNumber prev_seq = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    if (count > 0) {
+      if (it.key() == prev_key) {
+        EXPECT_LT(it.seq(), prev_seq);  // older versions follow newer
+      } else {
+        EXPECT_GT(it.key(), prev_key);
+      }
+    }
+    prev_key = it.key();
+    prev_seq = it.seq();
+    seen.insert(prev_key);
+    count++;
   }
-  EXPECT_EQ(expect, keys.end());
+  EXPECT_EQ(count, kN);    // nothing collapsed
+  EXPECT_EQ(seen, keys);   // exactly the user keys written
 }
 
 TEST(MemtableTest, SeekFindsLowerBound) {
@@ -87,9 +125,10 @@ TEST(MemtableTest, BytesTracked) {
   mt.Add("key", 1, EntryType::kPut, std::string(100, 'v'));
   const uint64_t b1 = mt.ApproximateBytes();
   EXPECT_GE(b1, 103u);
-  // Updating with a smaller value shrinks the accounted bytes.
+  // Updating inserts a new version: accounted bytes grow (the old version
+  // stays reachable for snapshot-bounded reads until the next flush).
   mt.Add("key", 2, EntryType::kPut, "v");
-  EXPECT_LT(mt.ApproximateBytes(), b1);
+  EXPECT_GT(mt.ApproximateBytes(), b1);
 }
 
 TEST(BloomTest, NoFalseNegatives) {

@@ -473,5 +473,65 @@ INSTANTIATE_TEST_SUITE_P(Engines, IteratorEpochDeathTest,
                          ::testing::Values("lsm", "btree", "alog"));
 #endif  // NDEBUG
 
+// The snapshot counterpart of the epoch check: an iterator opened over a
+// snapshot reads the pinned state, not the live structures, so writes —
+// including range deletes that erase the very keys under the cursor —
+// must NOT invalidate it. (The live NewIterator() still dies, above.)
+using SnapshotIteratorSurvivalTest = ::testing::TestWithParam<const char*>;
+
+TEST_P(SnapshotIteratorSurvivalTest, SnapshotIteratorSurvivesWrites) {
+  kv::RegisterBuiltinEngines();
+  Harness h;
+  kv::EngineOptions options;
+  options.engine = GetParam();
+  options.fs = &h.fs;
+  auto store = *kv::OpenStore(options);
+  ASSERT_TRUE(store->Put("a", "1").ok());
+  ASSERT_TRUE(store->Put("b", "2").ok());
+  ASSERT_TRUE(store->Put("c", "3").ok());
+
+  auto got = store->GetSnapshot();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  std::shared_ptr<const kv::Snapshot> snap = *std::move(got);
+  kv::ReadOptions opts;
+  opts.snapshot = snap.get();
+  auto it = store->NewIterator(opts);
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "a");
+  EXPECT_EQ(it->value(), "1");
+
+  // Mutate hard mid-iteration: overwrite, range-delete the whole
+  // keyspace, and flush so the live structures really move.
+  ASSERT_TRUE(store->Put("a", "changed").ok());
+  kv::WriteBatch wipe;
+  wipe.DeleteRange("", "\xff");
+  ASSERT_TRUE(store->Write(wipe).ok());
+  ASSERT_TRUE(store->Flush().ok());
+
+  it->Next();
+  ASSERT_TRUE(it->Valid()) << "snapshot iterator died under a write";
+  EXPECT_EQ(it->key(), "b");
+  EXPECT_EQ(it->value(), "2");
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "c");
+  it->Next();
+  EXPECT_FALSE(it->Valid());
+  ASSERT_TRUE(it->status().ok()) << it->status().ToString();
+  it.reset();
+  snap.reset();
+
+  // Meanwhile the live view took every write.
+  auto live = store->NewIterator();
+  live->SeekToFirst();
+  EXPECT_FALSE(live->Valid()) << "wipe did not reach the live state";
+  ASSERT_TRUE(live->status().ok());
+  ASSERT_TRUE(store->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, SnapshotIteratorSurvivalTest,
+                         ::testing::Values("lsm", "btree", "alog"));
+
 }  // namespace
 }  // namespace ptsb

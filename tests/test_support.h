@@ -39,6 +39,12 @@ class ReferenceModel {
     map_[key] = value;
   }
   void Delete(const std::string& key) { map_.erase(key); }
+  // Erases [begin, end); mirrors WriteBatch::DeleteRange's build-time
+  // normalization of begin >= end to a no-op.
+  void DeleteRange(const std::string& begin, const std::string& end) {
+    if (begin >= end) return;
+    map_.erase(map_.lower_bound(begin), map_.lower_bound(end));
+  }
   std::optional<std::string> Get(const std::string& key) const {
     auto it = map_.find(key);
     if (it == map_.end()) return std::nullopt;
