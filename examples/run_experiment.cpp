@@ -62,6 +62,14 @@ namespace {
       "                              lanes (1 = none; implies snapshots)\n"
       "  --background-io=0|1         run compaction/checkpoint/GC on a\n"
       "                              background queue off the commit path\n"
+      "  --bg-slice-us=N             QoS: preempt background backend work\n"
+      "                              every N us, so a foreground command\n"
+      "                              waits at most one quantum (0 = off)\n"
+      "  --bg-rate-mbps=R            QoS: token-bucket admission limit on\n"
+      "                              background write bytes (0 = off)\n"
+      "  --class-weights=A:B:C       QoS: fgread:fgwrite:bg service\n"
+      "                              weights at preemption points\n"
+      "                              (empty = strict fg priority)\n"
       "  --cache-bytes=N             read-cache capacity for\n"
       "                              --engine=cached (0 = engine default)\n"
       "  --cache-policy=lru|2q       read-cache policy for --engine=cached\n"
@@ -159,6 +167,16 @@ int main(int argc, char** argv) {
       if (config.scan_readahead < 1) Usage();
     } else if (a.starts_with("--background-io=")) {
       config.background_io = ArgF(argv[i], "--background-io=") != 0;
+    } else if (a.starts_with("--bg-slice-us=")) {
+      config.background_slice_us =
+          static_cast<int64_t>(ArgF(argv[i], "--bg-slice-us="));
+      if (config.background_slice_us < 0) Usage();
+    } else if (a.starts_with("--bg-rate-mbps=")) {
+      config.background_rate_mbps = ArgF(argv[i], "--bg-rate-mbps=");
+      if (config.background_rate_mbps < 0) Usage();
+    } else if (a.starts_with("--class-weights=")) {
+      config.class_weights = a.substr(std::strlen("--class-weights="));
+      if (config.class_weights.empty()) Usage();
     } else if (a.starts_with("--cache-bytes=")) {
       config.cache_bytes =
           static_cast<uint64_t>(ArgF(argv[i], "--cache-bytes="));
@@ -266,6 +284,19 @@ int main(int argc, char** argv) {
                 "(simulated)\n",
                 static_cast<double>(fg) / 1e9,
                 static_cast<double>(bg) / 1e9);
+  }
+  if (config.background_slice_us > 0 || config.background_rate_mbps > 0) {
+    std::printf("qos: preemptions=%llu bg_throttled=%.3fs wait(",
+                static_cast<unsigned long long>(result->device_preemptions),
+                static_cast<double>(result->device_bg_throttled_ns) / 1e9);
+    for (int k = 0; k < sim::kNumIoClasses; k++) {
+      std::printf("%s%s=%.3fs", k > 0 ? " " : "",
+                  sim::IoClassName(static_cast<sim::IoClass>(k)),
+                  static_cast<double>(
+                      result->device_class_wait_ns[static_cast<size_t>(k)]) /
+                      1e9);
+    }
+    std::printf(")\n");
   }
   const std::string csv_path =
       core::WriteResultsFile("run_experiment.csv", result->series.ToCsv());

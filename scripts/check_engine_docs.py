@@ -95,7 +95,7 @@ def ssd_config_fields() -> set:
     and geometry knobs; pointers, strings and nested structs are not
     tunables the doc tables need to list)."""
     return set(re.findall(
-        r"^\s*(?:uint64_t|int64_t|double|int|bool)\s+(\w+)\s*=",
+        r"^\s*(?:uint64_t|int64_t|double|int|bool|std::array<[^>]*>)\s+(\w+)\s*=",
         SSD_CONFIG.read_text(), re.MULTILINE))
 
 

@@ -66,10 +66,34 @@ struct Stack {
   std::unique_ptr<kv::KVStore> store;
 };
 
+// Parses the --class-weights spec "fgread:fgwrite:bg" (three
+// non-negative integers) into the SsdConfig weight array.
+Status ParseClassWeights(const std::string& spec,
+                         std::array<int, sim::kNumIoClasses>* out) {
+  int parsed[sim::kNumIoClasses] = {0, 0, 0};
+  char trailing = 0;
+  if (std::sscanf(spec.c_str(), "%d:%d:%d%c", &parsed[0], &parsed[1],
+                  &parsed[2], &trailing) != 3 ||
+      parsed[0] < 0 || parsed[1] < 0 || parsed[2] < 0) {
+    return Status::InvalidArgument("class_weights must be \"fgr:fgw:bg\" (got " +
+                                   spec + ")");
+  }
+  for (int c = 0; c < sim::kNumIoClasses; c++) {
+    (*out)[static_cast<size_t>(c)] = parsed[c];
+  }
+  return Status::OK();
+}
+
 Status BuildStack(const ExperimentConfig& config, Stack* stack) {
   auto ssd_config = ssd::MakeProfile(config.profile, config.device_bytes,
                                      config.scale);
   ssd_config.channels = std::max(1, config.channels);
+  ssd_config.background_slice_ns = config.background_slice_us * 1000;
+  ssd_config.background_rate_mbps = config.background_rate_mbps;
+  if (!config.class_weights.empty()) {
+    PTSB_RETURN_IF_ERROR(
+        ParseClassWeights(config.class_weights, &ssd_config.class_weights));
+  }
   stack->ssd = std::make_unique<ssd::SsdDevice>(ssd_config, &stack->clock);
   stack->iostat = std::make_unique<block::IoStatCollector>(stack->ssd.get());
   block::BlockDevice* top = stack->iostat.get();
@@ -789,6 +813,12 @@ StatusOr<ExperimentResult> RunExperiment(
         ch.class_busy_ns[static_cast<int>(sim::IoClass::kForegroundWrite)];
     result.device_background_busy_ns +=
         ch.class_busy_ns[static_cast<int>(sim::IoClass::kBackground)];
+    result.device_preemptions += ch.preemptions;
+    result.device_bg_throttled_ns += ch.bg_throttled_ns;
+    for (int c = 0; c < sim::kNumIoClasses; c++) {
+      result.device_class_wait_ns[static_cast<size_t>(c)] +=
+          ch.class_wait_ns[c];
+    }
   }
   result.op_p50_us = run_latency.Percentile(50) / 1000.0;
   result.op_p99_us = run_latency.Percentile(99) / 1000.0;

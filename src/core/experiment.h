@@ -118,6 +118,21 @@ struct ExperimentConfig {
   // tail latency at the points where the user genuinely waits (write
   // stalls, Flush, SettleBackgroundWork).
   bool background_io = false;
+  // Inter-class QoS scheduling in the simulated SSD (threads through to
+  // SsdConfig; see docs/SIMULATION.md "Inter-class scheduling"). All off
+  // (0 / empty) by default, which reproduces FIFO per-channel
+  // scheduling exactly.
+  // Preemption quantum for background backend work, in MICROSECONDS
+  // (--bg-slice-us): a foreground command waits at most one quantum
+  // behind a background span. 0 = background runs to completion.
+  int64_t background_slice_us = 0;
+  // Token-bucket admission limit for background host-write bytes, MB/s
+  // (--bg-rate-mbps). 0 = unlimited.
+  double background_rate_mbps = 0;
+  // Service weights "fgread:fgwrite:bg" (--class-weights), e.g. "4:4:1"
+  // lets background interleave 1/4 of a foreground command's cost at
+  // each preemption point. Empty = strict foreground priority.
+  std::string class_weights;
   // Host-buffering knobs for the "cached" wrapper engine (its
   // read_cache_bytes / read_cache_policy / write_buffer_bytes params,
   // unless engine_params overrides them). 0 / empty leaves the engine's
@@ -197,6 +212,14 @@ struct ExperimentResult {
   // device-time breakdown (nanoseconds of channel busy time).
   int64_t device_foreground_busy_ns = 0;
   int64_t device_background_busy_ns = 0;
+
+  // QoS scheduler counters summed across channels (all zero unless a
+  // QoS knob is set): foreground preemptions of background spans, time
+  // background writes spent in the admission throttle, and per-class
+  // scheduling delay imposed by the inter-class scheduler.
+  uint64_t device_preemptions = 0;
+  int64_t device_bg_throttled_ns = 0;
+  std::array<int64_t, sim::kNumIoClasses> device_class_wait_ns{};
 
   // Operation-latency percentiles over the whole update phase
   // (microseconds of virtual time, per logical entry): background

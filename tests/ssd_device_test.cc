@@ -174,6 +174,53 @@ TEST(SsdDeviceTest, FlushAdvancesClock) {
   EXPECT_GT(clock.NowNanos(), t0);
 }
 
+TEST(SsdDeviceTest, ClassBusyIsBacklogAdjustedPerClass) {
+  // Under read/write contention on one channel, class_busy_ns must be a
+  // true utilization: the unserved backend tail is deducted from the
+  // backend (write) class, while read occupancy — always waited out —
+  // stays fully elapsed. Exact-arithmetic timing: 10 us/page programs
+  // and reads, 1 us/page bus, no ack/read latency, no interference.
+  sim::SimClock clock;
+  SsdConfig cfg = TestConfig(64);
+  cfg.timing.cache_bytes = 8 << 20;
+  cfg.timing.program_bw = 409.6e6;
+  cfg.timing.host_write_bw = 4.096e9;
+  cfg.timing.write_ack_latency_ns = 0;
+  cfg.timing.read_latency_ns = 0;
+  cfg.timing.read_bw = 409.6e6;
+  cfg.timing.read_interference = 0;
+  SsdDevice dev(cfg, &clock);
+
+  // 256 cached pages book 2.56 ms of backend; the host only pays the
+  // 256 us bus transfer. A 4-page read then runs to completion.
+  ASSERT_TRUE(dev.Write(0, 256, nullptr).ok());
+  ASSERT_EQ(clock.NowNanos(), 256'000);
+  std::vector<uint8_t> buf(4096 * 4);
+  ASSERT_TRUE(dev.Read(0, 4, buf.data()).ok());
+  ASSERT_EQ(clock.NowNanos(), 296'000);
+
+  const auto fw = static_cast<size_t>(sim::IoClass::kForegroundWrite);
+  const auto fr = static_cast<size_t>(sim::IoClass::kForegroundRead);
+  auto s = dev.channel_stats()[0];
+  // Backlog = 2'560'000 booked - 296'000 elapsed; the write class is
+  // the only backend class, so it absorbs the whole deduction.
+  EXPECT_EQ(s.busy_ns, 296'000);
+  EXPECT_EQ(s.class_busy_ns[fw], 296'000);
+  EXPECT_EQ(s.class_busy_ns[fr], 40'000);  // fully elapsed
+  // scheduled_ns is backlog-independent.
+  EXPECT_EQ(s.scheduled_ns, 2'560'000);
+  EXPECT_EQ(s.class_scheduled_ns[fw], 2'560'000);
+
+  // Once the backlog drains, the write class's busy time converges to
+  // its scheduled work; the read share does not move.
+  clock.Advance(3'000'000);
+  s = dev.channel_stats()[0];
+  EXPECT_EQ(s.busy_ns, 2'560'000);
+  EXPECT_EQ(s.class_busy_ns[fw], 2'560'000);
+  EXPECT_EQ(s.class_busy_ns[fr], 40'000);
+  EXPECT_EQ(s.scheduled_ns, 2'560'000);
+}
+
 TEST(PreconditionTest, TrimmedDeviceHasNoValidPages) {
   sim::SimClock clock;
   SsdDevice dev(TestConfig(), &clock);
