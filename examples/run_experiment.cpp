@@ -62,6 +62,10 @@ namespace {
       "                              lanes (1 = none; implies snapshots)\n"
       "  --background-io=0|1         run compaction/checkpoint/GC on a\n"
       "                              background queue off the commit path\n"
+      "  --compaction-parallelism=K  split LSM compactions (and alog GC\n"
+      "                              reads / btree checkpoint writes) into\n"
+      "                              K subranges on K background lanes\n"
+      "                              (1; needs --background-io=1)\n"
       "  --bg-slice-us=N             QoS: preempt background backend work\n"
       "                              every N us, so a foreground command\n"
       "                              waits at most one quantum (0 = off)\n"
@@ -167,6 +171,10 @@ int main(int argc, char** argv) {
       if (config.scan_readahead < 1) Usage();
     } else if (a.starts_with("--background-io=")) {
       config.background_io = ArgF(argv[i], "--background-io=") != 0;
+    } else if (a.starts_with("--compaction-parallelism=")) {
+      config.compaction_parallelism =
+          static_cast<int>(ArgF(argv[i], "--compaction-parallelism="));
+      if (config.compaction_parallelism < 1) Usage();
     } else if (a.starts_with("--bg-slice-us=")) {
       config.background_slice_us =
           static_cast<int64_t>(ArgF(argv[i], "--bg-slice-us="));
@@ -254,6 +262,17 @@ int main(int argc, char** argv) {
                            : 0.0,
                 HumanBytes(es.buffer_coalesced_bytes).c_str(),
                 static_cast<unsigned long long>(es.flush_batches));
+  }
+  if (es.bloom_negatives + es.bloom_false_positives > 0) {
+    // Probes the filters rejected (saved a data-block read) vs admitted
+    // in vain (table lacked the key: a wasted block read).
+    std::printf("bloom filters: negatives=%llu false positives=%llu "
+                "(%.2f%% fp among rejections+fps)\n",
+                static_cast<unsigned long long>(es.bloom_negatives),
+                static_cast<unsigned long long>(es.bloom_false_positives),
+                100.0 * static_cast<double>(es.bloom_false_positives) /
+                    static_cast<double>(es.bloom_negatives +
+                                        es.bloom_false_positives));
   }
   if (!result->channel_utilization.empty()) {
     std::printf("channel utilization:");

@@ -343,6 +343,19 @@ Status AlogStore::RunGc() {
   if (!options_.background_io || options_.clock == nullptr) {
     return MaybeGc();
   }
+  if (options_.compaction_parallelism > 1) {
+    // Partitioned GC: MaybeGc's orchestration is CPU-only and stays on
+    // the foreground timeline; CollectSegment dispatches its I/O phases
+    // through the pool's lanes. Wrapping MaybeGc in one enclosing
+    // background span here would collapse the fan-out (nested lanes run
+    // synchronously), so the pool replaces the span entirely.
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<kv::BackgroundPool>(
+          options_.clock, options_.background_queue,
+          options_.compaction_parallelism);
+    }
+    return MaybeGc();
+  }
   kv::BackgroundResult r = kv::RunBackgroundWork(
       options_.clock, options_.background_queue, &background_horizon_ns_,
       [&] { return MaybeGc(); });
@@ -353,6 +366,7 @@ Status AlogStore::RunGc() {
 void AlogStore::JoinBackgroundWork() {
   if (options_.clock != nullptr) {
     options_.clock->AdvanceTo(background_horizon_ns_);
+    if (pool_ != nullptr) pool_->Join();
   }
 }
 
@@ -547,37 +561,102 @@ Status AlogStore::CollectSegment(uint64_t id) {
   });
 
   kv::WriteBatch batch;
-  std::string value;
-  for (const Ref& r : refs) {
-    if (r.loc.tombstone) {
-      if (oldest) {
-        ReleaseLocation(r.loc);
-        index_.erase(r.key);
-      } else {
-        batch.Delete(r.key);
+  if (pool_ != nullptr) {
+    // Partitioned read phase: the victim's live values are read on the
+    // pool's lanes — contiguous file-order chunks, one per lane, so a
+    // collection's reads overlap across SSD channels. The batch is then
+    // assembled in the same ref order as the serial path, so contents,
+    // record framing and stats are identical.
+    std::vector<size_t> live;
+    for (size_t i = 0; i < refs.size(); i++) {
+      if (!refs[i].loc.tombstone) live.push_back(i);
+    }
+    std::vector<std::string> values(refs.size());
+    const int lanes = pool_->lanes();
+    const size_t per =
+        (live.size() + static_cast<size_t>(lanes) - 1) /
+        std::max<size_t>(1, static_cast<size_t>(lanes));
+    for (int l = 0; l < lanes && per > 0; l++) {
+      const size_t begin = static_cast<size_t>(l) * per;
+      if (begin >= live.size()) break;
+      const size_t end = std::min(live.size(), begin + per);
+      kv::BackgroundResult r = pool_->Run(l, [&, begin, end]() -> Status {
+        for (size_t j = begin; j < end; j++) {
+          const Ref& ref = refs[live[j]];
+          std::string* out = &values[live[j]];
+          out->resize(ref.loc.value_bytes);
+          PTSB_ASSIGN_OR_RETURN(
+              const uint64_t got,
+              seg_it->second.file->ReadAt(ref.loc.value_offset,
+                                          ref.loc.value_bytes, out->data()));
+          if (got != ref.loc.value_bytes) {
+            return Status::Corruption("short GC value read");
+          }
+        }
+        return Status::OK();
+      });
+      stats_.time_background_ns += r.busy_ns;
+      PTSB_RETURN_IF_ERROR(r.status);
+    }
+    for (size_t i = 0; i < refs.size(); i++) {
+      const Ref& r = refs[i];
+      if (r.loc.tombstone) {
+        if (oldest) {
+          ReleaseLocation(r.loc);
+          index_.erase(r.key);
+        } else {
+          batch.Delete(r.key);
+        }
+        continue;
       }
-      continue;
+      stats_.gc_bytes_read += r.loc.value_bytes;
+      batch.Put(r.key, values[i]);
     }
-    value.resize(r.loc.value_bytes);
-    PTSB_ASSIGN_OR_RETURN(
-        const uint64_t got,
-        seg_it->second.file->ReadAt(r.loc.value_offset, r.loc.value_bytes,
-                                    value.data()));
-    if (got != r.loc.value_bytes) {
-      return Status::Corruption("short GC value read");
+  } else {
+    std::string value;
+    for (const Ref& r : refs) {
+      if (r.loc.tombstone) {
+        if (oldest) {
+          ReleaseLocation(r.loc);
+          index_.erase(r.key);
+        } else {
+          batch.Delete(r.key);
+        }
+        continue;
+      }
+      value.resize(r.loc.value_bytes);
+      PTSB_ASSIGN_OR_RETURN(
+          const uint64_t got,
+          seg_it->second.file->ReadAt(r.loc.value_offset, r.loc.value_bytes,
+                                      value.data()));
+      if (got != r.loc.value_bytes) {
+        return Status::Corruption("short GC value read");
+      }
+      stats_.gc_bytes_read += r.loc.value_bytes;
+      batch.Put(r.key, value);
     }
-    stats_.gc_bytes_read += r.loc.value_bytes;
-    batch.Put(r.key, value);
   }
 
   if (!batch.empty()) {
-    PTSB_RETURN_IF_ERROR(ApplyBatchRecord(batch, /*gc=*/true));
     // The victim's file is deleted below, so the rewritten live data must
     // be durable first: a crash with the GC record still in the unsynced
     // tail would drop it whole on replay (torn crc) while the durable
     // originals are already gone with the victim's file.
-    unsynced_bytes_ = 0;
-    PTSB_RETURN_IF_ERROR(segments_.at(active_id_).file->Sync());
+    auto apply = [&]() -> Status {
+      PTSB_RETURN_IF_ERROR(ApplyBatchRecord(batch, /*gc=*/true));
+      unsynced_bytes_ = 0;
+      return segments_.at(active_id_).file->Sync();
+    };
+    if (pool_ != nullptr) {
+      // The rewrite depends on every lane's reads; it runs on lane 0
+      // after a background-side barrier (the foreground does not wait).
+      pool_->Barrier();
+      kv::BackgroundResult r = pool_->Run(0, apply);
+      stats_.time_background_ns += r.busy_ns;
+      PTSB_RETURN_IF_ERROR(r.status);
+    } else {
+      PTSB_RETURN_IF_ERROR(apply());
+    }
   }
 
   const SegmentInfo& collected = segments_.at(id);
@@ -593,6 +672,13 @@ Status AlogStore::CollectSegment(uint64_t id) {
     z.file_bytes = collected.file->size();
     stats_.snapshot_pinned_bytes += z.file_bytes;
     zombie_segments_.emplace(id, z);
+  } else if (pool_ != nullptr) {
+    // Partitioned mode: the deletion orders after the rewrite on lane 0
+    // (file metadata work stays on the background timeline).
+    kv::BackgroundResult r = pool_->Run(
+        0, [&] { return fs_->Delete(SegmentFileName(dir_, id)); });
+    stats_.time_background_ns += r.busy_ns;
+    PTSB_RETURN_IF_ERROR(r.status);
   } else {
     PTSB_RETURN_IF_ERROR(fs_->Delete(SegmentFileName(dir_, id)));
   }
@@ -1014,6 +1100,8 @@ AlogOptions AlogOptionsFromEngineOptions(const kv::EngineOptions& eo) {
   o.read_queue_depth =
       kv::ParamInt(eo, "read_queue_depth", o.read_queue_depth);
   o.background_io = kv::ParamBool(eo, "background_io", o.background_io);
+  o.compaction_parallelism =
+      kv::ParamInt(eo, "compaction_parallelism", o.compaction_parallelism);
   o.clock = eo.clock;
   o.io_queue = eo.io_queue;
   o.background_queue = eo.background_queue;
@@ -1045,6 +1133,7 @@ std::map<std::string, std::string> EncodeEngineParams(const AlogOptions& o) {
   p["max_write_group_bytes"] = std::to_string(o.max_write_group_bytes);
   p["read_queue_depth"] = std::to_string(o.read_queue_depth);
   p["background_io"] = o.background_io ? "1" : "0";
+  p["compaction_parallelism"] = std::to_string(o.compaction_parallelism);
   return p;
 }
 

@@ -19,6 +19,7 @@
 #include "alog/options.h"
 #include "alog/segment.h"
 #include "fs/filesystem.h"
+#include "kv/background_pool.h"
 #include "kv/kvstore.h"
 #include "kv/registry.h"
 #include "kv/write_group.h"
@@ -204,6 +205,12 @@ class AlogStore : public kv::KVStore {
   // Completion time of the last background-lane GC span (background_io);
   // foreground waits join it via JoinBackgroundWork().
   int64_t background_horizon_ns_ = 0;
+  // Lanes for partitioned GC (compaction_parallelism > 1 with
+  // background_io and a clock): a collection's per-value reads fan out
+  // across them. Created lazily; null in single-lane mode. When set,
+  // RunGc dispatches through the pool instead of one enclosing
+  // background span (nested lanes would collapse the fan-out).
+  std::unique_ptr<kv::BackgroundPool> pool_;
 
   // Bumped by every Write (appends retarget the index; GC deletes
   // segments). Debug builds compare it against the value captured at

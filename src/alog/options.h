@@ -54,6 +54,15 @@ struct AlogOptions {
   // paper's baseline).
   bool background_io = false;
 
+  // Partitioned background GC: with background_io and a clock, a
+  // collection's per-value segment reads are fanned across this many
+  // background submission lanes (queue background_queue + i) via a
+  // kv::BackgroundPool, so the reads overlap across SSD channels. The
+  // rewrite record, sync and victim deletion stay on lane 0 (ordering
+  // is unchanged). 1 = today's single-lane behavior. The name matches
+  // the LSM engine's knob so one driver param reaches every engine.
+  int compaction_parallelism = 1;
+
   // Optional virtual clock for CPU accounting (device time is charged by
   // the device itself).
   sim::SimClock* clock = nullptr;

@@ -225,11 +225,21 @@ Status BTreeStore::EvictIfNeeded() {
   return Status::OK();
 }
 
-Status BTreeStore::WriteNode(Node* node) {
+Status BTreeStore::WriteNode(Node* node, std::vector<PendingWrite>* deferred) {
   std::string data = node->Serialize();
   PTSB_ASSIGN_OR_RETURN(BlockAddr addr, blocks_->Allocate(data.size()));
   data.resize(addr.bytes, 0);
-  PTSB_RETURN_IF_ERROR(file_->WriteAt(addr.offset, data));
+  if (deferred != nullptr) {
+    // Partitioned checkpoint: every allocation/free/parent-pointer step
+    // stays in post-order here; only the device write is postponed so
+    // the batch can fan out across lanes. Safe to reorder among
+    // themselves: each targets its own freshly allocated block, and the
+    // header that makes any of them reachable is written after all of
+    // them complete.
+    deferred->push_back({addr.offset, std::move(data)});
+  } else {
+    PTSB_RETURN_IF_ERROR(file_->WriteAt(addr.offset, data));
+  }
   if (in_checkpoint_) {
     stats_.checkpoint_bytes_written += addr.bytes;
   } else {
@@ -248,15 +258,16 @@ Status BTreeStore::WriteNode(Node* node) {
   return Status::OK();
 }
 
-Status BTreeStore::WriteDirtySubtree(Node* node) {
+Status BTreeStore::WriteDirtySubtree(Node* node,
+                                     std::vector<PendingWrite>* deferred) {
   if (!node->is_leaf) {
     for (auto& ref : node->children) {
       if (ref.child != nullptr) {
-        PTSB_RETURN_IF_ERROR(WriteDirtySubtree(ref.child.get()));
+        PTSB_RETURN_IF_ERROR(WriteDirtySubtree(ref.child.get(), deferred));
       }
     }
   }
-  if (node->dirty) PTSB_RETURN_IF_ERROR(WriteNode(node));
+  if (node->dirty) PTSB_RETURN_IF_ERROR(WriteNode(node, deferred));
   return Status::OK();
 }
 
@@ -333,6 +344,95 @@ Status BTreeStore::Checkpoint() {
       journal_.reset();
       journal_lost_ = true;
       return rotated;
+    }
+  }
+  return Status::OK();
+}
+
+Status BTreeStore::CheckpointParallel() {
+  PTSB_CHECK(pool_ != nullptr);
+  in_checkpoint_ = true;
+  Status s = [&]() -> Status {
+    // Phase 1 (CPU only): serialize + allocate every dirty node in the
+    // usual post-order, deferring the device writes. Allocation order,
+    // parent-pointer updates, frees and byte accounting are identical
+    // to the serial path.
+    std::vector<PendingWrite> writes;
+    PTSB_RETURN_IF_ERROR(WriteDirtySubtree(root_.get(), &writes));
+
+    // Phase 2: fan the block writes across the pool's lanes —
+    // contiguous chunks so each lane still issues ascending offsets.
+    const int lanes = pool_->lanes();
+    const size_t per = (writes.size() + static_cast<size_t>(lanes) - 1) /
+                       static_cast<size_t>(lanes);
+    for (int l = 0; l < lanes && per > 0; l++) {
+      const size_t begin = static_cast<size_t>(l) * per;
+      if (begin >= writes.size()) break;
+      const size_t end = std::min(writes.size(), begin + per);
+      kv::BackgroundResult r = pool_->Run(l, [&, begin, end]() -> Status {
+        for (size_t j = begin; j < end; j++) {
+          PTSB_RETURN_IF_ERROR(
+              file_->WriteAt(writes[j].offset, writes[j].data));
+        }
+        return Status::OK();
+      });
+      stats_.time_background_ns += r.busy_ns;
+      PTSB_RETURN_IF_ERROR(r.status);
+    }
+
+    // Phase 3 (lane 0, ordered after every block write): free-list
+    // blob, header, post-header free bookkeeping — the crash-safety
+    // order is unchanged: the header that publishes the new tree is the
+    // last write, and frees only become reusable once it is durable.
+    pool_->Barrier();
+    kv::BackgroundResult r = pool_->Run(0, [&]() -> Status {
+      const BlockAddr old_blob = freelist_addr_;
+      std::string encoded = blocks_->EncodeMergedFreeList(old_blob);
+      PTSB_ASSIGN_OR_RETURN(BlockAddr blob,
+                            blocks_->Allocate(encoded.size() + 64));
+      encoded = blocks_->EncodeMergedFreeList(old_blob);
+      PTSB_CHECK_LE(encoded.size(), blob.bytes);
+      encoded.resize(blob.bytes, 0);
+      PTSB_RETURN_IF_ERROR(file_->WriteAt(blob.offset, encoded));
+      stats_.checkpoint_bytes_written += blob.bytes;
+      freelist_addr_ = blob;
+
+      PTSB_RETURN_IF_ERROR(WriteHeader());
+
+      if (snapshot_pins_.empty()) {
+        blocks_->MergePendingFrees();
+      } else {
+        blocks_->QuarantinePendingFrees(checkpoint_gen_);
+      }
+      blocks_->FreeImmediately(old_blob);
+      return Status::OK();
+    });
+    stats_.time_background_ns += r.busy_ns;
+    return r.status;
+  }();
+  in_checkpoint_ = false;
+  PTSB_RETURN_IF_ERROR(s);
+  checkpoint_count_++;
+  bytes_since_checkpoint_ = 0;
+
+  // Journal rotation, on lane 0 behind the header (same order as the
+  // serial path; see Checkpoint for the journal_lost_ contract).
+  if (journal_ != nullptr) {
+    kv::BackgroundResult r = pool_->Run(0, [&]() -> Status {
+      PTSB_RETURN_IF_ERROR(journal_->Sync());
+      const std::string jname = file_name_ + ".journal";
+      journal_.reset();
+      PTSB_RETURN_IF_ERROR(fs_->Delete(jname));
+      PTSB_ASSIGN_OR_RETURN(journal_file_, fs_->Create(jname));
+      journal_ = std::make_unique<JournalWriter>(
+          journal_file_, options_.journal_sync_every_bytes);
+      return Status::OK();
+    });
+    stats_.time_background_ns += r.busy_ns;
+    if (!r.status.ok()) {
+      journal_.reset();
+      journal_lost_ = true;
+      return r.status;
     }
   }
   return Status::OK();
@@ -581,11 +681,23 @@ Status BTreeStore::WriteInternal(const kv::WriteBatch& batch,
     // when background_io is on: the commit returns without absorbing the
     // checkpoint's device time.
     if (options_.background_io && options_.clock != nullptr) {
-      kv::BackgroundResult r = kv::RunBackgroundWork(
-          options_.clock, options_.background_queue, &background_horizon_ns_,
-          [&] { return Checkpoint(); });
-      stats_.time_background_ns += r.busy_ns;
-      PTSB_RETURN_IF_ERROR(r.status);
+      if (options_.compaction_parallelism > 1) {
+        // Partitioned checkpoint: the phases dispatch through the
+        // pool's lanes themselves — an enclosing background span here
+        // would collapse the fan-out (nested lanes run synchronously).
+        if (pool_ == nullptr) {
+          pool_ = std::make_unique<kv::BackgroundPool>(
+              options_.clock, options_.background_queue,
+              options_.compaction_parallelism);
+        }
+        PTSB_RETURN_IF_ERROR(CheckpointParallel());
+      } else {
+        kv::BackgroundResult r = kv::RunBackgroundWork(
+            options_.clock, options_.background_queue,
+            &background_horizon_ns_, [&] { return Checkpoint(); });
+        stats_.time_background_ns += r.busy_ns;
+        PTSB_RETURN_IF_ERROR(r.status);
+      }
     } else {
       PTSB_RETURN_IF_ERROR(Checkpoint());
     }
@@ -596,6 +708,7 @@ Status BTreeStore::WriteInternal(const kv::WriteBatch& batch,
 void BTreeStore::JoinBackgroundWork() {
   if (options_.clock != nullptr) {
     options_.clock->AdvanceTo(background_horizon_ns_);
+    if (pool_ != nullptr) pool_->Join();
   }
 }
 
@@ -1196,6 +1309,8 @@ BTreeOptions BTreeOptionsFromEngineOptions(const kv::EngineOptions& eo) {
   o.read_queue_depth =
       kv::ParamInt(eo, "read_queue_depth", o.read_queue_depth);
   o.background_io = kv::ParamBool(eo, "background_io", o.background_io);
+  o.compaction_parallelism =
+      kv::ParamInt(eo, "compaction_parallelism", o.compaction_parallelism);
   o.clock = eo.clock;
   o.io_queue = eo.io_queue;
   o.background_queue = eo.background_queue;
@@ -1233,6 +1348,7 @@ std::map<std::string, std::string> EncodeEngineParams(const BTreeOptions& o) {
   p["max_write_group_bytes"] = std::to_string(o.max_write_group_bytes);
   p["read_queue_depth"] = std::to_string(o.read_queue_depth);
   p["background_io"] = o.background_io ? "1" : "0";
+  p["compaction_parallelism"] = std::to_string(o.compaction_parallelism);
   return p;
 }
 

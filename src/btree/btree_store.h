@@ -17,6 +17,7 @@
 #include "btree/node.h"
 #include "btree/options.h"
 #include "fs/filesystem.h"
+#include "kv/background_pool.h"
 #include "kv/kvstore.h"
 #include "kv/registry.h"
 #include "kv/write_group.h"
@@ -132,12 +133,29 @@ class BTreeStore : public kv::KVStore {
   StatusOr<Node*> FetchChild(Node* parent, size_t idx);
   StatusOr<Node*> DescendToLeaf(std::string_view key);
 
+  // One deferred checkpoint block write: the bytes for a node (or blob)
+  // at its freshly allocated offset, device write postponed so a batch
+  // of them can fan out across background lanes.
+  struct PendingWrite {
+    uint64_t offset = 0;
+    std::string data;
+  };
   // Writes a node to a fresh block, frees the old one, updates the parent
-  // address cell (or the pending root address).
-  Status WriteNode(Node* node);
+  // address cell (or the pending root address). With `deferred` set, all
+  // of that bookkeeping still happens in order but the device write is
+  // appended to the list instead of issued.
+  Status WriteNode(Node* node, std::vector<PendingWrite>* deferred = nullptr);
   // Post-order: writes every dirty node in the loaded subtree.
-  Status WriteDirtySubtree(Node* node);
+  Status WriteDirtySubtree(Node* node,
+                           std::vector<PendingWrite>* deferred = nullptr);
   Status Checkpoint();
+  // Partitioned checkpoint (compaction_parallelism > 1 with
+  // background_io and a clock): collects the dirty nodes' block writes,
+  // fans them across the pool's lanes, then runs the free-list blob,
+  // header and journal rotation on lane 0 behind a background-side
+  // barrier — same crash-safety order (header last, frees after), same
+  // bytes, overlapped device time.
+  Status CheckpointParallel();
   // AdvanceTo the background lane's completion horizon (background_io):
   // the foreground explicitly waiting out an in-flight checkpoint.
   void JoinBackgroundWork();
@@ -171,6 +189,9 @@ class BTreeStore : public kv::KVStore {
   // Completion time of the last background-lane checkpoint
   // (background_io); foreground waits join it via JoinBackgroundWork().
   int64_t background_horizon_ns_ = 0;
+  // Lanes for partitioned checkpoints; created lazily by the paced
+  // checkpoint site, null in single-lane mode.
+  std::unique_ptr<kv::BackgroundPool> pool_;
 
   std::list<Node*> lru_;  // front = least recently used
   uint64_t cache_leaf_bytes_ = 0;

@@ -61,6 +61,16 @@ struct BTreeOptions {
   // default (the paper's baseline).
   bool background_io = false;
 
+  // Partitioned paced checkpoints: with background_io and a clock, a
+  // checkpoint's dirty-node block writes are fanned across this many
+  // background submission lanes (queue background_queue + i) via a
+  // kv::BackgroundPool, so the writes overlap across SSD channels. The
+  // free-list blob, header and journal rotation stay ordered on lane 0
+  // (crash-safety order unchanged). 1 = today's single-lane behavior.
+  // The name matches the LSM engine's knob so one driver param reaches
+  // every engine.
+  int compaction_parallelism = 1;
+
   sim::SimClock* clock = nullptr;
   // Submission queue for WriteAsync commits (see kv::EngineOptions).
   uint32_t io_queue = 0;

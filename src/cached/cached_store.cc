@@ -944,6 +944,10 @@ kv::KvStoreStats CachedStore::GetStats() const {
   s.checkpoint_bytes_written += in.checkpoint_bytes_written;
   s.gc_bytes_written += in.gc_bytes_written;
   s.gc_bytes_read += in.gc_bytes_read;
+  // Bloom probes only happen in the inner LSM; the wrapper has none of
+  // its own, so the inner counters pass straight through.
+  s.bloom_negatives += in.bloom_negatives;
+  s.bloom_false_positives += in.bloom_false_positives;
   s.stall_count += in.stall_count;
   s.time_flush_ns += in.time_wal_ns + in.time_flush_ns;
   s.time_compaction_ns += in.time_compaction_ns;

@@ -167,6 +167,8 @@ Status BuildStack(const ExperimentConfig& config, Stack* stack) {
   engine_options.params["read_queue_depth"] =
       std::to_string(std::max(1, config.read_queue_depth));
   engine_options.params["background_io"] = config.background_io ? "1" : "0";
+  engine_options.params["compaction_parallelism"] =
+      std::to_string(std::max(1, config.compaction_parallelism));
   for (const auto& [key, value] : config.engine_params) {
     engine_options.params[key] = value;
   }

@@ -118,6 +118,13 @@ struct ExperimentConfig {
   // tail latency at the points where the user genuinely waits (write
   // stalls, Flush, SettleBackgroundWork).
   bool background_io = false;
+  // Partitioned background work (every engine's compaction_parallelism
+  // param): > 1 splits a picked LSM compaction into that many disjoint
+  // key subranges (and fans alog GC value reads / B+Tree checkpoint
+  // block writes out the same way), each on its own background
+  // submission lane, so background I/O overlaps across SSD channels.
+  // Needs background_io; 1 keeps today's single-lane behavior.
+  int compaction_parallelism = 1;
   // Inter-class QoS scheduling in the simulated SSD (threads through to
   // SsdConfig; see docs/SIMULATION.md "Inter-class scheduling"). All off
   // (0 / empty) by default, which reproduces FIFO per-channel

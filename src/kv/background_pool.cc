@@ -1,0 +1,37 @@
+#include "kv/background_pool.h"
+
+#include <algorithm>
+
+#include "sim/clock.h"
+#include "util/logging.h"
+
+namespace ptsb::kv {
+
+BackgroundPool::BackgroundPool(sim::SimClock* clock, uint32_t base_queue,
+                               int lanes)
+    : clock_(clock), base_queue_(base_queue) {
+  PTSB_CHECK(lanes >= 1);
+  horizons_.assign(static_cast<size_t>(lanes), 0);
+}
+
+BackgroundResult BackgroundPool::Run(int lane,
+                                     const std::function<Status()>& work) {
+  const size_t i = static_cast<size_t>(lane) % horizons_.size();
+  return RunBackgroundWork(clock_, base_queue_ + static_cast<uint32_t>(i),
+                           &horizons_[i], work);
+}
+
+void BackgroundPool::Barrier() {
+  const int64_t h = horizon_ns();
+  for (int64_t& lane_h : horizons_) lane_h = h;
+}
+
+int64_t BackgroundPool::horizon_ns() const {
+  return *std::max_element(horizons_.begin(), horizons_.end());
+}
+
+void BackgroundPool::Join() {
+  if (clock_ != nullptr) clock_->AdvanceTo(horizon_ns());
+}
+
+}  // namespace ptsb::kv

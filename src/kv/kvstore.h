@@ -101,6 +101,17 @@ struct KvStoreStats {
 
   uint64_t stall_count = 0;  // engine-level write stalls (LSM L0 pressure)
 
+  // Bloom-filter effectiveness on the LSM point-read path (zero in
+  // engines without blooms). A negative is an SST probe the pinned
+  // filter rejected without touching the device — the work blooms
+  // exist to save; a false positive is a probe the filter admitted
+  // whose table turned out not to hold the key — the data-block read
+  // was wasted. true-negative rate = negatives / (negatives + false
+  // positives + hits); the paper's 10-bits-per-key default targets
+  // ~1% false positives.
+  uint64_t bloom_negatives = 0;
+  uint64_t bloom_false_positives = 0;
+
   // Snapshot accounting. snapshots_created counts GetSnapshot calls over
   // the store's lifetime; snapshots_open is a gauge of snapshots handed
   // out and not yet released; snapshot_pinned_bytes is a gauge of disk

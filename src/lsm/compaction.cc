@@ -105,6 +105,50 @@ CompactionPick PickCompaction(const VersionSet& versions,
   return pick;
 }
 
+std::vector<std::string> SplitCompactionRange(
+    const std::vector<SstReader*>& readers, int k) {
+  std::vector<std::string> bounds;
+  if (k <= 1) return bounds;
+  // Anchors: every input block's (last user key, on-disk bytes), from
+  // the pinned indexes — the finest cut points available without I/O.
+  struct Anchor {
+    const std::string* key;
+    uint64_t bytes;
+  };
+  std::vector<Anchor> anchors;
+  uint64_t total = 0;
+  for (const SstReader* r : readers) {
+    for (size_t i = 0; i < r->NumBlocks(); i++) {
+      anchors.push_back({&r->BlockLastKey(i), r->BlockBytes(i)});
+      total += r->BlockBytes(i);
+    }
+  }
+  if (anchors.size() < 2 || total == 0) return bounds;
+  std::sort(anchors.begin(), anchors.end(),
+            [](const Anchor& a, const Anchor& b) { return *a.key < *b.key; });
+  const std::string& top = *anchors.back().key;
+  // Walk the cumulative byte weight and cut at total*i/k. Cuts that
+  // collide (dense duplicates) or land on the top key (which would
+  // leave an empty tail subrange) are dropped — callers fall back to
+  // fewer subranges, or to an unsplit job when none survive.
+  uint64_t cum = 0;
+  size_t a = 0;
+  for (int i = 1; i < k; i++) {
+    const uint64_t target = total * static_cast<uint64_t>(i) /
+                            static_cast<uint64_t>(k);
+    while (a < anchors.size() && cum + anchors[a].bytes <= target) {
+      cum += anchors[a].bytes;
+      a++;
+    }
+    if (a == 0 || a >= anchors.size()) continue;
+    const std::string& key = *anchors[a - 1].key;
+    if (key >= top) break;
+    if (!bounds.empty() && key <= bounds.back()) continue;
+    bounds.push_back(key);
+  }
+  return bounds;
+}
+
 CompactionJob::CompactionJob(fs::SimpleFs* fs, std::string dir,
                              VersionSet* versions, const LsmOptions& options,
                              CompactionPick pick)
@@ -116,6 +160,17 @@ CompactionJob::CompactionJob(fs::SimpleFs* fs, std::string dir,
 
 CompactionJob::~CompactionJob() = default;
 
+Status CompactionJob::SeekInputToBegin(Input* in) {
+  if (begin_key_.empty()) return in->iter->SeekToFirst();
+  // The lower bound is exclusive: the previous subrange owns every
+  // version of begin_key_ itself.
+  PTSB_RETURN_IF_ERROR(in->iter->Seek(begin_key_));
+  while (in->iter->Valid() && in->iter->key() == begin_key_) {
+    PTSB_RETURN_IF_ERROR(in->iter->Next());
+  }
+  return Status::OK();
+}
+
 Status CompactionJob::Prepare() {
   PTSB_CHECK(!prepared_);
   prepared_ = true;
@@ -124,15 +179,53 @@ Status CompactionJob::Prepare() {
     in.meta = meta;
     PTSB_ASSIGN_OR_RETURN(fs::File * file,
                           fs_->Open(VersionSet::SstFileName(dir_, meta.number)));
-    PTSB_ASSIGN_OR_RETURN(in.reader, SstReader::Open(file));
+    PTSB_ASSIGN_OR_RETURN(in.owned_reader, SstReader::Open(file));
+    in.reader = in.owned_reader.get();
     in.iter = std::make_unique<SstReader::Iterator>(
-        in.reader.get(), options_.compaction_readahead_bytes);
-    PTSB_RETURN_IF_ERROR(in.iter->SeekToFirst());
+        in.reader, options_.compaction_readahead_bytes);
+    if (!end_key_.empty()) {
+      // Don't prefetch past this subrange: cap the span at the block
+      // holding end_key_ (blocks are sorted by last key, so the first
+      // block whose last key covers it is the last one needed).
+      in.iter->LimitSpanTo(in.reader->FindBlock(end_key_) + 1);
+    }
+    PTSB_RETURN_IF_ERROR(SeekInputToBegin(&in));
     inputs_.push_back(std::move(in));
     return Status::OK();
   };
   for (const FileMeta& f : pick_.inputs0) PTSB_RETURN_IF_ERROR(open_input(f));
   for (const FileMeta& f : pick_.inputs1) PTSB_RETURN_IF_ERROR(open_input(f));
+  return Status::OK();
+}
+
+Status CompactionJob::PrepareWithReaders(
+    const std::vector<SstReader*>& readers) {
+  PTSB_CHECK(!prepared_);
+  prepared_ = true;
+  PTSB_CHECK_EQ(readers.size(), pick_.inputs0.size() + pick_.inputs1.size());
+  size_t r = 0;
+  auto borrow_input = [&](const FileMeta& meta) -> Status {
+    Input in;
+    in.meta = meta;
+    in.reader = readers[r++];
+    in.iter = std::make_unique<SstReader::Iterator>(
+        in.reader, options_.compaction_readahead_bytes);
+    if (!end_key_.empty()) {
+      // Don't prefetch past this subrange: cap the span at the block
+      // holding end_key_ (blocks are sorted by last key, so the first
+      // block whose last key covers it is the last one needed).
+      in.iter->LimitSpanTo(in.reader->FindBlock(end_key_) + 1);
+    }
+    PTSB_RETURN_IF_ERROR(SeekInputToBegin(&in));
+    inputs_.push_back(std::move(in));
+    return Status::OK();
+  };
+  for (const FileMeta& f : pick_.inputs0) {
+    PTSB_RETURN_IF_ERROR(borrow_input(f));
+  }
+  for (const FileMeta& f : pick_.inputs1) {
+    PTSB_RETURN_IF_ERROR(borrow_input(f));
+  }
   return Status::OK();
 }
 
@@ -190,10 +283,11 @@ StatusOr<bool> CompactionJob::Step(uint64_t max_bytes) {
   uint64_t consumed = 0;
   while (consumed < max_bytes) {
     const int idx = FindSmallest();
-    if (idx < 0) {
-      // All inputs drained.
+    if (idx < 0 || (!end_key_.empty() && inputs_[idx].iter->key() > end_key_)) {
+      // All inputs drained — or the smallest remaining entry is past
+      // this subrange's inclusive upper bound, so every input is.
       PTSB_RETURN_IF_ERROR(FinishOutput());
-      PTSB_RETURN_IF_ERROR(Install());
+      if (!defer_install_) PTSB_RETURN_IF_ERROR(Install());
       finished_ = true;
       return true;
     }

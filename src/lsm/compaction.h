@@ -46,6 +46,18 @@ CompactionPick PickCompaction(const VersionSet& versions,
                               const LsmOptions& options,
                               std::vector<uint64_t>* cursors);
 
+// Range splitter for partitioned subcompactions: cuts the key space the
+// input tables cover into up to `k` byte-balanced subranges, using the
+// readers' pinned block indexes as (last key, block bytes) anchors — no
+// device I/O. Returns the interior boundaries b_1 < ... < b_m (m <=
+// k-1) as user keys: subrange i covers (b_{i-1}, b_i], begin-exclusive
+// and end-inclusive, with the first subrange open at the bottom and the
+// last unbounded at the top. Boundaries are block last-keys, so all
+// versions of one user key always land in one subrange. Returns empty
+// (do not split) when the inputs are too small to cut.
+std::vector<std::string> SplitCompactionRange(
+    const std::vector<SstReader*>& readers, int k);
+
 // Byte-level accounting of one compaction, merged into the engine stats.
 struct CompactionIoStats {
   uint64_t bytes_read = 0;
@@ -66,13 +78,39 @@ class CompactionJob {
   // Opens input tables. Must be called once before Step.
   Status Prepare();
 
+  // Subcompaction variant: borrows pre-opened readers (one per input, in
+  // inputs0-then-inputs1 order) instead of opening the tables itself, so
+  // K subjobs over the same inputs pay the footer/index/bloom reads
+  // once. The readers must outlive the job.
+  Status PrepareWithReaders(const std::vector<SstReader*>& readers);
+
+  // Restricts the job to user keys in (begin_exclusive, end_inclusive]
+  // — a subrange from SplitCompactionRange. Empty begin means from the
+  // start, empty end means unbounded. Must be set before Prepare.
+  void SetKeyBounds(std::string begin_exclusive, std::string end_inclusive) {
+    begin_key_ = std::move(begin_exclusive);
+    end_key_ = std::move(end_inclusive);
+  }
+
+  // Deferred-install mode (subcompactions): Step finishes outputs but
+  // neither writes the manifest edit nor touches the inputs — the store
+  // installs all subranges' outputs as ONE atomic VersionSet edit and
+  // disposes the shared inputs once. Must be set before the final Step.
+  void set_defer_install(bool defer) { defer_install_ = defer; }
+
   // Processes about `max_bytes` of input data. Returns true when the whole
-  // compaction is finished and installed (inputs deleted).
+  // compaction is finished and installed (inputs deleted) — or, in
+  // deferred-install mode, drained with all outputs finished.
   StatusOr<bool> Step(uint64_t max_bytes);
 
   bool finished() const { return finished_; }
   const CompactionIoStats& io_stats() const { return io_; }
   const CompactionPick& pick() const { return pick_; }
+  // Finished output tables (meta, file number). Stable once finished();
+  // deferred-install callers read this to build the combined edit.
+  const std::vector<std::pair<FileMeta, uint64_t>>& outputs() const {
+    return outputs_;
+  }
   // File numbers of tables this job PHYSICALLY deleted (for table-cache
   // invalidation). Inputs an open snapshot still pins are not listed: the
   // store's deleter turned them into zombies instead of deleting them.
@@ -90,9 +128,14 @@ class CompactionJob {
  private:
   struct Input {
     FileMeta meta;
-    std::unique_ptr<SstReader> reader;
+    SstReader* reader = nullptr;            // borrowed or owned_reader.get()
+    std::unique_ptr<SstReader> owned_reader;  // set when self-opened
     std::unique_ptr<SstReader::Iterator> iter;
   };
+
+  // Positions one input's iterator at the first entry inside the key
+  // bounds (shared by both Prepare variants).
+  Status SeekInputToBegin(Input* in);
 
   // Index of the input whose current entry is smallest in internal order,
   // or -1 when all are exhausted.
@@ -108,6 +151,9 @@ class CompactionJob {
   CompactionPick pick_;
 
   std::vector<Input> inputs_;
+  std::string begin_key_;  // exclusive lower bound ("" = none)
+  std::string end_key_;    // inclusive upper bound ("" = none)
+  bool defer_install_ = false;
   std::unique_ptr<SstBuilder> builder_;
   fs::File* output_file_ = nullptr;
   uint64_t output_number_ = 0;

@@ -276,6 +276,18 @@ Status LsmStore::FlushMemtable() {
 }
 
 Status LsmStore::CompactionWork(uint64_t budget) {
+  // A zero budget requests no background progress at all (e.g.
+  // compaction_work_per_user_write=0 defers every compaction to the
+  // explicit drains); without this, picking and preparing a job would
+  // still do device reads.
+  if (budget == 0) return Status::OK();
+  // Partitioned subcompactions need the pool's independent lanes; they
+  // only exist with background_io and a clock. K <= 1 (or neither)
+  // keeps the single-lane path below, byte for byte.
+  if (options_.compaction_parallelism > 1 && options_.background_io &&
+      options_.clock != nullptr) {
+    return ParallelCompactionWork(budget);
+  }
   if (!options_.background_io || options_.clock == nullptr) {
     return CompactionWorkImpl(budget);
   }
@@ -289,6 +301,7 @@ Status LsmStore::CompactionWork(uint64_t budget) {
 void LsmStore::JoinBackgroundWork() {
   if (options_.clock != nullptr) {
     options_.clock->AdvanceTo(background_horizon_ns_);
+    if (pool_ != nullptr) pool_->Join();
   }
 }
 
@@ -319,6 +332,164 @@ Status LsmStore::CompactionWorkImpl(uint64_t budget) {
   return Status::OK();
 }
 
+Status LsmStore::ParallelCompactionWork(uint64_t budget) {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<kv::BackgroundPool>(
+        options_.clock, options_.background_queue,
+        options_.compaction_parallelism);
+  }
+  if (parallel_job_ == nullptr) {
+    CompactionPick pick =
+        PickCompaction(*versions_, options_, &compaction_cursors_);
+    if (!pick.valid) return Status::OK();
+    if (pick.trivial_move) {
+      // No table I/O; the manifest append still runs (and is charged)
+      // on a background lane, like the single-lane path.
+      kv::BackgroundResult r = pool_->Run(0, [&] {
+        VersionEdit edit;
+        edit.removed.emplace_back(pick.level, pick.inputs0[0].number);
+        edit.added.emplace_back(pick.level + 1, pick.inputs0[0]);
+        return versions_->LogAndApply(edit);
+      });
+      stats_.time_background_ns += r.busy_ns;
+      return r.status;
+    }
+    PTSB_RETURN_IF_ERROR(StartSubcompaction(std::move(pick)));
+  }
+  auto& jobs = parallel_job_->jobs;
+  int live = 0;
+  for (const auto& j : jobs) {
+    if (!j->finished()) live++;
+  }
+  if (live > 0) {
+    // Split the pacing budget across the live subranges: one call here
+    // advances every lane, so a slice still represents `budget` bytes
+    // of input overall — the same pacing a single job would get.
+    const uint64_t share =
+        std::max<uint64_t>(1, budget / static_cast<uint64_t>(live));
+    for (size_t i = 0; i < jobs.size(); i++) {
+      if (jobs[i]->finished()) continue;
+      kv::BackgroundResult r = pool_->Run(
+          static_cast<int>(i),
+          [&]() -> Status { return jobs[i]->Step(share).status(); });
+      stats_.time_background_ns += r.busy_ns;
+      PTSB_RETURN_IF_ERROR(r.status);
+    }
+  }
+  for (const auto& j : jobs) {
+    if (!j->finished()) return Status::OK();
+  }
+  return InstallSubcompaction();
+}
+
+Status LsmStore::StartSubcompaction(CompactionPick pick) {
+  auto sub = std::make_unique<Subcompaction>();
+  sub->pick = std::move(pick);
+  // Open each input table once, on lane 0: the K subjobs share the
+  // readers, so footer/index/bloom reads are paid once, not per
+  // subrange.
+  std::vector<SstReader*> raw;
+  kv::BackgroundResult open_r = pool_->Run(0, [&]() -> Status {
+    auto open_input = [&](const FileMeta& f) -> Status {
+      PTSB_ASSIGN_OR_RETURN(
+          fs::File * file, fs_->Open(VersionSet::SstFileName(dir_, f.number)));
+      PTSB_ASSIGN_OR_RETURN(auto reader, SstReader::Open(file));
+      raw.push_back(reader.get());
+      sub->input_readers.push_back(std::move(reader));
+      return Status::OK();
+    };
+    for (const FileMeta& f : sub->pick.inputs0) {
+      PTSB_RETURN_IF_ERROR(open_input(f));
+    }
+    for (const FileMeta& f : sub->pick.inputs1) {
+      PTSB_RETURN_IF_ERROR(open_input(f));
+    }
+    return Status::OK();
+  });
+  stats_.time_background_ns += open_r.busy_ns;
+  PTSB_RETURN_IF_ERROR(open_r.status);
+  // Every subrange depends on the shared opens.
+  pool_->Barrier();
+
+  const std::vector<std::string> bounds =
+      SplitCompactionRange(raw, options_.compaction_parallelism);
+  const size_t k = bounds.size() + 1;
+  for (size_t i = 0; i < k; i++) {
+    auto job = std::make_unique<CompactionJob>(fs_, dir_, versions_.get(),
+                                               options_, sub->pick);
+    job->SetKeyBounds(i == 0 ? std::string() : bounds[i - 1],
+                      i == bounds.size() ? std::string() : bounds[i]);
+    job->set_defer_install(true);
+    sub->jobs.push_back(std::move(job));
+  }
+  // Seed each subrange on its own lane: the initial Seek loads data
+  // blocks, and those reads already overlap across channels.
+  for (size_t i = 0; i < k; i++) {
+    kv::BackgroundResult r =
+        pool_->Run(static_cast<int>(i),
+                   [&] { return sub->jobs[i]->PrepareWithReaders(raw); });
+    stats_.time_background_ns += r.busy_ns;
+    PTSB_RETURN_IF_ERROR(r.status);
+  }
+  parallel_job_ = std::move(sub);
+  return Status::OK();
+}
+
+Status LsmStore::InstallSubcompaction() {
+  PTSB_CHECK(parallel_job_ != nullptr);
+  Subcompaction& sub = *parallel_job_;
+  for (const auto& job : sub.jobs) {
+    stats_.compaction_bytes_read += job->io_stats().bytes_read;
+    stats_.compaction_bytes_written += job->io_stats().bytes_written;
+  }
+  // The install depends on every subrange: line the lanes up first,
+  // then commit on lane 0.
+  pool_->Barrier();
+  std::vector<uint64_t> deleted;
+  kv::BackgroundResult r = pool_->Run(0, [&]() -> Status {
+    // ONE atomic VersionEdit covering all subranges: removals for the
+    // shared inputs, additions for every subrange's outputs. A crash
+    // before this record leaves only orphan SSTs (the recovery sweep
+    // reclaims them); after it, the new version is complete.
+    VersionEdit edit;
+    for (const FileMeta& f : sub.pick.inputs0) {
+      edit.removed.emplace_back(sub.pick.level, f.number);
+    }
+    for (const FileMeta& f : sub.pick.inputs1) {
+      edit.removed.emplace_back(sub.pick.level + 1, f.number);
+    }
+    for (const auto& job : sub.jobs) {
+      for (const auto& [meta, number] : job->outputs()) {
+        edit.added.emplace_back(sub.pick.level + 1, meta);
+      }
+    }
+    PTSB_RETURN_IF_ERROR(versions_->LogAndApply(edit));
+    // Close the shared readers, then dispose the inputs once (the
+    // deleter parks snapshot-pinned inputs as on-disk zombies; only
+    // physical deletions reach the eviction list) — same order as
+    // CompactionJob::Install.
+    sub.jobs.clear();
+    sub.input_readers.clear();
+    const CompactionJob::FileDeleter deleter = MakeFileDeleter();
+    auto dispose = [&](const FileMeta& f) -> Status {
+      PTSB_ASSIGN_OR_RETURN(const bool gone, deleter(f));
+      if (gone) deleted.push_back(f.number);
+      return Status::OK();
+    };
+    for (const FileMeta& f : sub.pick.inputs0) {
+      PTSB_RETURN_IF_ERROR(dispose(f));
+    }
+    for (const FileMeta& f : sub.pick.inputs1) {
+      PTSB_RETURN_IF_ERROR(dispose(f));
+    }
+    return Status::OK();
+  });
+  stats_.time_background_ns += r.busy_ns;
+  parallel_job_.reset();
+  EvictReaders(deleted);
+  return r.status;
+}
+
 Status LsmStore::MaybeStall() {
   // RocksDB's stop-writes condition: too many L0 files. The user write
   // blocks while compaction catches up (device time accrues through the
@@ -326,13 +497,13 @@ Status LsmStore::MaybeStall() {
   while (static_cast<int>(versions_->LevelFiles(0).size()) >=
          options_.l0_stall_trigger) {
     stats_.stall_count++;
-    PTSB_RETURN_IF_ERROR(CompactionWork(8 << 20));
+    PTSB_RETURN_IF_ERROR(CompactionWork(options_.compaction_budget_bytes));
     // A stall IS the user waiting for compaction: with background_io the
     // wait shows up as an explicit join of the background horizon (and
     // therefore as commit tail latency), not as per-write compaction
     // time.
     JoinBackgroundWork();
-    if (job_ == nullptr &&
+    if (!CompactionPending() &&
         static_cast<int>(versions_->LevelFiles(0).size()) >=
             options_.l0_stall_trigger) {
       // Compaction pressure resolved elsewhere or nothing to do; avoid a
@@ -349,8 +520,9 @@ Status LsmStore::DrainCompactions() {
   // its trigger. Draining means waiting the work out: join the
   // background horizon before reporting settled.
   for (;;) {
-    PTSB_RETURN_IF_ERROR(CompactionWork(64 << 20));
-    if (job_ != nullptr) continue;
+    PTSB_RETURN_IF_ERROR(
+        CompactionWork(options_.compaction_budget_bytes * 8));
+    if (CompactionPending()) continue;
     CompactionPick pick =
         PickCompaction(*versions_, options_, &compaction_cursors_);
     if (!pick.valid) {
@@ -387,7 +559,8 @@ Status LsmStore::CompactAll() {
       job->set_file_deleter(MakeFileDeleter());
       PTSB_RETURN_IF_ERROR(job->Prepare());
       for (;;) {
-        PTSB_ASSIGN_OR_RETURN(const bool done, job->Step(64 << 20));
+        PTSB_ASSIGN_OR_RETURN(
+            const bool done, job->Step(options_.compaction_budget_bytes * 8));
         if (done) break;
       }
       stats_.compaction_bytes_read += job->io_stats().bytes_read;
@@ -601,6 +774,8 @@ Status LsmStore::GetInternal(std::string_view key, std::string* value) {
       if (key < f.smallest || key > f.largest) continue;
       PTSB_ASSIGN_OR_RETURN(SstReader * reader, GetReader(f.number));
       PTSB_ASSIGN_OR_RETURN(auto result, reader->Get(key));
+      if (result.bloom_negative) stats_.bloom_negatives++;
+      if (result.bloom_false_positive) stats_.bloom_false_positives++;
       if (result.found) {
         if (result.type == EntryType::kDelete ||
             CoveredByRange(tombstones_, key, result.seq, kNoBound)) {
@@ -934,6 +1109,10 @@ LsmOptions LsmOptionsFromEngineOptions(const kv::EngineOptions& eo) {
   o.compaction_work_per_user_write =
       kv::ParamUint64(eo, "compaction_work_per_user_write",
                       o.compaction_work_per_user_write);
+  o.compaction_budget_bytes = kv::ParamUint64(eo, "compaction_budget_bytes",
+                                              o.compaction_budget_bytes);
+  o.compaction_parallelism =
+      kv::ParamInt(eo, "compaction_parallelism", o.compaction_parallelism);
   o.cpu_put_ns = kv::ParamInt64(eo, "cpu_put_ns", o.cpu_put_ns);
   o.cpu_get_ns = kv::ParamInt64(eo, "cpu_get_ns", o.cpu_get_ns);
   o.max_write_group_bytes = kv::ParamUint64(eo, "max_write_group_bytes",
@@ -980,6 +1159,8 @@ std::map<std::string, std::string> EncodeEngineParams(const LsmOptions& o) {
       std::to_string(o.compaction_readahead_bytes);
   p["compaction_work_per_user_write"] =
       std::to_string(o.compaction_work_per_user_write);
+  p["compaction_budget_bytes"] = std::to_string(o.compaction_budget_bytes);
+  p["compaction_parallelism"] = std::to_string(o.compaction_parallelism);
   p["cpu_put_ns"] = std::to_string(o.cpu_put_ns);
   p["cpu_get_ns"] = std::to_string(o.cpu_get_ns);
   p["max_write_group_bytes"] = std::to_string(o.max_write_group_bytes);

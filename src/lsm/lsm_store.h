@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "fs/filesystem.h"
+#include "kv/background_pool.h"
 #include "kv/kvstore.h"
 #include "kv/registry.h"
 #include "kv/write_group.h"
@@ -89,7 +90,9 @@ class LsmStore : public kv::KVStore {
   // Introspection for tests and benches.
   const VersionSet& versions() const { return *versions_; }
   uint64_t MemtableBytes() const { return memtable_->ApproximateBytes(); }
-  bool CompactionPending() const { return job_ != nullptr; }
+  bool CompactionPending() const {
+    return job_ != nullptr || parallel_job_ != nullptr;
+  }
   // Runs compaction to completion (tests; also used by Flush).
   Status DrainCompactions();
   // Manual full compaction (RocksDB CompactRange analog): pushes all data
@@ -117,6 +120,15 @@ class LsmStore : public kv::KVStore {
   // waits (MaybeStall, DrainCompactions, Close).
   Status CompactionWork(uint64_t budget);
   Status CompactionWorkImpl(uint64_t budget);
+  // Partitioned-subcompaction variants (compaction_parallelism > 1 with
+  // background_io and a clock). The picked input set is cut into up to K
+  // disjoint key subranges; each runs as its own deferred-install
+  // CompactionJob on its own BackgroundPool lane, so reads/writes from
+  // different subranges overlap in virtual device time. All subranges'
+  // outputs install as ONE atomic VersionSet edit.
+  Status ParallelCompactionWork(uint64_t budget);
+  Status StartSubcompaction(CompactionPick pick);
+  Status InstallSubcompaction();
   // AdvanceTo the background lane's completion horizon: the foreground
   // explicitly waiting out pending compaction.
   void JoinBackgroundWork();
@@ -151,6 +163,18 @@ class LsmStore : public kv::KVStore {
   uint64_t wal_number_ = 0;
 
   std::unique_ptr<CompactionJob> job_;
+  // In-flight partitioned subcompaction: one pick, the shared input
+  // readers (each input table opened once), and one deferred-install
+  // job per key subrange. Mutually exclusive with job_.
+  struct Subcompaction {
+    CompactionPick pick;
+    std::vector<std::unique_ptr<SstReader>> input_readers;
+    std::vector<std::unique_ptr<CompactionJob>> jobs;
+  };
+  std::unique_ptr<Subcompaction> parallel_job_;
+  // Background lanes for subcompactions (queue background_queue + i).
+  // Created lazily on the first parallel pick.
+  std::unique_ptr<kv::BackgroundPool> pool_;
   std::vector<uint64_t> compaction_cursors_;
   // Completion time of the last background-lane compaction span
   // (background_io): the engine's one background worker serializes on

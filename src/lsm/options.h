@@ -50,6 +50,23 @@ struct LsmOptions {
   // pacing is I/O-bound.
   uint64_t compaction_work_per_user_write = 16;  // multiplier on user bytes
 
+  // Bytes of compaction input processed per pacing slice: each stall
+  // check steps the running compaction by this budget, and drains use
+  // 8x it. Step boundaries do not change the device command stream
+  // (I/O is driven by iterator span loads and builder buffer flushes),
+  // so this knob trades scheduling granularity, not timing accuracy.
+  uint64_t compaction_budget_bytes = 8ull << 20;
+
+  // Partitioned subcompactions: a picked compaction is split into up to
+  // this many disjoint key subranges, each merged by its own job on its
+  // own background submission lane (queue background_queue + i), so
+  // reads and writes from different subranges overlap across SSD
+  // channels. All subranges install as ONE atomic VersionSet edit.
+  // 1 = today's single-job behavior, byte for byte. Only takes effect
+  // with background_io and a clock (there is no overlap to win
+  // otherwise).
+  int compaction_parallelism = 1;
+
   // CPU cost charged to the virtual clock per operation (0 if no clock).
   int64_t cpu_put_ns = 8'000;
   int64_t cpu_get_ns = 10'000;

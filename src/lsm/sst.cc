@@ -231,9 +231,18 @@ size_t SstReader::FindBlock(std::string_view key) const {
 
 StatusOr<SstReader::GetResult> SstReader::Get(std::string_view key) {
   GetResult r;
-  if (!bloom_.MayContain(key)) return r;
+  if (!bloom_.MayContain(key)) {
+    r.bloom_negative = true;
+    return r;
+  }
+  // From here on, a miss with a real filter present is a false
+  // positive: the filter admitted a key the table does not hold.
+  const bool bloom_admitted = !bloom_.empty();
   const size_t bi = FindBlock(key);
-  if (bi >= blocks_.size()) return r;
+  if (bi >= blocks_.size()) {
+    r.bloom_false_positive = bloom_admitted;
+    return r;
+  }
   std::string block;
   PTSB_RETURN_IF_ERROR(ReadBlock(bi, &block));
   std::string_view in = block;
@@ -261,6 +270,7 @@ StatusOr<SstReader::GetResult> SstReader::Get(std::string_view key) {
     }
     if (rkey > key) break;
   }
+  r.bloom_false_positive = bloom_admitted;
   return r;
 }
 
@@ -281,9 +291,13 @@ Status SstReader::Iterator::LoadSpan(size_t first_block) {
   }
   size_t end = first_block + 1;
   uint64_t span_bytes = blocks[first_block].size;
-  while (end < blocks.size() && span_bytes + blocks[end].size <=
-                                    std::max<uint64_t>(readahead_bytes_,
-                                                       blocks[first_block].size)) {
+  // The prefetch cap (LimitSpanTo) bounds batching, never access: a
+  // first block at/past the cap still loads as a one-block span.
+  const size_t cap = std::max(first_block + 1, span_block_limit_);
+  while (end < blocks.size() && end < cap &&
+         span_bytes + blocks[end].size <=
+             std::max<uint64_t>(readahead_bytes_,
+                                blocks[first_block].size)) {
     span_bytes += blocks[end].size;
     end++;
   }

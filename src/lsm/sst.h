@@ -85,6 +85,11 @@ class SstReader {
     EntryType type = EntryType::kPut;
     SequenceNumber seq = 0;
     std::string value;
+    // Bloom-filter verdict for this probe (both false when the table
+    // has no filter): rejected without any device read, or admitted
+    // and then not found — a wasted data-block read.
+    bool bloom_negative = false;
+    bool bloom_false_positive = false;
   };
   // Finds the newest entry for user key (tables store versions in internal
   // order, newest first).
@@ -94,6 +99,19 @@ class SstReader {
   uint64_t file_bytes() const { return file_bytes_; }
   // In-memory footprint of the pinned index + bloom.
   uint64_t PinnedBytes() const;
+
+  // The pinned block index, exposed as (last user key, on-disk size)
+  // anchors: the byte-weighted candidate cut points the compaction
+  // range splitter partitions input tables on. Splitting at a block's
+  // last key keeps every version of one user key in one subrange.
+  size_t NumBlocks() const { return blocks_.size(); }
+  const std::string& BlockLastKey(size_t i) const {
+    return blocks_[i].last_key;
+  }
+  uint32_t BlockBytes(size_t i) const { return blocks_[i].size; }
+  // Index of the first block whose last key >= key (== NumBlocks() if
+  // none) — the block a subcompaction bound lands in.
+  size_t FindBlock(std::string_view key) const;
 
   class Iterator {
    public:
@@ -108,6 +126,12 @@ class SstReader {
                       sim::SimClock* clock = nullptr, uint32_t base_queue = 0,
                       int depth = 1);
     bool Valid() const { return valid_; }
+    // Caps span prefetch at block `end_block` (exclusive): a
+    // subcompaction stops batching at its subrange's last needed block
+    // instead of reading the whole readahead window past its end key.
+    // Blocks at/past the cap are still readable one at a time (a key
+    // run can spill one block past a subrange bound).
+    void LimitSpanTo(size_t end_block) { span_block_limit_ = end_block; }
     Status SeekToFirst();
     // Positions at the first entry with user key >= target.
     Status Seek(std::string_view target);
@@ -130,6 +154,7 @@ class SstReader {
     sim::SimClock* clock_;
     uint32_t base_queue_;
     int depth_;
+    size_t span_block_limit_ = static_cast<size_t>(-1);
     size_t span_first_ = 0;  // first block index in span_data_
     size_t span_end_ = 0;    // one past the last block in span_data_
     uint64_t span_base_offset_ = 0;
@@ -153,9 +178,6 @@ class SstReader {
   SstReader(fs::File* file, std::string bloom_data);
 
   Status ReadBlock(size_t block_index, std::string* out) const;
-  // Index of the first block whose last_key >= key (== blocks_.size() if
-  // none).
-  size_t FindBlock(std::string_view key) const;
 
   fs::File* file_;
   std::vector<IndexEntry> blocks_;

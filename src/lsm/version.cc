@@ -170,6 +170,19 @@ void VersionSet::Apply(const VersionEdit& edit) {
                                }),
                 files.end());
   }
+  // One edit may carry many additions (a memtable flush, or a
+  // partitioned subcompaction installing every subrange's outputs as
+  // one atomic record); the re-sort below makes the order they arrive
+  // in irrelevant, but each file number must appear at most once.
+#ifndef NDEBUG
+  {
+    std::vector<uint64_t> nums;
+    for (const auto& [level, f] : edit.added) nums.push_back(f.number);
+    std::sort(nums.begin(), nums.end());
+    PTSB_DCHECK(std::adjacent_find(nums.begin(), nums.end()) == nums.end())
+        << "duplicate file number added by one VersionEdit";
+  }
+#endif
   for (const auto& [level, f] : edit.added) {
     // Never hand out a number at or below one we have seen in use.
     next_file_number_ = std::max(next_file_number_, f.number + 1);

@@ -38,6 +38,8 @@ void AddStats(kv::KvStoreStats* into, const kv::KvStoreStats& s) {
   into->gc_bytes_read += s.gc_bytes_read;
   into->cache_hits += s.cache_hits;
   into->cache_misses += s.cache_misses;
+  into->bloom_negatives += s.bloom_negatives;
+  into->bloom_false_positives += s.bloom_false_positives;
   into->buffer_coalesced_bytes += s.buffer_coalesced_bytes;
   into->flush_batches += s.flush_batches;
   into->stall_count += s.stall_count;
